@@ -1,0 +1,100 @@
+package qse
+
+import (
+	"fmt"
+
+	"qse/internal/space"
+	"qse/internal/stats"
+)
+
+// Calibration is the result of CalibrateP: the smallest refine budget p
+// that reached the requested recall on the calibration queries, plus the
+// per-query cost that budget implies.
+type Calibration struct {
+	// P is the suggested number of filter candidates to refine.
+	P int
+	// CostPerQuery is EmbedCost + P, the exact-distance budget per query.
+	CostPerQuery int
+	// AchievedRecall is the fraction of calibration queries whose k true
+	// nearest neighbors were all captured with this P.
+	AchievedRecall float64
+}
+
+// CalibrateP performs the paper's offline parameter selection (Sec. 9) for
+// a fixed trained model: it finds the smallest p such that, for at least
+// pct percent of the calibration queries, all k true nearest neighbors
+// survive the filter step. Exact ground truth is computed for the
+// calibration queries, so this costs len(queries) × len(db) exact
+// distances — use a modest held-out sample, not the full query workload.
+//
+// k must be positive and pct in (0, 100]. The returned P is at least k.
+func CalibrateP[T any](model *Model[T], db []T, queries []T, dist Distance[T], k int, pct float64) (Calibration, error) {
+	if model == nil {
+		return Calibration{}, fmt.Errorf("qse: nil model")
+	}
+	if len(db) == 0 || len(queries) == 0 {
+		return Calibration{}, fmt.Errorf("qse: empty database or query sample")
+	}
+	if k <= 0 || k > len(db) {
+		return Calibration{}, fmt.Errorf("qse: k = %d out of range [1,%d]", k, len(db))
+	}
+	if pct <= 0 || pct > 100 {
+		return Calibration{}, fmt.Errorf("qse: pct = %v out of (0,100]", pct)
+	}
+
+	gt := space.NewGroundTruth(space.Distance[T](dist), queries, db)
+	dbVecs := make([][]float64, len(db))
+	for i, x := range db {
+		dbVecs[i] = model.Embed(x)
+	}
+
+	// For each calibration query, the smallest p capturing all k true NNs:
+	// 1 + the worst filter rank among them.
+	pNeeded := make([]int, len(queries))
+	dists := make([]float64, len(db))
+	for qi, q := range queries {
+		qvec := model.Embed(q)
+		w := model.QueryWeights(qvec)
+		for i, v := range dbVecs {
+			var sum float64
+			for d := range qvec {
+				diff := qvec[d] - v[d]
+				if diff < 0 {
+					diff = -diff
+				}
+				sum += w[d] * diff
+			}
+			dists[i] = sum
+		}
+		worst := 0
+		for _, target := range gt.TrueKNN(qi, k) {
+			td := dists[target]
+			rank := 0
+			for i, d := range dists {
+				if d < td || (d == td && i < target) {
+					rank++
+				}
+			}
+			if rank > worst {
+				worst = rank
+			}
+		}
+		pNeeded[qi] = worst + 1
+	}
+
+	p := stats.PercentileInt(pNeeded, pct)
+	if p < k {
+		p = k
+	}
+	achieved := 0
+	for _, need := range pNeeded {
+		if need <= p {
+			achieved++
+		}
+	}
+	return Calibration{
+		P:              p,
+		CostPerQuery:   model.EmbedCost() + p,
+		AchievedRecall: float64(achieved) / float64(len(pNeeded)),
+	}, nil
+}

@@ -1,0 +1,107 @@
+package qse
+
+import (
+	"testing"
+)
+
+func TestCalibratePValidation(t *testing.T) {
+	db := testDB(31, 150)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := testDB(32, 10)
+	cases := []struct {
+		name string
+		f    func() (Calibration, error)
+	}{
+		{"nil model", func() (Calibration, error) { return CalibrateP[[]float64](nil, db, queries, l2, 1, 95) }},
+		{"empty db", func() (Calibration, error) { return CalibrateP(model, nil, queries, l2, 1, 95) }},
+		{"empty queries", func() (Calibration, error) { return CalibrateP(model, db, nil, l2, 1, 95) }},
+		{"k=0", func() (Calibration, error) { return CalibrateP(model, db, queries, l2, 0, 95) }},
+		{"k>n", func() (Calibration, error) { return CalibrateP(model, db, queries, l2, 1000, 95) }},
+		{"pct=0", func() (Calibration, error) { return CalibrateP(model, db, queries, l2, 1, 0) }},
+		{"pct>100", func() (Calibration, error) { return CalibrateP(model, db, queries, l2, 1, 101) }},
+	}
+	for _, c := range cases {
+		if _, err := c.f(); err == nil {
+			t.Errorf("%s should error", c.name)
+		}
+	}
+}
+
+func TestCalibratePDeliversRecall(t *testing.T) {
+	db := testDB(33, 300)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calQueries := testDB(34, 40)
+	const k = 3
+	cal, err := CalibrateP(model, db, calQueries, l2, k, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.P < k || cal.P > len(db) {
+		t.Fatalf("P = %d out of range", cal.P)
+	}
+	if cal.CostPerQuery != model.EmbedCost()+cal.P {
+		t.Errorf("CostPerQuery = %d, want %d", cal.CostPerQuery, model.EmbedCost()+cal.P)
+	}
+	if cal.AchievedRecall < 0.9 {
+		t.Errorf("achieved recall %v below requested 90%%", cal.AchievedRecall)
+	}
+
+	// The calibrated p must deliver ~the requested recall on a fresh query
+	// sample from the same distribution.
+	ix, err := NewIndex(model, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := testDB(35, 40)
+	hits := 0
+	for _, q := range fresh {
+		res, _, err := ix.Search(q, k, cal.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := ix.BruteForce(q, k)
+		exactSet := map[int]bool{}
+		for _, e := range exact {
+			exactSet[e.Index] = true
+		}
+		ok := true
+		for _, r := range res {
+			if !exactSet[r.Index] {
+				ok = false
+			}
+		}
+		if ok {
+			hits++
+		}
+	}
+	recall := float64(hits) / float64(len(fresh))
+	if recall < 0.7 {
+		t.Errorf("fresh-sample recall %v far below calibrated 90%%", recall)
+	}
+}
+
+func TestCalibratePMonotoneInPct(t *testing.T) {
+	db := testDB(36, 200)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := testDB(37, 30)
+	prev := 0
+	for _, pct := range []float64{50, 90, 99, 100} {
+		cal, err := CalibrateP(model, db, queries, l2, 1, pct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cal.P < prev {
+			t.Errorf("P decreased as pct rose: %d after %d", cal.P, prev)
+		}
+		prev = cal.P
+	}
+}

@@ -1,0 +1,99 @@
+// Command qse-bench regenerates the paper's experiments at configurable
+// scale and prints the tables/series to stdout.
+//
+// Usage:
+//
+//	qse-bench -experiment fig1|fig4|fig5|fig6|table1|speedup|all [flags]
+//
+// The default scale ("medium") runs each experiment in minutes on a
+// laptop; "small" is the scale used by the repository's automated
+// benchmarks. Individual knobs can be overridden with flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qse/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig1 | fig4 | fig5 | fig6 | table1 | speedup | ablations | all")
+		scaleName  = flag.String("scale", "medium", "small | medium")
+		dbSize     = flag.Int("db", 0, "override database size")
+		queries    = flag.Int("queries", 0, "override query count")
+		rounds     = flag.Int("rounds", 0, "override boosting rounds")
+		triples    = flag.Int("triples", 0, "override training triples")
+		candidates = flag.Int("candidates", 0, "override |C| (and |Xtr| proportionally)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		csvDir     = flag.String("csvdir", "", "also write figure/table data as CSV files into this directory")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.SmallScale()
+	case "medium":
+		sc = experiments.MediumScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *dbSize > 0 {
+		sc.DBSize = *dbSize
+	}
+	if *queries > 0 {
+		sc.NumQueries = *queries
+	}
+	if *rounds > 0 {
+		sc.Rounds = *rounds
+	}
+	if *triples > 0 {
+		sc.Triples = *triples
+	}
+	if *candidates > 0 {
+		sc.TrainingPool = sc.TrainingPool * *candidates / sc.Candidates
+		sc.Candidates = *candidates
+	}
+	sc.Seed = *seed
+	sc.CSVDir = *csvDir
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	runners := map[string]func() error{
+		"fig1":      func() error { return experiments.RunFig1(os.Stdout, sc.Seed) },
+		"fig4":      func() error { return experiments.RunFig4(os.Stdout, sc) },
+		"fig5":      func() error { return experiments.RunFig5(os.Stdout, sc) },
+		"fig6":      func() error { return experiments.RunFig6(os.Stdout, sc) },
+		"table1":    func() error { return experiments.RunTable1(os.Stdout, sc) },
+		"speedup":   func() error { return experiments.RunSpeedup(os.Stdout, sc) },
+		"ablations": func() error { return experiments.RunAblations(os.Stdout, sc) },
+	}
+	order := []string{"fig1", "fig4", "fig5", "fig6", "table1", "speedup", "ablations"}
+
+	var toRun []string
+	if *experiment == "all" {
+		toRun = order
+	} else if _, ok := runners[*experiment]; ok {
+		toRun = []string{*experiment}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %v or all)\n", *experiment, order)
+		os.Exit(2)
+	}
+
+	for _, name := range toRun {
+		start := time.Now()
+		fmt.Printf("==== %s (scale=%s, seed=%d) ====\n", name, *scaleName, sc.Seed)
+		if err := runners[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,88 @@
+// Command qse-datagen writes the synthetic datasets to disk, either as gob
+// (for programmatic reuse) or as a human-readable preview on stdout.
+//
+// Usage:
+//
+//	qse-datagen -dataset digits -n 100 -out digits.gob
+//	qse-datagen -dataset digits -n 3 -preview
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+
+	"qse/internal/datasets"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "digits", "digits | series")
+		n       = flag.Int("n", 100, "number of objects")
+		seed    = flag.Int64("seed", 7, "generation seed")
+		out     = flag.String("out", "", "output gob file (empty = stdout summary only)")
+		preview = flag.Bool("preview", false, "print a small preview (digits: ASCII art)")
+	)
+	flag.Parse()
+
+	switch *dataset {
+	case "digits":
+		ds, err := datasets.DigitsImages(*n, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("generated %d digit images (28x28)\n", len(ds.Images))
+		if *preview {
+			for i := 0; i < min(3, len(ds.Images)); i++ {
+				fmt.Printf("label %d:\n%s\n", ds.Labels[i], ds.Images[i].ASCII())
+			}
+		}
+		if *out != "" {
+			writeGob(*out, ds)
+		}
+	case "series":
+		ds, err := datasets.SeriesDataset(*n, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("generated %d series (length %d, %d dims)\n",
+			len(ds.Series), len(ds.Series[0]), ds.Series[0].Dims())
+		if *preview {
+			s := ds.Series[0]
+			fmt.Printf("series 0 (seed family %d), first 8 samples:\n", ds.SeedOf[0])
+			for t := 0; t < min(8, len(s)); t++ {
+				fmt.Printf("  t=%2d %v\n", t, s[t])
+			}
+		}
+		if *out != "" {
+			writeGob(*out, ds)
+		}
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+}
+
+func writeGob(path string, v any) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("creating %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		fatalf("encoding: %v", err)
+	}
+	fmt.Printf("written to %s\n", path)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

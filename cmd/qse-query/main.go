@@ -1,0 +1,135 @@
+// Command qse-query loads a model trained by qse-train, rebuilds the same
+// database, indexes it, and runs nearest-neighbor queries, printing the
+// results and the exact-distance cost compared to brute force.
+//
+// Usage:
+//
+//	qse-query -model model.gob -dataset series -db 1000 -dataseed 7 [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qse"
+	"qse/internal/datasets"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "model.gob", "model file from qse-train")
+		dataset   = flag.String("dataset", "series", "digits | series (must match training)")
+		dbSize    = flag.Int("db", 1000, "database size (must match training)")
+		dataseed  = flag.Int64("dataseed", 7, "dataset seed (must match training)")
+		numQ      = flag.Int("n", 10, "number of queries to run")
+		k         = flag.Int("k", 5, "neighbors per query")
+		p         = flag.Int("p", 100, "filter candidates kept for refinement")
+		autoP     = flag.Bool("autop", false, "calibrate p automatically on a held-out sample (overrides -p)")
+		pct       = flag.Float64("pct", 95, "recall target for -autop, percent of queries capturing all k true NNs")
+		queryseed = flag.Int64("queryseed", 99, "seed for generating query objects")
+	)
+	flag.Parse()
+
+	switch *dataset {
+	case "digits":
+		db, dist, err := datasets.Digits(*dbSize, *dataseed)
+		if err != nil {
+			fatalf("rebuilding database: %v", err)
+		}
+		qs, _, err := datasets.Digits(*numQ, *queryseed)
+		if err != nil {
+			fatalf("generating queries: %v", err)
+		}
+		run(*modelPath, db, qs, dist, *k, *p, *autoP, *pct, *queryseed)
+	case "series":
+		db, dist, err := datasets.Series(*dbSize, *dataseed)
+		if err != nil {
+			fatalf("rebuilding database: %v", err)
+		}
+		qs, _, err := datasets.Series(*numQ, *queryseed)
+		if err != nil {
+			fatalf("generating queries: %v", err)
+		}
+		run(*modelPath, db, qs, dist, *k, *p, *autoP, *pct, *queryseed)
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+}
+
+func run[T any](modelPath string, db, queries []T, dist qse.Distance[T], k, p int, autoP bool, pct float64, queryseed int64) {
+	f, err := os.Open(modelPath)
+	if err != nil {
+		fatalf("opening model: %v", err)
+	}
+	defer f.Close()
+	model, err := qse.LoadModel(f, db, dist)
+	if err != nil {
+		fatalf("loading model: %v", err)
+	}
+	fmt.Printf("model: %d dims, embed cost %d exact distances\n", model.Dims(), model.EmbedCost())
+
+	if autoP {
+		// Calibrate on a slice of the query sample (same distribution,
+		// different objects than the queries actually timed below would be
+		// ideal; for a demo tool the same sample is acceptable).
+		cal, err := qse.CalibrateP(model, db, queries, dist, k, pct)
+		if err != nil {
+			fatalf("calibrating p: %v", err)
+		}
+		p = cal.P
+		fmt.Printf("calibrated p = %d for %.0f%% recall at k = %d (achieved %.0f%% on the sample; cost %d distances/query)\n",
+			cal.P, pct, k, 100*cal.AchievedRecall, cal.CostPerQuery)
+	}
+
+	start := time.Now()
+	ix, err := qse.NewIndex(model, db, dist)
+	if err != nil {
+		fatalf("indexing: %v", err)
+	}
+	fmt.Printf("indexed %d objects in %v\n\n", ix.Size(), time.Since(start).Round(time.Millisecond))
+
+	var totalCost, hits, possible int
+	for qi, q := range queries {
+		res, st, err := ix.Search(q, k, p)
+		if err != nil {
+			fatalf("query %d: %v", qi, err)
+		}
+		exact, _ := ix.BruteForce(q, k)
+		exactSet := map[int]bool{}
+		for _, e := range exact {
+			exactSet[e.Index] = true
+		}
+		found := 0
+		for _, r := range res {
+			if exactSet[r.Index] {
+				found++
+			}
+		}
+		hits += found
+		possible += len(exact)
+		totalCost += st.Total()
+		fmt.Printf("query %2d: top-%d recall %d/%d, cost %4d exact distances (vs %d brute force)\n",
+			qi, k, found, len(exact), st.Total(), len(db))
+		for _, r := range res[:min(3, len(res))] {
+			fmt.Printf("          #%-5d d=%.4f\n", r.Index, r.Distance)
+		}
+	}
+	fmt.Printf("\nmean cost %.1f distances/query, speed-up %.1fx, recall %.1f%%\n",
+		float64(totalCost)/float64(len(queries)),
+		float64(len(db))*float64(len(queries))/float64(totalCost),
+		100*float64(hits)/float64(possible))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

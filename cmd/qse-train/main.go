@@ -1,0 +1,111 @@
+// Command qse-train trains a query-sensitive embedding on one of the
+// built-in synthetic datasets and saves the model to disk.
+//
+// The dataset is regenerated deterministically from -dataseed, so
+// qse-query can rebuild the identical database and load the model against
+// it (models store candidate objects as database indexes).
+//
+// Usage:
+//
+//	qse-train -dataset digits|series -out model.gob [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"qse"
+	"qse/internal/datasets"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "series", "digits | series")
+		out      = flag.String("out", "model.gob", "output model file")
+		dbSize   = flag.Int("db", 1000, "database size")
+		variant  = flag.String("variant", "se-qs", "se-qs | se-qi | ra-qs | ra-qi")
+		rounds   = flag.Int("rounds", 64, "boosting rounds")
+		triples  = flag.Int("triples", 10000, "training triples")
+		cands    = flag.Int("candidates", 150, "candidate objects |C|")
+		pool     = flag.Int("pool", 250, "training pool |Xtr|")
+		k1       = flag.Int("k1", 5, "selective-sampling radius")
+		seed     = flag.Int64("seed", 1, "training seed")
+		dataseed = flag.Int64("dataseed", 7, "dataset generation seed")
+	)
+	flag.Parse()
+
+	cfg := qse.DefaultTrainConfig()
+	cfg.Rounds = *rounds
+	cfg.Triples = *triples
+	cfg.Candidates = *cands
+	cfg.TrainingPool = *pool
+	cfg.K1 = *k1
+	cfg.Seed = *seed
+	switch *variant {
+	case "se-qs":
+		cfg.Variant = qse.SeQS
+	case "se-qi":
+		cfg.Variant = qse.SeQI
+	case "ra-qs":
+		cfg.Variant = qse.RaQS
+	case "ra-qi":
+		cfg.Variant = qse.RaQI
+	default:
+		fatalf("unknown variant %q", *variant)
+	}
+
+	start := time.Now()
+	var save func(w io.Writer) error
+	switch *dataset {
+	case "digits":
+		db, dist, err := datasets.Digits(*dbSize, *dataseed)
+		if err != nil {
+			fatalf("building dataset: %v", err)
+		}
+		model, err := qse.Train(db, dist, cfg)
+		if err != nil {
+			fatalf("training: %v", err)
+		}
+		printReport(model.Report(), model.Dims(), model.EmbedCost(), time.Since(start))
+		save = model.Save
+	case "series":
+		db, dist, err := datasets.Series(*dbSize, *dataseed)
+		if err != nil {
+			fatalf("building dataset: %v", err)
+		}
+		model, err := qse.Train(db, dist, cfg)
+		if err != nil {
+			fatalf("training: %v", err)
+		}
+		printReport(model.Report(), model.Dims(), model.EmbedCost(), time.Since(start))
+		save = model.Save
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("creating %s: %v", *out, err)
+	}
+	defer f.Close()
+	if err := save(f); err != nil {
+		fatalf("saving model: %v", err)
+	}
+	fmt.Printf("model written to %s (reload with qse-query -dataset %s -db %d -dataseed %d)\n",
+		*out, *dataset, *dbSize, *dataseed)
+}
+
+func printReport(rep qse.TrainReport, dims, cost int, elapsed time.Duration) {
+	fmt.Printf("trained %s: %d rounds, %d dims, embed cost %d exact distances\n",
+		rep.Variant, rep.Rounds, dims, cost)
+	fmt.Printf("preprocessing: %d exact distances; final training error %.4f; wall clock %v\n",
+		rep.PreprocessedDistances, rep.TrainingError, elapsed.Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package qse
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools exercises the qse-train -> qse-query round trip and
+// qse-datagen as real subprocesses, the way a user runs them. Skipped in
+// -short mode (it compiles and runs three binaries).
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.gob")
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command("go", append([]string{"run", "./cmd/" + name}, args...)...)
+		cmd.Dir = "."
+		cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	trainOut := run("qse-train",
+		"-dataset", "series", "-db", "150", "-rounds", "8", "-triples", "800",
+		"-candidates", "25", "-pool", "50", "-out", modelPath)
+	if !strings.Contains(trainOut, "trained Se-QS") || !strings.Contains(trainOut, "model written") {
+		t.Fatalf("train output unexpected:\n%s", trainOut)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model file missing: %v", err)
+	}
+
+	queryOut := run("qse-query",
+		"-model", modelPath, "-dataset", "series", "-db", "150",
+		"-n", "3", "-k", "2", "-p", "20")
+	if !strings.Contains(queryOut, "recall") || !strings.Contains(queryOut, "speed-up") {
+		t.Fatalf("query output unexpected:\n%s", queryOut)
+	}
+
+	genOut := run("qse-datagen", "-dataset", "digits", "-n", "2", "-preview")
+	if !strings.Contains(genOut, "generated 2 digit images") || !strings.Contains(genOut, "label") {
+		t.Fatalf("datagen output unexpected:\n%s", genOut)
+	}
+
+	benchOut := run("qse-bench", "-experiment", "fig1", "-scale", "small")
+	if !strings.Contains(benchOut, "Figure 1") || !strings.Contains(benchOut, "done in") {
+		t.Fatalf("bench output unexpected:\n%s", benchOut)
+	}
+}

@@ -1,0 +1,75 @@
+package qse_test
+
+import (
+	"fmt"
+	"math"
+
+	"qse"
+)
+
+// manhattanish is a toy expensive distance for the examples: Euclidean
+// distance over 2D points.
+func exampleDist(a, b [2]float64) float64 {
+	return math.Hypot(a[0]-b[0], a[1]-b[1])
+}
+
+// exampleDB is a tiny deterministic database: points on a grid.
+func exampleDB() [][2]float64 {
+	var db [][2]float64
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			db = append(db, [2]float64{float64(i) / 11, float64(j) / 11})
+		}
+	}
+	return db
+}
+
+// Train a query-sensitive embedding and run one filter-and-refine query.
+func Example() {
+	db := exampleDB()
+	cfg := qse.DefaultTrainConfig()
+	cfg.Rounds = 12
+	cfg.Candidates = 24
+	cfg.TrainingPool = 60
+	cfg.Triples = 800
+	cfg.EmbeddingsPerRound = 20
+	cfg.IntervalsPerEmbedding = 4
+	cfg.K1 = 5
+	cfg.Seed = 1
+
+	model, err := qse.Train(db, exampleDist, cfg)
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	index, err := qse.NewIndex(model, db, exampleDist)
+	if err != nil {
+		fmt.Println("index:", err)
+		return
+	}
+	// The query sits exactly on grid point (5/11, 7/11) = index 5*12+7.
+	results, _, err := index.Search([2]float64{5.0 / 11, 7.0 / 11}, 1, 20)
+	if err != nil {
+		fmt.Println("search:", err)
+		return
+	}
+	fmt.Println("nearest index:", results[0].Index, "distance:", results[0].Distance)
+	// Output:
+	// nearest index: 67 distance: 0
+}
+
+// The exact-distance budget of a query is embedding cost plus refine
+// candidates — the paper's cost model.
+func ExampleSearchStats_Total() {
+	st := qse.SearchStats{EmbedDistances: 40, RefineDistances: 200}
+	fmt.Println(st.Total())
+	// Output:
+	// 240
+}
+
+// Variants are named as in the paper's Table 1.
+func ExampleVariant_String() {
+	fmt.Println(qse.SeQS, qse.SeQI, qse.RaQS, qse.RaQI)
+	// Output:
+	// Se-QS Se-QI Ra-QS Ra-QI
+}

@@ -1,0 +1,119 @@
+// Digits: the paper's MNIST workload at example scale. Synthetic
+// handwritten digits are compared with the Shape Context distance (log-
+// polar histograms + Hungarian bipartite matching) — an expensive,
+// non-metric image distance. A query-sensitive embedding makes k-NN
+// retrieval an order of magnitude cheaper than brute force while mostly
+// agreeing with it, and a same-budget FastMap baseline shows why learning
+// the embedding matters.
+//
+//	go run ./examples/digits
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qse"
+	"qse/internal/digits"
+	"qse/internal/shapecontext"
+	"qse/internal/stats"
+)
+
+func main() {
+	const (
+		dbSize     = 400
+		numQueries = 20
+		k          = 3
+		p          = 50
+	)
+
+	// Generate the database and a disjoint query set.
+	gen := digits.NewGenerator(digits.Config{}, stats.NewRand(7))
+	ex := shapecontext.NewExtractor(shapecontext.Config{})
+	dbImgs, err := gen.GenerateBalancedDataset(dbSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qImgs, err := gen.GenerateBalancedDataset(numQueries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := ex.ExtractAll(dbImgs.Images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := ex.ExtractAll(qImgs.Images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := ex.Distance
+
+	fmt.Printf("database: %d digit images; query 0 looks like:\n%s\n",
+		dbSize, qImgs.Images[0].ASCII())
+
+	// Train Se-QS.
+	cfg := qse.DefaultTrainConfig()
+	cfg.Rounds = 32
+	cfg.Candidates = 60
+	cfg.TrainingPool = 120
+	cfg.Triples = 5000
+	cfg.Seed = 1
+	start := time.Now()
+	model, err := qse.Train(db, dist, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s in %v: %d dims, embed cost %d shape-context distances\n",
+		model.Report().Variant, time.Since(start).Round(time.Millisecond),
+		model.Dims(), model.EmbedCost())
+
+	index, err := qse.NewIndex(model, db, dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Same-budget FastMap baseline.
+	fm, err := qse.TrainFastMap(db, dist, model.EmbedCost()/2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmIndex, err := qse.NewFastMapIndex(fm, db, dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evalIndex := func(name string, ix *qse.Index[*shapecontext.Shape]) {
+		var cost, labelHits, recall, possible int
+		for qi, q := range queries {
+			res, st, err := ix.Search(q, k, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cost += st.Total()
+			exact, _ := ix.BruteForce(q, k)
+			exactSet := map[int]bool{}
+			for _, e := range exact {
+				exactSet[e.Index] = true
+			}
+			for _, r := range res {
+				if exactSet[r.Index] {
+					recall++
+				}
+				if dbImgs.Labels[r.Index] == qImgs.Labels[qi] {
+					labelHits++
+				}
+			}
+			possible += len(exact)
+		}
+		fmt.Printf("%-8s  %.0f distances/query (brute force %d)  recall %.0f%%  label agreement %.0f%%\n",
+			name,
+			float64(cost)/float64(len(queries)), dbSize,
+			100*float64(recall)/float64(possible),
+			100*float64(labelHits)/float64(k*len(queries)))
+	}
+
+	fmt.Printf("\n%d-NN retrieval with p=%d over %d queries:\n", k, p, numQueries)
+	evalIndex("Se-QS", index)
+	evalIndex("FastMap", fmIndex)
+}

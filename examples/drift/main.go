@@ -1,0 +1,105 @@
+// Drift: dynamic datasets per Sec. 7.1 of the paper. Objects are added to
+// the index online — each insertion costs only EmbedCost exact distances
+// and no retraining — while the embedding's triple-classification error is
+// monitored on the current database distribution. When inserts come from
+// the training distribution the error stays flat; when the distribution
+// shifts, the error climbs past a threshold and the embedding is retrained.
+//
+//	go run ./examples/drift
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qse"
+	"qse/internal/dtw"
+	"qse/internal/stats"
+	"qse/internal/timeseries"
+)
+
+const (
+	initialDB   = 400
+	batchSize   = 150
+	driftFactor = 3.0 // retrain when drift error exceeds 3x the baseline
+	driftSample = 90
+)
+
+func main() {
+	gen := timeseries.NewGenerator(timeseries.Config{}, stats.NewRand(3))
+	ds, err := gen.GenerateDataset(initialDB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := append([]dtw.Series(nil), ds.Series...)
+	dist := func(a, b dtw.Series) float64 { return dtw.Constrained(a, b, 0.10) }
+
+	cfg := qse.DefaultTrainConfig()
+	cfg.Rounds = 32
+	cfg.Candidates = 80
+	cfg.TrainingPool = 150
+	cfg.Triples = 5000
+	cfg.Seed = 1
+	model, err := qse.Train(db, dist, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	index, err := qse.NewIndex(model, db, dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := func(stage string) float64 {
+		drift, err := model.DriftError(db, driftSample, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s db=%4d  drift error = %.3f\n", stage, len(db), drift)
+		return drift
+	}
+	baseline := report("initial model")
+	threshold := driftFactor * baseline
+
+	// Batch 1: inserts from the SAME distribution (new variants of the
+	// same seed families). Per Sec. 7.1 this needs no retraining.
+	same, err := gen.GenerateDataset(batchSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range same.Series {
+		index.Add(s)
+		db = append(db, s)
+	}
+	report("after in-distribution inserts")
+
+	// Batch 2: a NEW generator — different seed patterns entirely. The
+	// reference objects know nothing about these, so the embedding's
+	// triple error on the current distribution rises.
+	shifted := timeseries.NewGenerator(timeseries.Config{Seeds: 6}, stats.NewRand(999))
+	other, err := shifted.GenerateDataset(3 * batchSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range other.Series {
+		index.Add(s)
+		db = append(db, s)
+	}
+	drift := report("after distribution-shift inserts")
+
+	if drift > threshold {
+		fmt.Printf("\ndrift %.3f > threshold %.3f (3x baseline): retraining (Sec. 7.1)\n", drift, threshold)
+		model2, err := qse.Train(db, dist, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := qse.NewIndex(model2, db, dist); err != nil {
+			log.Fatal(err)
+		}
+		drift2, err := model2.DriftError(db, driftSample, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("retrained model drift error = %.3f\n", drift2)
+	} else {
+		fmt.Printf("\ndrift %.3f within threshold %.3f: no retraining needed\n", drift, threshold)
+	}
+}

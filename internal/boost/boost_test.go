@@ -1,0 +1,306 @@
+package boost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty labels should error")
+	}
+	if _, err := New([]int{1, 0}); err == nil {
+		t.Error("label 0 should error")
+	}
+	if _, err := New([]int{1, -1, 1}); err != nil {
+		t.Errorf("valid labels: %v", err)
+	}
+}
+
+func TestInitialWeightsUniform(t *testing.T) {
+	b, _ := New([]int{1, -1, 1, -1})
+	for _, w := range b.Weights() {
+		if w != 0.25 {
+			t.Fatalf("weights = %v", b.Weights())
+		}
+	}
+	if b.N() != 4 || b.Rounds() != 0 {
+		t.Errorf("N=%d Rounds=%d", b.N(), b.Rounds())
+	}
+}
+
+func TestZMatchesDefinition(t *testing.T) {
+	weights := []float64{0.5, 0.5}
+	margins := []float64{1, -1}
+	want := 0.5*math.Exp(-2) + 0.5*math.Exp(2)
+	if got := Z(weights, margins, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Z = %v, want %v", got, want)
+	}
+	// alpha = 0 -> Z = sum of weights.
+	if got := Z(weights, margins, 0); got != 1 {
+		t.Errorf("Z(0) = %v, want 1", got)
+	}
+}
+
+func TestOptimalAlphaUselessClassifier(t *testing.T) {
+	// Anti-correlated classifier: optimal constrained alpha is 0, Z = 1.
+	weights := []float64{0.5, 0.5}
+	margins := []float64{-1, -1}
+	alpha, z := OptimalAlpha(weights, margins)
+	if alpha != 0 || z != 1 {
+		t.Errorf("alpha = %v z = %v, want 0 and 1", alpha, z)
+	}
+}
+
+func TestOptimalAlphaPerfectClassifierCaps(t *testing.T) {
+	weights := []float64{0.5, 0.5}
+	margins := []float64{1, 1}
+	alpha, z := OptimalAlpha(weights, margins)
+	if alpha != MaxAlpha {
+		t.Errorf("alpha = %v, want cap %v", alpha, MaxAlpha)
+	}
+	if z >= 1e-6 {
+		t.Errorf("z = %v, want ~0", z)
+	}
+}
+
+func TestOptimalAlphaClosedFormBinary(t *testing.T) {
+	// For ±1 outputs with weighted error e, the classic closed form is
+	// alpha = 0.5 ln((1-e)/e) and Z = 2 sqrt(e (1-e)).
+	weights := []float64{0.1, 0.2, 0.3, 0.4}
+	margins := []float64{1, -1, 1, 1} // error mass e = 0.2
+	alpha, z := OptimalAlpha(weights, margins)
+	wantAlpha := 0.5 * math.Log(0.8/0.2)
+	wantZ := 2 * math.Sqrt(0.2*0.8)
+	if math.Abs(alpha-wantAlpha) > 1e-6 {
+		t.Errorf("alpha = %v, want %v", alpha, wantAlpha)
+	}
+	if math.Abs(z-wantZ) > 1e-9 {
+		t.Errorf("z = %v, want %v", z, wantZ)
+	}
+}
+
+func TestOptimalAlphaIsMinimum(t *testing.T) {
+	// Property: Z at the returned alpha is no worse than Z at nearby and
+	// random alphas in [0, MaxAlpha].
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		weights := make([]float64, n)
+		margins := make([]float64, n)
+		var sum float64
+		for i := range weights {
+			weights[i] = rng.Float64() + 1e-3
+			sum += weights[i]
+			margins[i] = rng.NormFloat64()
+		}
+		for i := range weights {
+			weights[i] /= sum
+		}
+		alpha, z := OptimalAlpha(weights, margins)
+		if alpha < 0 || alpha > MaxAlpha {
+			return false
+		}
+		for _, trial := range []float64{0, 0.1, 0.5, 1, 2, 5, alpha + 0.01, alpha - 0.01} {
+			if trial < 0 || trial > MaxAlpha {
+				continue
+			}
+			if Z(weights, margins, trial) < z-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepUpdatesWeightsPerEq6(t *testing.T) {
+	b, _ := New([]int{1, -1})
+	outputs := []float64{1, 1} // correct on 0, wrong on 1
+	alpha := 0.5
+	z := b.Step(outputs, alpha)
+	// Hand-computed: w0 = 0.5 e^{-0.5}, w1 = 0.5 e^{0.5}; z = their sum.
+	w0 := 0.5 * math.Exp(-0.5)
+	w1 := 0.5 * math.Exp(0.5)
+	wantZ := w0 + w1
+	if math.Abs(z-wantZ) > 1e-12 {
+		t.Errorf("z = %v, want %v", z, wantZ)
+	}
+	ws := b.Weights()
+	if math.Abs(ws[0]-w0/wantZ) > 1e-12 || math.Abs(ws[1]-w1/wantZ) > 1e-12 {
+		t.Errorf("weights = %v", ws)
+	}
+	if b.Rounds() != 1 {
+		t.Errorf("Rounds = %d", b.Rounds())
+	}
+}
+
+func TestStepWeightsStayNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b, _ := New([]int{1, -1, 1, -1, 1})
+	for round := 0; round < 30; round++ {
+		outputs := make([]float64, b.N())
+		for i := range outputs {
+			outputs[i] = rng.NormFloat64()
+		}
+		margins := b.Margins(outputs)
+		alpha, _ := OptimalAlpha(b.Weights(), margins)
+		b.Step(outputs, alpha)
+		var sum float64
+		for _, w := range b.Weights() {
+			if w < 0 {
+				t.Fatal("negative weight")
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("weights sum to %v after round %d", sum, round)
+		}
+	}
+}
+
+func TestMisclassifiedExamplesGainWeight(t *testing.T) {
+	b, _ := New([]int{1, 1, -1})
+	// Classifier correct on examples 0 and 2, wrong on 1.
+	outputs := []float64{1, -1, -1}
+	before := append([]float64(nil), b.Weights()...)
+	b.Step(outputs, 1)
+	after := b.Weights()
+	if after[1] <= before[1] {
+		t.Error("misclassified example should gain weight")
+	}
+	if after[0] >= before[0] || after[2] >= before[2] {
+		t.Error("correctly classified examples should lose weight")
+	}
+}
+
+func TestBoostingDrivesTrainingErrorDown(t *testing.T) {
+	// A learnable 1D threshold problem: labels = sign(x). Weak classifiers
+	// are decision stumps h(x) = sign(x - theta) for random thetas. Boosting
+	// must drive training error to zero quickly.
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	xs := make([]float64, n)
+	labels := make([]int, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		if xs[i] >= 0 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	b, err := New(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		// Weak learner: best of a few random stumps under current weights.
+		var bestOut []float64
+		bestZ := math.Inf(1)
+		var bestAlpha float64
+		for c := 0; c < 10; c++ {
+			theta := rng.NormFloat64()
+			out := make([]float64, n)
+			for i, x := range xs {
+				if x >= theta {
+					out[i] = 1
+				} else {
+					out[i] = -1
+				}
+			}
+			alpha, z := OptimalAlpha(b.Weights(), b.Margins(out))
+			if z < bestZ {
+				bestZ, bestAlpha, bestOut = z, alpha, out
+			}
+		}
+		b.Step(bestOut, bestAlpha)
+	}
+	if got := b.TrainingError(); got > 0.02 {
+		t.Errorf("training error after boosting = %v, want <= 0.02", got)
+	}
+}
+
+func TestTrainingErrorConventions(t *testing.T) {
+	b, _ := New([]int{1, -1})
+	if got := b.TrainingError(); got != 0.5 {
+		t.Errorf("zero-output training error = %v, want 0.5", got)
+	}
+	b.Step([]float64{1, -1}, 1)
+	if got := b.TrainingError(); got != 0 {
+		t.Errorf("perfect training error = %v", got)
+	}
+}
+
+func TestWeightedError(t *testing.T) {
+	b, _ := New([]int{1, 1, -1, -1})
+	// correct, wrong, neutral, correct with uniform weights 0.25.
+	outputs := []float64{2, -1, 0, -3}
+	got := b.WeightedError(outputs)
+	want := 0.25 + 0.5*0.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("WeightedError = %v, want %v", got, want)
+	}
+}
+
+func TestPanicsOnLengthMismatch(t *testing.T) {
+	b, _ := New([]int{1, -1})
+	for name, f := range map[string]func(){
+		"Step":          func() { b.Step([]float64{1}, 1) },
+		"Margins":       func() { b.Margins([]float64{1}) },
+		"WeightedError": func() { b.WeightedError([]float64{1, 2, 3}) },
+		"Z":             func() { Z([]float64{1}, []float64{1, 2}, 1) },
+		"OptimalAlpha":  func() { OptimalAlpha([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: mismatch should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZDecreasesWithCommittedRounds(t *testing.T) {
+	// Committing the alpha-optimal classifier must yield z <= 1 (Sec. 5.3:
+	// "if Z_j < 1 then choosing h_j and alpha_j is overall beneficial").
+	rng := rand.New(rand.NewSource(4))
+	labels := make([]int, 50)
+	for i := range labels {
+		if rng.Intn(2) == 0 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	b, _ := New(labels)
+	for round := 0; round < 10; round++ {
+		outputs := make([]float64, len(labels))
+		for i := range outputs {
+			// Weakly correlated with the label.
+			outputs[i] = float64(labels[i])*0.3 + rng.NormFloat64()
+		}
+		alpha, zPred := OptimalAlpha(b.Weights(), b.Margins(outputs))
+		z := b.Step(outputs, alpha)
+		if math.Abs(z-zPred) > 1e-9 {
+			t.Fatalf("Step z %v != OptimalAlpha z %v", z, zPred)
+		}
+		if z > 1+1e-9 {
+			t.Fatalf("committed round has z = %v > 1", z)
+		}
+	}
+}
+
+func TestMarginsUsesLabels(t *testing.T) {
+	b, _ := New([]int{1, -1})
+	m := b.Margins([]float64{2, 2})
+	if m[0] != 2 || m[1] != -2 {
+		t.Errorf("Margins = %v", m)
+	}
+}

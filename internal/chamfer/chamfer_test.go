@@ -1,0 +1,217 @@
+package chamfer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qse/internal/digits"
+)
+
+func imgWithPixels(w, h int, pts ...[2]int) *digits.Image {
+	im := digits.NewImage(w, h)
+	for _, p := range pts {
+		im.Set(p[0], p[1], 1)
+	}
+	return im
+}
+
+// brute-force reference distance transform.
+func dtRef(img *digits.Image, threshold float64) []float64 {
+	on := img.OnPixels(threshold)
+	out := make([]float64, img.W*img.H)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			best := math.Inf(1)
+			for _, p := range on {
+				d := math.Hypot(float64(x-p[0]), float64(y-p[1]))
+				if d < best {
+					best = d
+				}
+			}
+			out[y*img.W+x] = best
+		}
+	}
+	return out
+}
+
+func TestDistanceTransformSinglePoint(t *testing.T) {
+	im := imgWithPixels(5, 5, [2]int{2, 2})
+	dt := DistanceTransform(im, 0.5)
+	if dt[2*5+2] != 0 {
+		t.Errorf("distance at the pixel itself = %v", dt[2*5+2])
+	}
+	if got := dt[2*5+4]; math.Abs(got-2) > 1e-9 {
+		t.Errorf("distance 2 to the right = %v", got)
+	}
+	if got := dt[0]; math.Abs(got-2*math.Sqrt2) > 1e-9 {
+		t.Errorf("corner distance = %v, want 2*sqrt(2)", got)
+	}
+}
+
+func TestDistanceTransformMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		w := 3 + rng.Intn(12)
+		h := 3 + rng.Intn(12)
+		im := digits.NewImage(w, h)
+		nOn := 1 + rng.Intn(6)
+		for i := 0; i < nOn; i++ {
+			im.Set(rng.Intn(w), rng.Intn(h), 1)
+		}
+		got := DistanceTransform(im, 0.5)
+		want := dtRef(im, 0.5)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: dt[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDistanceTransformEmptyImage(t *testing.T) {
+	im := digits.NewImage(4, 4)
+	dt := DistanceTransform(im, 0.5)
+	for i, v := range dt {
+		if !math.IsInf(v, 1) {
+			t.Fatalf("dt[%d] = %v, want +Inf", i, v)
+		}
+	}
+}
+
+func TestDirectedBasics(t *testing.T) {
+	a := imgWithPixels(6, 6, [2]int{1, 1})
+	b := imgWithPixels(6, 6, [2]int{4, 1})
+	if got := Directed(a, b, 0.5); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Directed = %v, want 3", got)
+	}
+	// Identical images: zero.
+	if got := Directed(a, a, 0.5); got != 0 {
+		t.Errorf("self = %v", got)
+	}
+	// Empty source: zero. Empty target: +Inf.
+	empty := digits.NewImage(6, 6)
+	if got := Directed(empty, b, 0.5); got != 0 {
+		t.Errorf("empty source = %v", got)
+	}
+	if got := Directed(a, empty, 0.5); !math.IsInf(got, 1) {
+		t.Errorf("empty target = %v", got)
+	}
+}
+
+func TestDirectedIsAsymmetric(t *testing.T) {
+	// One point vs a long bar: mean distance differs by direction — the
+	// non-metric property the paper cites.
+	a := imgWithPixels(10, 3, [2]int{0, 1})
+	b := imgWithPixels(10, 3, [2]int{0, 1}, [2]int{4, 1}, [2]int{9, 1})
+	dab := Directed(a, b, 0.5)
+	dba := Directed(b, a, 0.5)
+	if dab == dba {
+		t.Errorf("expected asymmetry, both = %v", dab)
+	}
+	if dab != 0 {
+		t.Errorf("a's single pixel lies on b: directed = %v, want 0", dab)
+	}
+}
+
+func TestSymmetricDistance(t *testing.T) {
+	a := imgWithPixels(8, 8, [2]int{1, 1})
+	b := imgWithPixels(8, 8, [2]int{5, 1})
+	if got, want := Distance(a, b, 0.5), 4.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Distance = %v, want %v", got, want)
+	}
+	if d1, d2 := Distance(a, b, 0.5), Distance(b, a, 0.5); d1 != d2 {
+		t.Errorf("symmetric distance differs by order: %v vs %v", d1, d2)
+	}
+}
+
+func TestChamferSeparatesDigitClasses(t *testing.T) {
+	g := digits.NewGenerator(digits.Config{}, rand.New(rand.NewSource(2)))
+	const perClass = 3
+	classes := []int{0, 1, 4}
+	imgs := map[int][]*digits.Image{}
+	for _, c := range classes {
+		for i := 0; i < perClass; i++ {
+			im, err := g.GenerateStyled(c, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			imgs[c] = append(imgs[c], im)
+		}
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for _, c1 := range classes {
+		for _, c2 := range classes {
+			for i := 0; i < perClass; i++ {
+				for j := 0; j < perClass; j++ {
+					if c1 == c2 && i == j {
+						continue
+					}
+					d := Distance(imgs[c1][i], imgs[c2][j], 0.5)
+					if c1 == c2 {
+						intra += d
+						nIntra++
+					} else {
+						inter += d
+						nInter++
+					}
+				}
+			}
+		}
+	}
+	if intra/float64(nIntra) >= inter/float64(nInter) {
+		t.Errorf("chamfer does not separate classes: intra %.3f vs inter %.3f",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestOracleMatchesDirectComputation(t *testing.T) {
+	g := digits.NewGenerator(digits.Config{}, rand.New(rand.NewSource(3)))
+	var imgs []*digits.Image
+	for c := 0; c < 5; c++ {
+		im, err := g.Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs = append(imgs, im)
+	}
+	o := NewOracle(imgs[:3], 0.5) // last two are "fresh queries"
+	for i := range imgs {
+		for j := range imgs {
+			got := o.Distance(imgs[i], imgs[j])
+			want := Distance(imgs[i], imgs[j], 0.5)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("oracle(%d,%d) = %v, direct = %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDt1dAllInfinite(t *testing.T) {
+	f := []float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	out := make([]float64, 3)
+	dt1d(f, out)
+	for i, v := range out {
+		if !math.IsInf(v, 1) {
+			t.Fatalf("out[%d] = %v, want +Inf", i, v)
+		}
+	}
+}
+
+func BenchmarkChamferDistance(b *testing.B) {
+	g := digits.NewGenerator(digits.Config{}, rand.New(rand.NewSource(4)))
+	a, err := g.Generate(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := g.Generate(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := NewOracle([]*digits.Image{a, c}, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Distance(a, c)
+	}
+}

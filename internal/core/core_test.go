@@ -1,0 +1,511 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qse/internal/embed"
+	"qse/internal/metrics"
+	"qse/internal/space"
+	"qse/internal/stats"
+)
+
+// The test space: points in the plane under L2. Cheap to evaluate, easy to
+// reason about, and the toy setting of the paper's Fig. 1.
+func l2(a, b []float64) float64 { return metrics.L2(a, b) }
+
+func randPoints(rng *rand.Rand, n int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	return pts
+}
+
+// clusteredPoints produces points around k cluster centers: the structure
+// the selective sampler and query-sensitive weights exploit.
+func clusteredPoints(rng *rand.Rand, n, k int) [][]float64 {
+	centers := randPoints(rng, k)
+	pts := make([][]float64, n)
+	for i := range pts {
+		c := centers[i%k]
+		pts[i] = []float64{
+			c[0] + rng.NormFloat64()*0.05,
+			c[1] + rng.NormFloat64()*0.05,
+		}
+	}
+	return pts
+}
+
+func smallOptions() Options {
+	o := DefaultOptions()
+	o.Rounds = 24
+	o.NumCandidates = 30
+	o.NumTraining = 60
+	o.NumTriples = 1500
+	o.EmbeddingsPerRound = 30
+	o.IntervalsPerEmbedding = 5
+	o.Seed = 1
+	return o
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := smallOptions()
+	if err := good.Validate(200); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	cases := []func(*Options){
+		func(o *Options) { o.Rounds = 0 },
+		func(o *Options) { o.NumCandidates = 0 },
+		func(o *Options) { o.NumTraining = 2 },
+		func(o *Options) { o.NumTriples = 0 },
+		func(o *Options) { o.EmbeddingsPerRound = 0 },
+		func(o *Options) { o.IntervalsPerEmbedding = 0 }, // QS mode
+		func(o *Options) { o.PivotFraction = -0.1 },
+		func(o *Options) { o.PivotFraction = 1.1 },
+		func(o *Options) { o.K1 = 0 }, // selective
+		func(o *Options) { o.K1 = 60 },
+		func(o *Options) { o.NumCandidates = 500 },
+		func(o *Options) { o.NumTraining = 500 },
+	}
+	for i, mutate := range cases {
+		o := smallOptions()
+		mutate(&o)
+		if err := o.Validate(200); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	// QI mode does not need intervals.
+	o := smallOptions()
+	o.Mode = QueryInsensitive
+	o.IntervalsPerEmbedding = 0
+	if err := o.Validate(200); err != nil {
+		t.Errorf("QI without intervals should validate: %v", err)
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		samp Sampling
+		want string
+	}{
+		{QuerySensitive, SelectiveTriples, "Se-QS"},
+		{QueryInsensitive, SelectiveTriples, "Se-QI"},
+		{QuerySensitive, RandomTriples, "Ra-QS"},
+		{QueryInsensitive, RandomTriples, "Ra-QI"},
+	}
+	for _, c := range cases {
+		o := Options{Mode: c.mode, Sampling: c.samp}
+		if got := o.VariantName(); got != c.want {
+			t.Errorf("VariantName = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTrainBasics(t *testing.T) {
+	rng := stats.NewRand(7)
+	db := clusteredPoints(rng, 200, 8)
+	model, report, err := Train(db, l2, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dims() < 1 {
+		t.Fatal("model has no dimensions")
+	}
+	if model.Dims() > len(model.Rules) {
+		t.Errorf("Dims %d > Rules %d", model.Dims(), len(model.Rules))
+	}
+	if report.Variant != "Se-QS" {
+		t.Errorf("variant = %q", report.Variant)
+	}
+	if report.PreprocessedDistances <= 0 {
+		t.Error("preprocessing should count distances")
+	}
+	if report.Triples != 1500 {
+		t.Errorf("triples = %d", report.Triples)
+	}
+	// Z values must be < 1 for every committed round and training error
+	// should end well below random.
+	for _, rs := range report.Rounds {
+		if rs.Z >= 1 {
+			t.Errorf("round %d z = %v", rs.Round, rs.Z)
+		}
+		if rs.Alpha <= 0 {
+			t.Errorf("round %d alpha = %v", rs.Round, rs.Alpha)
+		}
+	}
+	if e := report.FinalTrainingError(); e > 0.35 {
+		t.Errorf("final training error %v too high", e)
+	}
+}
+
+func TestTrainValidatesOptions(t *testing.T) {
+	db := randPoints(stats.NewRand(1), 50)
+	o := smallOptions()
+	o.Rounds = -1
+	if _, _, err := Train(db, l2, o); err == nil {
+		t.Error("invalid options should error")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	rng := stats.NewRand(9)
+	db := clusteredPoints(rng, 150, 5)
+	o := smallOptions()
+	o.Rounds = 8
+	m1, _, err := Train(db, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Train(db, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Rules) != len(m2.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(m1.Rules), len(m2.Rules))
+	}
+	for j := range m1.Rules {
+		if m1.Rules[j] != m2.Rules[j] {
+			t.Fatalf("rule %d differs", j)
+		}
+	}
+}
+
+func TestTrainingErrorDecreases(t *testing.T) {
+	rng := stats.NewRand(11)
+	db := clusteredPoints(rng, 200, 8)
+	_, report, err := Train(db, l2, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rounds) < 4 {
+		t.Fatalf("too few rounds: %d", len(report.Rounds))
+	}
+	first := report.Rounds[0].TrainingError
+	last := report.Rounds[len(report.Rounds)-1].TrainingError
+	if last >= first {
+		t.Errorf("training error did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestEmbedCostMatchesOracleCalls(t *testing.T) {
+	rng := stats.NewRand(13)
+	db := clusteredPoints(rng, 150, 6)
+	model, _, err := Train(db, l2, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := space.NewCounter(l2)
+	counted := &Model[[]float64]{
+		Mode: model.Mode, Rules: model.Rules, Coords: model.Coords,
+		RuleCoord: model.RuleCoord, candidates: model.candidates,
+		dist: counter.Distance,
+	}
+	counted.Embed([]float64{0.3, 0.3})
+	if got := counter.Count(); got != int64(model.EmbedCost()) {
+		t.Errorf("Embed used %d oracle calls, EmbedCost says %d", got, model.EmbedCost())
+	}
+}
+
+func TestQueryWeightsNonNegativeAndQuerySensitive(t *testing.T) {
+	rng := stats.NewRand(17)
+	db := clusteredPoints(rng, 200, 8)
+	model, _, err := Train(db, l2, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := model.Embed([]float64{0.1, 0.1})
+	q2 := model.Embed([]float64{0.9, 0.9})
+	w1 := model.QueryWeights(q1)
+	w2 := model.QueryWeights(q2)
+	for i := range w1 {
+		if w1[i] < 0 || w2[i] < 0 {
+			t.Fatal("negative weight")
+		}
+	}
+	same := true
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("QS weights identical for distant queries — no query sensitivity learned")
+	}
+}
+
+func TestQIWeightsAreGlobal(t *testing.T) {
+	rng := stats.NewRand(19)
+	db := clusteredPoints(rng, 200, 8)
+	o := smallOptions()
+	o.Mode = QueryInsensitive
+	model, _, err := Train(db, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := model.Embed([]float64{0.1, 0.2})
+	q2 := model.Embed([]float64{0.8, 0.7})
+	w1 := model.QueryWeights(q1)
+	w2 := model.QueryWeights(q2)
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatal("QI weights must not depend on the query")
+		}
+	}
+}
+
+func TestDistanceBasics(t *testing.T) {
+	q := []float64{0, 0}
+	w := []float64{2, 1}
+	x := []float64{1, 3}
+	if got := Distance(q, w, x); got != 5 {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+	if got := Distance(q, w, q); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	Distance(q, w, []float64{1})
+}
+
+func TestQueryWeightsFallbackUniform(t *testing.T) {
+	// A hand-built model whose only rule rejects the query: weights fall
+	// back to uniform so the filter step still ranks.
+	m := newModel(QuerySensitive, []Rule{
+		{Def: mustRefDef(0), Lo: 10, Hi: 20, Alpha: 1.5},
+	}, [][]float64{{0, 0}}, l2)
+	w := m.QueryWeights([]float64{0}) // F(q) = 0, outside [10,20]
+	if w[0] != 1 {
+		t.Errorf("fallback weights = %v, want uniform 1", w)
+	}
+}
+
+func mustRefDef(a int) embed.Def {
+	return embed.Def{Kind: embed.KindReference, A: a, Scale: 1}
+}
+
+func TestPrefixSemantics(t *testing.T) {
+	rng := stats.NewRand(23)
+	db := clusteredPoints(rng, 150, 6)
+	model, _, err := Train(db, l2, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := model.DimsAfter()
+	if len(dims) != len(model.Rules)+1 || dims[0] != 0 {
+		t.Fatalf("DimsAfter shape wrong: %v", dims)
+	}
+	for i := 1; i < len(dims); i++ {
+		if dims[i] < dims[i-1] {
+			t.Fatal("DimsAfter must be non-decreasing")
+		}
+	}
+	if dims[len(dims)-1] != model.Dims() {
+		t.Errorf("DimsAfter final %d != Dims %d", dims[len(dims)-1], model.Dims())
+	}
+	for n := 0; n <= len(model.Rules); n += 3 {
+		p := model.Prefix(n)
+		if p.Dims() != dims[n] {
+			t.Errorf("Prefix(%d).Dims = %d, want %d", n, p.Dims(), dims[n])
+		}
+		// Coordinate prefix property: p.Coords == model.Coords[:p.Dims()].
+		for i := range p.Coords {
+			if p.Coords[i] != model.Coords[i] {
+				t.Fatalf("Prefix(%d) coord %d differs from full model", n, i)
+			}
+		}
+	}
+}
+
+func TestPrefixForDims(t *testing.T) {
+	rng := stats.NewRand(29)
+	db := clusteredPoints(rng, 150, 6)
+	model, _, err := Train(db, l2, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= model.Dims(); d++ {
+		p, ok := model.PrefixForDims(d)
+		if !ok {
+			t.Fatalf("PrefixForDims(%d) not found though Dims = %d", d, model.Dims())
+		}
+		if p.Dims() != d {
+			t.Errorf("PrefixForDims(%d).Dims = %d", d, p.Dims())
+		}
+	}
+	if _, ok := model.PrefixForDims(model.Dims() + 1); ok {
+		t.Error("PrefixForDims beyond Dims should report false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PrefixForDims(0) should panic")
+		}
+	}()
+	model.PrefixForDims(0)
+}
+
+func TestPrefixBoundsPanic(t *testing.T) {
+	m := newModel(QuerySensitive, []Rule{
+		{Def: mustRefDef(0), Lo: math.Inf(-1), Hi: math.Inf(1), Alpha: 1},
+	}, [][]float64{{0, 0}}, l2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range prefix should panic")
+		}
+	}()
+	m.Prefix(2)
+}
+
+func TestRuleAccepts(t *testing.T) {
+	r := Rule{Lo: 0, Hi: 1}
+	if !r.Accepts(0) || !r.Accepts(1) || !r.Accepts(0.5) {
+		t.Error("interval endpoints should be inclusive")
+	}
+	if r.Accepts(-0.01) || r.Accepts(1.01) {
+		t.Error("outside interval should be rejected")
+	}
+}
+
+func TestTrainRandomVariant(t *testing.T) {
+	rng := stats.NewRand(31)
+	db := clusteredPoints(rng, 200, 8)
+	o := smallOptions()
+	o.Sampling = RandomTriples
+	model, report, err := Train(db, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Variant != "Ra-QS" {
+		t.Errorf("variant = %q", report.Variant)
+	}
+	if model.Dims() == 0 {
+		t.Error("no dims")
+	}
+}
+
+func TestTrainReferenceOnlyPool(t *testing.T) {
+	rng := stats.NewRand(37)
+	db := clusteredPoints(rng, 150, 6)
+	o := smallOptions()
+	o.PivotFraction = 0 // ablation: reference embeddings only
+	model, _, err := Train(db, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range model.Coords {
+		if c.Kind != 0 {
+			t.Fatal("pivot coordinate found with PivotFraction = 0")
+		}
+	}
+}
+
+func TestTrainOverlappingPoolsSmallDB(t *testing.T) {
+	// Database smaller than NumCandidates+NumTraining: pools overlap.
+	rng := stats.NewRand(41)
+	db := clusteredPoints(rng, 70, 4)
+	o := smallOptions()
+	o.NumCandidates = 30
+	o.NumTraining = 60
+	if _, _, err := Train(db, l2, o); err != nil {
+		t.Fatalf("overlapping pools should work: %v", err)
+	}
+}
+
+// The headline behavioral test: a trained Se-QS model must rank true
+// nearest neighbors near the top of the filter ordering, far better than
+// chance.
+func TestTrainedModelRetrievalQuality(t *testing.T) {
+	rng := stats.NewRand(43)
+	db := clusteredPoints(rng, 300, 10)
+	queries := clusteredPoints(rng, 30, 10)
+	model, _, err := Train(db, l2, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbVecs := make([][]float64, len(db))
+	for i, x := range db {
+		dbVecs[i] = model.Embed(x)
+	}
+	gt := space.NewGroundTruth(l2, queries, db)
+
+	var worstRankSum int
+	for qi, q := range queries {
+		qvec := model.Embed(q)
+		w := model.QueryWeights(qvec)
+		// Rank db objects by D_out.
+		type pair struct {
+			idx int
+			d   float64
+		}
+		order := make([]pair, len(db))
+		for i := range db {
+			order[i] = pair{i, Distance(qvec, w, dbVecs[i])}
+		}
+		trueNN := gt.TrueKNN(qi, 1)[0]
+		rank := 0
+		for _, p := range order {
+			if p.d < order[trueNN].d || (p.d == order[trueNN].d && p.idx < trueNN) {
+				rank++
+			}
+		}
+		worstRankSum += rank
+	}
+	meanRank := float64(worstRankSum) / float64(len(queries))
+	// Chance would put the true NN at mean rank ~150; a useful embedding
+	// should be dramatically better.
+	if meanRank > 30 {
+		t.Errorf("mean filter rank of true NN = %.1f, want <= 30", meanRank)
+	}
+}
+
+func TestTrainWithWorkersIsDeterministic(t *testing.T) {
+	rng := stats.NewRand(83)
+	db := clusteredPoints(rng, 150, 6)
+	o := smallOptions()
+	o.Rounds = 8
+	serial, _, err := Train(db, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 4
+	parallel, _, err := Train(db, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rules) != len(parallel.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(serial.Rules), len(parallel.Rules))
+	}
+	for j := range serial.Rules {
+		if serial.Rules[j] != parallel.Rules[j] {
+			t.Fatalf("rule %d differs between serial and parallel preprocessing", j)
+		}
+	}
+}
+
+func TestSuggestK1(t *testing.T) {
+	// The paper's own worked example: kmax=50, Xtr one tenth of the db.
+	if got := SuggestK1(50, 500, 5000); got != 5 {
+		t.Errorf("SuggestK1(paper example) = %d, want 5", got)
+	}
+	// Clamps.
+	if got := SuggestK1(50, 10, 10); got != 8 {
+		t.Errorf("clamp to pool-2: got %d, want 8", got)
+	}
+	if got := SuggestK1(1, 100, 100000); got != 1 {
+		t.Errorf("floor at 1: got %d", got)
+	}
+	if got := SuggestK1(0, 0, 0); got != 1 {
+		t.Errorf("degenerate inputs: got %d", got)
+	}
+	if got := SuggestK1(50, 3, 3); got != 1 {
+		t.Errorf("tiny pool: got %d", got)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"qse/internal/embed"
+	"qse/internal/space"
+	"qse/internal/stats"
+)
+
+// DriftOptions configures a drift check (Sec. 7.1): when objects are added
+// or removed online, "a way to check whether the distribution of database
+// objects has changed significantly is by measuring, at regular intervals,
+// the error of the current embedding F_out, i.e., the classification error
+// of F̃_out on triples of objects picked (from the current database
+// distribution) the same way we would choose training triples."
+type DriftOptions struct {
+	// Sampling and K1 mirror the training options; use the same values the
+	// model was trained with.
+	Sampling Sampling
+	K1       int
+	// PoolSize bounds the database sample whose pairwise distances are
+	// computed (the check costs ~PoolSize²/2 exact distances plus
+	// PoolSize embeddings).
+	PoolSize int
+	// Triples is how many triples to score.
+	Triples int
+	Seed    int64
+}
+
+// DefaultDriftOptions returns a cheap configuration.
+func DefaultDriftOptions() DriftOptions {
+	return DriftOptions{
+		Sampling: SelectiveTriples,
+		K1:       5,
+		PoolSize: 100,
+		Triples:  2000,
+	}
+}
+
+// DriftCheck estimates the triple classification error of the model on the
+// current database distribution. A freshly trained model typically scores
+// well below 0.5 (random); a rising value over successive checks signals
+// that the database distribution has drifted and the embedding should be
+// retrained.
+func DriftCheck[T any](m *Model[T], db []T, opts DriftOptions) (float64, error) {
+	if opts.PoolSize < 4 {
+		return 0, fmt.Errorf("core: drift pool %d too small", opts.PoolSize)
+	}
+	if opts.Triples <= 0 {
+		return 0, fmt.Errorf("core: drift triples = %d", opts.Triples)
+	}
+	if opts.Sampling == SelectiveTriples {
+		if opts.K1 <= 0 || opts.K1+2 > min(opts.PoolSize, len(db)) {
+			return 0, fmt.Errorf("core: drift K1 = %d incompatible with pool %d", opts.K1, opts.PoolSize)
+		}
+	}
+	if len(db) < 4 {
+		return 0, fmt.Errorf("core: database of %d objects is too small for a drift check", len(db))
+	}
+	rng := stats.NewRand(opts.Seed)
+	poolSize := opts.PoolSize
+	if poolSize > len(db) {
+		poolSize = len(db)
+	}
+	idx := stats.SampleWithoutReplacement(rng, len(db), poolSize)
+	pool := make([]T, poolSize)
+	for i, j := range idx {
+		pool[i] = db[j]
+	}
+
+	tt := space.ComputeSymmetricMatrix(m.dist, pool)
+	ranks := space.RankRows(tt)
+	triples, err := sampleTriples(rng, tt, ranks, opts.Sampling, opts.Triples, opts.K1)
+	if err != nil {
+		return 0, err
+	}
+
+	// Embed each pool object once; score H's sign on every triple.
+	vecs := make([][]float64, poolSize)
+	for i, x := range pool {
+		vecs[i] = m.Embed(x)
+	}
+	outputs := make([]float64, len(triples))
+	labels := make([]int, len(triples))
+	for i, tri := range triples {
+		outputs[i] = m.ClassifierH(vecs[tri.Q], vecs[tri.A], vecs[tri.B])
+		labels[i] = 1 // triples are oriented q-closer-to-a
+	}
+	return embed.FailureRate(outputs, labels), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

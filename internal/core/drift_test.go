@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"qse/internal/stats"
+)
+
+func TestDriftCheckLowOnTrainingDistribution(t *testing.T) {
+	rng := stats.NewRand(71)
+	db := clusteredPoints(rng, 200, 8)
+	model, report, err := Train(db, l2, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultDriftOptions()
+	opts.Seed = 1
+	drift, err := DriftCheck(model, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift >= 0.5 {
+		t.Errorf("drift error %v on the training distribution, want < 0.5", drift)
+	}
+	// The drift estimate should be in the neighborhood of the training
+	// error, not wildly above it.
+	if drift > report.FinalTrainingError()+0.25 {
+		t.Errorf("drift %v far above training error %v", drift, report.FinalTrainingError())
+	}
+}
+
+func TestDriftCheckRisesOnShiftedDistribution(t *testing.T) {
+	rng := stats.NewRand(73)
+	db := clusteredPoints(rng, 200, 8)
+	model, _, err := Train(db, l2, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultDriftOptions()
+	opts.Seed = 2
+	before, err := DriftCheck(model, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A radically different distribution: far-away clusters the model's
+	// reference objects know nothing about.
+	shifted := make([][]float64, 200)
+	for i := range shifted {
+		shifted[i] = []float64{
+			100 + float64(i%5)*10 + rng.NormFloat64()*0.02,
+			-50 + float64(i%7)*8 + rng.NormFloat64()*0.02,
+		}
+	}
+	after, err := DriftCheck(model, shifted, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Errorf("drift after shift (%v) should exceed drift before (%v)", after, before)
+	}
+}
+
+func TestDriftCheckValidation(t *testing.T) {
+	model, db := trainSmall(t, 75)
+	bad := DefaultDriftOptions()
+	bad.PoolSize = 2
+	if _, err := DriftCheck(model, db, bad); err == nil {
+		t.Error("tiny pool should error")
+	}
+	bad = DefaultDriftOptions()
+	bad.Triples = 0
+	if _, err := DriftCheck(model, db, bad); err == nil {
+		t.Error("zero triples should error")
+	}
+	bad = DefaultDriftOptions()
+	bad.K1 = 0
+	if _, err := DriftCheck(model, db, bad); err == nil {
+		t.Error("K1=0 should error for selective sampling")
+	}
+	if _, err := DriftCheck(model, db[:2], DefaultDriftOptions()); err == nil {
+		t.Error("tiny database should error")
+	}
+}
+
+func TestDriftCheckPoolLargerThanDB(t *testing.T) {
+	model, db := trainSmall(t, 77)
+	opts := DefaultDriftOptions()
+	opts.PoolSize = 10000 // clamps to len(db)
+	if _, err := DriftCheck(model, db, opts); err != nil {
+		t.Fatalf("oversized pool should clamp: %v", err)
+	}
+}
+
+func TestDriftCheckRandomSampling(t *testing.T) {
+	model, db := trainSmall(t, 79)
+	opts := DefaultDriftOptions()
+	opts.Sampling = RandomTriples
+	opts.K1 = 0 // ignored for random sampling
+	drift, err := DriftCheck(model, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift < 0 || drift > 1 {
+		t.Errorf("drift %v out of range", drift)
+	}
+}

@@ -1,0 +1,210 @@
+// Package core implements the paper's primary contribution: the BoostMap
+// extension that trains, jointly, an embedding F_out : X → R^d and a
+// query-sensitive weighted-L1 distance D_out (Sec. 5), plus the selective
+// training-triple sampler (Sec. 6). All four method variants of the
+// evaluation are obtained from two switches:
+//
+//	Mode     QueryInsensitive (QI) | QuerySensitive (QS)
+//	Sampling RandomTriples   (Ra)  | SelectiveTriples (Se)
+//
+// Ra-QI is the original BoostMap algorithm [2]; Se-QS is the proposed
+// method.
+package core
+
+import (
+	"fmt"
+)
+
+// Mode selects the weak-classifier family and hence the output distance.
+type Mode uint8
+
+const (
+	// QuerySensitive trains with splitter-gated classifiers Q̃_{F,V}
+	// (Eq. 5) and yields the query-sensitive D_out of Eq. 11.
+	QuerySensitive Mode = iota
+	// QueryInsensitive trains with plain F̃ classifiers (V = R), exactly
+	// the original BoostMap; D_out degenerates to a global weighted L1.
+	QueryInsensitive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case QuerySensitive:
+		return "QS"
+	case QueryInsensitive:
+		return "QI"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Sampling selects how training triples are drawn (Sec. 6).
+type Sampling uint8
+
+const (
+	// SelectiveTriples draws (q, a, b) with a among q's k1 nearest
+	// neighbors in X_tr and b outside them — the paper's proposal.
+	SelectiveTriples Sampling = iota
+	// RandomTriples draws a and b uniformly, as in the original BoostMap.
+	RandomTriples
+)
+
+func (s Sampling) String() string {
+	switch s {
+	case SelectiveTriples:
+		return "Se"
+	case RandomTriples:
+		return "Ra"
+	default:
+		return fmt.Sprintf("Sampling(%d)", uint8(s))
+	}
+}
+
+// Options configures training. The zero value is not usable; call
+// DefaultOptions or fill every required field. Field names follow the
+// paper's notation where one exists.
+type Options struct {
+	// Mode and Sampling pick the method variant (Se-QS is the paper's).
+	Mode     Mode
+	Sampling Sampling
+
+	// Rounds is J, the number of boosting rounds. The embedding
+	// dimensionality d is at most Rounds (repeated 1D embeddings share a
+	// coordinate).
+	Rounds int
+
+	// NumCandidates is |C|, the number of candidate objects used to form
+	// 1D embeddings. NumTraining is |X_tr|, the training-object pool that
+	// triples are drawn from. The paper uses 5,000 for both; Fig. 6 shows
+	// 200 still works.
+	NumCandidates int
+	NumTraining   int
+
+	// NumTriples is t, the number of training triples (paper: 300,000;
+	// Fig. 6: 10,000).
+	NumTriples int
+
+	// K1 is the selective-sampling radius of Sec. 6: a_i is drawn from
+	// q_i's K1 nearest neighbors in X_tr. Ignored for RandomTriples.
+	K1 int
+
+	// EmbeddingsPerRound is how many random 1D embeddings the weak learner
+	// examines per round (the paper's m = 2,000 counts (F, V) pairs; here
+	// m = EmbeddingsPerRound * IntervalsPerEmbedding).
+	EmbeddingsPerRound int
+
+	// IntervalsPerEmbedding is how many random splitter intervals V are
+	// tried per 1D embedding in QS mode. The full interval (-inf, +inf) is
+	// always tried in addition, so QS's hypothesis space strictly contains
+	// QI's.
+	IntervalsPerEmbedding int
+
+	// PivotFraction is the probability that a generated 1D embedding is a
+	// FastMap-style pivot embedding rather than a reference embedding.
+	PivotFraction float64
+
+	// DisableScaleNorm turns off the robust rescaling of 1D embeddings
+	// (ablation; the raw paper formulation). Scaling never changes what a
+	// 1D embedding classifies correctly, only the comparability of
+	// confidence magnitudes across embeddings.
+	DisableScaleNorm bool
+
+	// Workers parallelizes the distance-matrix preprocessing (the dominant
+	// cost when D_X is expensive) across goroutines. 0 or 1 means serial.
+	// Results are bit-identical regardless of Workers; only wall-clock
+	// time changes. The distance function must be safe for concurrent use.
+	Workers int
+
+	// Seed drives all randomness in training.
+	Seed int64
+}
+
+// DefaultOptions returns a laptop-scale configuration of the proposed
+// method (Se-QS) suitable for datasets of a few thousand objects.
+func DefaultOptions() Options {
+	return Options{
+		Mode:                  QuerySensitive,
+		Sampling:              SelectiveTriples,
+		Rounds:                64,
+		NumCandidates:         150,
+		NumTraining:           300,
+		NumTriples:            10000,
+		K1:                    5,
+		EmbeddingsPerRound:    100,
+		IntervalsPerEmbedding: 8,
+		PivotFraction:         0.5,
+	}
+}
+
+// Validate checks the options against the database size.
+func (o Options) Validate(dbSize int) error {
+	if o.Rounds <= 0 {
+		return fmt.Errorf("core: Rounds = %d, want > 0", o.Rounds)
+	}
+	if o.NumCandidates <= 0 {
+		return fmt.Errorf("core: NumCandidates = %d, want > 0", o.NumCandidates)
+	}
+	if o.NumTraining <= 2 {
+		return fmt.Errorf("core: NumTraining = %d, want > 2", o.NumTraining)
+	}
+	if o.NumTriples <= 0 {
+		return fmt.Errorf("core: NumTriples = %d, want > 0", o.NumTriples)
+	}
+	if o.EmbeddingsPerRound <= 0 {
+		return fmt.Errorf("core: EmbeddingsPerRound = %d, want > 0", o.EmbeddingsPerRound)
+	}
+	if o.Mode == QuerySensitive && o.IntervalsPerEmbedding <= 0 {
+		return fmt.Errorf("core: IntervalsPerEmbedding = %d, want > 0 in QS mode", o.IntervalsPerEmbedding)
+	}
+	if o.PivotFraction < 0 || o.PivotFraction > 1 {
+		return fmt.Errorf("core: PivotFraction = %v, want in [0,1]", o.PivotFraction)
+	}
+	if o.Sampling == SelectiveTriples {
+		if o.K1 <= 0 {
+			return fmt.Errorf("core: K1 = %d, want > 0 for selective sampling", o.K1)
+		}
+		if o.K1+2 > o.NumTraining {
+			return fmt.Errorf("core: K1 = %d too large for NumTraining = %d", o.K1, o.NumTraining)
+		}
+	}
+	if o.NumCandidates > dbSize {
+		return fmt.Errorf("core: NumCandidates = %d exceeds database size %d", o.NumCandidates, dbSize)
+	}
+	if o.NumTraining > dbSize {
+		return fmt.Errorf("core: NumTraining = %d exceeds database size %d", o.NumTraining, dbSize)
+	}
+	if o.PivotFraction > 0 && o.NumCandidates < 2 {
+		return fmt.Errorf("core: pivot embeddings need at least 2 candidates")
+	}
+	return nil
+}
+
+// VariantName returns the paper's abbreviation for the configured variant:
+// Ra-QI, Ra-QS, Se-QI or Se-QS.
+func (o Options) VariantName() string {
+	return o.Sampling.String() + "-" + o.Mode.String()
+}
+
+// SuggestK1 applies the Sec. 6 guideline for the selective-sampling radius:
+// "the value of parameter k1 should be based on the maximum number kmax of
+// nearest neighbors that we may want to retrieve ... if we want to retrieve
+// up to 50 nearest neighbors per query, and if X_tr contains about one
+// tenth of the database, then we should set k1 = 5". That is,
+// k1 ≈ kmax · |X_tr| / |database|, clamped to [1, trainingPool-2] so
+// selective sampling stays feasible.
+func SuggestK1(kmax, trainingPool, dbSize int) int {
+	if kmax <= 0 || trainingPool <= 0 || dbSize <= 0 {
+		return 1
+	}
+	k1 := kmax * trainingPool / dbSize
+	if k1 < 1 {
+		k1 = 1
+	}
+	if k1 > trainingPool-2 {
+		k1 = trainingPool - 2
+	}
+	if k1 < 1 {
+		k1 = 1
+	}
+	return k1
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"qse/internal/embed"
+	"qse/internal/space"
+)
+
+// Snapshot is the serializable part of a Model: everything except the
+// candidate objects themselves and the distance oracle. Candidates are
+// stored as indexes into the database slice the model was trained on, so a
+// snapshot can be restored against the same (or an identically ordered)
+// database without serializing domain objects.
+//
+// Gob is used rather than JSON because splitter intervals legitimately
+// contain ±Inf (QI rules), which JSON cannot represent.
+type Snapshot struct {
+	Mode          Mode
+	Rules         []Rule
+	CandidateIdx  []int
+	FormatVersion int
+}
+
+// snapshotVersion guards against decoding snapshots from incompatible
+// future layouts.
+const snapshotVersion = 1
+
+// Snapshot extracts the serializable state. It returns an error if the
+// model was built without database provenance (hand-assembled models).
+func (m *Model[T]) Snapshot() (*Snapshot, error) {
+	if m.candIdx == nil {
+		return nil, fmt.Errorf("core: model has no candidate provenance; cannot snapshot")
+	}
+	return &Snapshot{
+		Mode:          m.Mode,
+		Rules:         append([]Rule(nil), m.Rules...),
+		CandidateIdx:  append([]int(nil), m.candIdx...),
+		FormatVersion: snapshotVersion,
+	}, nil
+}
+
+// Save writes the model's snapshot to w.
+func (m *Model[T]) Save(w io.Writer) error {
+	snap, err := m.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore rebuilds a model from a snapshot against the database it was
+// trained on. db must present the same objects at the same indexes as at
+// training time.
+func Restore[T any](snap *Snapshot, db []T, dist space.Distance[T]) (*Model[T], error) {
+	if snap.FormatVersion != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, this build reads %d", snap.FormatVersion, snapshotVersion)
+	}
+	if len(snap.Rules) == 0 {
+		return nil, fmt.Errorf("core: snapshot has no rules")
+	}
+	candidates := make([]T, len(snap.CandidateIdx))
+	for i, idx := range snap.CandidateIdx {
+		if idx < 0 || idx >= len(db) {
+			return nil, fmt.Errorf("core: candidate index %d out of range for database of %d", idx, len(db))
+		}
+		candidates[i] = db[idx]
+	}
+	for j, r := range snap.Rules {
+		if err := r.Def.Validate(len(candidates)); err != nil {
+			return nil, fmt.Errorf("core: rule %d: %w", j, err)
+		}
+		if r.Alpha <= 0 {
+			return nil, fmt.Errorf("core: rule %d has alpha %v", j, r.Alpha)
+		}
+		if r.Lo > r.Hi {
+			return nil, fmt.Errorf("core: rule %d has empty interval [%v,%v]", j, r.Lo, r.Hi)
+		}
+	}
+	m := newModel(snap.Mode, snap.Rules, candidates, dist)
+	m.candIdx = append([]int(nil), snap.CandidateIdx...)
+	return m, nil
+}
+
+// Load reads a snapshot from r and restores it against db.
+func Load[T any](r io.Reader, db []T, dist space.Distance[T]) (*Model[T], error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return Restore(&snap, db, dist)
+}
+
+// Ensure embed.Def is gob-encodable as part of Rule (compile-time usage
+// reference; gob requires exported fields, which Def has).
+var _ = embed.Def{}

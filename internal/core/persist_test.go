@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"qse/internal/stats"
+)
+
+func trainSmall(t *testing.T, seed int64) (*Model[[]float64], [][]float64) {
+	t.Helper()
+	rng := stats.NewRand(seed)
+	db := clusteredPoints(rng, 150, 6)
+	o := smallOptions()
+	o.Rounds = 12
+	model, _, err := Train(db, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, db
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	model, db := trainSmall(t, 61)
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dims() != model.Dims() || len(loaded.Rules) != len(model.Rules) {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", loaded.Dims(), len(loaded.Rules), model.Dims(), len(model.Rules))
+	}
+	// Behavioral equality: identical embeddings and weights on fresh queries.
+	rng := stats.NewRand(62)
+	for trial := 0; trial < 20; trial++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		v1, v2 := model.Embed(q), loaded.Embed(q)
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatal("embeddings differ after round trip")
+			}
+		}
+		w1, w2 := model.QueryWeights(v1), loaded.QueryWeights(v2)
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				t.Fatal("weights differ after round trip")
+			}
+		}
+	}
+}
+
+func TestSnapshotPreservesInfiniteIntervals(t *testing.T) {
+	// QI rules have ±Inf interval bounds; they must survive serialization
+	// (the reason gob is used instead of JSON).
+	rng := stats.NewRand(63)
+	db := clusteredPoints(rng, 150, 6)
+	o := smallOptions()
+	o.Mode = QueryInsensitive
+	o.Rounds = 6
+	model, _, err := Train(db, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range loaded.Rules {
+		if !math.IsInf(r.Lo, -1) || !math.IsInf(r.Hi, 1) {
+			t.Fatalf("QI intervals corrupted: [%v, %v]", r.Lo, r.Hi)
+		}
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	model, db := trainSmall(t, 64)
+	snap, err := model.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong version.
+	bad := *snap
+	bad.FormatVersion = 99
+	if _, err := Restore(&bad, db, l2); err == nil {
+		t.Error("wrong version should error")
+	}
+	// Candidate index out of range for a truncated database.
+	if _, err := Restore(snap, db[:3], l2); err == nil {
+		t.Error("truncated db should error")
+	}
+	// Empty rules.
+	empty := *snap
+	empty.Rules = nil
+	if _, err := Restore(&empty, db, l2); err == nil {
+		t.Error("empty rules should error")
+	}
+	// Corrupted rule.
+	corrupt := *snap
+	corrupt.Rules = append([]Rule(nil), snap.Rules...)
+	corrupt.Rules[0].Alpha = -1
+	if _, err := Restore(&corrupt, db, l2); err == nil {
+		t.Error("negative alpha should error")
+	}
+	corrupt.Rules[0].Alpha = 1
+	corrupt.Rules[0].Lo, corrupt.Rules[0].Hi = 2, 1
+	if _, err := Restore(&corrupt, db, l2); err == nil {
+		t.Error("empty interval should error")
+	}
+}
+
+func TestSnapshotRequiresProvenance(t *testing.T) {
+	m := newModel(QuerySensitive, []Rule{
+		{Def: mustRefDef(0), Lo: math.Inf(-1), Hi: math.Inf(1), Alpha: 1},
+	}, [][]float64{{0, 0}}, l2)
+	if _, err := m.Snapshot(); err == nil {
+		t.Error("hand-assembled model should refuse to snapshot")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob")), [][]float64{{0, 0}}, l2); err == nil {
+		t.Error("garbage input should error")
+	}
+}
+
+func TestPrefixKeepsProvenance(t *testing.T) {
+	model, db := trainSmall(t, 65)
+	p := model.Prefix(5)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("prefix of trained model should snapshot: %v", err)
+	}
+	loaded, err := Load(&buf, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dims() != p.Dims() {
+		t.Errorf("prefix round trip dims %d != %d", loaded.Dims(), p.Dims())
+	}
+}

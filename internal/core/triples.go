@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qse/internal/space"
+)
+
+// Triple is a training example: indexes into the training pool X_tr. By
+// construction Q is strictly closer to A than to B (label +1), following
+// the original BoostMap convention that triples are picked "with the
+// constraint that q is closer to a than to b".
+type Triple struct {
+	Q, A, B int
+}
+
+// sampleTriples draws n training triples from the pool whose pairwise
+// distances are tt (a NumTraining x NumTraining matrix) using the
+// configured strategy. ranks must be space.RankRows(tt).
+//
+// Random (Ra): q, a, b distinct and uniform, with a/b swapped so that q is
+// closer to a; exact ties are discarded and redrawn.
+//
+// Selective (Se, the Sec. 6 heuristic): a is q's k'-nearest neighbor for a
+// uniform k' in 1..K1, and b is q's k”-nearest neighbor for a uniform k”
+// in K1+1..|X_tr|-1. Rank 0 is q itself and is skipped.
+func sampleTriples(rng *rand.Rand, tt *space.Matrix, ranks [][]int, sampling Sampling, n, k1 int) ([]Triple, error) {
+	pool := tt.Rows
+	if pool < 4 {
+		return nil, fmt.Errorf("core: training pool of %d objects is too small", pool)
+	}
+	triples := make([]Triple, 0, n)
+	maxAttempts := 100 * n
+	for attempts := 0; len(triples) < n; attempts++ {
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("core: could not sample %d distinct triples after %d attempts (too many tied distances?)", n, attempts)
+		}
+		q := rng.Intn(pool)
+		var a, b int
+		switch sampling {
+		case RandomTriples:
+			a = rng.Intn(pool)
+			b = rng.Intn(pool)
+			if a == q || b == q || a == b {
+				continue
+			}
+			da, db := tt.At(q, a), tt.At(q, b)
+			if da == db {
+				continue // tie: no label
+			}
+			if da > db {
+				a, b = b, a
+			}
+		case SelectiveTriples:
+			// ranks[q][0] == q (self, distance 0); neighbors start at 1.
+			kA := 1 + rng.Intn(k1)
+			kB := k1 + 1 + rng.Intn(pool-1-k1)
+			a = ranks[q][kA]
+			b = ranks[q][kB]
+			if tt.At(q, a) == tt.At(q, b) {
+				continue // tied ranks straddle the k1 boundary: no label
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown sampling %v", sampling)
+		}
+		triples = append(triples, Triple{Q: q, A: a, B: b})
+	}
+	return triples, nil
+}

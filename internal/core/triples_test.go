@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"qse/internal/space"
+	"qse/internal/stats"
+)
+
+func triplesFixture(t *testing.T, n int) (*space.Matrix, [][]int) {
+	t.Helper()
+	rng := stats.NewRand(55)
+	pts := randPoints(rng, n)
+	tt := space.ComputeSymmetricMatrix(l2, pts)
+	return tt, space.RankRows(tt)
+}
+
+func TestSampleTriplesRandom(t *testing.T) {
+	tt, ranks := triplesFixture(t, 40)
+	rng := stats.NewRand(1)
+	triples, err := sampleTriples(rng, tt, ranks, RandomTriples, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 500 {
+		t.Fatalf("got %d triples", len(triples))
+	}
+	for i, tri := range triples {
+		if tri.Q == tri.A || tri.Q == tri.B || tri.A == tri.B {
+			t.Fatalf("triple %d not distinct: %+v", i, tri)
+		}
+		// Orientation invariant: q strictly closer to a.
+		if tt.At(tri.Q, tri.A) >= tt.At(tri.Q, tri.B) {
+			t.Fatalf("triple %d not oriented: %+v", i, tri)
+		}
+	}
+}
+
+func TestSampleTriplesSelective(t *testing.T) {
+	tt, ranks := triplesFixture(t, 40)
+	rng := stats.NewRand(2)
+	k1 := 5
+	triples, err := sampleTriples(rng, tt, ranks, SelectiveTriples, 500, k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tri := range triples {
+		// a must be within q's k1 nearest neighbors, b outside them.
+		rankA := rankOf(ranks[tri.Q], tri.A)
+		rankB := rankOf(ranks[tri.Q], tri.B)
+		if rankA < 1 || rankA > k1 {
+			t.Fatalf("triple %d: a at rank %d, want in [1,%d]", i, rankA, k1)
+		}
+		if rankB <= k1 {
+			t.Fatalf("triple %d: b at rank %d, want > %d", i, rankB, k1)
+		}
+		if tt.At(tri.Q, tri.A) >= tt.At(tri.Q, tri.B) {
+			t.Fatalf("triple %d not oriented: %+v", i, tri)
+		}
+	}
+}
+
+func rankOf(ranked []int, idx int) int {
+	for r, v := range ranked {
+		if v == idx {
+			return r
+		}
+	}
+	return -1
+}
+
+func TestSampleTriplesSelectiveConcentratesOnNeighbors(t *testing.T) {
+	// The point of Sec. 6: selective triples have a's much closer to q
+	// than random triples do on average.
+	tt, ranks := triplesFixture(t, 60)
+	rng := stats.NewRand(3)
+	sel, err := sampleTriples(rng, tt, ranks, SelectiveTriples, 800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := sampleTriples(rng, tt, ranks, RandomTriples, 800, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanA := func(ts []Triple) float64 {
+		var sum float64
+		for _, tri := range ts {
+			sum += tt.At(tri.Q, tri.A)
+		}
+		return sum / float64(len(ts))
+	}
+	if meanA(sel) >= meanA(ran) {
+		t.Errorf("selective a-distance %.4f not below random %.4f", meanA(sel), meanA(ran))
+	}
+}
+
+func TestSampleTriplesTooSmallPool(t *testing.T) {
+	tt, ranks := triplesFixture(t, 3)
+	rng := stats.NewRand(4)
+	if _, err := sampleTriples(rng, tt, ranks, RandomTriples, 10, 0); err == nil {
+		t.Error("pool of 3 should error")
+	}
+}
+
+func TestSampleTriplesDegenerateDistances(t *testing.T) {
+	// All points identical: every distance ties, so no labelable triple
+	// exists and sampling must fail rather than loop forever.
+	pts := make([][]float64, 10)
+	for i := range pts {
+		pts[i] = []float64{1, 1}
+	}
+	tt := space.ComputeSymmetricMatrix(l2, pts)
+	ranks := space.RankRows(tt)
+	rng := stats.NewRand(5)
+	if _, err := sampleTriples(rng, tt, ranks, RandomTriples, 10, 0); err == nil {
+		t.Error("all-ties space should error")
+	}
+}
+
+func TestSampleTriplesUnknownSampling(t *testing.T) {
+	tt, ranks := triplesFixture(t, 10)
+	rng := stats.NewRand(6)
+	if _, err := sampleTriples(rng, tt, ranks, Sampling(99), 5, 3); err == nil {
+		t.Error("unknown sampling should error")
+	}
+}
+
+func TestModeSamplingStrings(t *testing.T) {
+	if QuerySensitive.String() != "QS" || QueryInsensitive.String() != "QI" {
+		t.Error("Mode strings wrong")
+	}
+	if SelectiveTriples.String() != "Se" || RandomTriples.String() != "Ra" {
+		t.Error("Sampling strings wrong")
+	}
+	if Mode(9).String() == "" || Sampling(9).String() == "" {
+		t.Error("unknown values should still print")
+	}
+}

@@ -1,0 +1,64 @@
+// Package datasets provides the named, seed-reproducible object spaces the
+// command-line tools operate on. Every dataset is regenerated
+// deterministically from (size, seed), which is what lets a saved model —
+// whose candidate objects are stored as database indexes — be reloaded
+// against an identical database in a later process.
+package datasets
+
+import (
+	"fmt"
+
+	"qse/internal/digits"
+	"qse/internal/dtw"
+	"qse/internal/shapecontext"
+	"qse/internal/stats"
+	"qse/internal/timeseries"
+)
+
+// Digits builds n synthetic digit images under the Shape Context distance,
+// returning the extracted shapes and the distance function.
+func Digits(n int, seed int64) ([]*shapecontext.Shape, func(a, b *shapecontext.Shape) float64, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("datasets: size %d", n)
+	}
+	gen := digits.NewGenerator(digits.Config{}, stats.NewRand(seed))
+	ex := shapecontext.NewExtractor(shapecontext.Config{})
+	ds, err := gen.GenerateBalancedDataset(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	shapes, err := ex.ExtractAll(ds.Images)
+	if err != nil {
+		return nil, nil, err
+	}
+	return shapes, ex.Distance, nil
+}
+
+// DigitsImages builds the raw images (for datagen and visualization).
+func DigitsImages(n int, seed int64) (*digits.Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datasets: size %d", n)
+	}
+	gen := digits.NewGenerator(digits.Config{}, stats.NewRand(seed))
+	return gen.GenerateBalancedDataset(n)
+}
+
+// Series builds n synthetic multi-dimensional time series under constrained
+// DTW with the paper's delta = 0.10.
+func Series(n int, seed int64) ([]dtw.Series, func(a, b dtw.Series) float64, error) {
+	ds, err := SeriesDataset(n, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	dist := func(a, b dtw.Series) float64 { return dtw.Constrained(a, b, 0.10) }
+	return ds.Series, dist, nil
+}
+
+// SeriesDataset builds the raw labeled dataset (for datagen).
+func SeriesDataset(n int, seed int64) (*timeseries.Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datasets: size %d", n)
+	}
+	gen := timeseries.NewGenerator(timeseries.Config{}, stats.NewRand(seed))
+	return gen.GenerateDataset(n)
+}

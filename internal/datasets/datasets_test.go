@@ -1,0 +1,105 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestDigits(t *testing.T) {
+	db, dist, err := Digits(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 30 {
+		t.Fatalf("len = %d", len(db))
+	}
+	if d := dist(db[0], db[0]); d != 0 {
+		t.Errorf("self distance %v", d)
+	}
+	if d := dist(db[0], db[1]); d <= 0 {
+		t.Errorf("cross distance %v", d)
+	}
+	if _, _, err := Digits(0, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestDigitsReproducible(t *testing.T) {
+	a, distA, err := Digits(10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Digits(10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if d := distA(a[i], b[i]); d != 0 {
+			t.Fatalf("object %d differs across regenerations (d=%v)", i, d)
+		}
+	}
+}
+
+func TestDigitsImages(t *testing.T) {
+	ds, err := DigitsImages(25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Images) != 25 || len(ds.Labels) != 25 {
+		t.Fatalf("sizes %d/%d", len(ds.Images), len(ds.Labels))
+	}
+	if _, err := DigitsImages(-1, 1); err == nil {
+		t.Error("negative n should error")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	db, dist, err := Series(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 20 {
+		t.Fatalf("len = %d", len(db))
+	}
+	if d := dist(db[0], db[0]); d != 0 {
+		t.Errorf("self distance %v", d)
+	}
+	if d := dist(db[0], db[1]); d <= 0 {
+		t.Errorf("cross distance %v", d)
+	}
+	if _, _, err := Series(0, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestSeriesReproducible(t *testing.T) {
+	a, _, err := Series(8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Series(8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for tt := range a[i] {
+			for d := range a[i][tt] {
+				if a[i][tt][d] != b[i][tt][d] {
+					t.Fatal("series differ across regenerations")
+				}
+			}
+		}
+	}
+}
+
+func TestSeriesDataset(t *testing.T) {
+	ds, err := SeriesDataset(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Series) != 12 || len(ds.SeedOf) != 12 {
+		t.Fatalf("sizes %d/%d", len(ds.Series), len(ds.SeedOf))
+	}
+	if _, err := SeriesDataset(0, 3); err == nil {
+		t.Error("n=0 should error")
+	}
+}

@@ -1,0 +1,436 @@
+// Package digits generates synthetic handwritten-digit images. It is the
+// repository's substitute for the MNIST database [22] used in the paper's
+// evaluation: the embedding method under study never inspects pixels — it
+// only calls the exact distance oracle — so what matters is a clustered
+// object space of digit-like images under an expensive non-metric image
+// distance. Stroke-skeleton rendering with random affine jitter, stroke
+// perturbation, and pixel noise produces exactly that structure.
+//
+// Each digit class 0–9 is defined by one or more polyline strokes in the
+// unit square. Generation perturbs the control points, applies a random
+// affine transform (rotation, anisotropic scale, shear, translation),
+// renders the strokes with a soft round pen, and adds noise.
+package digits
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Image is a grayscale raster with intensities in [0, 1].
+type Image struct {
+	W, H int
+	Pix  []float64 // row-major, Pix[y*W+x]
+}
+
+// NewImage allocates a zeroed W x H image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the intensity at (x, y); coordinates outside the raster read 0.
+func (im *Image) At(x, y int) float64 {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return 0
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the intensity at (x, y), clamped to [0, 1]. Out-of-range
+// coordinates are ignored.
+func (im *Image) Set(x, y int, v float64) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	out := NewImage(im.W, im.H)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// OnPixels returns the coordinates of pixels with intensity >= threshold,
+// in row-major order (deterministic).
+func (im *Image) OnPixels(threshold float64) [][2]int {
+	var pts [][2]int
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if im.Pix[y*im.W+x] >= threshold {
+				pts = append(pts, [2]int{x, y})
+			}
+		}
+	}
+	return pts
+}
+
+// point is a 2D point in abstract stroke coordinates ([0,1] square).
+type point struct{ X, Y float64 }
+
+// stroke is an open polyline.
+type stroke []point
+
+// skeletons defines the canonical strokes for digits 0–9 in the unit square
+// (x right, y down, matching raster orientation). Each class has multiple
+// writing styles — as in real handwriting (a 7 with or without crossbar, a
+// 4 with open or closed top) — so classes are multimodal. This is the
+// "statistical sensitivity" structure of Sec. 4: for a query written in one
+// style, only the reference objects of that style carry signal, which is
+// exactly what query-sensitive coordinate weights exploit.
+var skeletons = [10][][]stroke{
+	0: {
+		// Wide oval.
+		{ellipse(0.5, 0.5, 0.28, 0.40, 12)},
+		// Narrow, slanted oval.
+		{ellipse(0.52, 0.5, 0.18, 0.38, 12), {{0.40, 0.80}, {0.36, 0.88}}},
+	},
+	1: {
+		// Vertical bar with a flag.
+		{{{0.35, 0.25}, {0.55, 0.10}, {0.55, 0.90}}},
+		// Serifed: flag, stem, and a base bar.
+		{{{0.38, 0.22}, {0.52, 0.12}, {0.52, 0.86}}, {{0.32, 0.88}, {0.72, 0.88}}},
+	},
+	2: {
+		// Top arc, long diagonal, base.
+		{{{0.25, 0.30}, {0.35, 0.12}, {0.60, 0.10}, {0.72, 0.25}, {0.68, 0.42}, {0.30, 0.88}, {0.75, 0.88}}},
+		// Flat-topped, angular variant.
+		{{{0.28, 0.18}, {0.70, 0.14}, {0.70, 0.40}, {0.28, 0.84}, {0.76, 0.84}}},
+	},
+	3: {
+		// Two right-facing bumps.
+		{{{0.28, 0.15}, {0.60, 0.10}, {0.72, 0.25}, {0.58, 0.45}, {0.42, 0.50}, {0.60, 0.55}, {0.74, 0.72}, {0.58, 0.90}, {0.27, 0.85}}},
+		// Flat-top angular 3.
+		{{{0.28, 0.12}, {0.70, 0.12}, {0.48, 0.46}, {0.72, 0.70}, {0.52, 0.90}, {0.28, 0.84}}},
+	},
+	4: {
+		// Open top: diagonal, crossbar, vertical.
+		{{{0.60, 0.10}, {0.25, 0.60}, {0.78, 0.60}}, {{0.62, 0.35}, {0.62, 0.92}}},
+		// Closed top: triangle plus stem.
+		{{{0.55, 0.10}, {0.28, 0.55}, {0.75, 0.55}, {0.55, 0.10}}, {{0.60, 0.55}, {0.60, 0.92}}},
+	},
+	5: {
+		// Top bar, left drop, round belly.
+		{{{0.70, 0.12}, {0.32, 0.12}, {0.30, 0.45}, {0.55, 0.42}, {0.72, 0.58}, {0.68, 0.80}, {0.45, 0.90}, {0.28, 0.82}}},
+		// Angular belly.
+		{{{0.72, 0.14}, {0.30, 0.14}, {0.30, 0.48}, {0.68, 0.48}, {0.68, 0.86}, {0.28, 0.86}}},
+	},
+	6: {
+		// Hook into a lower loop.
+		{{{0.65, 0.12}, {0.42, 0.25}, {0.32, 0.50}, {0.32, 0.72}}, ellipse(0.50, 0.70, 0.19, 0.19, 10)},
+		// Straighter stem, smaller loop.
+		{{{0.58, 0.10}, {0.38, 0.40}, {0.34, 0.68}}, ellipse(0.48, 0.74, 0.15, 0.15, 10)},
+	},
+	7: {
+		// Plain: top bar and diagonal.
+		{{{0.25, 0.13}, {0.75, 0.13}, {0.42, 0.90}}},
+		// European: with crossbar.
+		{{{0.25, 0.13}, {0.75, 0.13}, {0.42, 0.90}}, {{0.34, 0.52}, {0.66, 0.52}}},
+	},
+	8: {
+		// Two stacked loops.
+		{ellipse(0.5, 0.30, 0.19, 0.19, 10), ellipse(0.5, 0.68, 0.23, 0.22, 10)},
+		// Narrow hourglass.
+		{ellipse(0.5, 0.28, 0.14, 0.17, 10), ellipse(0.5, 0.70, 0.17, 0.19, 10), {{0.44, 0.45}, {0.56, 0.52}}},
+	},
+	9: {
+		// Upper loop with a curved tail.
+		{ellipse(0.48, 0.32, 0.20, 0.20, 10), {{0.68, 0.34}, {0.66, 0.65}, {0.55, 0.90}}},
+		// Straight-tailed.
+		{ellipse(0.46, 0.30, 0.17, 0.18, 10), {{0.63, 0.32}, {0.63, 0.90}}},
+	},
+}
+
+func ellipse(cx, cy, rx, ry float64, segments int) stroke {
+	s := make(stroke, segments+1)
+	for i := 0; i <= segments; i++ {
+		th := 2 * math.Pi * float64(i) / float64(segments)
+		s[i] = point{cx + rx*math.Cos(th), cy + ry*math.Sin(th)}
+	}
+	return s
+}
+
+// Config controls generation.
+type Config struct {
+	// Size is the square image side in pixels (default 28).
+	Size int
+	// Thickness is the pen radius in units of image size (default 0.045).
+	Thickness float64
+	// Jitter is the Gaussian control-point perturbation in stroke
+	// coordinates (default 0.02).
+	Jitter float64
+	// MaxRotate is the maximum absolute rotation in radians (default 0.25).
+	MaxRotate float64
+	// MaxShear is the maximum absolute shear coefficient (default 0.20).
+	MaxShear float64
+	// ScaleRange is the half-width of the uniform scale jitter around 1
+	// (default 0.12): scales are drawn from [1-r, 1+r] per axis.
+	ScaleRange float64
+	// MaxShift is the maximum absolute translation in stroke coordinates
+	// (default 0.05).
+	MaxShift float64
+	// Noise is the standard deviation of additive pixel noise (default
+	// 0.03). Noise is clamped into [0, 1].
+	Noise float64
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Size:       28,
+		Thickness:  0.045,
+		Jitter:     0.02,
+		MaxRotate:  0.25,
+		MaxShear:   0.20,
+		ScaleRange: 0.12,
+		MaxShift:   0.05,
+		Noise:      0.03,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Size == 0 {
+		c.Size = d.Size
+	}
+	if c.Thickness == 0 {
+		c.Thickness = d.Thickness
+	}
+	if c.Jitter == 0 {
+		c.Jitter = d.Jitter
+	}
+	if c.MaxRotate == 0 {
+		c.MaxRotate = d.MaxRotate
+	}
+	if c.MaxShear == 0 {
+		c.MaxShear = d.MaxShear
+	}
+	if c.ScaleRange == 0 {
+		c.ScaleRange = d.ScaleRange
+	}
+	if c.MaxShift == 0 {
+		c.MaxShift = d.MaxShift
+	}
+	if c.Noise == 0 {
+		c.Noise = d.Noise
+	}
+}
+
+// Generator produces random digit images.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGenerator returns a Generator with the given config (zero fields take
+// defaults) driven by rng.
+func NewGenerator(cfg Config, rng *rand.Rand) *Generator {
+	cfg.fillDefaults()
+	return &Generator{cfg: cfg, rng: rng}
+}
+
+// Config returns the effective configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// NumStyles returns how many writing styles class has.
+func NumStyles(class int) int {
+	if class < 0 || class > 9 {
+		return 0
+	}
+	return len(skeletons[class])
+}
+
+// Generate renders one random instance of the given digit class (0–9),
+// picking a writing style uniformly at random.
+func (g *Generator) Generate(class int) (*Image, error) {
+	if class < 0 || class > 9 {
+		return nil, fmt.Errorf("digits: class %d out of range [0,9]", class)
+	}
+	return g.GenerateStyled(class, g.rng.Intn(len(skeletons[class])))
+}
+
+// GenerateStyled renders one random instance of the given digit class in
+// the given writing style.
+func (g *Generator) GenerateStyled(class, style int) (*Image, error) {
+	if class < 0 || class > 9 {
+		return nil, fmt.Errorf("digits: class %d out of range [0,9]", class)
+	}
+	if style < 0 || style >= len(skeletons[class]) {
+		return nil, fmt.Errorf("digits: class %d has %d styles, requested %d", class, len(skeletons[class]), style)
+	}
+	cfg := g.cfg
+	rng := g.rng
+
+	// Random affine transform about the glyph center (0.5, 0.5).
+	theta := (rng.Float64()*2 - 1) * cfg.MaxRotate
+	shear := (rng.Float64()*2 - 1) * cfg.MaxShear
+	sx := 1 + (rng.Float64()*2-1)*cfg.ScaleRange
+	sy := 1 + (rng.Float64()*2-1)*cfg.ScaleRange
+	dx := (rng.Float64()*2 - 1) * cfg.MaxShift
+	dy := (rng.Float64()*2 - 1) * cfg.MaxShift
+	cos, sin := math.Cos(theta), math.Sin(theta)
+	xform := func(p point) point {
+		// Center, scale, shear, rotate, translate, un-center.
+		x, y := (p.X-0.5)*sx, (p.Y-0.5)*sy
+		x += shear * y
+		xr := x*cos - y*sin
+		yr := x*sin + y*cos
+		return point{xr + 0.5 + dx, yr + 0.5 + dy}
+	}
+
+	img := NewImage(cfg.Size, cfg.Size)
+	penR := cfg.Thickness * float64(cfg.Size)
+	for _, st := range skeletons[class][style] {
+		warped := make(stroke, len(st))
+		for i, p := range st {
+			jp := point{
+				p.X + rng.NormFloat64()*cfg.Jitter,
+				p.Y + rng.NormFloat64()*cfg.Jitter,
+			}
+			warped[i] = xform(jp)
+		}
+		drawStroke(img, warped, penR)
+	}
+
+	if cfg.Noise > 0 {
+		for i := range img.Pix {
+			v := img.Pix[i] + rng.NormFloat64()*cfg.Noise
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			img.Pix[i] = v
+		}
+	}
+	return img, nil
+}
+
+// drawStroke rasterizes a polyline with a soft round pen of radius r pixels.
+func drawStroke(img *Image, st stroke, r float64) {
+	if len(st) < 2 {
+		return
+	}
+	w := float64(img.W)
+	h := float64(img.H)
+	for seg := 0; seg+1 < len(st); seg++ {
+		ax, ay := st[seg].X*w, st[seg].Y*h
+		bx, by := st[seg+1].X*w, st[seg+1].Y*h
+		// Bounding box of the capsule, padded by the pen radius + 1.
+		minX := int(math.Floor(math.Min(ax, bx) - r - 1))
+		maxX := int(math.Ceil(math.Max(ax, bx) + r + 1))
+		minY := int(math.Floor(math.Min(ay, by) - r - 1))
+		maxY := int(math.Ceil(math.Max(ay, by) + r + 1))
+		for y := minY; y <= maxY; y++ {
+			for x := minX; x <= maxX; x++ {
+				d := distToSegment(float64(x)+0.5, float64(y)+0.5, ax, ay, bx, by)
+				// Soft edge: full intensity inside r-0.5, linear falloff
+				// over one pixel.
+				var v float64
+				switch {
+				case d <= r-0.5:
+					v = 1
+				case d >= r+0.5:
+					v = 0
+				default:
+					v = (r + 0.5 - d)
+				}
+				if v > 0 && v > img.At(x, y) {
+					img.Set(x, y, v)
+				}
+			}
+		}
+	}
+}
+
+func distToSegment(px, py, ax, ay, bx, by float64) float64 {
+	vx, vy := bx-ax, by-ay
+	wx, wy := px-ax, py-ay
+	c1 := vx*wx + vy*wy
+	if c1 <= 0 {
+		return math.Hypot(px-ax, py-ay)
+	}
+	c2 := vx*vx + vy*vy
+	if c2 <= c1 {
+		return math.Hypot(px-bx, py-by)
+	}
+	t := c1 / c2
+	return math.Hypot(px-(ax+t*vx), py-(ay+t*vy))
+}
+
+// Dataset is a labeled collection of digit images.
+type Dataset struct {
+	Images []*Image
+	Labels []int
+}
+
+// GenerateDataset produces n images with classes drawn uniformly from 0–9.
+func (g *Generator) GenerateDataset(n int) (*Dataset, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("digits: negative dataset size %d", n)
+	}
+	ds := &Dataset{
+		Images: make([]*Image, n),
+		Labels: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		class := g.rng.Intn(10)
+		img, err := g.Generate(class)
+		if err != nil {
+			return nil, err
+		}
+		ds.Images[i] = img
+		ds.Labels[i] = class
+	}
+	return ds, nil
+}
+
+// GenerateBalancedDataset produces n images cycling through classes 0-9 in
+// order, so each class has either floor(n/10) or ceil(n/10) instances.
+func (g *Generator) GenerateBalancedDataset(n int) (*Dataset, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("digits: negative dataset size %d", n)
+	}
+	ds := &Dataset{
+		Images: make([]*Image, n),
+		Labels: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		class := i % 10
+		img, err := g.Generate(class)
+		if err != nil {
+			return nil, err
+		}
+		ds.Images[i] = img
+		ds.Labels[i] = class
+	}
+	return ds, nil
+}
+
+// ASCII renders the image as text for debugging and examples: ten intensity
+// levels from ' ' to '@'.
+func (im *Image) ASCII() string {
+	const ramp = " .:-=+*#%@"
+	buf := make([]byte, 0, (im.W+1)*im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.At(x, y)
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			} else if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			buf = append(buf, ramp[idx])
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}

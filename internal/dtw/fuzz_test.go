@@ -1,0 +1,76 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLBKeoghBound fuzzes the central correctness property of the
+// comparator index: LB_Keogh never exceeds the windowed DTW distance.
+// The fuzzer drives series lengths, values, and the window from raw bytes.
+func FuzzLBKeoghBound(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255}, uint8(3))
+	f.Add([]byte{10, 200, 30, 40, 50, 60}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, wRaw uint8) {
+		if len(raw) < 4 || len(raw) > 64 || len(raw)%2 != 0 {
+			t.Skip()
+		}
+		n := len(raw) / 2
+		a := make(Series, n)
+		b := make(Series, n)
+		for i := 0; i < n; i++ {
+			a[i] = []float64{float64(raw[i]) / 16}
+			b[i] = []float64{float64(raw[n+i]) / 16}
+		}
+		w := int(wRaw % 8)
+		lo, up := Envelope(b, w)
+		lb := LBKeogh(a, lo, up)
+		exact := ConstrainedWindow(a, b, w)
+		if lb > exact+1e-9 {
+			t.Fatalf("LB %v exceeds DTW %v (n=%d w=%d)", lb, exact, n, w)
+		}
+		// The bound of a series against its own envelope is zero.
+		loA, upA := Envelope(a, w)
+		if self := LBKeogh(a, loA, upA); self != 0 {
+			t.Fatalf("self bound %v != 0", self)
+		}
+	})
+}
+
+// FuzzDTWWindowMonotone fuzzes the window-monotonicity of constrained DTW:
+// a wider window can only decrease the distance, and the unconstrained
+// distance is the limit.
+func FuzzDTWWindowMonotone(f *testing.F) {
+	f.Add([]byte{5, 1, 9, 2, 8, 3})
+	f.Add([]byte{0, 255, 0, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 4 || len(raw) > 48 {
+			t.Skip()
+		}
+		n := len(raw) / 2
+		a := make(Series, n)
+		b := make(Series, len(raw)-n)
+		for i := 0; i < n; i++ {
+			a[i] = []float64{float64(raw[i])}
+		}
+		for i := n; i < len(raw); i++ {
+			b[i-n] = []float64{float64(raw[i])}
+		}
+		free := DTW(a, b)
+		prev := math.Inf(1)
+		for _, w := range []int{0, 1, 3, 7, 100} {
+			d := ConstrainedWindow(a, b, w)
+			if d < free-1e-9 {
+				t.Fatalf("window %d below unconstrained: %v < %v", w, d, free)
+			}
+			if d > prev+1e-9 {
+				t.Fatalf("distance grew with window: %v > %v", d, prev)
+			}
+			prev = d
+		}
+		if math.Abs(prev-free) > 1e-9 {
+			t.Fatalf("wide window %v != unconstrained %v", prev, free)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package dtw
+
+import (
+	"fmt"
+	"math"
+)
+
+// PathStep is one cell of a warping path: sample I of the first series
+// aligned with sample J of the second.
+type PathStep struct {
+	I, J int
+}
+
+// Path returns the optimal warping path of the windowed DTW alignment
+// (w < 0 for unconstrained; use the same windows as ConstrainedWindow) and
+// its total cost. The path starts at (0, 0), ends at (len(a)-1, len(b)-1),
+// and each step increments I, J, or both (monotonicity + continuity).
+// Unlike the distance-only DP this keeps the full matrix, so it costs
+// O(len(a)·len(b)) memory; use it for inspection and tests, not bulk
+// retrieval.
+func Path(a, b Series, w int) ([]PathStep, float64, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil, 0, fmt.Errorf("dtw: Path of empty series")
+	}
+	if a.Dims() != b.Dims() {
+		return nil, 0, fmt.Errorf("dtw: dimensionality mismatch %d vs %d", a.Dims(), b.Dims())
+	}
+	if w >= 0 {
+		diff := n - m
+		if diff < 0 {
+			diff = -diff
+		}
+		if w < diff {
+			w = diff
+		}
+	}
+
+	inf := math.Inf(1)
+	cost := make([][]float64, n+1)
+	for i := range cost {
+		cost[i] = make([]float64, m+1)
+		for j := range cost[i] {
+			cost[i][j] = inf
+		}
+	}
+	cost[0][0] = 0
+	for i := 1; i <= n; i++ {
+		lo, hi := 1, m
+		if w >= 0 {
+			if lo < i-w {
+				lo = i - w
+			}
+			if hi > i+w {
+				hi = i + w
+			}
+		}
+		for j := lo; j <= hi; j++ {
+			best := cost[i-1][j]
+			if cost[i][j-1] < best {
+				best = cost[i][j-1]
+			}
+			if cost[i-1][j-1] < best {
+				best = cost[i-1][j-1]
+			}
+			if math.IsInf(best, 1) {
+				continue
+			}
+			cost[i][j] = best + sampleDist(a[i-1], b[j-1])
+		}
+	}
+	total := cost[n][m]
+	if math.IsInf(total, 1) {
+		return nil, 0, fmt.Errorf("dtw: no feasible alignment within window %d", w)
+	}
+
+	// Backtrack, preferring the diagonal on ties for canonical paths.
+	var rev []PathStep
+	i, j := n, m
+	for i > 0 || j > 0 {
+		rev = append(rev, PathStep{I: i - 1, J: j - 1})
+		switch {
+		case i == 1 && j == 1:
+			i, j = 0, 0
+		case i > 1 && j > 1 && cost[i-1][j-1] <= cost[i-1][j] && cost[i-1][j-1] <= cost[i][j-1]:
+			i, j = i-1, j-1
+		case i > 1 && (j == 1 || cost[i-1][j] <= cost[i][j-1]):
+			i--
+		default:
+			j--
+		}
+	}
+	// Reverse into forward order.
+	path := make([]PathStep, len(rev))
+	for k := range rev {
+		path[k] = rev[len(rev)-1-k]
+	}
+	return path, total, nil
+}

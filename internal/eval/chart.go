@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderChart draws the figure series as an ASCII chart with a log-scale
+// cost axis — the same presentation as the paper's Figs. 4–6. Each method
+// is plotted with the first letter of its name; cells claimed by several
+// methods show '*'. height is the number of chart rows (default 12 when
+// <= 0).
+func RenderChart(w io.Writer, title string, series []Series, height int) {
+	fmt.Fprintf(w, "%s\n", title)
+	if len(series) == 0 || len(series[0].Ks) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	if height <= 0 {
+		height = 12
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, c := range s.Costs {
+			if c <= 0 {
+				continue
+			}
+			v := float64(c)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "  (no positive costs)")
+		return
+	}
+	if hi <= lo {
+		hi = lo * 2
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+
+	cols := len(series[0].Ks)
+	colWidth := 4
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colWidth))
+	}
+	rowOf := func(cost int) int {
+		frac := (math.Log(float64(cost)) - logLo) / (logHi - logLo)
+		r := int(math.Round(frac * float64(height-1)))
+		// Row 0 is the top (highest cost).
+		return height - 1 - clampInt(r, 0, height-1)
+	}
+	marks := chartMarks(series)
+	for si, s := range series {
+		mark := marks[si]
+		for i, c := range s.Costs {
+			if c <= 0 {
+				continue
+			}
+			r := rowOf(c)
+			pos := i*colWidth + colWidth/2
+			switch grid[r][pos] {
+			case ' ':
+				grid[r][pos] = mark
+			case mark:
+			default:
+				grid[r][pos] = '*'
+			}
+		}
+	}
+
+	// Y-axis labels on the left: cost values at the top, middle, bottom.
+	label := func(r int) string {
+		frac := float64(height-1-r) / float64(height-1)
+		v := math.Exp(logLo + frac*(logHi-logLo))
+		return fmt.Sprintf("%8.0f", v)
+	}
+	for r := 0; r < height; r++ {
+		var axis string
+		if r == 0 || r == height-1 || r == height/2 {
+			axis = label(r)
+		} else {
+			axis = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(w, "%s |%s\n", axis, grid[r])
+	}
+	// X-axis: k values.
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", cols*colWidth))
+	var xs strings.Builder
+	for _, k := range series[0].Ks {
+		xs.WriteString(fmt.Sprintf("%*d", colWidth, k))
+	}
+	fmt.Fprintf(w, "%s  %s  (k)\n", strings.Repeat(" ", 8), xs.String())
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si], s.Method))
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 8), strings.Join(legend, "  "))
+}
+
+// chartMarks assigns each series a distinct plot mark: the first letter of
+// the method name not already claimed by an earlier series, falling back
+// to digits.
+func chartMarks(series []Series) []byte {
+	used := map[byte]bool{'*': true}
+	marks := make([]byte, len(series))
+	for si, s := range series {
+		var mark byte
+		for i := 0; i < len(s.Method); i++ {
+			c := s.Method[i]
+			if c >= 'a' && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			if (c >= 'A' && c <= 'Z') && !used[c] {
+				mark = c
+				break
+			}
+		}
+		if mark == 0 {
+			for d := byte('0'); d <= '9'; d++ {
+				if !used[d] {
+					mark = d
+					break
+				}
+			}
+		}
+		if mark == 0 {
+			mark = '?'
+		}
+		used[mark] = true
+		marks[si] = mark
+	}
+	return marks
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderChartBasics(t *testing.T) {
+	series := []Series{
+		{Method: "FastMap", Ks: []int{1, 10, 50}, Costs: []int{1000, 2000, 4000}},
+		{Method: "Se-QS", Ks: []int{1, 10, 50}, Costs: []int{100, 200, 400}},
+	}
+	var buf bytes.Buffer
+	RenderChart(&buf, "test chart", series, 10)
+	out := buf.String()
+	for _, want := range []string{"test chart", "F=FastMap", "S=Se-QS", "(k)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Cheap method's marks must appear on lower rows than the expensive
+	// method's: find first row containing F and first containing S.
+	lines := strings.Split(out, "\n")
+	firstF, firstS := -1, -1
+	for i, line := range lines {
+		if strings.Contains(line, "|") {
+			body := line[strings.Index(line, "|"):]
+			if firstF < 0 && strings.Contains(body, "F") {
+				firstF = i
+			}
+			if firstS < 0 && strings.Contains(body, "S") {
+				firstS = i
+			}
+		}
+	}
+	if firstF < 0 || firstS < 0 {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	if firstF >= firstS {
+		t.Errorf("expensive method should plot above cheap one:\n%s", out)
+	}
+}
+
+func TestRenderChartCollision(t *testing.T) {
+	series := []Series{
+		{Method: "Aaa", Ks: []int{1}, Costs: []int{100}},
+		{Method: "Bbb", Ks: []int{1}, Costs: []int{100}},
+	}
+	var buf bytes.Buffer
+	RenderChart(&buf, "collide", series, 6)
+	if !strings.Contains(buf.String(), "*") {
+		t.Errorf("overlapping marks should render '*':\n%s", buf.String())
+	}
+}
+
+func TestRenderChartEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	RenderChart(&buf, "empty", nil, 0)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+	buf.Reset()
+	RenderChart(&buf, "zeros", []Series{{Method: "X", Ks: []int{1}, Costs: []int{0}}}, 0)
+	if !strings.Contains(buf.String(), "no positive costs") {
+		t.Error("all-zero chart should say so")
+	}
+	buf.Reset()
+	// Constant series: hi == lo path.
+	RenderChart(&buf, "flat", []Series{{Method: "X", Ks: []int{1, 2}, Costs: []int{50, 50}}}, 0)
+	if !strings.Contains(buf.String(), "X=X") {
+		t.Errorf("flat chart should render:\n%s", buf.String())
+	}
+}
+
+func TestChartMarksUnique(t *testing.T) {
+	series := []Series{
+		{Method: "Se-QI"}, {Method: "Se-QS"}, {Method: "SSS"}, {Method: "S"},
+	}
+	marks := chartMarks(series)
+	seen := map[byte]bool{}
+	for i, m := range marks {
+		if seen[m] {
+			t.Fatalf("duplicate mark %c at %d: %v", m, i, marks)
+		}
+		seen[m] = true
+	}
+	// First gets S, second should pick a different letter (E or Q).
+	if marks[0] != 'S' {
+		t.Errorf("marks = %c", marks[0])
+	}
+	if marks[1] == 'S' {
+		t.Error("second series must not reuse S")
+	}
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteSeriesCSV emits figure series as CSV: one row per k, one column per
+// method, suitable for external plotting. Column order follows the series
+// order.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("eval: no series")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"k"}
+	for _, s := range series {
+		header = append(header, s.Method)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, k := range series[0].Ks {
+		row := []string{strconv.Itoa(k)}
+		for _, s := range series {
+			if len(s.Costs) != len(series[0].Ks) {
+				return fmt.Errorf("eval: series %q has %d costs, want %d", s.Method, len(s.Costs), len(series[0].Ks))
+			}
+			row = append(row, strconv.Itoa(s.Costs[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableCSV emits Table 1 rows as CSV with columns k, pct, then one
+// column per method in the given order. Missing methods are left empty.
+func WriteTableCSV(w io.Writer, rows []TableRow, methodOrder []string) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("eval: no rows")
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"k", "pct"}, methodOrder...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		row := []string{strconv.Itoa(r.K), strconv.FormatFloat(r.Pct, 'f', -1, 64)}
+		for _, name := range methodOrder {
+			if c, ok := r.Costs[name]; ok {
+				row = append(row, strconv.Itoa(c))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

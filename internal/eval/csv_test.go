@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	series := []Series{
+		{Method: "FastMap", Ks: []int{1, 10}, Costs: []int{100, 200}},
+		{Method: "Se-QS", Ks: []int{1, 10}, Costs: []int{40, 80}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if lines[0] != "k,FastMap,Se-QS" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,100,40" || lines[2] != "10,200,80" {
+		t.Errorf("rows = %v", lines[1:])
+	}
+}
+
+func TestWriteSeriesCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, nil); err == nil {
+		t.Error("empty series should error")
+	}
+	ragged := []Series{
+		{Method: "A", Ks: []int{1, 2}, Costs: []int{1, 2}},
+		{Method: "B", Ks: []int{1, 2}, Costs: []int{1}},
+	}
+	if err := WriteSeriesCSV(&buf, ragged); err == nil {
+		t.Error("ragged series should error")
+	}
+}
+
+func TestWriteTableCSV(t *testing.T) {
+	rows := []TableRow{
+		{K: 1, Pct: 90, Costs: map[string]int{"A": 5}},
+		{K: 1, Pct: 99.5, Costs: map[string]int{"A": 9}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTableCSV(&buf, rows, []string{"A", "B"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "k,pct,A,B" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,90,5," {
+		t.Errorf("row = %q", lines[1])
+	}
+	if lines[2] != "1,99.5,9," {
+		t.Errorf("row = %q", lines[2])
+	}
+	if err := WriteTableCSV(&buf, nil, nil); err == nil {
+		t.Error("empty rows should error")
+	}
+}

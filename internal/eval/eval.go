@@ -1,0 +1,300 @@
+// Package eval implements the experimental protocol of Sec. 9: for every
+// embedding method, every embedding dimensionality d and every query, it
+// measures how many filter-step candidates p are needed to capture all k
+// true nearest neighbors; then, for each (k, accuracy B) pair, it reports
+// the minimum total number of exact distance computations per query
+// (embedding cost + p) over the optimal choice of d and p — the quantity
+// plotted in Figs. 4–6 and tabulated in Table 1.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"qse/internal/core"
+	"qse/internal/fastmap"
+	"qse/internal/lipschitz"
+	"qse/internal/metrics"
+	"qse/internal/space"
+	"qse/internal/stats"
+)
+
+// DimEval is one method evaluated at one dimensionality.
+type DimEval struct {
+	Dims      int
+	EmbedCost int
+	// PNeeded[ki][qi] is the number of filter candidates query qi needs so
+	// that all Ks[ki] of its true nearest neighbors survive the filter.
+	PNeeded [][]int
+}
+
+// Method is one embedding method evaluated across a dimensionality grid.
+type Method struct {
+	Name    string
+	Ks      []int
+	Entries []DimEval
+	// DBSize is the database size; brute force costs this many distances.
+	DBSize int
+}
+
+// EvaluateDim computes PNeeded for one embedding at one dimensionality.
+// queryWeights may be nil (unweighted L1 filter) or per-query weight
+// vectors (query-sensitive filter). gt must rank every query against the
+// same database order as dbVecs. ks must be ascending and positive.
+func EvaluateDim(dbVecs, queryVecs, queryWeights [][]float64, embedCost int, gt *space.GroundTruth, ks []int) (DimEval, error) {
+	if len(queryVecs) == 0 || len(dbVecs) == 0 {
+		return DimEval{}, fmt.Errorf("eval: empty vectors")
+	}
+	if queryWeights != nil && len(queryWeights) != len(queryVecs) {
+		return DimEval{}, fmt.Errorf("eval: %d weight vectors for %d queries", len(queryWeights), len(queryVecs))
+	}
+	if len(gt.Ranked) != len(queryVecs) {
+		return DimEval{}, fmt.Errorf("eval: ground truth has %d queries, vectors %d", len(gt.Ranked), len(queryVecs))
+	}
+	if err := checkKs(ks, len(dbVecs)); err != nil {
+		return DimEval{}, err
+	}
+	dims := len(dbVecs[0])
+	de := DimEval{
+		Dims:      dims,
+		EmbedCost: embedCost,
+		PNeeded:   make([][]int, len(ks)),
+	}
+	for ki := range ks {
+		de.PNeeded[ki] = make([]int, len(queryVecs))
+	}
+	kmax := ks[len(ks)-1]
+
+	dists := make([]float64, len(dbVecs))
+	for qi, qv := range queryVecs {
+		var w []float64
+		if queryWeights != nil {
+			w = queryWeights[qi]
+		}
+		for i, v := range dbVecs {
+			if w == nil {
+				dists[i] = metrics.L1(qv, v)
+			} else {
+				dists[i] = metrics.WeightedL1(w, qv, v)
+			}
+		}
+		targets := gt.TrueKNN(qi, kmax)
+		// Rank of each true neighbor under the deterministic filter order
+		// (ascending distance, ties by index).
+		ranks := make([]int, len(targets))
+		for ti, target := range targets {
+			td := dists[target]
+			rank := 0
+			for i, d := range dists {
+				if d < td || (d == td && i < target) {
+					rank++
+				}
+			}
+			ranks[ti] = rank
+		}
+		// PNeeded for k is 1 + the max rank among the first k targets.
+		worst := 0
+		ki := 0
+		for t := 0; t < len(targets); t++ {
+			if ranks[t] > worst {
+				worst = ranks[t]
+			}
+			for ki < len(ks) && ks[ki] == t+1 {
+				de.PNeeded[ki][qi] = worst + 1
+				ki++
+			}
+		}
+		for ; ki < len(ks); ki++ {
+			// ks beyond the database size: everything is needed.
+			de.PNeeded[ki][qi] = len(dbVecs)
+		}
+	}
+	return de, nil
+}
+
+func checkKs(ks []int, dbSize int) error {
+	if len(ks) == 0 {
+		return fmt.Errorf("eval: no ks")
+	}
+	prev := 0
+	for _, k := range ks {
+		if k <= prev {
+			return fmt.Errorf("eval: ks must be ascending and positive, got %v", ks)
+		}
+		if k > dbSize {
+			return fmt.Errorf("eval: k = %d exceeds database size %d", k, dbSize)
+		}
+		prev = k
+	}
+	return nil
+}
+
+// Optimum holds the best operating point of a method for one (k, pct).
+type Optimum struct {
+	Cost int // exact distances per query: EmbedCost + p
+	Dims int
+	P    int
+}
+
+// OptimumFor finds, as the paper does, "the optimal parameters (number of
+// dimensions and p) under which we would successfully retrieve all k true
+// nearest neighbors for a percentage of query objects equal to B, while
+// minimizing the total number of exact distance computations".
+func (m *Method) OptimumFor(k int, pct float64) (Optimum, error) {
+	ki := -1
+	for i, kk := range m.Ks {
+		if kk == k {
+			ki = i
+			break
+		}
+	}
+	if ki < 0 {
+		return Optimum{}, fmt.Errorf("eval: k = %d was not evaluated (have %v)", k, m.Ks)
+	}
+	if len(m.Entries) == 0 {
+		return Optimum{}, fmt.Errorf("eval: method %q has no entries", m.Name)
+	}
+	best := Optimum{Cost: 1 << 62}
+	for _, e := range m.Entries {
+		p := stats.PercentileInt(e.PNeeded[ki], pct)
+		// p can never usefully exceed the database size.
+		if p > m.DBSize {
+			p = m.DBSize
+		}
+		cost := e.EmbedCost + p
+		// The brute-force fallback is always available: never report worse.
+		if bf := m.DBSize; cost > bf {
+			cost = bf
+		}
+		if cost < best.Cost {
+			best = Optimum{Cost: cost, Dims: e.Dims, P: p}
+		}
+	}
+	return best, nil
+}
+
+// CoreMethod evaluates a trained BoostMap-family model across the given
+// dimensionality grid. The database and queries are embedded once with the
+// full model; every grid point reuses vector prefixes (valid because
+// Model.Prefix preserves coordinate order). Grid entries above the model's
+// dimensionality are dropped.
+func CoreMethod[T any](name string, model *core.Model[T], db, queries []T, gt *space.GroundTruth, ks, dimsGrid []int) (*Method, error) {
+	dbVecs := make([][]float64, len(db))
+	for i, x := range db {
+		dbVecs[i] = model.Embed(x)
+	}
+	qVecs := make([][]float64, len(queries))
+	for i, q := range queries {
+		qVecs[i] = model.Embed(q)
+	}
+
+	m := &Method{Name: name, Ks: append([]int(nil), ks...), DBSize: len(db)}
+	for _, d := range cleanGrid(dimsGrid, model.Dims()) {
+		prefix, ok := model.PrefixForDims(d)
+		if !ok {
+			continue
+		}
+		pdb := sliceVecs(dbVecs, d)
+		pq := sliceVecs(qVecs, d)
+		weights := make([][]float64, len(queries))
+		for qi := range pq {
+			weights[qi] = prefix.QueryWeights(pq[qi])
+		}
+		de, err := EvaluateDim(pdb, pq, weights, prefix.EmbedCost(), gt, ks)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s at d=%d: %w", name, d, err)
+		}
+		m.Entries = append(m.Entries, de)
+	}
+	if len(m.Entries) == 0 {
+		return nil, fmt.Errorf("eval: no evaluable dimensionalities for %s (model has %d dims)", name, model.Dims())
+	}
+	return m, nil
+}
+
+// FastMapMethod evaluates a FastMap model across the grid; its filter
+// distance is the unweighted L1 and its embedding costs 2 exact distances
+// per dimension.
+func FastMapMethod[T any](name string, fm *fastmap.Model[T], db, queries []T, gt *space.GroundTruth, ks, dimsGrid []int) (*Method, error) {
+	dbVecs := make([][]float64, len(db))
+	for i, x := range db {
+		dbVecs[i] = fm.Embed(x)
+	}
+	qVecs := make([][]float64, len(queries))
+	for i, q := range queries {
+		qVecs[i] = fm.Embed(q)
+	}
+	m := &Method{Name: name, Ks: append([]int(nil), ks...), DBSize: len(db)}
+	for _, d := range cleanGrid(dimsGrid, fm.Dims()) {
+		de, err := EvaluateDim(sliceVecs(dbVecs, d), sliceVecs(qVecs, d), nil, 2*d, gt, ks)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s at d=%d: %w", name, d, err)
+		}
+		m.Entries = append(m.Entries, de)
+	}
+	if len(m.Entries) == 0 {
+		return nil, fmt.Errorf("eval: no evaluable dimensionalities for %s", name)
+	}
+	return m, nil
+}
+
+// LipschitzMethod evaluates the plain vantage-object baseline: coordinate i
+// is the distance to reference object i, the filter is an unweighted L1,
+// and embedding costs one exact distance per dimension.
+func LipschitzMethod[T any](name string, lm *lipschitz.Model[T], db, queries []T, gt *space.GroundTruth, ks, dimsGrid []int) (*Method, error) {
+	dbVecs := make([][]float64, len(db))
+	for i, x := range db {
+		dbVecs[i] = lm.Embed(x)
+	}
+	qVecs := make([][]float64, len(queries))
+	for i, q := range queries {
+		qVecs[i] = lm.Embed(q)
+	}
+	m := &Method{Name: name, Ks: append([]int(nil), ks...), DBSize: len(db)}
+	for _, d := range cleanGrid(dimsGrid, lm.Dims()) {
+		de, err := EvaluateDim(sliceVecs(dbVecs, d), sliceVecs(qVecs, d), nil, d, gt, ks)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s at d=%d: %w", name, d, err)
+		}
+		m.Entries = append(m.Entries, de)
+	}
+	if len(m.Entries) == 0 {
+		return nil, fmt.Errorf("eval: no evaluable dimensionalities for %s", name)
+	}
+	return m, nil
+}
+
+// cleanGrid sorts, dedupes, and clips the grid to [1, maxDims].
+func cleanGrid(grid []int, maxDims int) []int {
+	out := make([]int, 0, len(grid))
+	seen := map[int]bool{}
+	for _, d := range grid {
+		if d >= 1 && d <= maxDims && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sliceVecs(vecs [][]float64, d int) [][]float64 {
+	out := make([][]float64, len(vecs))
+	for i, v := range vecs {
+		out[i] = v[:d]
+	}
+	return out
+}
+
+// DefaultDimsGrid returns the dimensionality sweep used by the experiments:
+// 1, 2, 4, ..., up to maxDims (always including maxDims).
+func DefaultDimsGrid(maxDims int) []int {
+	var grid []int
+	for d := 1; d < maxDims; d *= 2 {
+		grid = append(grid, d)
+	}
+	if maxDims >= 1 {
+		grid = append(grid, maxDims)
+	}
+	return grid
+}

@@ -1,0 +1,362 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qse/internal/core"
+	"qse/internal/fastmap"
+	"qse/internal/lipschitz"
+	"qse/internal/metrics"
+	"qse/internal/space"
+	"qse/internal/stats"
+)
+
+func l2(a, b []float64) float64 { return metrics.L2(a, b) }
+
+func clustered(seed int64, n, k int) [][]float64 {
+	rng := stats.NewRand(seed)
+	centers := make([][]float64, k)
+	for i := range centers {
+		centers[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		c := centers[i%k]
+		pts[i] = []float64{c[0] + rng.NormFloat64()*0.05, c[1] + rng.NormFloat64()*0.05}
+	}
+	return pts
+}
+
+func TestEvaluateDimIdentityEmbedding(t *testing.T) {
+	// When the "embedding" is the identity and the filter metric (L1)
+	// agrees with the true metric (use L1 as the true metric too), the
+	// filter ordering equals the true ordering, so PNeeded == k exactly.
+	db := clustered(1, 60, 5)
+	queries := clustered(2, 10, 5)
+	l1 := func(a, b []float64) float64 { return metrics.L1(a, b) }
+	gt := space.NewGroundTruth(l1, queries, db)
+	ks := []int{1, 3, 5}
+	de, err := EvaluateDim(db, queries, nil, 0, gt, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de.Dims != 2 || de.EmbedCost != 0 {
+		t.Fatalf("meta wrong: %+v", de)
+	}
+	for ki, k := range ks {
+		for qi, p := range de.PNeeded[ki] {
+			if p != k {
+				t.Errorf("k=%d q=%d: PNeeded=%d, want %d (perfect filter)", k, qi, p, k)
+			}
+		}
+	}
+}
+
+func TestEvaluateDimWorsePNeededForWorseEmbedding(t *testing.T) {
+	// A 1D projection (just the x coordinate) must need at least as many
+	// candidates as the faithful 2D identity.
+	db := clustered(3, 80, 6)
+	queries := clustered(4, 12, 6)
+	gt := space.NewGroundTruth(l2, queries, db)
+	ks := []int{1, 5}
+	full, err := EvaluateDim(db, queries, nil, 0, gt, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD, err := EvaluateDim(sliceVecs(db, 1), sliceVecs(queries, 1), nil, 0, gt, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumFull, sumOne int
+	for ki := range ks {
+		for qi := range queries {
+			sumFull += full.PNeeded[ki][qi]
+			sumOne += oneD.PNeeded[ki][qi]
+		}
+	}
+	if sumOne < sumFull {
+		t.Errorf("1D projection (%d) should not beat 2D identity (%d)", sumOne, sumFull)
+	}
+}
+
+func TestEvaluateDimValidation(t *testing.T) {
+	db := clustered(5, 20, 3)
+	queries := clustered(6, 5, 3)
+	gt := space.NewGroundTruth(l2, queries, db)
+	if _, err := EvaluateDim(nil, queries, nil, 0, gt, []int{1}); err == nil {
+		t.Error("empty db should error")
+	}
+	if _, err := EvaluateDim(db, queries, nil, 0, gt, []int{3, 2}); err == nil {
+		t.Error("non-ascending ks should error")
+	}
+	if _, err := EvaluateDim(db, queries, nil, 0, gt, []int{100}); err == nil {
+		t.Error("k > dbsize should error")
+	}
+	if _, err := EvaluateDim(db, queries, [][]float64{{1, 1}}, 0, gt, []int{1}); err == nil {
+		t.Error("weights/queries length mismatch should error")
+	}
+	if _, err := EvaluateDim(db, queries[:3], nil, 0, gt, []int{1}); err == nil {
+		t.Error("gt/queries mismatch should error")
+	}
+}
+
+func TestOptimumForPicksCheapestDim(t *testing.T) {
+	m := &Method{
+		Name:   "synthetic",
+		Ks:     []int{1},
+		DBSize: 1000,
+		Entries: []DimEval{
+			{Dims: 1, EmbedCost: 1, PNeeded: [][]int{{500, 500}}},
+			{Dims: 4, EmbedCost: 4, PNeeded: [][]int{{40, 60}}},
+			{Dims: 16, EmbedCost: 160, PNeeded: [][]int{{5, 7}}},
+		},
+	}
+	opt, err := m.OptimumFor(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d=4: 4+60 = 64; d=16: 160+7 = 167; d=1: 501. Best is 64.
+	if opt.Cost != 64 || opt.Dims != 4 || opt.P != 60 {
+		t.Errorf("Optimum = %+v", opt)
+	}
+	// At 50% accuracy d=4 needs only 40: cost 44.
+	opt, err = m.OptimumFor(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cost != 44 {
+		t.Errorf("50%% Optimum = %+v", opt)
+	}
+}
+
+func TestOptimumNeverWorseThanBruteForce(t *testing.T) {
+	m := &Method{
+		Name:   "bad",
+		Ks:     []int{1},
+		DBSize: 100,
+		Entries: []DimEval{
+			{Dims: 2, EmbedCost: 90, PNeeded: [][]int{{100}}},
+		},
+	}
+	opt, err := m.OptimumFor(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cost > 100 {
+		t.Errorf("cost %d exceeds brute force", opt.Cost)
+	}
+}
+
+func TestOptimumForUnknownK(t *testing.T) {
+	m := &Method{Name: "x", Ks: []int{1}, DBSize: 10,
+		Entries: []DimEval{{Dims: 1, EmbedCost: 0, PNeeded: [][]int{{1}}}}}
+	if _, err := m.OptimumFor(7, 90); err == nil {
+		t.Error("unknown k should error")
+	}
+	empty := &Method{Name: "y", Ks: []int{1}, DBSize: 10}
+	if _, err := empty.OptimumFor(1, 90); err == nil {
+		t.Error("no entries should error")
+	}
+}
+
+func TestCoreAndFastMapMethodsEndToEnd(t *testing.T) {
+	db := clustered(7, 250, 8)
+	queries := clustered(8, 25, 8)
+	gt := space.NewGroundTruth(l2, queries, db)
+	ks := []int{1, 5, 10}
+
+	opts := core.DefaultOptions()
+	opts.Rounds = 20
+	opts.NumCandidates = 30
+	opts.NumTraining = 60
+	opts.NumTriples = 1200
+	opts.EmbeddingsPerRound = 25
+	opts.IntervalsPerEmbedding = 5
+	opts.Seed = 3
+	model, _, err := core.Train(db, l2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := DefaultDimsGrid(model.Dims())
+	mCore, err := CoreMethod("Se-QS", model, db, queries, gt, ks, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fm, err := fastmap.Build(db, l2, fastmap.Options{Dims: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFM, err := FastMapMethod("FastMap", fm, db, queries, gt, ks, DefaultDimsGrid(fm.Dims()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range []*Method{mCore, mFM} {
+		for _, k := range ks {
+			for _, pct := range []float64{90, 100} {
+				opt, err := m.OptimumFor(k, pct)
+				if err != nil {
+					t.Fatalf("%s k=%d: %v", m.Name, k, err)
+				}
+				if opt.Cost <= 0 || opt.Cost > len(db) {
+					t.Errorf("%s k=%d pct=%v: cost %d out of range", m.Name, k, pct, opt.Cost)
+				}
+				if opt.P < k {
+					t.Errorf("%s k=%d: optimal p=%d < k", m.Name, k, opt.P)
+				}
+			}
+		}
+	}
+
+	// Both learned methods must beat brute force by a wide margin at 90%.
+	opt, _ := mCore.OptimumFor(1, 90)
+	if opt.Cost > len(db)/2 {
+		t.Errorf("Se-QS 90%% cost %d is not a speedup over %d", opt.Cost, len(db))
+	}
+}
+
+func TestFigureAndTableRendering(t *testing.T) {
+	m := &Method{
+		Name:   "M1",
+		Ks:     []int{1, 2},
+		DBSize: 50,
+		Entries: []DimEval{
+			{Dims: 2, EmbedCost: 2, PNeeded: [][]int{{3, 4}, {5, 6}}},
+		},
+	}
+	series, err := FigureData([]*Method{m}, []int{1, 2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Costs) != 2 {
+		t.Fatalf("series shape: %+v", series)
+	}
+	var buf bytes.Buffer
+	RenderFigure(&buf, "test figure", series)
+	out := buf.String()
+	if !strings.Contains(out, "test figure") || !strings.Contains(out, "M1") {
+		t.Errorf("figure output missing parts:\n%s", out)
+	}
+
+	rows, err := TableData([]*Method{m}, []int{1}, []float64{90, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	buf.Reset()
+	RenderTable(&buf, "test table", rows, []string{"M1", "missing"})
+	out = buf.String()
+	if !strings.Contains(out, "test table") || !strings.Contains(out, "-") {
+		t.Errorf("table output missing parts:\n%s", out)
+	}
+
+	buf.Reset()
+	RenderFigure(&buf, "empty", nil)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty figure should say so")
+	}
+}
+
+func TestSpeedupRow(t *testing.T) {
+	r := SpeedupRow{Method: "Se-QS", DistancesPerQ: 100, DBSize: 5000}
+	if r.Speedup() != 50 {
+		t.Errorf("Speedup = %v", r.Speedup())
+	}
+	zero := SpeedupRow{DistancesPerQ: 0, DBSize: 10}
+	if zero.Speedup() != 0 {
+		t.Error("zero distances should not divide by zero")
+	}
+	var buf bytes.Buffer
+	RenderSpeedups(&buf, "speedups", []SpeedupRow{r})
+	if !strings.Contains(buf.String(), "50.0x") {
+		t.Errorf("render: %s", buf.String())
+	}
+}
+
+func TestDefaultDimsGrid(t *testing.T) {
+	got := DefaultDimsGrid(20)
+	want := []int{1, 2, 4, 8, 16, 20}
+	if len(got) != len(want) {
+		t.Fatalf("grid = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grid = %v, want %v", got, want)
+		}
+	}
+	if g := DefaultDimsGrid(1); len(g) != 1 || g[0] != 1 {
+		t.Errorf("grid(1) = %v", g)
+	}
+}
+
+func TestCleanGrid(t *testing.T) {
+	got := cleanGrid([]int{8, 2, 2, 0, -1, 100}, 10)
+	want := []int{2, 8}
+	if len(got) != len(want) || got[0] != 2 || got[1] != 8 {
+		t.Errorf("cleanGrid = %v, want %v", got, want)
+	}
+}
+
+func TestFig1Toy(t *testing.T) {
+	res := Fig1Toy(42)
+	if res.Triples != 10*20*19 {
+		t.Fatalf("triples = %d, want %d", res.Triples, 10*20*19)
+	}
+	// The paper's qualitative claims:
+	// (1) the 3D embedding beats every single coordinate globally;
+	for r := 0; r < 3; r++ {
+		if res.GlobalF >= res.GlobalRef[r] {
+			t.Errorf("global F (%.3f) should beat F^r%d (%.3f)", res.GlobalF, r+1, res.GlobalRef[r])
+		}
+	}
+	// (2) near reference r_i, the single coordinate F^{r_i} beats F for at
+	// least 2 of the 3 planted queries (the paper's draw shows all 3; tiny
+	// samples make one exception acceptable for arbitrary seeds).
+	wins := 0
+	for r := 0; r < 3; r++ {
+		if res.NearRef[r] < res.NearF[r] {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Errorf("query-adjacent 1D embeddings won only %d/3 times: %+v", wins, res)
+	}
+	// Failure rates are rates.
+	for _, v := range []float64{res.GlobalF, res.GlobalRef[0], res.NearF[0], res.NearRef[0]} {
+		if v < 0 || v > 1 {
+			t.Errorf("failure rate %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestLipschitzMethod(t *testing.T) {
+	db := clustered(11, 200, 8)
+	queries := clustered(12, 20, 8)
+	gt := space.NewGroundTruth(l2, queries, db)
+	lm, err := lipschitz.Build(db, l2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LipschitzMethod("Lipschitz", lm, db, queries, gt, []int{1, 5}, DefaultDimsGrid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := m.OptimumFor(1, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cost <= 0 || opt.Cost > len(db) {
+		t.Errorf("cost %d out of range", opt.Cost)
+	}
+	// Embedding cost at dimension d must be d (one distance per reference).
+	for _, e := range m.Entries {
+		if e.EmbedCost != e.Dims {
+			t.Errorf("dim %d has embed cost %d", e.Dims, e.EmbedCost)
+		}
+	}
+}

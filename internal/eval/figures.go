@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one curve of a Fig. 4/5/6-style plot: exact distance counts as
+// a function of k, for one method at one accuracy percentage.
+type Series struct {
+	Method string
+	Ks     []int
+	Costs  []int
+}
+
+// FigureData computes the paper's "# distances for B% accuracy" curves for
+// every method over the given ks.
+func FigureData(methods []*Method, ks []int, pct float64) ([]Series, error) {
+	out := make([]Series, 0, len(methods))
+	for _, m := range methods {
+		s := Series{Method: m.Name, Ks: append([]int(nil), ks...)}
+		for _, k := range ks {
+			opt, err := m.OptimumFor(k, pct)
+			if err != nil {
+				return nil, err
+			}
+			s.Costs = append(s.Costs, opt.Cost)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RenderFigure prints a figure as an aligned text table: one row per k,
+// one column per method — the same information as the paper's log-scale
+// plots.
+func RenderFigure(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "%s\n", title)
+	if len(series) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	fmt.Fprintf(w, "%6s", "k")
+	for _, s := range series {
+		fmt.Fprintf(w, "  %12s", s.Method)
+	}
+	fmt.Fprintln(w)
+	for i, k := range series[0].Ks {
+		fmt.Fprintf(w, "%6d", k)
+		for _, s := range series {
+			fmt.Fprintf(w, "  %12d", s.Costs[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// TableRow is one row of Table 1: a (k, pct) setting with the exact
+// distance count of every method.
+type TableRow struct {
+	K     int
+	Pct   float64
+	Costs map[string]int
+}
+
+// TableData computes Table 1 rows for all (k, pct) combinations.
+func TableData(methods []*Method, ks []int, pcts []float64) ([]TableRow, error) {
+	var rows []TableRow
+	for _, k := range ks {
+		for _, pct := range pcts {
+			row := TableRow{K: k, Pct: pct, Costs: make(map[string]int, len(methods))}
+			for _, m := range methods {
+				opt, err := m.OptimumFor(k, pct)
+				if err != nil {
+					return nil, err
+				}
+				row.Costs[m.Name] = opt.Cost
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable prints Table 1 in the paper's layout: columns k, pct, then
+// one column per method in the given order.
+func RenderTable(w io.Writer, title string, rows []TableRow, methodOrder []string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%4s %5s", "k", "pct")
+	for _, name := range methodOrder {
+		fmt.Fprintf(w, "  %10s", name)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 10+12*len(methodOrder)))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %5.0f", r.K, r.Pct)
+		for _, name := range methodOrder {
+			if c, ok := r.Costs[name]; ok {
+				fmt.Fprintf(w, "  %10d", c)
+			} else {
+				fmt.Fprintf(w, "  %10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// SpeedupRow summarizes a speed-up comparison (the Sec. 9 headline
+// numbers): exact distances per query vs brute force.
+type SpeedupRow struct {
+	Method        string
+	DistancesPerQ float64
+	DBSize        int
+}
+
+// Speedup returns DBSize / DistancesPerQ.
+func (r SpeedupRow) Speedup() float64 {
+	if r.DistancesPerQ == 0 {
+		return 0
+	}
+	return float64(r.DBSize) / r.DistancesPerQ
+}
+
+// RenderSpeedups prints speed-up rows sorted by descending speed-up.
+func RenderSpeedups(w io.Writer, title string, rows []SpeedupRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	sorted := append([]SpeedupRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Speedup() > sorted[j].Speedup() })
+	fmt.Fprintf(w, "%14s  %14s  %10s\n", "method", "distances/query", "speed-up")
+	for _, r := range sorted {
+		fmt.Fprintf(w, "%14s  %14.1f  %9.1fx\n", r.Method, r.DistancesPerQ, r.Speedup())
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qse/internal/core"
+	"qse/internal/eval"
+	"qse/internal/space"
+)
+
+// RunAblations isolates the effect of each design choice DESIGN.md calls
+// out, on the time-series dataset (chosen because cDTW is cheap enough to
+// retrain many variants). Every row trains a fresh model differing from the
+// Se-QS reference in exactly one knob and reports the optimal exact
+// distance cost at k = 1 and k = 10 for 95% accuracy.
+func RunAblations(w io.Writer, sc Scale) error {
+	db, queries, dist, err := SeriesSpace(sc)
+	if err != nil {
+		return err
+	}
+	gt := space.NewGroundTruth(dist, queries, db)
+	ks := []int{1, 10}
+
+	type row struct {
+		name   string
+		mutate func(*core.Options)
+	}
+	rows := []row{
+		{"Se-QS (reference)", func(o *core.Options) {}},
+		{"query-insensitive (QI)", func(o *core.Options) { o.Mode = core.QueryInsensitive }},
+		{"random triples (Ra)", func(o *core.Options) { o.Sampling = core.RandomTriples }},
+		{"reference embeddings only", func(o *core.Options) { o.PivotFraction = 0 }},
+		{"pivot embeddings only", func(o *core.Options) { o.PivotFraction = 1 }},
+		{"no scale normalization", func(o *core.Options) { o.DisableScaleNorm = true }},
+		{"K1 halved", func(o *core.Options) { o.K1 = max(1, o.K1/2) }},
+		{"K1 doubled", func(o *core.Options) { o.K1 = 2 * o.K1 }},
+	}
+
+	fmt.Fprintf(w, "Ablations — time series, %d db / %d queries, k=1 and k=10 at 95%% accuracy\n", sc.DBSize, sc.NumQueries)
+	fmt.Fprintf(w, "%-28s  %10s  %10s  %8s\n", "variant", "cost(k=1)", "cost(k=10)", "dims")
+	for _, r := range rows {
+		opts := sc.trainOptions(core.QuerySensitive, core.SelectiveTriples)
+		r.mutate(&opts)
+		if opts.K1+2 > opts.NumTraining {
+			opts.K1 = opts.NumTraining - 2
+		}
+		model, _, err := core.Train(db, dist, opts)
+		if err != nil {
+			return fmt.Errorf("experiments: ablation %q: %w", r.name, err)
+		}
+		m, err := eval.CoreMethod(r.name, model, db, queries, gt, ks, eval.DefaultDimsGrid(model.Dims()))
+		if err != nil {
+			return err
+		}
+		o1, err := m.OptimumFor(1, 95)
+		if err != nil {
+			return err
+		}
+		o10, err := m.OptimumFor(10, 95)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-28s  %10d  %10d  %8d\n", r.name, o1.Cost, o10.Cost, model.Dims())
+	}
+	return nil
+}

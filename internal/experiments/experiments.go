@@ -1,0 +1,244 @@
+// Package experiments assembles the datasets and runs the paper's
+// experiments (Figs. 1, 4, 5, 6; Table 1; the Sec. 9 speed-up comparison)
+// at configurable scale. It is shared by cmd/qse-bench and the repository's
+// top-level benchmarks, so the same code regenerates every figure whether
+// invoked as a binary or as a testing.B benchmark.
+//
+// Scaling: the paper's datasets (60,000 MNIST images / 31,818 time series,
+// |C| = |X_tr| = 5,000, 300,000 triples) are far beyond what a pure-Go
+// laptop run can precompute, so the default scales here are reduced while
+// preserving every structural property the method depends on; see
+// DESIGN.md ("Substitutions"). The paper's own Fig. 6 shows the method's
+// ordering survives this kind of down-scaling.
+package experiments
+
+import (
+	"fmt"
+
+	"qse/internal/core"
+	"qse/internal/digits"
+	"qse/internal/dtw"
+	"qse/internal/eval"
+	"qse/internal/fastmap"
+	"qse/internal/shapecontext"
+	"qse/internal/space"
+	"qse/internal/stats"
+	"qse/internal/timeseries"
+)
+
+// Scale sizes one experiment run.
+type Scale struct {
+	// DBSize and NumQueries size the dataset; queries are disjoint from
+	// the database, as in the paper.
+	DBSize, NumQueries int
+
+	// Training budget (per variant).
+	Rounds, Candidates, TrainingPool, Triples int
+	EmbeddingsPerRound, Intervals, K1         int
+
+	// FastMapDims is the baseline's dimensionality budget.
+	FastMapDims int
+
+	// Ks are the k values evaluated; Pcts the accuracy percentages.
+	Ks   []int
+	Pcts []float64
+
+	// SCSamplePoints is the Shape Context sample-point count (digits only).
+	SCSamplePoints int
+	// SeriesLength, SeriesDims, SeriesSeeds size the time-series dataset.
+	SeriesLength, SeriesDims, SeriesSeeds int
+	// Delta is the cDTW warping fraction (paper: 0.10).
+	Delta float64
+
+	// CSVDir, when non-empty, makes the figure/table runners also write
+	// their data as CSV files into this directory (one file per panel),
+	// for external plotting.
+	CSVDir string
+
+	Seed int64
+}
+
+// SmallScale is sized for unit tests and testing.B benchmarks: tens of
+// seconds end to end.
+func SmallScale() Scale {
+	return Scale{
+		DBSize: 220, NumQueries: 40,
+		// K1 follows the Sec. 6 guideline kmax * |Xtr| / |DB|.
+		Rounds: 24, Candidates: 40, TrainingPool: 80, Triples: 2500,
+		EmbeddingsPerRound: 30, Intervals: 5, K1: core.SuggestK1(50, 80, 220),
+		FastMapDims:    12,
+		Ks:             []int{1, 5, 10, 25, 50},
+		Pcts:           []float64{90, 95, 99},
+		SCSamplePoints: 24,
+		SeriesLength:   64, SeriesDims: 2, SeriesSeeds: 12,
+		Delta: 0.10,
+		Seed:  1,
+	}
+}
+
+// MediumScale is the cmd/qse-bench default: minutes per experiment,
+// faithful curve shapes.
+func MediumScale() Scale {
+	return Scale{
+		DBSize: 1200, NumQueries: 200,
+		// K1 follows the Sec. 6 guideline kmax * |Xtr| / |DB|.
+		Rounds: 96, Candidates: 150, TrainingPool: 250, Triples: 20000,
+		EmbeddingsPerRound: 100, Intervals: 8, K1: core.SuggestK1(50, 250, 1200),
+		FastMapDims:    32,
+		Ks:             []int{1, 2, 5, 10, 20, 30, 40, 50},
+		Pcts:           []float64{90, 95, 99},
+		SCSamplePoints: 32,
+		SeriesLength:   128, SeriesDims: 2, SeriesSeeds: 16,
+		Delta: 0.10,
+		Seed:  1,
+	}
+}
+
+// Validate sanity-checks a scale.
+func (sc Scale) Validate() error {
+	if sc.DBSize < 20 || sc.NumQueries < 5 {
+		return fmt.Errorf("experiments: dataset too small (%d db, %d queries)", sc.DBSize, sc.NumQueries)
+	}
+	if len(sc.Ks) == 0 || len(sc.Pcts) == 0 {
+		return fmt.Errorf("experiments: no ks or pcts")
+	}
+	kmax := sc.Ks[len(sc.Ks)-1]
+	if kmax >= sc.DBSize {
+		return fmt.Errorf("experiments: kmax %d >= database %d", kmax, sc.DBSize)
+	}
+	return nil
+}
+
+func (sc Scale) trainOptions(mode core.Mode, sampling core.Sampling) core.Options {
+	return core.Options{
+		Mode:                  mode,
+		Sampling:              sampling,
+		Rounds:                sc.Rounds,
+		NumCandidates:         sc.Candidates,
+		NumTraining:           sc.TrainingPool,
+		NumTriples:            sc.Triples,
+		K1:                    sc.K1,
+		EmbeddingsPerRound:    sc.EmbeddingsPerRound,
+		IntervalsPerEmbedding: sc.Intervals,
+		PivotFraction:         0.5,
+		Seed:                  sc.Seed,
+	}
+}
+
+// DigitsSpace builds the MNIST-substitute object space: a database and a
+// disjoint query set of synthetic digit images under the Shape Context
+// distance over precomputed shape features.
+func DigitsSpace(sc Scale) (db, queries []*shapecontext.Shape, dist space.Distance[*shapecontext.Shape], err error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	gen := digits.NewGenerator(digits.Config{}, stats.NewRand(sc.Seed))
+	ex := shapecontext.NewExtractor(shapecontext.Config{SamplePoints: sc.SCSamplePoints})
+
+	ds, err := gen.GenerateBalancedDataset(sc.DBSize)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	qs, err := gen.GenerateBalancedDataset(sc.NumQueries)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	db, err = ex.ExtractAll(ds.Images)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	queries, err = ex.ExtractAll(qs.Images)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return db, queries, ex.Distance, nil
+}
+
+// SeriesSpace builds the time-series object space of [32]: a database and a
+// disjoint query set of warped seed variants under constrained DTW.
+func SeriesSpace(sc Scale) (db, queries []dtw.Series, dist space.Distance[dtw.Series], err error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	gen := timeseries.NewGenerator(timeseries.Config{
+		Length: sc.SeriesLength,
+		Dims:   sc.SeriesDims,
+		Seeds:  sc.SeriesSeeds,
+	}, stats.NewRand(sc.Seed))
+	ds, err := gen.GenerateDataset(sc.DBSize)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	qs, err := gen.GenerateDataset(sc.NumQueries)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	delta := sc.Delta
+	dist = func(a, b dtw.Series) float64 { return dtw.Constrained(a, b, delta) }
+	return ds.Series, qs.Series, dist, nil
+}
+
+// variantSpec names a trainable method variant.
+type variantSpec struct {
+	name     string
+	mode     core.Mode
+	sampling core.Sampling
+}
+
+var allVariants = []variantSpec{
+	{"Ra-QI", core.QueryInsensitive, core.RandomTriples},
+	{"Ra-QS", core.QuerySensitive, core.RandomTriples},
+	{"Se-QI", core.QueryInsensitive, core.SelectiveTriples},
+	{"Se-QS", core.QuerySensitive, core.SelectiveTriples},
+}
+
+// figureVariants omits Ra-QS, as the paper's figures do ("to avoid
+// cluttering the figures, we omit the Ra-QS method").
+var figureVariants = []variantSpec{
+	{"Ra-QI", core.QueryInsensitive, core.RandomTriples},
+	{"Se-QI", core.QueryInsensitive, core.SelectiveTriples},
+	{"Se-QS", core.QuerySensitive, core.SelectiveTriples},
+}
+
+// Comparison holds evaluated methods over one dataset.
+type Comparison struct {
+	Methods []*eval.Method
+	// Order lists method names in the paper's column order.
+	Order []string
+	// GroundTruthDistances is the exact-distance cost of building the
+	// oracle (not charged to any method).
+	GroundTruthDistances int64
+}
+
+// Compare trains the requested variants plus FastMap on (db, queries) and
+// evaluates each across its dimensionality grid.
+func Compare[T any](db, queries []T, dist space.Distance[T], sc Scale, variants []variantSpec) (*Comparison, error) {
+	counter := space.NewCounter(dist)
+	gt := space.NewGroundTruth(counter.Distance, queries, db)
+	cmp := &Comparison{GroundTruthDistances: counter.Count()}
+
+	fm, err := fastmap.Build(db, dist, fastmap.Options{Dims: sc.FastMapDims, Seed: sc.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: FastMap: %w", err)
+	}
+	mFM, err := eval.FastMapMethod("FastMap", fm, db, queries, gt, sc.Ks, eval.DefaultDimsGrid(fm.Dims()))
+	if err != nil {
+		return nil, err
+	}
+	cmp.Methods = append(cmp.Methods, mFM)
+	cmp.Order = append(cmp.Order, "FastMap")
+
+	for _, v := range variants {
+		model, _, err := core.Train(db, dist, sc.trainOptions(v.mode, v.sampling))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: training %s: %w", v.name, err)
+		}
+		m, err := eval.CoreMethod(v.name, model, db, queries, gt, sc.Ks, eval.DefaultDimsGrid(model.Dims()))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: evaluating %s: %w", v.name, err)
+		}
+		cmp.Methods = append(cmp.Methods, m)
+		cmp.Order = append(cmp.Order, v.name)
+	}
+	return cmp, nil
+}

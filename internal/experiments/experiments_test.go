@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qse/internal/eval"
+)
+
+func tinyScale() Scale {
+	sc := SmallScale()
+	sc.DBSize = 150
+	sc.NumQueries = 25
+	sc.Rounds = 16
+	sc.Candidates = 30
+	sc.TrainingPool = 60
+	sc.Triples = 1500
+	sc.EmbeddingsPerRound = 25
+	sc.Ks = []int{1, 5, 10}
+	return sc
+}
+
+func TestScaleValidate(t *testing.T) {
+	if err := SmallScale().Validate(); err != nil {
+		t.Errorf("SmallScale invalid: %v", err)
+	}
+	if err := MediumScale().Validate(); err != nil {
+		t.Errorf("MediumScale invalid: %v", err)
+	}
+	bad := SmallScale()
+	bad.DBSize = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny db should fail")
+	}
+	bad = SmallScale()
+	bad.Ks = []int{1000}
+	if err := bad.Validate(); err == nil {
+		t.Error("kmax >= db should fail")
+	}
+	bad = SmallScale()
+	bad.Ks = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty ks should fail")
+	}
+}
+
+func TestDigitsSpace(t *testing.T) {
+	sc := tinyScale()
+	db, queries, dist, err := DigitsSpace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != sc.DBSize || len(queries) != sc.NumQueries {
+		t.Fatalf("sizes %d/%d", len(db), len(queries))
+	}
+	if d := dist(db[0], db[1]); d < 0 {
+		t.Errorf("negative distance %v", d)
+	}
+	if d := dist(db[0], db[0]); d != 0 {
+		t.Errorf("self distance %v", d)
+	}
+}
+
+func TestSeriesSpace(t *testing.T) {
+	sc := tinyScale()
+	db, queries, dist, err := SeriesSpace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != sc.DBSize || len(queries) != sc.NumQueries {
+		t.Fatalf("sizes %d/%d", len(db), len(queries))
+	}
+	if d := dist(db[0], db[0]); d != 0 {
+		t.Errorf("self distance %v", d)
+	}
+	if d := dist(db[0], db[1]); d <= 0 {
+		t.Errorf("distinct series distance %v", d)
+	}
+}
+
+// The central reproduction assertion, on the cheap synthetic space: the
+// learned methods must beat FastMap, and Se-QS must be at least as good as
+// the original BoostMap (Ra-QI) for most (k, pct) settings — the paper's
+// Figs. 4–5 ordering.
+func TestCompareOrdering(t *testing.T) {
+	sc := tinyScale()
+	db, queries, dist, err := SeriesSpace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(db, queries, dist, sc, allVariants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Methods) != 5 {
+		t.Fatalf("expected 5 methods, got %d", len(cmp.Methods))
+	}
+	byName := map[string]*eval.Method{}
+	for _, m := range cmp.Methods {
+		byName[m.Name] = m
+	}
+
+	var seqsWins, comparisons int
+	for _, k := range sc.Ks {
+		for _, pct := range sc.Pcts {
+			fm, err := byName["FastMap"].OptimumFor(k, pct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raqi, err := byName["Ra-QI"].OptimumFor(k, pct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqs, err := byName["Se-QS"].OptimumFor(k, pct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comparisons++
+			if seqs.Cost <= raqi.Cost {
+				seqsWins++
+			}
+			// The boosted methods must never lose to FastMap badly.
+			if seqs.Cost > 2*fm.Cost {
+				t.Errorf("k=%d pct=%v: Se-QS (%d) much worse than FastMap (%d)", k, pct, seqs.Cost, fm.Cost)
+			}
+		}
+	}
+	if seqsWins*2 < comparisons {
+		t.Errorf("Se-QS beat Ra-QI on only %d/%d settings", seqsWins, comparisons)
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig1(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 1", "global failure rates", "q1", "paper's draw"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig5Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	var buf bytes.Buffer
+	if err := RunFig5(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 5", "FastMap", "Se-QS", "90% accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSpeedupTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	var buf bytes.Buffer
+	if err := RunSpeedup(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Speed-up comparison", "LB_Keogh", "Se-QS", "brute force"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig6Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	var buf bytes.Buffer
+	if err := RunFig6(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "Quick Se-QS", "Regular Se-QS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAblationsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	sc.Rounds = 8
+	var buf bytes.Buffer
+	if err := RunAblations(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Ablations", "Se-QS (reference)", "query-insensitive", "pivot embeddings only", "K1 doubled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig4Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	sc.DBSize = 100
+	sc.NumQueries = 15
+	sc.Rounds = 8
+	sc.Ks = []int{1, 5}
+	var buf bytes.Buffer
+	if err := RunFig4(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "Shape Context", "Se-QS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable1Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	sc.DBSize = 100
+	sc.NumQueries = 15
+	sc.Rounds = 8
+	sc.Ks = []int{1, 10}
+	var buf bytes.Buffer
+	if err := RunTable1(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1a", "Table 1b", "Ra-QS", "Se-QS", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		// Slugs are capped at 40 runes.
+		"Figure 5 — time series with constrained DTW": "figure-5-time-series-with-constrained-dt",
+		"ABC def": "abc-def",
+		"--x--":   "x",
+		"":        "",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	sc := tinyScale()
+	sc.CSVDir = dir
+	sc.Pcts = []float64{90}
+	var buf bytes.Buffer
+	if err := RunFig5(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected 1 CSV file, got %d", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "k,FastMap") {
+		t.Errorf("CSV content unexpected:\n%s", data)
+	}
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"qse/internal/core"
+	"qse/internal/eval"
+	"qse/internal/fastmap"
+	"qse/internal/vlachos"
+)
+
+// RunFig1 reproduces the Figure 1 toy experiment: failure rates of the 3D
+// reference embedding vs its single coordinates on the unit square.
+func RunFig1(w io.Writer, seed int64) error {
+	res := eval.Fig1Toy(seed)
+	fmt.Fprintf(w, "Figure 1 toy experiment (unit square, 20 db points, 3 references, 10 queries; %d triples)\n", res.Triples)
+	fmt.Fprintf(w, "  global failure rates:  F (3D, L1) = %.1f%%", 100*res.GlobalF)
+	for r := 0; r < 3; r++ {
+		fmt.Fprintf(w, "   F^r%d = %.1f%%", r+1, 100*res.GlobalRef[r])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "  restricted to the query planted next to each reference:")
+	for r := 0; r < 3; r++ {
+		fmt.Fprintf(w, "    q%d:  F = %.1f%%   F^r%d = %.1f%%\n",
+			r+1, 100*res.NearF[r], r+1, 100*res.NearRef[r])
+	}
+	fmt.Fprintln(w, "  paper's draw: F = 23.5%; F^r = 39.2/36.4/26.6%; near q1: F = 11.6%, F^r1 = 5.8%")
+	return nil
+}
+
+// RunFig4 reproduces Figure 4: digits + Shape Context, exact distance
+// counts vs k at each accuracy percentage, for FastMap / Ra-QI / Se-QI /
+// Se-QS.
+func RunFig4(w io.Writer, sc Scale) error {
+	db, queries, dist, err := DigitsSpace(sc)
+	if err != nil {
+		return err
+	}
+	cmp, err := Compare(db, queries, dist, sc, figureVariants)
+	if err != nil {
+		return err
+	}
+	return renderFigure(w, "Figure 4 — digits with Shape Context", cmp, sc)
+}
+
+// RunFig5 reproduces Figure 5: time series + constrained DTW.
+func RunFig5(w io.Writer, sc Scale) error {
+	db, queries, dist, err := SeriesSpace(sc)
+	if err != nil {
+		return err
+	}
+	cmp, err := Compare(db, queries, dist, sc, figureVariants)
+	if err != nil {
+		return err
+	}
+	return renderFigure(w, "Figure 5 — time series with constrained DTW", cmp, sc)
+}
+
+func renderFigure(w io.Writer, title string, cmp *Comparison, sc Scale) error {
+	fmt.Fprintf(w, "%s\n(database %d, queries %d; entries are exact distance computations per query; brute force = %d)\n",
+		title, sc.DBSize, sc.NumQueries, sc.DBSize)
+	for _, pct := range sc.Pcts {
+		series, err := eval.FigureData(cmp.Methods, sc.Ks, pct)
+		if err != nil {
+			return err
+		}
+		eval.RenderFigure(w, fmt.Sprintf("-- %.0f%% accuracy --", pct), series)
+		eval.RenderChart(w, fmt.Sprintf("(log-scale chart, %.0f%% accuracy)", pct), series, 12)
+		if sc.CSVDir != "" {
+			name := fmt.Sprintf("%s-%.0fpct.csv", slugify(title), pct)
+			if err := writeCSVFile(sc.CSVDir, name, func(f io.Writer) error {
+				return eval.WriteSeriesCSV(f, series)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// slugify reduces a title to a filesystem-friendly token.
+func slugify(title string) string {
+	out := make([]rune, 0, len(title))
+	for _, r := range title {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r == ' ' || r == '-' || r == '_':
+			if len(out) > 0 && out[len(out)-1] != '-' {
+				out = append(out, '-')
+			}
+		}
+		if len(out) >= 40 {
+			break
+		}
+	}
+	for len(out) > 0 && out[len(out)-1] == '-' {
+		out = out[:len(out)-1]
+	}
+	return string(out)
+}
+
+func writeCSVFile(dir, name string, write func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating CSV dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("experiments: creating CSV file: %w", err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// RunTable1 reproduces Table 1 on both datasets: k × pct × all five
+// methods (FastMap, Ra-QI, Ra-QS, Se-QI, Se-QS).
+func RunTable1(w io.Writer, sc Scale) error {
+	tableKs := []int{1, 10, 50}
+	tablePcts := []float64{90, 95, 99, 100}
+	scT := sc
+	scT.Ks = intersect(tableKs, sc.DBSize)
+	scT.Pcts = tablePcts
+
+	dbD, qD, distD, err := DigitsSpace(scT)
+	if err != nil {
+		return err
+	}
+	cmpD, err := Compare(dbD, qD, distD, scT, allVariants)
+	if err != nil {
+		return err
+	}
+	rowsD, err := eval.TableData(cmpD.Methods, scT.Ks, scT.Pcts)
+	if err != nil {
+		return err
+	}
+	eval.RenderTable(w, fmt.Sprintf("Table 1a — digits with Shape Context (brute force = %d)", scT.DBSize), rowsD, cmpD.Order)
+	if sc.CSVDir != "" {
+		if err := writeCSVFile(sc.CSVDir, "table1a-digits.csv", func(f io.Writer) error {
+			return eval.WriteTableCSV(f, rowsD, cmpD.Order)
+		}); err != nil {
+			return err
+		}
+	}
+
+	dbS, qS, distS, err := SeriesSpace(scT)
+	if err != nil {
+		return err
+	}
+	cmpS, err := Compare(dbS, qS, distS, scT, allVariants)
+	if err != nil {
+		return err
+	}
+	rowsS, err := eval.TableData(cmpS.Methods, scT.Ks, scT.Pcts)
+	if err != nil {
+		return err
+	}
+	eval.RenderTable(w, fmt.Sprintf("Table 1b — time series with constrained DTW (brute force = %d)", scT.DBSize), rowsS, cmpS.Order)
+	if sc.CSVDir != "" {
+		if err := writeCSVFile(sc.CSVDir, "table1b-timeseries.csv", func(f io.Writer) error {
+			return eval.WriteTableCSV(f, rowsS, cmpS.Order)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func intersect(ks []int, dbSize int) []int {
+	out := make([]int, 0, len(ks))
+	for _, k := range ks {
+		if k < dbSize {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// RunFig6 reproduces Figure 6: "Quick Se-QS" (candidate/training pools and
+// triple budget cut to a fraction of the regular run) vs regular Se-QS vs
+// FastMap on the digits dataset at 95% accuracy.
+func RunFig6(w io.Writer, sc Scale) error {
+	db, queries, dist, err := DigitsSpace(sc)
+	if err != nil {
+		return err
+	}
+
+	quick := sc
+	quick.Candidates = max(10, sc.Candidates/4)
+	quick.TrainingPool = max(20, sc.TrainingPool/4)
+	quick.Triples = max(500, sc.Triples/8)
+
+	gt := eval.GroundTruthFor(dist, queries, db)
+
+	var methods []*eval.Method
+
+	fmModel, err := fastmap.Build(db, dist, fastmap.Options{Dims: sc.FastMapDims, Seed: sc.Seed})
+	if err != nil {
+		return err
+	}
+	mFM, err := eval.FastMapMethod("FastMap", fmModel, db, queries, gt, sc.Ks, eval.DefaultDimsGrid(fmModel.Dims()))
+	if err != nil {
+		return err
+	}
+	methods = append(methods, mFM)
+
+	type cfgRow struct {
+		name string
+		s    Scale
+	}
+	for _, row := range []cfgRow{{"Quick Se-QS", quick}, {"Regular Se-QS", sc}} {
+		model, report, err := core.Train(db, dist, row.s.trainOptions(core.QuerySensitive, core.SelectiveTriples))
+		if err != nil {
+			return err
+		}
+		m, err := eval.CoreMethod(row.name, model, db, queries, gt, sc.Ks, eval.DefaultDimsGrid(model.Dims()))
+		if err != nil {
+			return err
+		}
+		methods = append(methods, m)
+		fmt.Fprintf(w, "%s: |C|=%d |Xtr|=%d triples=%d -> %d preprocessing distances\n",
+			row.name, row.s.Candidates, row.s.TrainingPool, row.s.Triples, report.PreprocessedDistances)
+	}
+
+	series, err := eval.FigureData(methods, sc.Ks, 95)
+	if err != nil {
+		return err
+	}
+	eval.RenderFigure(w, "Figure 6 — preprocessing budget vs retrieval cost (95% accuracy, digits)", series)
+	return nil
+}
+
+// RunSpeedup reproduces the Sec. 9 headline comparison on the time-series
+// dataset: the proposed embedding (allowed to be approximate, tuned for
+// 100% observed first-NN accuracy on the query set) vs the exact LB_Keogh
+// filter-and-refine comparator of [32], vs brute force.
+func RunSpeedup(w io.Writer, sc Scale) error {
+	db, queries, dist, err := SeriesSpace(sc)
+	if err != nil {
+		return err
+	}
+	gt := eval.GroundTruthFor(dist, queries, db)
+
+	model, _, err := core.Train(db, dist, sc.trainOptions(core.QuerySensitive, core.SelectiveTriples))
+	if err != nil {
+		return err
+	}
+	m, err := eval.CoreMethod("Se-QS", model, db, queries, gt, []int{1}, eval.DefaultDimsGrid(model.Dims()))
+	if err != nil {
+		return err
+	}
+	opt, err := m.OptimumFor(1, 100)
+	if err != nil {
+		return err
+	}
+
+	ix, err := vlachos.Build(db, sc.Delta)
+	if err != nil {
+		return err
+	}
+	var exactSum int
+	for _, q := range queries {
+		_, st, err := ix.Search(q, 1)
+		if err != nil {
+			return err
+		}
+		exactSum += st.ExactDTW
+	}
+
+	rows := []eval.SpeedupRow{
+		{Method: "brute force", DistancesPerQ: float64(sc.DBSize), DBSize: sc.DBSize},
+		{Method: "LB_Keogh [32]", DistancesPerQ: float64(exactSum) / float64(len(queries)), DBSize: sc.DBSize},
+		{Method: "Se-QS", DistancesPerQ: float64(opt.Cost), DBSize: sc.DBSize},
+	}
+	fmt.Fprintf(w, "Speed-up comparison, time series, first-NN retrieved for 100%% of %d queries\n", len(queries))
+	fmt.Fprintf(w, "Se-QS operating point: d = %d, p = %d\n", opt.Dims, opt.P)
+	eval.RenderSpeedups(w, "", rows)
+	fmt.Fprintln(w, "paper: Se-QS 51.2x (d=150, p=443) vs ~5x for [32] on 50 queries")
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

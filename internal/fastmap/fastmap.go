@@ -1,0 +1,196 @@
+// Package fastmap implements FastMap (Faloutsos & Lin, SIGMOD 1995 [12]),
+// the classic embedding baseline the paper compares against. FastMap picks
+// two distant "pivot" objects per dimension, projects every object onto the
+// pivot line via the cosine-law formula (Eq. 2 of the paper), and recurses
+// on the residual distance
+//
+//	D'^2(x, y) = D^2(x, y) − (F_l(x) − F_l(y))^2
+//
+// so later dimensions capture structure earlier ones missed. Embedding a
+// query costs two exact distance computations per dimension (the distances
+// to that dimension's pivots); everything else is arithmetic on stored
+// pivot coordinates.
+package fastmap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qse/internal/space"
+)
+
+// Options configures Build.
+type Options struct {
+	// Dims is the target dimensionality.
+	Dims int
+	// SampleSize bounds how many database objects participate in pivot
+	// selection (the paper builds FastMap "on a subset of the database,
+	// containing 5,000 objects"). 0 means use all of db.
+	SampleSize int
+	// PivotIterations is the number of farthest-point refinement steps of
+	// the "choose-distant-objects" heuristic (default 5, as in [12]).
+	PivotIterations int
+	// Seed drives pivot-selection randomness.
+	Seed int64
+}
+
+// DefaultOptions returns the configuration used by the experiments.
+func DefaultOptions(dims int) Options {
+	return Options{Dims: dims, PivotIterations: 5}
+}
+
+// Model is a trained FastMap embedding. For each dimension l it stores the
+// two pivot objects, their already-computed coordinates in dimensions
+// 0..l-1 (needed to evaluate residual distances for new objects), and the
+// residual pivot distance.
+type Model[T any] struct {
+	dist space.Distance[T]
+	// pivots[l] holds the two pivot objects of dimension l.
+	pivots [][2]T
+	// pivotCoords[l][s] is the coordinate vector (dimensions 0..l-1) of
+	// pivot s of dimension l.
+	pivotCoords [][2][]float64
+	// pivotDist[l] is the residual distance between the pivots of
+	// dimension l (positive).
+	pivotDist []float64
+}
+
+// Dims returns the embedding dimensionality actually achieved. It can be
+// lower than requested if the residual distances collapse to zero first.
+func (m *Model[T]) Dims() int { return len(m.pivots) }
+
+// EmbedCost returns the number of exact distance computations needed to
+// embed one object: two per dimension.
+func (m *Model[T]) EmbedCost() int { return 2 * len(m.pivots) }
+
+// Build trains a FastMap embedding on db.
+func Build[T any](db []T, dist space.Distance[T], opts Options) (*Model[T], error) {
+	if opts.Dims <= 0 {
+		return nil, fmt.Errorf("fastmap: Dims = %d, want > 0", opts.Dims)
+	}
+	if len(db) < 2 {
+		return nil, fmt.Errorf("fastmap: need at least 2 objects, have %d", len(db))
+	}
+	if opts.PivotIterations <= 0 {
+		opts.PivotIterations = 5
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	sample := db
+	if opts.SampleSize > 0 && opts.SampleSize < len(db) {
+		idx := rng.Perm(len(db))[:opts.SampleSize]
+		sample = make([]T, len(idx))
+		for i, j := range idx {
+			sample[i] = db[j]
+		}
+	}
+
+	m := &Model[T]{dist: dist}
+	// coords[i] accumulates the embedding of sample[i] as dimensions are
+	// added; resid evaluates the residual distance at the current level.
+	coords := make([][]float64, len(sample))
+	for i := range coords {
+		coords[i] = make([]float64, 0, opts.Dims)
+	}
+	resid2 := func(i, j int) float64 {
+		d := dist(sample[i], sample[j])
+		r := d * d
+		for l := range coords[i] {
+			diff := coords[i][l] - coords[j][l]
+			r -= diff * diff
+		}
+		return r
+	}
+
+	for l := 0; l < opts.Dims; l++ {
+		// Choose-distant-objects heuristic: start random, walk to the
+		// farthest object a few times.
+		p1 := rng.Intn(len(sample))
+		p2 := p1
+		for iter := 0; iter < opts.PivotIterations; iter++ {
+			p2 = farthest(resid2, len(sample), p1)
+			if next := farthest(resid2, len(sample), p2); next != p1 {
+				p1 = next
+			} else {
+				break
+			}
+		}
+		if p1 == p2 {
+			break
+		}
+		d2 := resid2(p1, p2)
+		if d2 <= 1e-12 {
+			break // residual structure exhausted
+		}
+		dp := math.Sqrt(d2)
+
+		m.pivots = append(m.pivots, [2]T{sample[p1], sample[p2]})
+		m.pivotCoords = append(m.pivotCoords, [2][]float64{
+			append([]float64(nil), coords[p1]...),
+			append([]float64(nil), coords[p2]...),
+		})
+		m.pivotDist = append(m.pivotDist, dp)
+
+		// Project every sample object onto the pivot line.
+		for i := range sample {
+			x1 := resid2(i, p1)
+			x2 := resid2(i, p2)
+			coords[i] = append(coords[i], (x1+d2-x2)/(2*dp))
+		}
+	}
+	if len(m.pivots) == 0 {
+		return nil, fmt.Errorf("fastmap: all pairwise distances are zero; cannot embed")
+	}
+	return m, nil
+}
+
+// Embed computes the FastMap coordinates of x, calling the exact distance
+// oracle exactly 2*Dims() times.
+func (m *Model[T]) Embed(x T) []float64 {
+	return m.embedUpTo(x, len(m.pivots))
+}
+
+// EmbedPrefix computes only the first d coordinates (2*d oracle calls),
+// supporting the dimensionality sweep of the evaluation harness.
+func (m *Model[T]) EmbedPrefix(x T, d int) []float64 {
+	if d < 0 || d > len(m.pivots) {
+		panic(fmt.Sprintf("fastmap: prefix %d out of range [0,%d]", d, len(m.pivots)))
+	}
+	return m.embedUpTo(x, d)
+}
+
+func (m *Model[T]) embedUpTo(x T, dims int) []float64 {
+	out := make([]float64, 0, dims)
+	for l := 0; l < dims; l++ {
+		d1 := m.dist(x, m.pivots[l][0])
+		d2 := m.dist(x, m.pivots[l][1])
+		// Residuals against both pivots using the coordinates computed in
+		// previous levels.
+		r1 := d1 * d1
+		r2 := d2 * d2
+		for k := 0; k < l; k++ {
+			dd1 := out[k] - m.pivotCoords[l][0][k]
+			dd2 := out[k] - m.pivotCoords[l][1][k]
+			r1 -= dd1 * dd1
+			r2 -= dd2 * dd2
+		}
+		dp := m.pivotDist[l]
+		out = append(out, (r1+dp*dp-r2)/(2*dp))
+	}
+	return out
+}
+
+func farthest(resid2 func(i, j int) float64, n, from int) int {
+	best, bestD := from, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if i == from {
+			continue
+		}
+		if d := resid2(from, i); d > bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,247 @@
+package fastmap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qse/internal/metrics"
+	"qse/internal/space"
+)
+
+func l2(a, b []float64) float64 { return metrics.L2(a, b) }
+
+func randPoints(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64()
+		}
+	}
+	return pts
+}
+
+func TestBuildValidation(t *testing.T) {
+	db := randPoints(rand.New(rand.NewSource(1)), 10, 2)
+	if _, err := Build(db, l2, Options{Dims: 0}); err == nil {
+		t.Error("Dims=0 should error")
+	}
+	if _, err := Build(db[:1], l2, Options{Dims: 2}); err == nil {
+		t.Error("tiny db should error")
+	}
+}
+
+func TestBuildDegenerateSpace(t *testing.T) {
+	pts := make([][]float64, 5)
+	for i := range pts {
+		pts[i] = []float64{3, 3}
+	}
+	if _, err := Build(pts, l2, Options{Dims: 2}); err == nil {
+		t.Error("all-identical db should error")
+	}
+}
+
+func TestEmbedDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := randPoints(rng, 60, 5)
+	m, err := Build(db, l2, Options{Dims: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dims() != 4 {
+		t.Fatalf("Dims = %d", m.Dims())
+	}
+	if m.EmbedCost() != 8 {
+		t.Errorf("EmbedCost = %d, want 8", m.EmbedCost())
+	}
+	v := m.Embed(db[0])
+	if len(v) != 4 {
+		t.Errorf("embedding length %d", len(v))
+	}
+}
+
+func TestEmbedCountsOracleCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randPoints(rng, 40, 3)
+	m, err := Build(db, l2, Options{Dims: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := space.NewCounter(l2)
+	counted := &Model[[]float64]{
+		dist:        c.Distance,
+		pivots:      m.pivots,
+		pivotCoords: m.pivotCoords,
+		pivotDist:   m.pivotDist,
+	}
+	counted.Embed(db[5])
+	if got := c.Count(); got != int64(m.EmbedCost()) {
+		t.Errorf("Embed used %d calls, EmbedCost = %d", got, m.EmbedCost())
+	}
+	c.Reset()
+	counted.EmbedPrefix(db[5], 2)
+	if got := c.Count(); got != 4 {
+		t.Errorf("EmbedPrefix(2) used %d calls, want 4", got)
+	}
+}
+
+func TestEmbedPrefixIsPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := randPoints(rng, 50, 4)
+	m, err := Build(db, l2, Options{Dims: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.2, 1.1, 0.5}
+	full := m.Embed(x)
+	for d := 0; d <= m.Dims(); d++ {
+		p := m.EmbedPrefix(x, d)
+		if len(p) != d {
+			t.Fatalf("prefix %d has length %d", d, len(p))
+		}
+		for i := range p {
+			if math.Abs(p[i]-full[i]) > 1e-12 {
+				t.Fatalf("prefix coordinate %d differs", i)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range prefix should panic")
+		}
+	}()
+	m.EmbedPrefix(x, m.Dims()+1)
+}
+
+// On a Euclidean space, FastMap should reconstruct distances well: the
+// embedded L2 distance should correlate strongly with the true distance,
+// and it is bounded above by the true distance in exact arithmetic for
+// the training sample (contractive on the sample).
+func TestFastMapPreservesEuclideanStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := randPoints(rng, 80, 3)
+	m, err := Build(db, l2, Options{Dims: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([][]float64, len(db))
+	for i, x := range db {
+		vecs[i] = m.Embed(x)
+	}
+	var num, denTrue, denEmb float64
+	var meanTrue, meanEmb float64
+	type pair struct{ dt, de float64 }
+	var pairs []pair
+	for i := 0; i < len(db); i++ {
+		for j := i + 1; j < len(db); j++ {
+			dt := l2(db[i], db[j])
+			de := l2(vecs[i], vecs[j])
+			pairs = append(pairs, pair{dt, de})
+			meanTrue += dt
+			meanEmb += de
+		}
+	}
+	meanTrue /= float64(len(pairs))
+	meanEmb /= float64(len(pairs))
+	for _, p := range pairs {
+		num += (p.dt - meanTrue) * (p.de - meanEmb)
+		denTrue += (p.dt - meanTrue) * (p.dt - meanTrue)
+		denEmb += (p.de - meanEmb) * (p.de - meanEmb)
+	}
+	corr := num / math.Sqrt(denTrue*denEmb)
+	if corr < 0.9 {
+		t.Errorf("distance correlation = %.3f, want >= 0.9 in a Euclidean space", corr)
+	}
+}
+
+// Filter-step quality: the true nearest neighbor should rank well under
+// the FastMap embedding for most queries.
+func TestFastMapRetrievalSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	db := randPoints(rng, 150, 4)
+	queries := randPoints(rng, 20, 4)
+	m, err := Build(db, l2, Options{Dims: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([][]float64, len(db))
+	for i, x := range db {
+		vecs[i] = m.Embed(x)
+	}
+	gt := space.NewGroundTruth(l2, queries, db)
+	var rankSum int
+	for qi, q := range queries {
+		qv := m.Embed(q)
+		trueNN := gt.TrueKNN(qi, 1)[0]
+		dNN := metrics.L1(qv, vecs[trueNN])
+		rank := 0
+		for i := range vecs {
+			if metrics.L1(qv, vecs[i]) < dNN {
+				rank++
+			}
+		}
+		rankSum += rank
+	}
+	mean := float64(rankSum) / float64(len(queries))
+	if mean > 15 {
+		t.Errorf("mean filter rank of true NN = %.1f, want <= 15", mean)
+	}
+}
+
+func TestSampleSizeRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := randPoints(rng, 100, 3)
+	c := space.NewCounter(l2)
+	_, err := Build(db, c.Distance, Options{Dims: 2, SampleSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := c.Reset()
+	_, err = Build(db, c.Distance, Options{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() <= full {
+		t.Errorf("full build (%d calls) should cost more than sampled build (%d)", c.Count(), full)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := randPoints(rng, 50, 3)
+	m1, err := Build(db, l2, Options{Dims: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Build(db, l2, Options{Dims: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	v1, v2 := m1.Embed(x), m2.Embed(x)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("same seed should give identical models")
+		}
+	}
+}
+
+func TestDimsTruncateWhenStructureExhausted(t *testing.T) {
+	// Points on a 1D line: after ~1 dimension the residuals vanish, so the
+	// model must truncate rather than divide by zero.
+	pts := make([][]float64, 20)
+	for i := range pts {
+		pts[i] = []float64{float64(i), 0}
+	}
+	m, err := Build(pts, l2, Options{Dims: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dims() > 2 {
+		t.Errorf("collinear points should yield <= 2 dims, got %d", m.Dims())
+	}
+	if m.Dims() < 1 {
+		t.Error("should embed at least 1 dim")
+	}
+}

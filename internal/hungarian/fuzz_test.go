@@ -1,0 +1,46 @@
+package hungarian
+
+import (
+	"testing"
+)
+
+// FuzzSolveOptimality fuzzes the assignment solver against brute-force
+// enumeration on small matrices driven by raw bytes.
+func FuzzSolveOptimality(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(2))
+	f.Add([]byte{9, 9, 9, 9, 9, 9}, uint8(2))
+	f.Add([]byte{0, 255, 255, 0}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, nRaw uint8) {
+		n := int(nRaw%4) + 1
+		if len(raw) < n*n {
+			t.Skip()
+		}
+		cost := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			cost[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				cost[i][j] = float64(raw[i*n+j]) - 128
+			}
+		}
+		assignment, total, err := Solve(cost)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		// Assignment is a permutation.
+		seen := make([]bool, n)
+		var check float64
+		for i, j := range assignment {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("invalid assignment %v", assignment)
+			}
+			seen[j] = true
+			check += cost[i][j]
+		}
+		if diff := check - total; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("reported total %v != recomputed %v", total, check)
+		}
+		if best := bruteForce(cost); total-best > 1e-9 {
+			t.Fatalf("Solve %v not optimal (brute force %v)", total, best)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+// Package hungarian solves the linear assignment problem (minimum-cost
+// perfect bipartite matching) with the O(n^3) Jonker–Volgenant style
+// shortest augmenting path algorithm. Shape Context matching (Belongie et
+// al. [4]) uses it to align the sample points of two shapes; the paper notes
+// that this Hungarian step is what makes the Shape Context distance
+// computationally expensive.
+//
+// Rectangular cost matrices are supported by padding conceptually with
+// zero-cost dummy rows/columns: Solve matches every row when rows <= cols.
+package hungarian
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve finds an assignment of rows to columns minimizing the total cost.
+// cost[i][j] is the cost of assigning row i to column j. The number of rows
+// must not exceed the number of columns; every row is assigned a distinct
+// column. It returns the column assigned to each row and the total cost.
+//
+// Costs may be any finite float64, including negatives. Solve returns an
+// error for ragged or oversized inputs or non-finite costs.
+func Solve(cost [][]float64) (assignment []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	if n > m {
+		return nil, 0, fmt.Errorf("hungarian: rows %d > cols %d", n, m)
+	}
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("hungarian: ragged cost matrix at row %d", i)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, 0, fmt.Errorf("hungarian: non-finite cost at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Shortest augmenting path (a standard Jonker–Volgenant variant).
+	// Internally 1-indexed: u, v are dual potentials, way is the
+	// predecessor column on the alternating path, matchCol[j] is the row
+	// matched to column j (0 = unmatched).
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	matchCol := make([]int, m+1)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		matchCol[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := 1; j <= m; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the alternating path back to the root.
+		for j0 != 0 {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+	}
+
+	assignment = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if matchCol[j] > 0 {
+			assignment[matchCol[j]-1] = j - 1
+		}
+	}
+	for i, j := range assignment {
+		total += cost[i][j]
+	}
+	return assignment, total, nil
+}
+
+// SolveSquare is a convenience wrapper asserting a square matrix; it is the
+// common case for Shape Context matching where both shapes have the same
+// number of sample points.
+func SolveSquare(cost [][]float64) ([]int, float64, error) {
+	if len(cost) > 0 && len(cost) != len(cost[0]) {
+		return nil, 0, fmt.Errorf("hungarian: matrix %dx%d is not square", len(cost), len(cost[0]))
+	}
+	return Solve(cost)
+}

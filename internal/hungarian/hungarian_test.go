@@ -1,0 +1,281 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	a, c, err := Solve(nil)
+	if err != nil || a != nil || c != 0 {
+		t.Errorf("empty: %v %v %v", a, c, err)
+	}
+}
+
+func TestSingle(t *testing.T) {
+	a, c, err := Solve([][]float64{{7}})
+	if err != nil || len(a) != 1 || a[0] != 0 || c != 7 {
+		t.Errorf("single: %v %v %v", a, c, err)
+	}
+}
+
+func TestKnownSquare(t *testing.T) {
+	// Classic example: optimal cost 5 with assignment (0->1, 1->0, 2->2)
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	a, c, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 5 {
+		t.Errorf("total = %v, want 5", c)
+	}
+	want := []int{1, 0, 2}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("assignment = %v, want %v", a, want)
+			break
+		}
+	}
+}
+
+func TestIdentityOptimal(t *testing.T) {
+	// Diagonal strictly cheapest: assignment must be identity.
+	n := 6
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i == j {
+				cost[i][j] = 0
+			} else {
+				cost[i][j] = 10
+			}
+		}
+	}
+	a, c, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("total = %v", c)
+	}
+	for i := range a {
+		if a[i] != i {
+			t.Errorf("assignment = %v", a)
+			break
+		}
+	}
+}
+
+func TestRectangular(t *testing.T) {
+	// 2 rows, 3 cols: rows pick the two cheapest distinct columns.
+	cost := [][]float64{
+		{5, 1, 9},
+		{5, 2, 3},
+	}
+	a, c, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1+3 {
+		t.Errorf("total = %v, want 4", c)
+	}
+	if a[0] != 1 || a[1] != 2 {
+		t.Errorf("assignment = %v", a)
+	}
+}
+
+func TestNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-1, 2},
+		{4, -3},
+	}
+	_, c, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != -4 {
+		t.Errorf("total = %v, want -4", c)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	if _, _, err := Solve([][]float64{{1}, {2}}); err == nil {
+		t.Error("rows > cols should error")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN should error")
+	}
+	if _, _, err := Solve([][]float64{{math.Inf(1)}}); err == nil {
+		t.Error("Inf should error")
+	}
+	if _, _, err := SolveSquare([][]float64{{1, 2}}); err == nil {
+		t.Error("SolveSquare on non-square should error")
+	}
+}
+
+func TestAssignmentIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := n + rng.Intn(4)
+		cost := randMatrix(rng, n, m)
+		a, _, err := Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, j := range a {
+			if j < 0 || j >= m {
+				t.Fatalf("column %d out of range", j)
+			}
+			if seen[j] {
+				t.Fatalf("column %d assigned twice: %v", j, a)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+// Brute-force all permutations for small n and compare optimal cost.
+func TestOptimalVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		cost := randMatrix(rng, n, n)
+		_, got, err := Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(cost)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Solve = %v, brute force = %v, cost = %v", trial, got, want, cost)
+		}
+	}
+}
+
+func TestOptimalVsBruteForceRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(4)
+		m := n + 1 + rng.Intn(3)
+		cost := randMatrix(rng, n, m)
+		_, got, err := Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceRect(cost, n, m)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Solve = %v, brute force = %v", trial, got, want)
+		}
+	}
+}
+
+func TestLargeUniformCost(t *testing.T) {
+	// Degenerate: all costs equal; any permutation is optimal.
+	n := 20
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = 3
+		}
+	}
+	_, c, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != float64(3*n) {
+		t.Errorf("total = %v, want %v", c, 3*n)
+	}
+}
+
+func BenchmarkSolve60(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	cost := randMatrix(rng, 60, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randMatrix(rng *rand.Rand, n, m int) [][]float64 {
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, m)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64()*20 - 5
+		}
+	}
+	return cost
+}
+
+func bruteForce(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			var total float64
+			for r, c := range perm {
+				total += cost[r][c]
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func bruteForceRect(cost [][]float64, n, m int) float64 {
+	// Choose every n-subset ordering of m columns.
+	best := math.Inf(1)
+	used := make([]bool, m)
+	assign := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			var total float64
+			for r, c := range assign {
+				total += cost[r][c]
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			assign[i] = j
+			rec(i + 1)
+			used[j] = false
+		}
+	}
+	rec(0)
+	return best
+}

@@ -1,0 +1,121 @@
+// Package lipschitz implements the classic Lipschitz/vantage-object
+// embedding baseline [7, 15]: coordinate i of the embedding is simply the
+// exact distance to reference object r_i, F(x) = (D(x, r₁), …, D(x, r_d)).
+//
+// The paper builds its 1D building blocks from exactly these embeddings
+// (Sec. 3.1) but never uses the plain unweighted combination as a
+// comparison method; we include it as an additional baseline because it is
+// the natural "no learning at all" control: the same coordinates BoostMap
+// could pick, with no selection, no weighting, and no query sensitivity.
+// The gap between this baseline and Ra-QI/Se-QS isolates how much of the
+// win comes from learning.
+package lipschitz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qse/internal/space"
+)
+
+// Model is a Lipschitz embedding: d reference objects drawn from the
+// database.
+type Model[T any] struct {
+	refs []T
+	dist space.Distance[T]
+}
+
+// Build selects dims distinct reference objects uniformly at random.
+func Build[T any](db []T, dist space.Distance[T], dims int, seed int64) (*Model[T], error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("lipschitz: dims = %d, want > 0", dims)
+	}
+	if dims > len(db) {
+		return nil, fmt.Errorf("lipschitz: dims %d exceeds database size %d", dims, len(db))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(db))[:dims]
+	m := &Model[T]{refs: make([]T, dims), dist: dist}
+	for i, j := range idx {
+		m.refs[i] = db[j]
+	}
+	return m, nil
+}
+
+// BuildGreedy selects references with a farthest-point heuristic in the
+// spirit of SparseMap's incremental reference selection [16]: the first
+// reference is random; each subsequent reference is the sample object
+// farthest (in original distance) from the references chosen so far. This
+// spreads references over the space, so coordinates are less redundant
+// than with uniform sampling. Selection costs about dims * sampleSize
+// exact distances. sampleSize 0 means use all of db.
+func BuildGreedy[T any](db []T, dist space.Distance[T], dims, sampleSize int, seed int64) (*Model[T], error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("lipschitz: dims = %d, want > 0", dims)
+	}
+	if dims > len(db) {
+		return nil, fmt.Errorf("lipschitz: dims %d exceeds database size %d", dims, len(db))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sample := db
+	if sampleSize > 0 && sampleSize < len(db) {
+		idx := rng.Perm(len(db))[:sampleSize]
+		sample = make([]T, len(idx))
+		for i, j := range idx {
+			sample[i] = db[j]
+		}
+	}
+	if dims > len(sample) {
+		dims = len(sample)
+	}
+
+	m := &Model[T]{refs: make([]T, 0, dims), dist: dist}
+	first := rng.Intn(len(sample))
+	m.refs = append(m.refs, sample[first])
+	// minDist[i] is the distance from sample[i] to the nearest chosen
+	// reference; the next reference maximizes it.
+	minDist := make([]float64, len(sample))
+	for i := range minDist {
+		minDist[i] = dist(sample[i], sample[first])
+	}
+	for len(m.refs) < dims {
+		best, bestD := -1, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if bestD <= 0 {
+			break // every remaining object coincides with a reference
+		}
+		m.refs = append(m.refs, sample[best])
+		for i := range minDist {
+			if d := dist(sample[i], sample[best]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return m, nil
+}
+
+// Dims returns the embedding dimensionality.
+func (m *Model[T]) Dims() int { return len(m.refs) }
+
+// EmbedCost returns the exact distances needed per embedding: one per
+// reference object.
+func (m *Model[T]) EmbedCost() int { return len(m.refs) }
+
+// Embed computes the distance vector to all reference objects.
+func (m *Model[T]) Embed(x T) []float64 { return m.EmbedPrefix(x, len(m.refs)) }
+
+// EmbedPrefix computes only the first d coordinates (d exact distances).
+func (m *Model[T]) EmbedPrefix(x T, d int) []float64 {
+	if d < 0 || d > len(m.refs) {
+		panic(fmt.Sprintf("lipschitz: prefix %d out of range [0,%d]", d, len(m.refs)))
+	}
+	out := make([]float64, d)
+	for i := 0; i < d; i++ {
+		out[i] = m.dist(x, m.refs[i])
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package lipschitz
+
+import (
+	"math/rand"
+	"testing"
+
+	"qse/internal/metrics"
+	"qse/internal/space"
+)
+
+func l2(a, b []float64) float64 { return metrics.L2(a, b) }
+
+func randPoints(rng *rand.Rand, n int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return pts
+}
+
+func TestBuildValidation(t *testing.T) {
+	db := randPoints(rand.New(rand.NewSource(1)), 10)
+	if _, err := Build(db, l2, 0, 1); err == nil {
+		t.Error("dims=0 should error")
+	}
+	if _, err := Build(db, l2, 11, 1); err == nil {
+		t.Error("dims>n should error")
+	}
+}
+
+func TestEmbedBasics(t *testing.T) {
+	db := randPoints(rand.New(rand.NewSource(2)), 30)
+	m, err := Build(db, l2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dims() != 5 || m.EmbedCost() != 5 {
+		t.Fatalf("Dims/Cost %d/%d", m.Dims(), m.EmbedCost())
+	}
+	x := []float64{0.5, -0.3}
+	v := m.Embed(x)
+	if len(v) != 5 {
+		t.Fatalf("len %d", len(v))
+	}
+	// Every coordinate is a distance to some db point: non-negative.
+	for _, c := range v {
+		if c < 0 {
+			t.Fatal("negative coordinate")
+		}
+	}
+}
+
+func TestEmbedCountsOracle(t *testing.T) {
+	db := randPoints(rand.New(rand.NewSource(3)), 20)
+	c := space.NewCounter(l2)
+	m, err := Build(db, c.Distance, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	m.Embed(db[0])
+	if c.Count() != 4 {
+		t.Errorf("Embed used %d calls, want 4", c.Count())
+	}
+	c.Reset()
+	m.EmbedPrefix(db[0], 2)
+	if c.Count() != 2 {
+		t.Errorf("EmbedPrefix(2) used %d calls, want 2", c.Count())
+	}
+}
+
+func TestEmbedPrefixIsPrefix(t *testing.T) {
+	db := randPoints(rand.New(rand.NewSource(4)), 25)
+	m, err := Build(db, l2, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 1}
+	full := m.Embed(x)
+	for d := 0; d <= 6; d++ {
+		p := m.EmbedPrefix(x, d)
+		for i := range p {
+			if p[i] != full[i] {
+				t.Fatal("prefix differs from full")
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range prefix should panic")
+		}
+	}()
+	m.EmbedPrefix(x, 7)
+}
+
+// Lipschitz embeddings are contractive under L∞ for metric distances:
+// |D(x,r) - D(y,r)| <= D(x,y). So the Chebyshev distance between
+// embeddings lower-bounds the true distance.
+func TestContractiveUnderLInf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := randPoints(rng, 40)
+	m, err := Build(db, l2, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		vx, vy := m.Embed(x), m.Embed(y)
+		if metrics.Chebyshev(vx, vy) > l2(x, y)+1e-9 {
+			t.Fatalf("not contractive: %v > %v", metrics.Chebyshev(vx, vy), l2(x, y))
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	db := randPoints(rand.New(rand.NewSource(6)), 30)
+	m1, _ := Build(db, l2, 5, 9)
+	m2, _ := Build(db, l2, 5, 9)
+	x := []float64{0.2, 0.8}
+	v1, v2 := m1.Embed(x), m2.Embed(x)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("same seed should pick same references")
+		}
+	}
+}
+
+func TestRetrievalSanity(t *testing.T) {
+	// The unweighted L1 over Lipschitz coordinates should still rank true
+	// neighbors well in a benign space.
+	rng := rand.New(rand.NewSource(7))
+	db := randPoints(rng, 200)
+	m, err := Build(db, l2, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([][]float64, len(db))
+	for i, x := range db {
+		vecs[i] = m.Embed(x)
+	}
+	var rankSum int
+	for trial := 0; trial < 20; trial++ {
+		q := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		qv := m.Embed(q)
+		nn := space.KNearest(l2, q, db, 1)[0].Index
+		dNN := metrics.L1(qv, vecs[nn])
+		rank := 0
+		for i := range vecs {
+			if metrics.L1(qv, vecs[i]) < dNN {
+				rank++
+			}
+		}
+		rankSum += rank
+	}
+	if mean := float64(rankSum) / 20; mean > 20 {
+		t.Errorf("mean filter rank %v too high", mean)
+	}
+}
+
+func TestBuildGreedyBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := randPoints(rng, 50)
+	m, err := BuildGreedy(db, l2, 6, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dims() != 6 {
+		t.Fatalf("Dims = %d", m.Dims())
+	}
+	if _, err := BuildGreedy(db, l2, 0, 0, 1); err == nil {
+		t.Error("dims=0 should error")
+	}
+	if _, err := BuildGreedy(db, l2, 100, 0, 1); err == nil {
+		t.Error("dims>n should error")
+	}
+}
+
+func TestBuildGreedySpreadsReferences(t *testing.T) {
+	// Greedy farthest-point references should be more spread out than the
+	// average random pick: their minimum pairwise distance should beat
+	// that of uniform sampling in expectation. Compare against the mean
+	// over several random draws to avoid flakiness.
+	rng := rand.New(rand.NewSource(9))
+	db := randPoints(rng, 120)
+	greedy, err := BuildGreedy(db, l2, 8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minPair := func(m *Model[[]float64]) float64 {
+		best := 1e18
+		for i := 0; i < len(m.refs); i++ {
+			for j := i + 1; j < len(m.refs); j++ {
+				if d := l2(m.refs[i], m.refs[j]); d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+	var randomMean float64
+	const draws = 10
+	for s := int64(0); s < draws; s++ {
+		rm, err := Build(db, l2, 8, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomMean += minPair(rm)
+	}
+	randomMean /= draws
+	if minPair(greedy) <= randomMean {
+		t.Errorf("greedy min pairwise %.4f not above random mean %.4f", minPair(greedy), randomMean)
+	}
+}
+
+func TestBuildGreedyDegenerateDB(t *testing.T) {
+	// All identical points: only one useful reference exists.
+	db := make([][]float64, 10)
+	for i := range db {
+		db[i] = []float64{1, 1}
+	}
+	m, err := BuildGreedy(db, l2, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dims() != 1 {
+		t.Errorf("degenerate db should truncate to 1 dim, got %d", m.Dims())
+	}
+}
+
+func TestBuildGreedySampleSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	db := randPoints(rng, 100)
+	c := space.NewCounter(l2)
+	if _, err := BuildGreedy(db, c.Distance, 4, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	sampled := c.Reset()
+	if _, err := BuildGreedy(db, c.Distance, 4, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() <= sampled {
+		t.Errorf("full build (%d) should cost more than sampled (%d)", c.Count(), sampled)
+	}
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"testing"
+)
+
+// FuzzEditDistance cross-checks the rolling-array implementation against a
+// simple full-matrix reference and the classic metric properties.
+func FuzzEditDistance(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "abc")
+	f.Add("ACGTACGT", "ACGT")
+	f.Add("aaaa", "aaaa")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 200 || len(b) > 200 {
+			t.Skip()
+		}
+		got := EditDistance(a, b)
+		want := editDistanceRef(a, b)
+		if got != want {
+			t.Fatalf("EditDistance(%q,%q) = %d, reference = %d", a, b, got, want)
+		}
+		if sym := EditDistance(b, a); sym != got {
+			t.Fatalf("asymmetric: %d vs %d", got, sym)
+		}
+		if got < abs(len(a)-len(b)) {
+			t.Fatalf("below length-difference bound")
+		}
+		if got > maxInt(len(a), len(b)) {
+			t.Fatalf("above max-length bound")
+		}
+	})
+}
+
+// editDistanceRef is the textbook full-matrix implementation.
+func editDistanceRef(a, b string) int {
+	m := make([][]int, len(a)+1)
+	for i := range m {
+		m[i] = make([]int, len(b)+1)
+		m[i][0] = i
+	}
+	for j := 0; j <= len(b); j++ {
+		m[0][j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m[i][j] = min3(m[i-1][j]+1, m[i][j-1]+1, m[i-1][j-1]+cost)
+		}
+	}
+	return m[len(a)][len(b)]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

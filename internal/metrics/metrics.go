@@ -1,0 +1,235 @@
+// Package metrics implements the vector and discrete distance measures used
+// throughout the repository: Lp norms over real vectors (including the
+// weighted L1 that underlies query-sensitive distances), KL divergence, and
+// edit distance over strings.
+//
+// The paper's output distance D_out (Eq. 11) is an asymmetric weighted L1:
+// the weights are a function of the first argument (the query). That measure
+// lives in internal/core because its weights come from the trained model;
+// this package provides the raw building blocks and the query-insensitive
+// variants used by baselines.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// L1 returns the Manhattan distance between equal-length vectors a and b.
+func L1(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var sum float64
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum
+}
+
+// L2 returns the Euclidean distance between equal-length vectors a and b.
+func L2(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// SquaredL2 returns the squared Euclidean distance, avoiding the sqrt for
+// callers that only compare distances.
+func SquaredL2(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Lp returns the Minkowski distance of order p >= 1.
+func Lp(a, b []float64, p float64) float64 {
+	mustSameLen(len(a), len(b))
+	if p < 1 {
+		panic(fmt.Sprintf("metrics: Lp order %v < 1", p))
+	}
+	if math.IsInf(p, 1) {
+		return Chebyshev(a, b)
+	}
+	var sum float64
+	for i := range a {
+		sum += math.Pow(math.Abs(a[i]-b[i]), p)
+	}
+	return math.Pow(sum, 1/p)
+}
+
+// Chebyshev returns the L∞ distance between a and b.
+func Chebyshev(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var max float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// WeightedL1 returns sum_i w[i]*|a[i]-b[i]|. Negative weights are not
+// meaningful for a distance and cause a panic. This is the filter-step
+// distance of the original BoostMap (query-insensitive weights).
+func WeightedL1(w, a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	mustSameLen(len(w), len(a))
+	var sum float64
+	for i := range a {
+		if w[i] < 0 {
+			panic("metrics: negative weight in WeightedL1")
+		}
+		sum += w[i] * math.Abs(a[i]-b[i])
+	}
+	return sum
+}
+
+// KL returns the Kullback–Leibler divergence KL(p || q) for discrete
+// distributions p and q given as non-negative vectors. Both are normalized
+// to sum to 1 first. Terms where p[i] == 0 contribute zero; q[i] == 0 with
+// p[i] > 0 contributes +Inf, as in the usual definition. KL is one of the
+// paper's motivating non-metric distances (Sec. 1).
+func KL(p, q []float64) float64 {
+	mustSameLen(len(p), len(q))
+	ps, qs := sumPositive(p), sumPositive(q)
+	if ps == 0 || qs == 0 {
+		panic("metrics: KL of zero distribution")
+	}
+	var d float64
+	for i := range p {
+		pi := p[i] / ps
+		qi := q[i] / qs
+		if pi == 0 {
+			continue
+		}
+		if qi == 0 {
+			return math.Inf(1)
+		}
+		d += pi * math.Log(pi/qi)
+	}
+	// Guard against tiny negative results from floating-point noise.
+	if d < 0 && d > -1e-12 {
+		d = 0
+	}
+	return d
+}
+
+// SymmetricKL returns KL(p||q) + KL(q||p), a symmetrized but still
+// non-metric divergence.
+func SymmetricKL(p, q []float64) float64 { return KL(p, q) + KL(q, p) }
+
+// ChiSquare returns the chi-square histogram distance
+// 0.5 * sum_i (a[i]-b[i])^2 / (a[i]+b[i]), with zero-denominator bins
+// skipped. It is the histogram cost used by Shape Context matching.
+// Inputs must be non-negative.
+func ChiSquare(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var sum float64
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			panic("metrics: negative histogram bin in ChiSquare")
+		}
+		den := a[i] + b[i]
+		if den == 0 {
+			continue
+		}
+		d := a[i] - b[i]
+		sum += d * d / den
+	}
+	return 0.5 * sum
+}
+
+// EditDistance returns the Levenshtein distance between strings a and b
+// (unit costs for insert, delete, substitute). It runs in O(len(a)*len(b))
+// time and O(min) space. Strings are compared byte-wise; the examples use
+// ASCII biological-sequence alphabets where bytes and runes coincide.
+func EditDistance(a, b string) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	curr := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var sum float64
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// Cosine returns 1 - cos(a, b), a dissimilarity in [0, 2]. A zero vector
+// yields distance 1 against anything (no direction information).
+func Cosine(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	na, nb := math.Sqrt(Dot(a, a)), math.Sqrt(Dot(b, b))
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	c := Dot(a, b) / (na * nb)
+	// Clamp against floating-point drift outside [-1, 1].
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return 1 - c
+}
+
+func sumPositive(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		if x < 0 {
+			panic("metrics: negative probability mass")
+		}
+		s += x
+	}
+	return s
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("metrics: dimension mismatch %d vs %d", a, b))
+	}
+}

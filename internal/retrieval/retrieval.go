@@ -1,0 +1,226 @@
+// Package retrieval implements the filter-and-refine pipeline of Sec. 8:
+// database objects are embedded offline; a query is embedded (a handful of
+// exact distance computations), the embedded database is ranked under the
+// filter distance (cheap vector arithmetic), the best p candidates are
+// re-ranked with the exact distance, and the top k survive.
+//
+// Retrieval cost is measured exactly as the paper measures it: the number
+// of exact distance computations per query (embedding step + refine step);
+// the vector arithmetic of the filter step is "a fraction of a second" and
+// is reported separately.
+package retrieval
+
+import (
+	"container/heap"
+	"fmt"
+
+	"qse/internal/metrics"
+	"qse/internal/space"
+)
+
+// Embedder is any embedding method usable in the pipeline: it maps an
+// object to a vector at a known exact-distance price. Both core.Model and
+// fastmap.Model satisfy it.
+type Embedder[T any] interface {
+	Embed(x T) []float64
+	EmbedCost() int
+}
+
+// Weighter is the optional query-sensitive extension: given a query's
+// embedding it returns the per-coordinate weights A_i(q) to use in the
+// filter distance. core.Model satisfies it; query-insensitive methods
+// (FastMap) do not, and their filter distance is the unweighted L1.
+type Weighter interface {
+	QueryWeights(qvec []float64) []float64
+}
+
+// Index is an embedded database ready for filter-and-refine queries.
+type Index[T any] struct {
+	db       []T
+	vecs     [][]float64
+	embedder Embedder[T]
+	dist     space.Distance[T]
+}
+
+// BuildIndex embeds every database object offline. The preprocessing cost
+// (len(db) * EmbedCost exact distances) is paid here, once.
+func BuildIndex[T any](db []T, dist space.Distance[T], em Embedder[T]) (*Index[T], error) {
+	if len(db) == 0 {
+		return nil, fmt.Errorf("retrieval: empty database")
+	}
+	if em == nil {
+		return nil, fmt.Errorf("retrieval: nil embedder")
+	}
+	ix := &Index[T]{
+		db:       db,
+		vecs:     make([][]float64, len(db)),
+		embedder: em,
+		dist:     dist,
+	}
+	for i, x := range db {
+		ix.vecs[i] = em.Embed(x)
+	}
+	return ix, nil
+}
+
+// Size returns the number of database objects.
+func (ix *Index[T]) Size() int { return len(ix.db) }
+
+// Vectors returns the embedded database (the index's own storage; callers
+// must not modify it).
+func (ix *Index[T]) Vectors() [][]float64 { return ix.vecs }
+
+// Stats reports the cost of one query, in the paper's currency.
+type Stats struct {
+	// EmbedDistances is the exact distance count of the embedding step.
+	EmbedDistances int
+	// RefineDistances is the exact distance count of the refine step (p).
+	RefineDistances int
+}
+
+// Total returns the total exact distance computations for the query.
+func (s Stats) Total() int { return s.EmbedDistances + s.RefineDistances }
+
+// Search runs filter-and-refine: keep the p best database objects under
+// the filter distance, re-rank them with the exact distance, and return
+// the k best. If the embedder implements Weighter, the filter distance is
+// the query-sensitive D_out of Eq. 11; otherwise it is the unweighted L1.
+//
+// k and p must be positive; p is clamped to the database size and must be
+// at least k to be able to return k results.
+func (ix *Index[T]) Search(q T, k, p int) ([]space.Neighbor, Stats, error) {
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("retrieval: k = %d, want > 0", k)
+	}
+	if p < k {
+		return nil, Stats{}, fmt.Errorf("retrieval: p = %d must be >= k = %d", p, k)
+	}
+	if p > len(ix.db) {
+		p = len(ix.db)
+	}
+
+	// Embedding step.
+	qvec := ix.embedder.Embed(q)
+	var weights []float64
+	if w, ok := ix.embedder.(Weighter); ok {
+		weights = w.QueryWeights(qvec)
+	}
+
+	// Filter step: top-p by filter distance (no exact distances).
+	candidates := ix.FilterTopP(qvec, weights, p)
+
+	// Refine step: exact distances on the survivors.
+	refined := make([]space.Neighbor, len(candidates))
+	for i, c := range candidates {
+		refined[i] = space.Neighbor{Index: c.Index, Distance: ix.dist(q, ix.db[c.Index])}
+	}
+	space.SortNeighbors(refined)
+	if k > len(refined) {
+		k = len(refined)
+	}
+	stats := Stats{
+		EmbedDistances:  ix.embedder.EmbedCost(),
+		RefineDistances: len(candidates),
+	}
+	return refined[:k], stats, nil
+}
+
+// FilterTopP ranks the embedded database under the filter distance and
+// returns the p best candidates in ascending order. weights may be nil for
+// the unweighted L1. Exposed for the evaluation harness, which needs the
+// filter ordering without paying for a refine step.
+func (ix *Index[T]) FilterTopP(qvec, weights []float64, p int) []space.Neighbor {
+	if p > len(ix.vecs) {
+		p = len(ix.vecs)
+	}
+	if p <= 0 {
+		return nil
+	}
+	// Max-heap of the p best seen so far: O(n log p).
+	h := make(neighborMaxHeap, 0, p+1)
+	for i, v := range ix.vecs {
+		var d float64
+		if weights == nil {
+			d = metrics.L1(qvec, v)
+		} else {
+			d = weightedL1(weights, qvec, v)
+		}
+		n := space.Neighbor{Index: i, Distance: d}
+		if len(h) < p {
+			heap.Push(&h, n)
+		} else if less(n, h[0]) {
+			h[0] = n
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []space.Neighbor(h)
+	space.SortNeighbors(out)
+	return out
+}
+
+// weightedL1 is D_out of Eq. 11 (weights belong to the query side). It is
+// inlined here rather than calling metrics.WeightedL1 to skip the
+// per-element negativity check in this hot loop; weights from
+// core.Model.QueryWeights are non-negative by construction.
+func weightedL1(w, a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += w[i] * d
+	}
+	return sum
+}
+
+// less orders neighbors like space.SortNeighbors.
+func less(a, b space.Neighbor) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.Index < b.Index
+}
+
+// neighborMaxHeap keeps the worst of the retained candidates on top.
+type neighborMaxHeap []space.Neighbor
+
+func (h neighborMaxHeap) Len() int           { return len(h) }
+func (h neighborMaxHeap) Less(i, j int) bool { return less(h[j], h[i]) }
+func (h neighborMaxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *neighborMaxHeap) Push(x any)        { *h = append(*h, x.(space.Neighbor)) }
+func (h *neighborMaxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BruteForce returns the exact k nearest neighbors by scanning the whole
+// database (len(db) exact distances) — the baseline every speed-up in the
+// paper is measured against.
+func (ix *Index[T]) BruteForce(q T, k int) ([]space.Neighbor, Stats) {
+	res := space.KNearest(ix.dist, q, ix.db, k)
+	return res, Stats{RefineDistances: len(ix.db)}
+}
+
+// Add embeds and appends a new database object (Sec. 7.1, dynamic
+// datasets): the cost is EmbedCost exact distances, and no retraining
+// happens. Callers monitoring distribution drift should use core.Drift.
+func (ix *Index[T]) Add(x T) {
+	ix.db = append(ix.db, x)
+	ix.vecs = append(ix.vecs, ix.embedder.Embed(x))
+}
+
+// Remove deletes the database object at index i (swap-with-last order is
+// NOT used: order is preserved so external ground-truth indexes stay
+// aligned; removal is O(n)).
+func (ix *Index[T]) Remove(i int) error {
+	if i < 0 || i >= len(ix.db) {
+		return fmt.Errorf("retrieval: remove index %d out of range [0,%d)", i, len(ix.db))
+	}
+	ix.db = append(ix.db[:i], ix.db[i+1:]...)
+	ix.vecs = append(ix.vecs[:i], ix.vecs[i+1:]...)
+	return nil
+}

@@ -1,0 +1,268 @@
+package retrieval
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"qse/internal/core"
+	"qse/internal/metrics"
+	"qse/internal/space"
+	"qse/internal/stats"
+)
+
+func l2(a, b []float64) float64 { return metrics.L2(a, b) }
+
+// identityEmbedder embeds 2D points as themselves: the filter ordering
+// under L1 then closely tracks the true L2 ordering, making expected
+// behavior easy to reason about.
+type identityEmbedder struct{}
+
+func (identityEmbedder) Embed(x []float64) []float64 { return append([]float64(nil), x...) }
+func (identityEmbedder) EmbedCost() int              { return 0 }
+
+// skewEmbedder duplicates the first coordinate, and its QueryWeights zero
+// out the junk dimension — exercising the Weighter path.
+type skewEmbedder struct{}
+
+func (skewEmbedder) Embed(x []float64) []float64 {
+	return []float64{x[0], x[1], 1000 * x[0]}
+}
+func (skewEmbedder) EmbedCost() int { return 2 }
+func (skewEmbedder) QueryWeights(qvec []float64) []float64 {
+	return []float64{1, 1, 0}
+}
+
+func testDB(n int) [][]float64 {
+	rng := stats.NewRand(3)
+	db := make([][]float64, n)
+	for i := range db {
+		db[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	return db
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	if _, err := BuildIndex(nil, l2, identityEmbedder{}); err == nil {
+		t.Error("empty db should error")
+	}
+	if _, err := BuildIndex[[]float64](testDB(3), l2, nil); err == nil {
+		t.Error("nil embedder should error")
+	}
+}
+
+func TestSearchExactWithFullP(t *testing.T) {
+	db := testDB(100)
+	ix, err := BuildIndex(db, l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, 0.5}
+	// p = full database: refine step is brute force, results must be exact.
+	got, st, err := ix.Search(q, 5, len(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ix.BruteForce(q, 5)
+	for i := range want {
+		if got[i].Index != want[i].Index {
+			t.Fatalf("full-p search differs from brute force at %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if st.RefineDistances != len(db) || st.EmbedDistances != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Total() != len(db) {
+		t.Errorf("Total = %d", st.Total())
+	}
+}
+
+func TestSearchSmallPStillGood(t *testing.T) {
+	db := testDB(200)
+	ix, err := BuildIndex(db, l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.3, 0.7}
+	got, st, err := ix.Search(q, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ix.BruteForce(q, 1)
+	// The identity embedding's L1 filter is faithful enough that the true
+	// NN is always within the top 10.
+	if got[0].Index != want[0].Index {
+		t.Errorf("NN = %d, want %d", got[0].Index, want[0].Index)
+	}
+	if st.RefineDistances != 10 {
+		t.Errorf("refine distances = %d", st.RefineDistances)
+	}
+}
+
+func TestSearchParamValidation(t *testing.T) {
+	db := testDB(20)
+	ix, _ := BuildIndex(db, l2, identityEmbedder{})
+	q := []float64{0, 0}
+	if _, _, err := ix.Search(q, 0, 5); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, _, err := ix.Search(q, 5, 3); err == nil {
+		t.Error("p < k should error")
+	}
+	// p beyond db size is clamped, not an error.
+	if _, st, err := ix.Search(q, 2, 1000); err != nil || st.RefineDistances != 20 {
+		t.Errorf("oversized p: err=%v stats=%+v", err, st)
+	}
+}
+
+func TestSearchUsesQueryWeights(t *testing.T) {
+	// Without weights the junk third coordinate would dominate the filter;
+	// the Weighter must neutralize it.
+	db := testDB(150)
+	ix, err := BuildIndex(db, l2, skewEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, 0.5}
+	got, st, err := ix.Search(q, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ix.BruteForce(q, 1)
+	if got[0].Index != want[0].Index {
+		t.Errorf("weighted search missed NN: %d vs %d", got[0].Index, want[0].Index)
+	}
+	if st.EmbedDistances != 2 {
+		t.Errorf("embed distances = %d", st.EmbedDistances)
+	}
+}
+
+func TestFilterTopPOrdering(t *testing.T) {
+	db := testDB(50)
+	ix, _ := BuildIndex(db, l2, identityEmbedder{})
+	q := []float64{0.1, 0.9}
+	top := ix.FilterTopP(q, nil, 10)
+	if len(top) != 10 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if !sort.SliceIsSorted(top, func(i, j int) bool {
+		if top[i].Distance != top[j].Distance {
+			return top[i].Distance < top[j].Distance
+		}
+		return top[i].Index < top[j].Index
+	}) {
+		t.Error("FilterTopP not sorted")
+	}
+	// Must match a full sort's head.
+	all := ix.FilterTopP(q, nil, len(db))
+	for i := range top {
+		if top[i] != all[i] {
+			t.Fatalf("heap selection differs from full sort at %d", i)
+		}
+	}
+}
+
+func TestFilterTopPEdge(t *testing.T) {
+	db := testDB(5)
+	ix, _ := BuildIndex(db, l2, identityEmbedder{})
+	if got := ix.FilterTopP([]float64{0, 0}, nil, 0); got != nil {
+		t.Error("p=0 should return nil")
+	}
+	if got := ix.FilterTopP([]float64{0, 0}, nil, 100); len(got) != 5 {
+		t.Errorf("p>n should clamp: %d", len(got))
+	}
+}
+
+func TestFilterWeightedMatchesMetrics(t *testing.T) {
+	db := testDB(30)
+	ix, _ := BuildIndex(db, l2, identityEmbedder{})
+	q := []float64{0.4, 0.6}
+	w := []float64{2, 0.5}
+	top := ix.FilterTopP(q, w, len(db))
+	for _, n := range top {
+		want := metrics.WeightedL1(w, q, ix.Vectors()[n.Index])
+		if math.Abs(n.Distance-want) > 1e-12 {
+			t.Fatalf("weighted distance mismatch: %v vs %v", n.Distance, want)
+		}
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	db := testDB(10)
+	ix, _ := BuildIndex(db, l2, identityEmbedder{})
+	ix.Add([]float64{0.42, 0.42})
+	if ix.Size() != 11 {
+		t.Fatalf("size = %d", ix.Size())
+	}
+	got, _, err := ix.Search([]float64{0.42, 0.42}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Index != 10 || got[0].Distance != 0 {
+		t.Errorf("added object not retrievable: %+v", got[0])
+	}
+	if err := ix.Remove(10); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Size() != 10 {
+		t.Errorf("size after remove = %d", ix.Size())
+	}
+	if err := ix.Remove(99); err == nil {
+		t.Error("bad remove index should error")
+	}
+}
+
+// End-to-end with a real trained model: exercising the full pipeline the
+// way the experiments do, and checking the cost accounting invariant
+// Total = EmbedCost + p.
+func TestEndToEndWithTrainedModel(t *testing.T) {
+	rng := stats.NewRand(77)
+	centers := [][]float64{{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}, {0.1, 0.9}, {0.9, 0.9}}
+	var db [][]float64
+	for i := 0; i < 300; i++ {
+		c := centers[i%len(centers)]
+		db = append(db, []float64{c[0] + rng.NormFloat64()*0.06, c[1] + rng.NormFloat64()*0.06})
+	}
+	opts := core.DefaultOptions()
+	opts.Rounds = 20
+	opts.NumCandidates = 30
+	opts.NumTraining = 60
+	opts.NumTriples = 1200
+	opts.EmbeddingsPerRound = 30
+	opts.IntervalsPerEmbedding = 5
+	opts.Seed = 5
+	model, _, err := core.Train(db, l2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exact := space.NewCounter(l2)
+	ix, err := BuildIndex(db, exact.Distance, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact.Reset()
+
+	q := []float64{0.22, 0.18}
+	res, st, err := ix.Search(q, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// Only the refine step touches the index's counted oracle (the model
+	// embeds with its own), so the counter must equal RefineDistances.
+	if exact.Count() != int64(st.RefineDistances) {
+		t.Errorf("counted %d exact distances, stats say %d", exact.Count(), st.RefineDistances)
+	}
+	if st.EmbedDistances != model.EmbedCost() {
+		t.Errorf("embed distances %d != model cost %d", st.EmbedDistances, model.EmbedCost())
+	}
+	// Results must be genuinely close to the query.
+	for _, r := range res {
+		if r.Distance > 0.3 {
+			t.Errorf("retrieved a far object: %+v", r)
+		}
+	}
+}

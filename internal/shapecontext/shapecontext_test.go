@@ -1,0 +1,287 @@
+package shapecontext
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qse/internal/digits"
+)
+
+func testGen(seed int64) *digits.Generator {
+	return digits.NewGenerator(digits.Config{}, rand.New(rand.NewSource(seed)))
+}
+
+func TestExtractBasics(t *testing.T) {
+	e := NewExtractor(Config{})
+	g := testGen(1)
+	img, err := g.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Extract(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) == 0 || len(s.Points) > e.Config().SamplePoints {
+		t.Fatalf("sample count = %d", len(s.Points))
+	}
+	if len(s.Hists) != len(s.Points) || len(s.Patches) != len(s.Points) {
+		t.Fatal("feature lengths disagree")
+	}
+	nb := e.Config().RadialBins * e.Config().AngularBins
+	for i, h := range s.Hists {
+		if len(h) != nb {
+			t.Fatalf("hist %d has %d bins, want %d", i, len(h), nb)
+		}
+		var sum float64
+		for _, v := range h {
+			if v < 0 {
+				t.Fatal("negative bin")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("hist %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestExtractNormalization(t *testing.T) {
+	e := NewExtractor(Config{})
+	img, _ := testGen(2).Generate(0)
+	s, err := e.Extract(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cx, cy, meanR float64
+	for _, p := range s.Points {
+		cx += p[0]
+		cy += p[1]
+		meanR += math.Hypot(p[0], p[1])
+	}
+	n := float64(len(s.Points))
+	cx, cy, meanR = cx/n, cy/n, meanR/n
+	if math.Abs(cx) > 1e-9 || math.Abs(cy) > 1e-9 {
+		t.Errorf("centroid not at origin: (%v, %v)", cx, cy)
+	}
+	if math.Abs(meanR-1) > 1e-9 {
+		t.Errorf("mean radius = %v, want 1", meanR)
+	}
+}
+
+func TestExtractTooFewPoints(t *testing.T) {
+	e := NewExtractor(Config{})
+	blank := digits.NewImage(28, 28)
+	if _, err := e.Extract(blank); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("blank image: err = %v, want ErrTooFewPoints", err)
+	}
+	two := digits.NewImage(28, 28)
+	two.Set(3, 3, 1)
+	two.Set(10, 10, 1)
+	if _, err := e.Extract(two); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("2-pixel image: err = %v", err)
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	e := NewExtractor(Config{})
+	img, _ := testGen(3).Generate(4)
+	a, _ := e.Extract(img)
+	b, _ := e.Extract(img)
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("extraction not deterministic")
+		}
+	}
+}
+
+func TestDistanceSelfZeroish(t *testing.T) {
+	e := NewExtractor(Config{})
+	img, _ := testGen(4).Generate(6)
+	s, _ := e.Extract(img)
+	if d := e.Distance(s, s); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	e := NewExtractor(Config{})
+	g := testGen(5)
+	for trial := 0; trial < 5; trial++ {
+		imA, _ := g.Generate(trial % 10)
+		imB, _ := g.Generate((trial + 3) % 10)
+		sa, _ := e.Extract(imA)
+		sb, _ := e.Extract(imB)
+		dab, dba := e.Distance(sa, sb), e.Distance(sb, sa)
+		if math.Abs(dab-dba) > 1e-9 {
+			t.Errorf("asymmetric: %v vs %v", dab, dba)
+		}
+		if dab < 0 {
+			t.Errorf("negative distance %v", dab)
+		}
+	}
+}
+
+func TestDistanceEmptyShape(t *testing.T) {
+	e := NewExtractor(Config{})
+	img, _ := testGen(6).Generate(1)
+	s, _ := e.Extract(img)
+	empty := &Shape{}
+	if d := e.Distance(s, empty); !math.IsInf(d, 1) {
+		t.Errorf("distance to empty shape = %v, want +Inf", d)
+	}
+}
+
+func TestDistanceSeparatesClasses(t *testing.T) {
+	// Same-class pairs should be closer on average than cross-class pairs.
+	// This is the property the retrieval experiments rely on.
+	e := NewExtractor(Config{})
+	g := testGen(7)
+	const perClass = 3
+	classes := []int{0, 1, 7}
+	shapes := map[int][]*Shape{}
+	for _, c := range classes {
+		for i := 0; i < perClass; i++ {
+			img, err := g.Generate(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := e.Extract(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shapes[c] = append(shapes[c], s)
+		}
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for _, c1 := range classes {
+		for _, c2 := range classes {
+			for i := 0; i < perClass; i++ {
+				for j := 0; j < perClass; j++ {
+					if c1 == c2 && i == j {
+						continue
+					}
+					d := e.Distance(shapes[c1][i], shapes[c2][j])
+					if c1 == c2 {
+						intra += d
+						nIntra++
+					} else {
+						inter += d
+						nInter++
+					}
+				}
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra >= inter {
+		t.Errorf("intra %.4f >= inter %.4f: shape context does not separate classes", intra, inter)
+	}
+}
+
+func TestDistanceTranslationInvariance(t *testing.T) {
+	// Shift the glyph: normalized points make the distance (nearly)
+	// translation invariant, up to raster resampling noise.
+	e := NewExtractor(Config{})
+	base := digits.NewImage(28, 28)
+	shifted := digits.NewImage(28, 28)
+	// Draw the same L-shaped stroke pattern at two offsets.
+	for i := 0; i < 10; i++ {
+		base.Set(5, 5+i, 1)
+		base.Set(5+i, 14, 1)
+		shifted.Set(10, 8+i, 1)
+		shifted.Set(10+i, 17, 1)
+	}
+	sb, err := e.Extract(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := e.Extract(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Distance(sb, ss); d > 0.05 {
+		t.Errorf("translated copy distance = %v, want ~0", d)
+	}
+}
+
+func TestSamplePointsSpread(t *testing.T) {
+	// Farthest-point sampling should cover both ends of a long stroke.
+	on := make([][2]int, 0, 100)
+	for i := 0; i < 100; i++ {
+		on = append(on, [2]int{i, 0})
+	}
+	pts := samplePoints(on, 5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	var hasLeft, hasRight bool
+	for _, p := range pts {
+		if p[0] <= 10 {
+			hasLeft = true
+		}
+		if p[0] >= 90 {
+			hasRight = true
+		}
+	}
+	if !hasLeft || !hasRight {
+		t.Errorf("sampling did not cover extremes: %v", pts)
+	}
+}
+
+func TestSamplePointsFewerThanN(t *testing.T) {
+	on := [][2]int{{1, 1}, {2, 2}, {3, 3}}
+	pts := samplePoints(on, 10)
+	if len(pts) != 3 {
+		t.Errorf("got %d points, want all 3", len(pts))
+	}
+}
+
+func TestExtractAll(t *testing.T) {
+	e := NewExtractor(Config{})
+	g := testGen(8)
+	ds, _ := g.GenerateDataset(5)
+	shapes, err := e.ExtractAll(ds.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != 5 {
+		t.Fatalf("len = %d", len(shapes))
+	}
+	bad := append(ds.Images, digits.NewImage(28, 28))
+	if _, err := e.ExtractAll(bad); err == nil {
+		t.Error("blank image in batch should error")
+	}
+}
+
+func TestDistanceNonMetricDocumented(t *testing.T) {
+	// The distance need not satisfy the triangle inequality. We don't
+	// assert a violation (it depends on the draw); we assert the distance
+	// is still a sane dissimilarity: non-negative, zero on self.
+	e := NewExtractor(Config{})
+	g := testGen(9)
+	shapes := make([]*Shape, 0, 6)
+	for i := 0; i < 6; i++ {
+		img, _ := g.Generate(i)
+		s, err := e.Extract(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shapes = append(shapes, s)
+	}
+	for i := range shapes {
+		for j := range shapes {
+			d := e.Distance(shapes[i], shapes[j])
+			if d < 0 {
+				t.Fatalf("negative distance d(%d,%d) = %v", i, j, d)
+			}
+			if i == j && d != 0 {
+				t.Fatalf("self distance %v", d)
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package space abstracts the "original space" X of the paper: an arbitrary
+// set of objects plus a (possibly expensive, possibly non-metric) distance
+// oracle D_X. Everything downstream — 1D embeddings, BoostMap training,
+// FastMap, filter-and-refine retrieval — talks to a space only through a
+// Distance function, which is what makes the method domain-independent.
+//
+// The package also provides the exact-distance accounting used by every
+// experiment: the paper measures retrieval cost purely as the number of
+// exact distance computations per query (Sec. 9), so the harness wraps
+// D_X in a Counter and never lets an uncounted evaluation leak through.
+package space
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Distance is the exact distance oracle D_X over an object space.
+// Implementations need not be metric or even symmetric.
+type Distance[T any] func(a, b T) float64
+
+// Counter wraps a Distance and counts evaluations. It is safe for
+// concurrent use.
+type Counter[T any] struct {
+	dist  Distance[T]
+	count atomic.Int64
+}
+
+// NewCounter returns a Counter wrapping dist.
+func NewCounter[T any](dist Distance[T]) *Counter[T] {
+	return &Counter[T]{dist: dist}
+}
+
+// Distance evaluates the wrapped oracle and increments the counter.
+func (c *Counter[T]) Distance(a, b T) float64 {
+	c.count.Add(1)
+	return c.dist(a, b)
+}
+
+// Count returns the number of evaluations so far.
+func (c *Counter[T]) Count() int64 { return c.count.Load() }
+
+// Reset zeroes the counter and returns the previous value.
+func (c *Counter[T]) Reset() int64 { return c.count.Swap(0) }
+
+// Neighbor is a database index together with its exact distance to some
+// query object.
+type Neighbor struct {
+	Index    int
+	Distance float64
+}
+
+// KNearest returns the k nearest neighbors of q within db under dist,
+// sorted by ascending distance (ties broken by ascending index, so results
+// are deterministic). If k exceeds len(db), all of db is returned. It
+// evaluates exactly len(db) distances.
+func KNearest[T any](dist Distance[T], q T, db []T, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	all := make([]Neighbor, len(db))
+	for i, x := range db {
+		all[i] = Neighbor{Index: i, Distance: dist(q, x)}
+	}
+	SortNeighbors(all)
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// SortNeighbors orders neighbors by ascending distance, breaking ties by
+// ascending index for determinism.
+func SortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Distance != ns[j].Distance {
+			return ns[i].Distance < ns[j].Distance
+		}
+		return ns[i].Index < ns[j].Index
+	})
+}
+
+// Matrix is a dense, row-major distance matrix between two object slices.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// NewMatrix allocates a Rows x Cols matrix of zeros.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("space: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.Cols : (i+1)*m.Cols] }
+
+// ComputeMatrix evaluates dist between every element of as and every element
+// of bs. This is the preprocessing step of Sec. 7 (distances from candidate
+// objects to training objects); its cost is |as|*|bs| exact distances.
+func ComputeMatrix[T any](dist Distance[T], as, bs []T) *Matrix {
+	m := NewMatrix(len(as), len(bs))
+	for i, a := range as {
+		row := m.Row(i)
+		for j, b := range bs {
+			row[j] = dist(a, b)
+		}
+	}
+	return m
+}
+
+// ComputeSymmetricMatrix evaluates dist between every pair of elements of
+// xs, exploiting symmetry (each unordered pair is computed once). The
+// diagonal is zero without evaluating dist. Use only when dist is symmetric.
+func ComputeSymmetricMatrix[T any](dist Distance[T], xs []T) *Matrix {
+	m := NewMatrix(len(xs), len(xs))
+	for i := 0; i < len(xs); i++ {
+		for j := i + 1; j < len(xs); j++ {
+			d := dist(xs[i], xs[j])
+			m.Set(i, j, d)
+			m.Set(j, i, d)
+		}
+	}
+	return m
+}
+
+// RankRows returns, for each row of m, the column indexes sorted by
+// ascending value (ties by index). Row i's ranking is the exact
+// nearest-neighbor ordering of object i against the column objects; it is
+// the ground truth used both for selective triple sampling (Sec. 6) and for
+// the retrieval-accuracy evaluation (Sec. 9).
+func RankRows(m *Matrix) [][]int {
+	out := make([][]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		idx := make([]int, m.Cols)
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if row[idx[a]] != row[idx[b]] {
+				return row[idx[a]] < row[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		out[i] = idx
+	}
+	return out
+}
+
+// GroundTruth holds, for each query, the database indexes ordered by exact
+// distance. It is the oracle against which retrieval accuracy is judged.
+type GroundTruth struct {
+	// Ranked[qi][r] is the database index of query qi's r-th nearest
+	// database object (r = 0 is the nearest).
+	Ranked [][]int
+	// Rank[qi][dbIndex] is the inverse permutation: the rank of dbIndex in
+	// query qi's exact ordering.
+	Rank [][]int
+}
+
+// NewGroundTruth computes exact rankings of every query against the whole
+// database. It evaluates len(queries)*len(db) exact distances.
+func NewGroundTruth[T any](dist Distance[T], queries, db []T) *GroundTruth {
+	m := ComputeMatrix(dist, queries, db)
+	return GroundTruthFromMatrix(m)
+}
+
+// GroundTruthFromMatrix builds a GroundTruth from a precomputed
+// queries x db distance matrix.
+func GroundTruthFromMatrix(m *Matrix) *GroundTruth {
+	gt := &GroundTruth{
+		Ranked: RankRows(m),
+		Rank:   make([][]int, m.Rows),
+	}
+	for qi := range gt.Ranked {
+		inv := make([]int, m.Cols)
+		for r, dbIdx := range gt.Ranked[qi] {
+			inv[dbIdx] = r
+		}
+		gt.Rank[qi] = inv
+	}
+	return gt
+}
+
+// TrueKNN returns the database indexes of query qi's k exact nearest
+// neighbors.
+func (g *GroundTruth) TrueKNN(qi, k int) []int {
+	if k > len(g.Ranked[qi]) {
+		k = len(g.Ranked[qi])
+	}
+	return g.Ranked[qi][:k]
+}
+
+// Split partitions indexes [0, n) into two disjoint random groups of sizes
+// nA and nB using the given permutation source. It panics if nA+nB > n.
+func Split(perm []int, nA, nB int) (a, b []int) {
+	if nA+nB > len(perm) {
+		panic(fmt.Sprintf("space: split %d+%d > %d", nA, nB, len(perm)))
+	}
+	return perm[:nA], perm[nA : nA+nB]
+}
+
+// ComputeMatrixParallel is ComputeMatrix with rows fanned out over the
+// given number of worker goroutines. The result is identical to the serial
+// version (each cell is computed independently); only wall-clock time
+// changes. workers < 2 falls back to the serial path. dist must be safe
+// for concurrent use — all distance oracles in this repository are pure
+// functions of their inputs.
+func ComputeMatrixParallel[T any](dist Distance[T], as, bs []T, workers int) *Matrix {
+	if workers < 2 || len(as) < 2 {
+		return ComputeMatrix(dist, as, bs)
+	}
+	if workers > len(as) {
+		workers = len(as)
+	}
+	m := NewMatrix(len(as), len(bs))
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				row := m.Row(i)
+				for j, b := range bs {
+					row[j] = dist(as[i], b)
+				}
+			}
+		}()
+	}
+	for i := range as {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	return m
+}
+
+// ComputeSymmetricMatrixParallel is ComputeSymmetricMatrix with the upper
+// triangle fanned out over worker goroutines, writing each unordered pair
+// once. The result is identical to the serial version.
+func ComputeSymmetricMatrixParallel[T any](dist Distance[T], xs []T, workers int) *Matrix {
+	if workers < 2 || len(xs) < 3 {
+		return ComputeSymmetricMatrix(dist, xs)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	m := NewMatrix(len(xs), len(xs))
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				for j := i + 1; j < len(xs); j++ {
+					d := dist(xs[i], xs[j])
+					m.Set(i, j, d)
+					m.Set(j, i, d)
+				}
+			}
+		}()
+	}
+	for i := range xs {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	return m
+}

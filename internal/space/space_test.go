@@ -1,0 +1,307 @@
+package space
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"qse/internal/metrics"
+)
+
+func l2(a, b []float64) float64 { return metrics.L2(a, b) }
+
+func TestCounterCounts(t *testing.T) {
+	c := NewCounter(l2)
+	a, b := []float64{0, 0}, []float64{3, 4}
+	if got := c.Distance(a, b); got != 5 {
+		t.Errorf("Distance = %v", got)
+	}
+	c.Distance(a, a)
+	if c.Count() != 2 {
+		t.Errorf("Count = %d, want 2", c.Count())
+	}
+	if prev := c.Reset(); prev != 2 {
+		t.Errorf("Reset returned %d, want 2", prev)
+	}
+	if c.Count() != 0 {
+		t.Errorf("Count after reset = %d", c.Count())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter(l2)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Distance([]float64{1}, []float64{2})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count() != goroutines*per {
+		t.Errorf("Count = %d, want %d", c.Count(), goroutines*per)
+	}
+}
+
+func TestKNearest(t *testing.T) {
+	db := [][]float64{{0}, {10}, {1}, {5}, {2}}
+	q := []float64{0}
+	got := KNearest(l2, q, db, 3)
+	wantIdx := []int{0, 2, 4}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, n := range got {
+		if n.Index != wantIdx[i] {
+			t.Errorf("neighbor %d = %d, want %d", i, n.Index, wantIdx[i])
+		}
+	}
+	if got[0].Distance != 0 || got[1].Distance != 1 {
+		t.Errorf("distances wrong: %+v", got)
+	}
+}
+
+func TestKNearestEdgeCases(t *testing.T) {
+	db := [][]float64{{1}, {2}}
+	if got := KNearest(l2, []float64{0}, db, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := KNearest(l2, []float64{0}, db, 10); len(got) != 2 {
+		t.Errorf("k>n should return all, got %d", len(got))
+	}
+	if got := KNearest(l2, []float64{0}, nil, 3); len(got) != 0 {
+		t.Error("empty db should return empty")
+	}
+}
+
+func TestKNearestDeterministicTies(t *testing.T) {
+	// All equidistant: ties must break by index.
+	db := [][]float64{{1}, {-1}, {1}, {-1}}
+	got := KNearest(l2, []float64{0}, db, 4)
+	for i, n := range got {
+		if n.Index != i {
+			t.Fatalf("tie-break not by index: %+v", got)
+		}
+	}
+}
+
+func TestKNearestCountsDistances(t *testing.T) {
+	c := NewCounter(l2)
+	db := make([][]float64, 17)
+	for i := range db {
+		db[i] = []float64{float64(i)}
+	}
+	KNearest(c.Distance, []float64{0}, db, 3)
+	if c.Count() != 17 {
+		t.Errorf("KNearest evaluated %d distances, want 17", c.Count())
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.At(0, 0) != 0 {
+		t.Error("Set/At wrong")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 7 {
+		t.Errorf("Row = %v", row)
+	}
+	// Row is a view.
+	row[0] = 3
+	if m.At(1, 0) != 3 {
+		t.Error("Row should be a view, not a copy")
+	}
+}
+
+func TestComputeMatrix(t *testing.T) {
+	as := [][]float64{{0}, {1}}
+	bs := [][]float64{{0}, {2}, {5}}
+	m := ComputeMatrix(l2, as, bs)
+	want := [][]float64{{0, 2, 5}, {1, 1, 4}}
+	for i := range want {
+		for j := range want[i] {
+			if m.At(i, j) != want[i][j] {
+				t.Errorf("m[%d][%d] = %v, want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestComputeSymmetricMatrixMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([][]float64, 9)
+	for i := range xs {
+		xs[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	c := NewCounter(l2)
+	sym := ComputeSymmetricMatrix(c.Distance, xs)
+	wantEvals := int64(len(xs) * (len(xs) - 1) / 2)
+	if c.Count() != wantEvals {
+		t.Errorf("symmetric matrix used %d evals, want %d", c.Count(), wantEvals)
+	}
+	full := ComputeMatrix(l2, xs, xs)
+	for i := 0; i < len(xs); i++ {
+		for j := 0; j < len(xs); j++ {
+			if math.Abs(sym.At(i, j)-full.At(i, j)) > 1e-12 {
+				t.Fatalf("mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRankRows(t *testing.T) {
+	m := NewMatrix(1, 4)
+	for j, v := range []float64{3, 1, 2, 0} {
+		m.Set(0, j, v)
+	}
+	ranks := RankRows(m)
+	want := []int{3, 1, 2, 0}
+	for i, v := range want {
+		if ranks[0][i] != v {
+			t.Fatalf("RankRows = %v, want %v", ranks[0], want)
+		}
+	}
+}
+
+func TestGroundTruthInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := make([][]float64, 20)
+	for i := range db {
+		db[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	queries := db[:5]
+	gt := NewGroundTruth(l2, queries, db)
+	for qi := range queries {
+		// Rank must be the inverse of Ranked.
+		for r, dbIdx := range gt.Ranked[qi] {
+			if gt.Rank[qi][dbIdx] != r {
+				t.Fatalf("Rank not inverse of Ranked at q%d", qi)
+			}
+		}
+		// A query drawn from the db must have itself as nearest neighbor.
+		if gt.Ranked[qi][0] != qi {
+			t.Errorf("query %d nearest is %d, want itself", qi, gt.Ranked[qi][0])
+		}
+	}
+	// TrueKNN truncates properly.
+	if got := gt.TrueKNN(0, 3); len(got) != 3 {
+		t.Errorf("TrueKNN(3) len = %d", len(got))
+	}
+	if got := gt.TrueKNN(0, 100); len(got) != len(db) {
+		t.Errorf("TrueKNN(100) len = %d", len(got))
+	}
+}
+
+func TestGroundTruthMatchesKNearest(t *testing.T) {
+	// Property: GroundTruth's top-k agrees with KNearest for random inputs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		db := make([][]float64, n)
+		for i := range db {
+			db[i] = []float64{rng.NormFloat64()}
+		}
+		q := []float64{rng.NormFloat64()}
+		gt := NewGroundTruth(l2, [][]float64{q}, db)
+		knn := KNearest(l2, q, db, 5)
+		top := gt.TrueKNN(0, 5)
+		for i := range knn {
+			if knn[i].Index != top[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	perm := []int{5, 3, 1, 4, 2, 0}
+	a, b := Split(perm, 2, 3)
+	if len(a) != 2 || len(b) != 3 {
+		t.Fatalf("split sizes wrong: %v %v", a, b)
+	}
+	if a[0] != 5 || b[0] != 1 {
+		t.Errorf("split contents wrong: %v %v", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized split should panic")
+		}
+	}()
+	Split(perm, 4, 4)
+}
+
+func TestSortNeighborsStable(t *testing.T) {
+	ns := []Neighbor{{3, 1}, {1, 1}, {2, 0.5}}
+	SortNeighbors(ns)
+	if ns[0].Index != 2 || ns[1].Index != 1 || ns[2].Index != 3 {
+		t.Errorf("SortNeighbors = %+v", ns)
+	}
+}
+
+func TestComputeMatrixParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	as := make([][]float64, 13)
+	bs := make([][]float64, 7)
+	for i := range as {
+		as[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	for i := range bs {
+		bs[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	serial := ComputeMatrix(l2, as, bs)
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		par := ComputeMatrixParallel(l2, as, bs, workers)
+		for i := 0; i < serial.Rows; i++ {
+			for j := 0; j < serial.Cols; j++ {
+				if par.At(i, j) != serial.At(i, j) {
+					t.Fatalf("workers=%d: mismatch at (%d,%d)", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeSymmetricMatrixParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	xs := make([][]float64, 15)
+	for i := range xs {
+		xs[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	serial := ComputeSymmetricMatrix(l2, xs)
+	for _, workers := range []int{0, 2, 5, 50} {
+		par := ComputeSymmetricMatrixParallel(l2, xs, workers)
+		for i := 0; i < serial.Rows; i++ {
+			for j := 0; j < serial.Cols; j++ {
+				if par.At(i, j) != serial.At(i, j) {
+					t.Fatalf("workers=%d: mismatch at (%d,%d)", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeMatrixParallelCountsEveryCell(t *testing.T) {
+	c := NewCounter(l2)
+	as := [][]float64{{1}, {2}, {3}, {4}}
+	bs := [][]float64{{5}, {6}, {7}}
+	ComputeMatrixParallel(c.Distance, as, bs, 3)
+	if c.Count() != 12 {
+		t.Errorf("parallel compute used %d evals, want 12", c.Count())
+	}
+	c.Reset()
+	ComputeSymmetricMatrixParallel(c.Distance, as, 3)
+	if c.Count() != 6 {
+		t.Errorf("parallel symmetric used %d evals, want 6", c.Count())
+	}
+}

@@ -1,0 +1,281 @@
+// Package timeseries generates the synthetic time-series database used by
+// the DTW experiments. It follows the construction of the dataset of
+// Vlachos et al. [32], which the paper reuses: a handful of seed sequences
+// ("various real datasets were used as seeds"), each expanded into many
+// variants by "incorporating small variations in the original patterns as
+// well as additions of random compression and decompression in time".
+// Sequences are multi-dimensional and normalized by subtracting the
+// per-dimension mean.
+//
+// We synthesize the seeds themselves (cylinder/bell/funnel shapes, sinusoid
+// mixtures, smoothed random walks, and an ECG-like spike train) because the
+// original seed recordings are not distributed; the neighborhood structure
+// the experiments rely on — a few pattern families, many time-warped
+// variants of each — is created by the variant recipe, not by the specific
+// seed waveforms.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qse/internal/dtw"
+)
+
+// Config controls dataset generation.
+type Config struct {
+	// Length is the stored length of every sequence (default 128; the
+	// dataset of [32] averages 500 — see DESIGN.md on scaling).
+	Length int
+	// Dims is the dimensionality of each sample (default 2, matching the
+	// multi-dimensional trajectories of [32]).
+	Dims int
+	// Seeds is the number of seed patterns (default 16).
+	Seeds int
+	// AmplitudeNoise is the std-dev of the additive noise applied to
+	// variants (default 0.05).
+	AmplitudeNoise float64
+	// WarpStrength in (0,1) controls how strongly variants are compressed
+	// or decompressed in time (default 0.25).
+	WarpStrength float64
+	// WarpSegments is the number of piecewise time-warp segments
+	// (default 4).
+	WarpSegments int
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Length:         128,
+		Dims:           2,
+		Seeds:          16,
+		AmplitudeNoise: 0.05,
+		WarpStrength:   0.25,
+		WarpSegments:   4,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Length == 0 {
+		c.Length = d.Length
+	}
+	if c.Dims == 0 {
+		c.Dims = d.Dims
+	}
+	if c.Seeds == 0 {
+		c.Seeds = d.Seeds
+	}
+	if c.AmplitudeNoise == 0 {
+		c.AmplitudeNoise = d.AmplitudeNoise
+	}
+	if c.WarpStrength == 0 {
+		c.WarpStrength = d.WarpStrength
+	}
+	if c.WarpSegments == 0 {
+		c.WarpSegments = d.WarpSegments
+	}
+}
+
+// Generator produces seed patterns and their variants.
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	seeds []dtw.Series
+}
+
+// NewGenerator builds a Generator with cfg (zero fields take defaults) and
+// synthesizes the seed patterns immediately so that SeedCount is stable.
+func NewGenerator(cfg Config, rng *rand.Rand) *Generator {
+	cfg.fillDefaults()
+	g := &Generator{cfg: cfg, rng: rng}
+	g.seeds = make([]dtw.Series, cfg.Seeds)
+	for i := range g.seeds {
+		g.seeds[i] = g.makeSeed(i)
+	}
+	return g
+}
+
+// Config returns the effective configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// SeedCount returns the number of seed patterns.
+func (g *Generator) SeedCount() int { return len(g.seeds) }
+
+// Seed returns seed pattern i (a defensive copy).
+func (g *Generator) Seed(i int) dtw.Series { return g.seeds[i].Clone() }
+
+// makeSeed synthesizes one seed pattern, cycling through four families.
+func (g *Generator) makeSeed(i int) dtw.Series {
+	n, d := g.cfg.Length, g.cfg.Dims
+	s := make(dtw.Series, n)
+	for t := range s {
+		s[t] = make([]float64, d)
+	}
+	for k := 0; k < d; k++ {
+		var wave []float64
+		switch i % 4 {
+		case 0:
+			wave = cylinderBellFunnel(g.rng, n, i/4%3)
+		case 1:
+			wave = sinusoidMixture(g.rng, n)
+		case 2:
+			wave = smoothedRandomWalk(g.rng, n)
+		default:
+			wave = ecgLike(g.rng, n)
+		}
+		for t := range wave {
+			s[t][k] = wave[t]
+		}
+	}
+	return s.Normalize()
+}
+
+// cylinderBellFunnel produces the classic CBF shapes: a plateau (cylinder),
+// a ramp up (bell), or a ramp down (funnel) over a random support interval.
+func cylinderBellFunnel(rng *rand.Rand, n, kind int) []float64 {
+	a := int(float64(n) * (0.15 + 0.15*rng.Float64()))
+	b := int(float64(n) * (0.6 + 0.25*rng.Float64()))
+	if b <= a {
+		b = a + 1
+	}
+	amp := 1 + rng.Float64()
+	out := make([]float64, n)
+	for t := a; t < b && t < n; t++ {
+		frac := float64(t-a) / float64(b-a)
+		switch kind {
+		case 0: // cylinder
+			out[t] = amp
+		case 1: // bell
+			out[t] = amp * frac
+		default: // funnel
+			out[t] = amp * (1 - frac)
+		}
+	}
+	return out
+}
+
+func sinusoidMixture(rng *rand.Rand, n int) []float64 {
+	f1 := 1 + rng.Float64()*3
+	f2 := 4 + rng.Float64()*6
+	a2 := 0.2 + rng.Float64()*0.4
+	ph1, ph2 := rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi
+	out := make([]float64, n)
+	for t := range out {
+		x := float64(t) / float64(n) * 2 * math.Pi
+		out[t] = math.Sin(f1*x+ph1) + a2*math.Sin(f2*x+ph2)
+	}
+	return out
+}
+
+func smoothedRandomWalk(rng *rand.Rand, n int) []float64 {
+	raw := make([]float64, n)
+	v := 0.0
+	for t := range raw {
+		v += rng.NormFloat64() * 0.3
+		raw[t] = v
+	}
+	// Moving-average smoothing, window 5.
+	out := make([]float64, n)
+	for t := range out {
+		var sum float64
+		var cnt int
+		for j := t - 2; j <= t+2; j++ {
+			if j >= 0 && j < n {
+				sum += raw[j]
+				cnt++
+			}
+		}
+		out[t] = sum / float64(cnt)
+	}
+	return out
+}
+
+func ecgLike(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	period := n/4 + rng.Intn(n/4)
+	offset := rng.Intn(period)
+	for t := range out {
+		phase := (t + offset) % period
+		switch {
+		case phase == 0:
+			out[t] = 2.5 // R spike
+		case phase == 1:
+			out[t] = -0.8 // S dip
+		case phase >= period/2 && phase < period/2+period/8:
+			out[t] = 0.4 // T bump
+		}
+	}
+	return out
+}
+
+// Variant produces a random variation of seed i: piecewise-linear random
+// time compression/decompression, small amplitude noise, then resampling
+// back to the configured length and mean normalization.
+func (g *Generator) Variant(i int) (dtw.Series, error) {
+	if i < 0 || i >= len(g.seeds) {
+		return nil, fmt.Errorf("timeseries: seed %d out of range [0,%d)", i, len(g.seeds))
+	}
+	s := g.timeWarp(g.seeds[i])
+	for t := range s {
+		for k := range s[t] {
+			s[t][k] += g.rng.NormFloat64() * g.cfg.AmplitudeNoise
+		}
+	}
+	return s.Normalize(), nil
+}
+
+// timeWarp applies random compression/decompression: the time axis is cut
+// into WarpSegments pieces, each stretched by a random factor in
+// [1-WarpStrength, 1+WarpStrength], and the result is resampled to the
+// configured length.
+func (g *Generator) timeWarp(s dtw.Series) dtw.Series {
+	segs := g.cfg.WarpSegments
+	n := len(s)
+	bounds := make([]int, segs+1)
+	for i := 0; i <= segs; i++ {
+		bounds[i] = i * n / segs
+	}
+	var warped dtw.Series
+	for i := 0; i < segs; i++ {
+		piece := s[bounds[i]:bounds[i+1]]
+		factor := 1 + (g.rng.Float64()*2-1)*g.cfg.WarpStrength
+		newLen := int(math.Round(float64(len(piece)) * factor))
+		if newLen < 2 {
+			newLen = 2
+		}
+		warped = append(warped, dtw.Resample(piece, newLen)...)
+	}
+	return dtw.Resample(warped, g.cfg.Length)
+}
+
+// Dataset is a generated collection: every sequence carries the seed index
+// it derives from, which plays the role of a class label in tests.
+type Dataset struct {
+	Series []dtw.Series
+	SeedOf []int
+}
+
+// GenerateDataset produces n variants with seeds assigned round-robin, so
+// every seed family is represented nearly equally (as in [32], where every
+// real seed contributes multiple copies).
+func (g *Generator) GenerateDataset(n int) (*Dataset, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("timeseries: negative dataset size %d", n)
+	}
+	ds := &Dataset{
+		Series: make([]dtw.Series, n),
+		SeedOf: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		seed := i % len(g.seeds)
+		v, err := g.Variant(seed)
+		if err != nil {
+			return nil, err
+		}
+		ds.Series[i] = v
+		ds.SeedOf[i] = seed
+	}
+	return ds, nil
+}

@@ -1,0 +1,207 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qse/internal/dtw"
+)
+
+func TestGeneratorBasics(t *testing.T) {
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(1)))
+	cfg := g.Config()
+	if cfg.Length != 128 || cfg.Dims != 2 || cfg.Seeds != 16 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if g.SeedCount() != 16 {
+		t.Fatalf("SeedCount = %d", g.SeedCount())
+	}
+	for i := 0; i < g.SeedCount(); i++ {
+		s := g.Seed(i)
+		if len(s) != cfg.Length {
+			t.Fatalf("seed %d length = %d", i, len(s))
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d invalid: %v", i, err)
+		}
+		if s.Dims() != cfg.Dims {
+			t.Fatalf("seed %d dims = %d", i, s.Dims())
+		}
+	}
+}
+
+func TestSeedIsDefensiveCopy(t *testing.T) {
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(1)))
+	s := g.Seed(0)
+	s[0][0] = 12345
+	if g.Seed(0)[0][0] == 12345 {
+		t.Error("Seed should return a copy")
+	}
+}
+
+func TestVariantBasics(t *testing.T) {
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(2)))
+	v, err := g.Variant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != g.Config().Length {
+		t.Fatalf("variant length = %d", len(v))
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Variants are mean-normalized per dimension.
+	for k := 0; k < v.Dims(); k++ {
+		var mean float64
+		for t2 := range v {
+			mean += v[t2][k]
+		}
+		mean /= float64(len(v))
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("dim %d mean = %v, want 0", k, mean)
+		}
+	}
+}
+
+func TestVariantRange(t *testing.T) {
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(2)))
+	if _, err := g.Variant(-1); err == nil {
+		t.Error("negative seed should error")
+	}
+	if _, err := g.Variant(100); err == nil {
+		t.Error("out-of-range seed should error")
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	g := NewGenerator(Config{}, rand.New(rand.NewSource(3)))
+	a, _ := g.Variant(0)
+	b, _ := g.Variant(0)
+	same := true
+	for t2 := range a {
+		for k := range a[t2] {
+			if a[t2][k] != b[t2][k] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("two variants of the same seed should differ")
+	}
+}
+
+func TestVariantClusterStructure(t *testing.T) {
+	// The defining property of the [32] dataset: under constrained DTW,
+	// variants of the same seed are much closer to each other than to
+	// variants of other seeds. Without this, the retrieval experiments
+	// would be meaningless.
+	g := NewGenerator(Config{Seeds: 4, Length: 64}, rand.New(rand.NewSource(4)))
+	const perSeed = 3
+	var all []dtw.Series
+	var seedOf []int
+	for seed := 0; seed < 4; seed++ {
+		for i := 0; i < perSeed; i++ {
+			v, err := g.Variant(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, v)
+			seedOf = append(seedOf, seed)
+		}
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := range all {
+		for j := range all {
+			if i == j {
+				continue
+			}
+			d := dtw.Constrained(all[i], all[j], 0.1)
+			if seedOf[i] == seedOf[j] {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra*1.5 >= inter {
+		t.Errorf("intra %.2f not well below inter %.2f", intra, inter)
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	g := NewGenerator(Config{Seeds: 5}, rand.New(rand.NewSource(5)))
+	ds, err := g.GenerateDataset(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Series) != 23 || len(ds.SeedOf) != 23 {
+		t.Fatalf("sizes %d %d", len(ds.Series), len(ds.SeedOf))
+	}
+	counts := make([]int, 5)
+	for i, s := range ds.Series {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("series %d: %v", i, err)
+		}
+		counts[ds.SeedOf[i]]++
+	}
+	// Round-robin: counts differ by at most 1.
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("seed assignment not balanced: %v", counts)
+	}
+	if _, err := g.GenerateDataset(-1); err == nil {
+		t.Error("negative size should error")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := NewGenerator(Config{}, rand.New(rand.NewSource(7)))
+	b := NewGenerator(Config{}, rand.New(rand.NewSource(7)))
+	va, _ := a.Variant(3)
+	vb, _ := b.Variant(3)
+	for t2 := range va {
+		for k := range va[t2] {
+			if va[t2][k] != vb[t2][k] {
+				t.Fatal("same RNG seed should give identical variants")
+			}
+		}
+	}
+}
+
+func TestSeedFamiliesDistinct(t *testing.T) {
+	// Different seeds should be DTW-distinguishable.
+	g := NewGenerator(Config{Seeds: 8, Length: 64}, rand.New(rand.NewSource(8)))
+	for i := 0; i < g.SeedCount(); i++ {
+		for j := i + 1; j < g.SeedCount(); j++ {
+			if d := dtw.Constrained(g.Seed(i), g.Seed(j), 0.1); d == 0 {
+				t.Errorf("seeds %d and %d are identical", i, j)
+			}
+		}
+	}
+}
+
+func TestCustomConfigRespected(t *testing.T) {
+	g := NewGenerator(Config{Length: 50, Dims: 3, Seeds: 2}, rand.New(rand.NewSource(9)))
+	v, err := g.Variant(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 50 || v.Dims() != 3 {
+		t.Errorf("got %dx%d", len(v), v.Dims())
+	}
+}

@@ -1,0 +1,271 @@
+package vafile
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"qse/internal/space"
+)
+
+func randVecs(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+// linearTopP is the reference implementation: full scan + sort.
+func linearTopP(vecs [][]float64, qvec, weights []float64, p int) []space.Neighbor {
+	all := make([]space.Neighbor, len(vecs))
+	for i, v := range vecs {
+		all[i] = space.Neighbor{Index: i, Distance: weightedL1(weights, qvec, v)}
+	}
+	space.SortNeighbors(all)
+	if p > len(all) {
+		p = len(all)
+	}
+	return all[:p]
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("no vectors should error")
+	}
+	if _, err := Build([][]float64{{}}, 4); err == nil {
+		t.Error("zero dims should error")
+	}
+	if _, err := Build([][]float64{{1}, {1, 2}}, 4); err == nil {
+		t.Error("ragged should error")
+	}
+	if _, err := Build([][]float64{{1}}, 0); err == nil {
+		t.Error("bits=0 should error")
+	}
+	if _, err := Build([][]float64{{1}}, 9); err == nil {
+		t.Error("bits=9 should error")
+	}
+}
+
+func TestTopPMatchesLinearScanUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := randVecs(rng, 300, 8)
+	ix, err := Build(vecs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randVecs(rng, 1, 8)[0]
+		for _, p := range []int{1, 5, 20} {
+			got, _, err := ix.TopP(q, nil, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := linearTopP(vecs, q, nil, p)
+			if len(got) != len(want) {
+				t.Fatalf("p=%d: %d results, want %d", p, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Index != want[i].Index {
+					t.Fatalf("trial %d p=%d rank %d: got %d want %d", trial, p, i, got[i].Index, want[i].Index)
+				}
+			}
+		}
+	}
+}
+
+func TestTopPMatchesLinearScanWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vecs := randVecs(rng, 250, 6)
+	ix, err := Build(vecs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randVecs(rng, 1, 6)[0]
+		w := make([]float64, 6)
+		for d := range w {
+			w[d] = rng.Float64() * 3
+		}
+		// Sparse weights (common for query-sensitive models): zero some.
+		w[trial%6] = 0
+		got, _, err := ix.TopP(q, w, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := linearTopP(vecs, q, w, 10)
+		for i := range want {
+			if got[i].Index != want[i].Index {
+				t.Fatalf("trial %d rank %d: got %d want %d", trial, i, got[i].Index, want[i].Index)
+			}
+		}
+	}
+}
+
+func TestTopPPruning(t *testing.T) {
+	// On clustered data the bound phase must prune a large share of full
+	// evaluations — the reason the VA-file exists.
+	rng := rand.New(rand.NewSource(3))
+	centers := randVecs(rng, 10, 8)
+	vecs := make([][]float64, 1000)
+	for i := range vecs {
+		c := centers[i%10]
+		vecs[i] = make([]float64, 8)
+		for d := range vecs[i] {
+			vecs[i][d] = c[d] + rng.NormFloat64()*0.05
+		}
+	}
+	ix, err := Build(vecs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := centers[3]
+	_, st, err := ix.TopP(q, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullEvaluations >= len(vecs)/2 {
+		t.Errorf("VA-file evaluated %d of %d vectors — bounds are not pruning", st.FullEvaluations, len(vecs))
+	}
+}
+
+func TestTopPEdgeCases(t *testing.T) {
+	vecs := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	ix, err := Build(vecs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := ix.TopP([]float64{0, 0}, nil, 0); err != nil || got != nil {
+		t.Errorf("p=0: %v %v", got, err)
+	}
+	got, _, err := ix.TopP([]float64{0, 0}, nil, 100)
+	if err != nil || len(got) != 3 {
+		t.Errorf("p>n: %v, %d results", err, len(got))
+	}
+	if _, _, err := ix.TopP([]float64{0}, nil, 1); err == nil {
+		t.Error("wrong query dims should error")
+	}
+	if _, _, err := ix.TopP([]float64{0, 0}, []float64{1}, 1); err == nil {
+		t.Error("wrong weight dims should error")
+	}
+	if _, _, err := ix.TopP([]float64{0, 0}, []float64{-1, 1}, 1); err == nil {
+		t.Error("negative weight should error")
+	}
+}
+
+func TestConstantDimension(t *testing.T) {
+	// A constant dimension collapses all cells; bounds must stay valid.
+	vecs := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	ix, err := Build(vecs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.TopP([]float64{2.4, 7}, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linearTopP(vecs, []float64{2.4, 7}, nil, 2)
+	for i := range want {
+		if got[i].Index != want[i].Index {
+			t.Fatalf("rank %d: got %d want %d", i, got[i].Index, want[i].Index)
+		}
+	}
+}
+
+func TestQueryOutsideDataRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vecs := randVecs(rng, 100, 4)
+	ix, err := Build(vecs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{100, -100, 50, -50} // far outside every boundary
+	got, _, err := ix.TopP(q, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linearTopP(vecs, q, nil, 5)
+	for i := range want {
+		if got[i].Index != want[i].Index {
+			t.Fatalf("rank %d: got %d want %d", i, got[i].Index, want[i].Index)
+		}
+	}
+}
+
+func TestTopPPropertyExactness(t *testing.T) {
+	// Property: for random data, weights, and p, the VA-file scan equals
+	// the linear scan exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		d := 1 + rng.Intn(6)
+		bits := 1 + rng.Intn(6)
+		vecs := randVecs(rng, n, d)
+		ix, err := Build(vecs, bits)
+		if err != nil {
+			return false
+		}
+		q := randVecs(rng, 1, d)[0]
+		var w []float64
+		if rng.Intn(2) == 0 {
+			w = make([]float64, d)
+			for j := range w {
+				w[j] = rng.Float64() * 2
+			}
+		}
+		p := 1 + rng.Intn(n)
+		got, _, err := ix.TopP(q, w, p)
+		if err != nil {
+			return false
+		}
+		want := linearTopP(vecs, q, w, p)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Index != want[i].Index {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellOfBoundaries(t *testing.T) {
+	vecs := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}}
+	ix, err := Build(vecs, 2) // 4 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := make([]uint8, len(vecs))
+	for i, v := range vecs {
+		cells[i] = ix.cellOf(0, v[0])
+	}
+	if !sort.SliceIsSorted(cells, func(i, j int) bool { return cells[i] < cells[j] }) {
+		t.Errorf("cells not monotone: %v", cells)
+	}
+	if cells[0] != 0 || cells[len(cells)-1] != 3 {
+		t.Errorf("extremes: %v", cells)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	vecs := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	ix, err := Build(vecs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Size() != 2 || ix.Dims() != 3 {
+		t.Errorf("Size/Dims = %d/%d", ix.Size(), ix.Dims())
+	}
+	if ix.ApproximationBytes() != 6 {
+		t.Errorf("ApproximationBytes = %d", ix.ApproximationBytes())
+	}
+}

@@ -1,0 +1,133 @@
+package vlachos
+
+import (
+	"testing"
+
+	"qse/internal/dtw"
+	"qse/internal/space"
+	"qse/internal/stats"
+	"qse/internal/timeseries"
+)
+
+func testData(t *testing.T, n int) (*timeseries.Dataset, *timeseries.Generator) {
+	t.Helper()
+	g := timeseries.NewGenerator(timeseries.Config{Length: 64, Dims: 2, Seeds: 8}, stats.NewRand(1))
+	ds, err := g.GenerateDataset(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, g
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 0.1); err == nil {
+		t.Error("empty db should error")
+	}
+	ds, _ := testData(t, 5)
+	if _, err := Build(ds.Series, -1); err == nil {
+		t.Error("bad delta should error")
+	}
+	bad := append([]dtw.Series(nil), ds.Series...)
+	bad[2] = bad[2][:10] // wrong length
+	if _, err := Build(bad, 0.1); err == nil {
+		t.Error("mixed lengths should error")
+	}
+}
+
+func TestSearchIsExact(t *testing.T) {
+	// The defining property: results identical to brute-force constrained
+	// DTW search, for every query and several k.
+	ds, g := testData(t, 120)
+	ix, err := Build(ds.Series, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := func(a, b dtw.Series) float64 {
+		return dtw.ConstrainedWindow(a, b, ix.Window())
+	}
+	for qi := 0; qi < 10; qi++ {
+		q, err := g.Variant(qi % g.SeedCount())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 3, 10} {
+			got, st, err := ix.Search(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := space.KNearest(exact, q, ds.Series, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d results", k, len(got))
+			}
+			for i := range want {
+				if got[i].Index != want[i].Index {
+					t.Fatalf("q%d k=%d rank %d: got %d want %d", qi, k, i, got[i].Index, want[i].Index)
+				}
+			}
+			if st.ExactDTW+st.Pruned != len(ds.Series) {
+				t.Errorf("accounting: %d + %d != %d", st.ExactDTW, st.Pruned, len(ds.Series))
+			}
+		}
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	// On the clustered dataset the bound should prune a nontrivial
+	// fraction — that is the entire point of [32]'s index.
+	ds, g := testData(t, 200)
+	ix, err := Build(ds.Series, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalExact int
+	const queries = 10
+	for qi := 0; qi < queries; qi++ {
+		q, err := g.Variant(qi % g.SeedCount())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := ix.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalExact += st.ExactDTW
+	}
+	meanExact := float64(totalExact) / queries
+	if meanExact > 0.8*float64(len(ds.Series)) {
+		t.Errorf("mean exact DTW %.1f of %d — LB_Keogh pruned almost nothing", meanExact, len(ds.Series))
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ds, g := testData(t, 20)
+	ix, err := Build(ds.Series, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := g.Variant(0)
+	if _, _, err := ix.Search(q, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, _, err := ix.Search(q[:5], 1); err == nil {
+		t.Error("wrong-length query should error")
+	}
+	// k > n clamps.
+	got, _, err := ix.Search(q, 100)
+	if err != nil || len(got) != 20 {
+		t.Errorf("oversized k: %v, %d results", err, len(got))
+	}
+}
+
+func TestWindowAndSize(t *testing.T) {
+	ds, _ := testData(t, 10)
+	ix, err := Build(ds.Series, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Window() != 7 { // ceil(0.1 * 64)
+		t.Errorf("Window = %d, want 7", ix.Window())
+	}
+	if ix.Size() != 10 {
+		t.Errorf("Size = %d", ix.Size())
+	}
+}

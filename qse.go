@@ -1,0 +1,357 @@
+// Package qse is a Go implementation of Query-Sensitive Embeddings
+// (Athitsos, Hadjieleftheriou, Kollios, Sclaroff — SIGMOD 2005): fast
+// approximate nearest-neighbor retrieval in arbitrary spaces with
+// expensive, possibly non-metric distance measures.
+//
+// The method learns, with AdaBoost over one-dimensional embeddings, both a
+// mapping F : X → R^d and a query-sensitive weighted-L1 distance whose
+// per-coordinate weights adapt to each query. Retrieval is
+// filter-and-refine: the query is embedded (a handful of exact distance
+// computations), the embedded database is ranked with cheap vector
+// arithmetic, and only the best p candidates are re-ranked with the exact
+// distance.
+//
+// Typical use:
+//
+//	dist := func(a, b MyObject) float64 { ... }           // any distance
+//	model, err := qse.Train(db, dist, qse.DefaultTrainConfig())
+//	index, err := qse.NewIndex(model, db, dist)
+//	results, stats, err := index.Search(query, 10, 200)   // 10-NN, p = 200
+//
+// The package is generic over the object type: images, time series,
+// strings, vectors — anything with a distance function. See examples/ for
+// runnable end-to-end programs and DESIGN.md for how this implementation
+// maps onto the paper.
+package qse
+
+import (
+	"fmt"
+	"io"
+
+	"qse/internal/core"
+	"qse/internal/fastmap"
+	"qse/internal/retrieval"
+	"qse/internal/space"
+)
+
+// Distance is an exact distance oracle over an arbitrary object space. It
+// need not be metric, symmetric, or Euclidean — only meaningful as a
+// dissimilarity.
+type Distance[T any] func(a, b T) float64
+
+// Variant names the four method configurations of the paper's evaluation.
+type Variant int
+
+const (
+	// SeQS — selective triples + query-sensitive distance: the paper's
+	// proposed method and the default.
+	SeQS Variant = iota
+	// SeQI — selective triples, global weighted L1.
+	SeQI
+	// RaQS — random triples, query-sensitive distance.
+	RaQS
+	// RaQI — random triples, global weighted L1: the original BoostMap.
+	RaQI
+)
+
+func (v Variant) String() string {
+	switch v {
+	case SeQS:
+		return "Se-QS"
+	case SeQI:
+		return "Se-QI"
+	case RaQS:
+		return "Ra-QS"
+	case RaQI:
+		return "Ra-QI"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+func (v Variant) mode() (core.Mode, core.Sampling, error) {
+	switch v {
+	case SeQS:
+		return core.QuerySensitive, core.SelectiveTriples, nil
+	case SeQI:
+		return core.QueryInsensitive, core.SelectiveTriples, nil
+	case RaQS:
+		return core.QuerySensitive, core.RandomTriples, nil
+	case RaQI:
+		return core.QueryInsensitive, core.RandomTriples, nil
+	default:
+		return 0, 0, fmt.Errorf("qse: unknown variant %d", int(v))
+	}
+}
+
+// TrainConfig controls training. Zero-valued fields of DefaultTrainConfig
+// are sensible for databases of a few thousand objects; scale Candidates /
+// TrainingPool / Triples up with the database (the paper uses 5,000 /
+// 5,000 / 300,000 on a 60,000-object database and Fig. 6 shows 200 / 200 /
+// 10,000 still works).
+type TrainConfig struct {
+	// Variant selects the method (default SeQS).
+	Variant Variant
+	// Rounds is the number of boosting rounds J (embedding dimensionality
+	// is at most Rounds).
+	Rounds int
+	// Candidates is |C|: objects available as reference/pivot objects.
+	Candidates int
+	// TrainingPool is |X_tr|: objects training triples are drawn from.
+	TrainingPool int
+	// Triples is the number of training triples t.
+	Triples int
+	// K1 is the selective-sampling radius (Sec. 6); set it to roughly
+	// kmax * |X_tr| / |database| where kmax is the largest k you will
+	// query. Ignored by Ra variants.
+	K1 int
+	// EmbeddingsPerRound and IntervalsPerEmbedding size the per-round weak
+	// classifier pool.
+	EmbeddingsPerRound    int
+	IntervalsPerEmbedding int
+	// PivotFraction is the share of pivot-pair (FastMap-style) 1D
+	// embeddings in the pool; the rest are reference embeddings.
+	PivotFraction float64
+	// Seed makes training reproducible.
+	Seed int64
+}
+
+// DefaultTrainConfig returns the laptop-scale Se-QS configuration.
+func DefaultTrainConfig() TrainConfig {
+	o := core.DefaultOptions()
+	return TrainConfig{
+		Variant:               SeQS,
+		Rounds:                o.Rounds,
+		Candidates:            o.NumCandidates,
+		TrainingPool:          o.NumTraining,
+		Triples:               o.NumTriples,
+		K1:                    o.K1,
+		EmbeddingsPerRound:    o.EmbeddingsPerRound,
+		IntervalsPerEmbedding: o.IntervalsPerEmbedding,
+		PivotFraction:         o.PivotFraction,
+	}
+}
+
+func (c TrainConfig) options() (core.Options, error) {
+	mode, sampling, err := c.Variant.mode()
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{
+		Mode:                  mode,
+		Sampling:              sampling,
+		Rounds:                c.Rounds,
+		NumCandidates:         c.Candidates,
+		NumTraining:           c.TrainingPool,
+		NumTriples:            c.Triples,
+		K1:                    c.K1,
+		EmbeddingsPerRound:    c.EmbeddingsPerRound,
+		IntervalsPerEmbedding: c.IntervalsPerEmbedding,
+		PivotFraction:         c.PivotFraction,
+		Seed:                  c.Seed,
+	}, nil
+}
+
+// TrainReport summarizes a training run.
+type TrainReport struct {
+	// Variant is the trained method's name (e.g. "Se-QS").
+	Variant string
+	// PreprocessedDistances is the one-time exact-distance cost of the
+	// training matrices (Sec. 7).
+	PreprocessedDistances int64
+	// Rounds is the number of boosting rounds actually committed.
+	Rounds int
+	// TrainingError is the final triple-classification error on the
+	// training set (0.5 = random).
+	TrainingError float64
+}
+
+// Model is a trained query-sensitive embedding.
+type Model[T any] struct {
+	inner  *core.Model[T]
+	report TrainReport
+}
+
+// Train learns a model on db with the exact distance dist. The model keeps
+// references to objects in db (its candidate objects); db must outlive it.
+func Train[T any](db []T, dist Distance[T], cfg TrainConfig) (*Model[T], error) {
+	opts, err := cfg.options()
+	if err != nil {
+		return nil, err
+	}
+	inner, report, err := core.Train(db, space.Distance[T](dist), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Model[T]{
+		inner: inner,
+		report: TrainReport{
+			Variant:               report.Variant,
+			PreprocessedDistances: report.PreprocessedDistances,
+			Rounds:                len(report.Rounds),
+			TrainingError:         report.FinalTrainingError(),
+		},
+	}, nil
+}
+
+// Report returns the training summary.
+func (m *Model[T]) Report() TrainReport { return m.report }
+
+// Dims returns the embedding dimensionality d.
+func (m *Model[T]) Dims() int { return m.inner.Dims() }
+
+// EmbedCost returns the number of exact distance computations needed to
+// embed one query.
+func (m *Model[T]) EmbedCost() int { return m.inner.EmbedCost() }
+
+// Embed maps an object to its d-dimensional vector (EmbedCost exact
+// distance computations).
+func (m *Model[T]) Embed(x T) []float64 { return m.inner.Embed(x) }
+
+// QueryWeights returns the query-sensitive coordinate weights A_i(q) for a
+// query's embedding vector (Eq. 10 of the paper). For QI variants the
+// weights are the same for every query.
+func (m *Model[T]) QueryWeights(qvec []float64) []float64 {
+	return m.inner.QueryWeights(qvec)
+}
+
+// Save serializes the model. The candidate objects are stored as indexes
+// into the training database, so Load must be given the same db.
+func (m *Model[T]) Save(w io.Writer) error { return m.inner.Save(w) }
+
+// LoadModel restores a model saved with Save against the same database it
+// was trained on.
+func LoadModel[T any](r io.Reader, db []T, dist Distance[T]) (*Model[T], error) {
+	inner, err := core.Load(r, db, space.Distance[T](dist))
+	if err != nil {
+		return nil, err
+	}
+	return &Model[T]{inner: inner, report: TrainReport{Variant: "loaded"}}, nil
+}
+
+// DriftError estimates the model's triple-classification error on the
+// current database distribution (Sec. 7.1). Compare successive values
+// after adding/removing many objects: a clear rise means the embedding
+// should be retrained. sampleSize bounds the exact-distance cost
+// (~sampleSize²/2) and seed makes the estimate reproducible.
+func (m *Model[T]) DriftError(db []T, sampleSize int, seed int64) (float64, error) {
+	opts := core.DefaultDriftOptions()
+	opts.PoolSize = sampleSize
+	opts.Seed = seed
+	if m.inner.Mode == core.QueryInsensitive {
+		opts.Sampling = core.SelectiveTriples
+	}
+	return core.DriftCheck(m.inner, db, opts)
+}
+
+// Result is one retrieved neighbor.
+type Result struct {
+	// Index is the database position of the neighbor.
+	Index int
+	// Distance is its exact distance to the query.
+	Distance float64
+}
+
+// SearchStats reports the exact-distance cost of one query — the paper's
+// cost measure.
+type SearchStats struct {
+	// EmbedDistances + RefineDistances = exact distances spent.
+	EmbedDistances  int
+	RefineDistances int
+}
+
+// Total returns the total exact distance computations.
+func (s SearchStats) Total() int { return s.EmbedDistances + s.RefineDistances }
+
+// Index is an embedded database supporting filter-and-refine k-NN queries.
+type Index[T any] struct {
+	inner *retrieval.Index[T]
+	model *Model[T]
+}
+
+// NewIndex embeds every object of db offline (len(db) × EmbedCost exact
+// distances, paid once).
+func NewIndex[T any](model *Model[T], db []T, dist Distance[T]) (*Index[T], error) {
+	if model == nil {
+		return nil, fmt.Errorf("qse: nil model")
+	}
+	inner, err := retrieval.BuildIndex(db, space.Distance[T](dist), model.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Index[T]{inner: inner, model: model}, nil
+}
+
+// Search returns the k approximate nearest neighbors of q, refining the
+// best p filter candidates with exact distances. Larger p trades speed for
+// accuracy; p = database size makes the result exact. The returned stats
+// give the query's exact-distance cost (EmbedCost + p).
+func (ix *Index[T]) Search(q T, k, p int) ([]Result, SearchStats, error) {
+	ns, st, err := ix.inner.Search(q, k, p)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	out := make([]Result, len(ns))
+	for i, n := range ns {
+		out[i] = Result{Index: n.Index, Distance: n.Distance}
+	}
+	return out, SearchStats{EmbedDistances: st.EmbedDistances, RefineDistances: st.RefineDistances}, nil
+}
+
+// BruteForce returns the exact k nearest neighbors by scanning the whole
+// database — the baseline for accuracy checks and speed-up measurements.
+func (ix *Index[T]) BruteForce(q T, k int) ([]Result, SearchStats) {
+	ns, st := ix.inner.BruteForce(q, k)
+	out := make([]Result, len(ns))
+	for i, n := range ns {
+		out[i] = Result{Index: n.Index, Distance: n.Distance}
+	}
+	return out, SearchStats{RefineDistances: st.RefineDistances}
+}
+
+// Add embeds and inserts a new object (Sec. 7.1 dynamic datasets). It
+// costs EmbedCost exact distances and no retraining. Monitor DriftError if
+// the incoming distribution may have shifted.
+func (ix *Index[T]) Add(x T) { ix.inner.Add(x) }
+
+// Size returns the number of indexed objects.
+func (ix *Index[T]) Size() int { return ix.inner.Size() }
+
+// FastMapModel is the FastMap baseline [12] behind the same Embed/Index
+// interface, for comparisons.
+type FastMapModel[T any] struct {
+	inner *fastmap.Model[T]
+}
+
+// TrainFastMap builds a FastMap embedding of the given dimensionality.
+func TrainFastMap[T any](db []T, dist Distance[T], dims int, seed int64) (*FastMapModel[T], error) {
+	opts := fastmap.DefaultOptions(dims)
+	opts.Seed = seed
+	inner, err := fastmap.Build(db, space.Distance[T](dist), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FastMapModel[T]{inner: inner}, nil
+}
+
+// Dims returns the achieved dimensionality (possibly below the request).
+func (m *FastMapModel[T]) Dims() int { return m.inner.Dims() }
+
+// EmbedCost returns 2 × Dims.
+func (m *FastMapModel[T]) EmbedCost() int { return m.inner.EmbedCost() }
+
+// Embed maps an object to its FastMap coordinates.
+func (m *FastMapModel[T]) Embed(x T) []float64 { return m.inner.Embed(x) }
+
+// NewFastMapIndex builds a filter-and-refine index over a FastMap
+// embedding (unweighted L1 filter).
+func NewFastMapIndex[T any](model *FastMapModel[T], db []T, dist Distance[T]) (*Index[T], error) {
+	if model == nil {
+		return nil, fmt.Errorf("qse: nil model")
+	}
+	inner, err := retrieval.BuildIndex(db, space.Distance[T](dist), model.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Index[T]{inner: inner}, nil
+}

@@ -1,0 +1,312 @@
+package qse
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"qse/internal/chamfer"
+	"qse/internal/digits"
+	"qse/internal/stats"
+)
+
+func l2(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+func testConfig() TrainConfig {
+	cfg := DefaultTrainConfig()
+	cfg.Rounds = 20
+	cfg.Candidates = 30
+	cfg.TrainingPool = 60
+	cfg.Triples = 1200
+	cfg.EmbeddingsPerRound = 25
+	cfg.IntervalsPerEmbedding = 5
+	cfg.Seed = 1
+	return cfg
+}
+
+func testDB(seed int64, n int) [][]float64 {
+	rng := stats.NewRand(seed)
+	centers := make([][]float64, 8)
+	for i := range centers {
+		centers[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	db := make([][]float64, n)
+	for i := range db {
+		c := centers[i%len(centers)]
+		db[i] = []float64{c[0] + rng.NormFloat64()*0.05, c[1] + rng.NormFloat64()*0.05}
+	}
+	return db
+}
+
+func TestVariantStrings(t *testing.T) {
+	cases := map[Variant]string{SeQS: "Se-QS", SeQI: "Se-QI", RaQS: "Ra-QS", RaQI: "Ra-QI"}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), v.String(), want)
+		}
+	}
+	if Variant(99).String() == "" {
+		t.Error("unknown variant should still print")
+	}
+	if _, err := Train(testDB(1, 100), l2, TrainConfig{Variant: Variant(99)}); err == nil {
+		t.Error("unknown variant should fail Train")
+	}
+}
+
+func TestTrainAndSearch(t *testing.T) {
+	db := testDB(2, 300)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := model.Report()
+	if rep.Variant != "Se-QS" || rep.Rounds == 0 || rep.PreprocessedDistances == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.TrainingError >= 0.5 {
+		t.Errorf("training error %v", rep.TrainingError)
+	}
+	if model.Dims() <= 0 || model.EmbedCost() <= 0 {
+		t.Fatal("degenerate model")
+	}
+
+	ix, err := NewIndex(model, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Size() != 300 {
+		t.Errorf("Size = %d", ix.Size())
+	}
+	q := []float64{db[0][0] + 0.01, db[0][1] - 0.01}
+	res, st, err := ix.Search(q, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	if st.Total() != model.EmbedCost()+30 {
+		t.Errorf("stats %+v, want embed %d + 30", st, model.EmbedCost())
+	}
+	// Approximate search with generous p should find the true NN here.
+	exact, bst := ix.BruteForce(q, 1)
+	if res[0].Index != exact[0].Index {
+		t.Errorf("missed true NN: got %d want %d", res[0].Index, exact[0].Index)
+	}
+	if bst.Total() != len(db) {
+		t.Errorf("brute force cost %d", bst.Total())
+	}
+	if st.Total() >= bst.Total() {
+		t.Errorf("filter-and-refine (%d) not cheaper than brute force (%d)", st.Total(), bst.Total())
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	db := testDB(3, 120)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(model, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Search([]float64{0, 0}, 0, 10); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, _, err := ix.Search([]float64{0, 0}, 10, 5); err == nil {
+		t.Error("p<k should error")
+	}
+	if _, err := NewIndex[[]float64](nil, db, l2); err == nil {
+		t.Error("nil model should error")
+	}
+}
+
+func TestEmbedQueryWeights(t *testing.T) {
+	db := testDB(4, 200)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := model.Embed(db[0])
+	if len(v) != model.Dims() {
+		t.Fatalf("embed len %d, dims %d", len(v), model.Dims())
+	}
+	w := model.QueryWeights(v)
+	if len(w) != model.Dims() {
+		t.Fatalf("weights len %d", len(w))
+	}
+	for _, x := range w {
+		if x < 0 {
+			t.Fatal("negative weight")
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	db := testDB(5, 200)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.4, 0.4}
+	v1, v2 := model.Embed(q), loaded.Embed(q)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("loaded model embeds differently")
+		}
+	}
+}
+
+func TestDynamicAddAndDrift(t *testing.T) {
+	db := testDB(6, 200)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(model, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Add([]float64{0.5, 0.5})
+	if ix.Size() != 201 {
+		t.Errorf("Size = %d", ix.Size())
+	}
+	res, _, err := ix.Search([]float64{0.5, 0.5}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Index != 200 || res[0].Distance != 0 {
+		t.Errorf("added object not found: %+v", res[0])
+	}
+
+	drift, err := model.DriftError(db, 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift >= 0.5 {
+		t.Errorf("drift %v on training distribution", drift)
+	}
+}
+
+func TestAllVariantsTrain(t *testing.T) {
+	db := testDB(7, 200)
+	for _, v := range []Variant{SeQS, SeQI, RaQS, RaQI} {
+		cfg := testConfig()
+		cfg.Variant = v
+		cfg.Rounds = 8
+		model, err := Train(db, l2, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if model.Report().Variant != v.String() {
+			t.Errorf("report variant %q for %v", model.Report().Variant, v)
+		}
+	}
+}
+
+func TestFastMapBaseline(t *testing.T) {
+	db := testDB(8, 200)
+	fm, err := TrainFastMap(db, l2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Dims() <= 0 || fm.EmbedCost() != 2*fm.Dims() {
+		t.Fatalf("dims %d cost %d", fm.Dims(), fm.EmbedCost())
+	}
+	ix, err := NewFastMapIndex(fm, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{db[3][0] + 0.005, db[3][1]}
+	res, st, err := ix.Search(q, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := ix.BruteForce(q, 1)
+	if res[0].Index != exact[0].Index {
+		t.Errorf("FastMap index missed NN")
+	}
+	if st.EmbedDistances != fm.EmbedCost() {
+		t.Errorf("stats %+v", st)
+	}
+	if _, err := NewFastMapIndex[[]float64](nil, db, l2); err == nil {
+		t.Error("nil model should error")
+	}
+	if v := fm.Embed(db[0]); len(v) != fm.Dims() {
+		t.Errorf("embed len %d", len(v))
+	}
+}
+
+func TestTrainInvalidConfig(t *testing.T) {
+	db := testDB(9, 50)
+	cfg := testConfig()
+	cfg.Rounds = -1
+	if _, err := Train(db, l2, cfg); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+// Domain independence: the same public API works on raw digit images under
+// the chamfer distance — a different non-metric oracle than the shape
+// context used by the experiments (Sec. 10 names both).
+func TestChamferImageSpace(t *testing.T) {
+	gen := digits.NewGenerator(digits.Config{}, stats.NewRand(51))
+	ds, err := gen.GenerateBalancedDataset(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := chamfer.NewOracle(ds.Images, 0.5)
+	dist := func(a, b *digits.Image) float64 { return oracle.Distance(a, b) }
+
+	cfg := testConfig()
+	cfg.Rounds = 16
+	model, err := Train(ds.Images, dist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(model, ds.Images, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh queries; recall against brute force with a generous p.
+	qs, err := gen.GenerateBalancedDataset(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits, labelHits int
+	for qi, q := range qs.Images {
+		res, _, err := ix.Search(q, 1, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := ix.BruteForce(q, 1)
+		if res[0].Index == exact[0].Index {
+			hits++
+		}
+		if ds.Labels[res[0].Index] == qs.Labels[qi] {
+			labelHits++
+		}
+	}
+	if hits < 14 {
+		t.Errorf("1-NN recall %d/20 under chamfer distance", hits)
+	}
+	if labelHits < 14 {
+		t.Errorf("label agreement %d/20 under chamfer distance", labelHits)
+	}
+}
