@@ -28,6 +28,7 @@ import (
 	"qse/internal/fastmap"
 	"qse/internal/lipschitz"
 	"qse/internal/metrics"
+	"qse/internal/retrieval"
 	"qse/internal/shapecontext"
 	"qse/internal/space"
 	"qse/internal/stats"
@@ -36,6 +37,89 @@ import (
 
 	"qse/internal/digits"
 )
+
+// ---- Retrieval-engine hot paths --------------------------------------------
+//
+// The filter scan, the refine step and batched search at "embedding store"
+// scale: n=20,000 vectors, d=64. These are the benchmarks whose trajectory
+// is tracked in CHANGES.md across PRs.
+
+// copyEmbedder embeds a vector as itself (no exact distances): the
+// benchmark then isolates the filter/refine machinery rather than the
+// distance oracle.
+type copyEmbedder struct{}
+
+func (copyEmbedder) Embed(x []float64) []float64 { return append([]float64(nil), x...) }
+func (copyEmbedder) EmbedCost() int              { return 0 }
+
+func benchRetrievalIndex(b *testing.B, n, d int) (*retrieval.Index[[]float64], []float64, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	db := make([][]float64, n)
+	for i := range db {
+		db[i] = make([]float64, d)
+		for j := range db[i] {
+			db[i][j] = rng.NormFloat64()
+		}
+	}
+	ix, err := retrieval.BuildIndex(db, func(a, b []float64) float64 { return metrics.L1(a, b) }, copyEmbedder{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := make([]float64, d)
+	w := make([]float64, d)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+		w[j] = rng.Float64()
+	}
+	return ix, q, w
+}
+
+func BenchmarkFilterTopP(b *testing.B) {
+	ix, q, w := benchRetrievalIndex(b, 20000, 64)
+	b.Run("unweighted", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.FilterTopP(q, nil, 200)
+		}
+	})
+	b.Run("weighted", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.FilterTopP(q, w, 200)
+		}
+	})
+}
+
+func BenchmarkSearch(b *testing.B) {
+	ix, q, _ := benchRetrievalIndex(b, 20000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.Search(q, 10, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchBatch measures a 64-query batch against the same index;
+// compare ns/op here to 64× BenchmarkSearch to see the batching win.
+func BenchmarkSearchBatch(b *testing.B) {
+	ix, _, _ := benchRetrievalIndex(b, 20000, 64)
+	rng := rand.New(rand.NewSource(8))
+	queries := make([][]float64, 64)
+	for i := range queries {
+		queries[i] = make([]float64, 64)
+		for j := range queries[i] {
+			queries[i][j] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.SearchBatch(queries, 10, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func benchScale() experiments.Scale {
 	sc := experiments.SmallScale()

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"qse/internal/experiments"
@@ -30,8 +31,14 @@ func main() {
 		candidates = flag.Int("candidates", 0, "override |C| (and |Xtr| proportionally)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		csvDir     = flag.String("csvdir", "", "also write figure/table data as CSV files into this directory")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for the hot paths (sets GOMAXPROCS; 0 = all cores). Results are identical for every setting; only wall-clock time changes")
 	)
 	flag.Parse()
+
+	if *parallel > 0 {
+		runtime.GOMAXPROCS(*parallel)
+	}
+	fmt.Printf("parallelism: GOMAXPROCS=%d (NumCPU=%d)\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
 
 	var sc experiments.Scale
 	switch *scaleName {

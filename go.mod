@@ -1,0 +1,3 @@
+module qse
+
+go 1.24

@@ -11,7 +11,15 @@ package boost
 import (
 	"fmt"
 	"math"
+
+	"qse/internal/par"
 )
+
+// minParallelStep is the example count below which Step's elementwise
+// updates stay serial; above it the exp evaluations are fanned out over
+// GOMAXPROCS goroutines. Summations always run serially in index order, so
+// Step is bit-identical regardless of the worker count.
+const minParallelStep = 4096
 
 // MaxAlpha caps the α line search. A classifier that is perfect on the
 // weighted sample would otherwise push α to infinity; capping keeps weights
@@ -90,6 +98,11 @@ func OptimalAlpha(weights, margins []float64) (alpha, z float64) {
 // Booster maintains the AdaBoost training-weight distribution over
 // examples and the accumulated strong-classifier outputs.
 type Booster struct {
+	// Workers caps Step's fork-join parallelism: 0 means all cores
+	// (GOMAXPROCS), 1 forces serial execution. Results are bit-identical
+	// for every setting.
+	Workers int
+
 	labels  []int     // y_i in {-1, +1}
 	weights []float64 // w_{i,j}, kept normalized to sum 1
 	strong  []float64 // H(x_i) = sum_j alpha_j h_j(x_i)
@@ -148,20 +161,27 @@ func (b *Booster) Step(outputs []float64, alpha float64) float64 {
 	if len(outputs) != len(b.labels) {
 		panic(fmt.Sprintf("boost: %d outputs vs %d examples", len(outputs), len(b.labels)))
 	}
+	// The exp evaluations are elementwise writes to disjoint slots, so they
+	// parallelize without changing any bit of the result; the z sum runs
+	// serially in index order to keep the floating-point association fixed.
+	par.ForWorkers(b.Workers, len(b.weights), minParallelStep, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b.weights[i] *= math.Exp(-alpha * float64(b.labels[i]) * outputs[i])
+		}
+	})
 	var z float64
-	for i := range b.weights {
-		b.weights[i] *= math.Exp(-alpha * float64(b.labels[i]) * outputs[i])
-		z += b.weights[i]
+	for _, w := range b.weights {
+		z += w
 	}
 	if z <= 0 || math.IsNaN(z) || math.IsInf(z, 0) {
 		panic(fmt.Sprintf("boost: degenerate normalization factor %v", z))
 	}
-	for i := range b.weights {
-		b.weights[i] /= z
-	}
-	for i := range b.strong {
-		b.strong[i] += alpha * outputs[i]
-	}
+	par.ForWorkers(b.Workers, len(b.weights), minParallelStep, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b.weights[i] /= z
+			b.strong[i] += alpha * outputs[i]
+		}
+	})
 	b.rounds++
 	return z
 }

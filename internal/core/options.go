@@ -13,6 +13,8 @@ package core
 
 import (
 	"fmt"
+
+	"qse/internal/par"
 )
 
 // Mode selects the weak-classifier family and hence the output distance.
@@ -109,10 +111,14 @@ type Options struct {
 	// confidence magnitudes across embeddings.
 	DisableScaleNorm bool
 
-	// Workers parallelizes the distance-matrix preprocessing (the dominant
-	// cost when D_X is expensive) across goroutines. 0 or 1 means serial.
-	// Results are bit-identical regardless of Workers; only wall-clock
-	// time changes. The distance function must be safe for concurrent use.
+	// Workers parallelizes training across goroutines: the distance-matrix
+	// preprocessing (the dominant cost when D_X is expensive) and the
+	// per-round weak-classifier pool evaluation. 0 means use all cores
+	// (GOMAXPROCS); 1 forces serial execution; any other positive value
+	// caps the worker count. Results are bit-identical regardless of
+	// Workers; only wall-clock time changes. The distance function must be
+	// safe for concurrent use (every oracle in this repository is a pure
+	// function of its inputs).
 	Workers int
 
 	// Seed drives all randomness in training.
@@ -177,6 +183,15 @@ func (o Options) Validate(dbSize int) error {
 		return fmt.Errorf("core: pivot embeddings need at least 2 candidates")
 	}
 	return nil
+}
+
+// workerCount resolves the Workers field to an effective goroutine count:
+// 0 (the default) means all cores.
+func (o Options) workerCount() int {
+	if o.Workers <= 0 {
+		return par.Workers()
+	}
+	return o.Workers
 }
 
 // VariantName returns the paper's abbreviation for the configured variant:

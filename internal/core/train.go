@@ -9,6 +9,7 @@ import (
 
 	"qse/internal/boost"
 	"qse/internal/embed"
+	"qse/internal/par"
 	"qse/internal/space"
 	"qse/internal/stats"
 )
@@ -82,11 +83,11 @@ func Train[T any](db []T, dist space.Distance[T], opts Options) (*Model[T], *Rep
 	counter := space.NewCounter(dist)
 	var cc *space.Matrix
 	if opts.PivotFraction > 0 {
-		cc = space.ComputeSymmetricMatrixParallel(counter.Distance, candidates, opts.Workers)
+		cc = space.ComputeSymmetricMatrixParallel(counter.Distance, candidates, opts.workerCount())
 	}
-	ct := space.ComputeMatrixParallel(counter.Distance, candidates, training, opts.Workers)
-	tt := space.ComputeSymmetricMatrixParallel(counter.Distance, training, opts.Workers)
-	ranks := space.RankRows(tt)
+	ct := space.ComputeMatrixParallel(counter.Distance, candidates, training, opts.workerCount())
+	tt := space.ComputeSymmetricMatrixParallel(counter.Distance, training, opts.workerCount())
+	ranks := space.RankRowsWorkers(tt, opts.workerCount())
 
 	triples, err := sampleTriples(rng, tt, ranks, opts.Sampling, opts.NumTriples, opts.K1)
 	if err != nil {
@@ -102,6 +103,7 @@ func Train[T any](db []T, dist space.Distance[T], opts Options) (*Model[T], *Rep
 	if err != nil {
 		return nil, nil, err
 	}
+	booster.Workers = opts.workerCount()
 
 	report := &Report{
 		Variant:               opts.VariantName(),
@@ -215,81 +217,136 @@ func robustScale(values []float64) float64 {
 	return math.Abs(med)
 }
 
+// weakCand is one pre-drawn weak-classifier candidate. All randomness (the
+// 1D embedding and the interval quantile pairs) is consumed on the training
+// goroutine in the same order as a serial learner, so the rng stream — and
+// therefore the trained model — does not depend on the worker count.
+type weakCand struct {
+	def   embed.Def
+	proj  []float64
+	pairs [][2]int // quantile index pairs for the interval search (QS mode)
+}
+
+// weakEval is the outcome of evaluating one candidate on all triples.
+type weakEval struct {
+	ok     bool
+	z      float64
+	alpha  float64
+	lo, hi float64
+}
+
 // bestWeakClassifier implements steps 1–3 of Fig. 2 as specialized in
 // Sec. 5.3: examine EmbeddingsPerRound random 1D embeddings; for each, find
 // the splitter interval with the lowest weighted training error; compute
 // the optimal α for each survivor; return the (rule, outputs) minimizing Z.
+//
+// The per-candidate evaluation over all t triples (the training hot loop,
+// O(EmbeddingsPerRound · t) per round) is fanned out over opts.Workers
+// goroutines. Candidates are drawn serially before the fan-out and the
+// winner is reduced in candidate order afterwards, so the result is
+// bit-identical to a serial scan regardless of the worker count.
 func (tr *trainer[T]) bestWeakClassifier() (Rule, []float64, float64, bool) {
 	t := len(tr.triples)
 	weights := tr.booster.Weights()
 
-	var (
-		bestRule    Rule
-		bestOutputs []float64
-		bestZ       = math.Inf(1)
-		found       bool
-	)
-
-	ft := make([]float64, t) // F̃ outputs per triple
-	qv := make([]float64, t) // F(q) per triple
-	gated := make([]float64, t)
-
-	for cand := 0; cand < tr.opts.EmbeddingsPerRound; cand++ {
+	// Phase 1 (serial): draw the candidate pool, consuming the rng exactly
+	// as the serial implementation would.
+	cands := make([]weakCand, 0, tr.opts.EmbeddingsPerRound)
+	for c := 0; c < tr.opts.EmbeddingsPerRound; c++ {
 		def, proj, ok := tr.randomDef()
 		if !ok {
 			continue
 		}
-		for i, tri := range tr.triples {
-			qv[i] = proj[tri.Q]
-			ft[i] = embed.Classify(qv[i], proj[tri.A], proj[tri.B])
-		}
-
-		lo, hi := math.Inf(-1), math.Inf(1)
+		wc := weakCand{def: def, proj: proj}
 		if tr.opts.Mode == QuerySensitive {
-			lo, hi = tr.bestInterval(qv, ft, weights)
-		}
-		for i := range gated {
-			if qv[i] >= lo && qv[i] <= hi {
-				gated[i] = ft[i]
-			} else {
-				gated[i] = 0
+			wc.pairs = make([][2]int, tr.opts.IntervalsPerEmbedding)
+			for k := range wc.pairs {
+				wc.pairs[k] = [2]int{tr.rng.Intn(t), tr.rng.Intn(t)}
 			}
 		}
-		// Labels are all +1, so margins equal the outputs.
-		alpha, z := boost.OptimalAlpha(weights, gated)
-		if alpha <= 0 {
-			continue
+		cands = append(cands, wc)
+	}
+
+	// Phase 2 (parallel): score every candidate. Each worker reuses one
+	// set of scratch buffers across its contiguous chunk of candidates.
+	evals := make([]weakEval, len(cands))
+	par.ForWorkers(tr.opts.workerCount(), len(cands), 2, func(lo, hi int) {
+		qv := make([]float64, t)    // F(q) per triple
+		ft := make([]float64, t)    // F̃ outputs per triple
+		gated := make([]float64, t) // splitter-gated outputs
+		for c := lo; c < hi; c++ {
+			evals[c] = tr.evaluate(cands[c], qv, ft, gated, weights)
 		}
-		if z < bestZ {
-			bestZ = z
-			bestRule = Rule{Def: def, Lo: lo, Hi: hi, Alpha: alpha}
-			bestOutputs = append(bestOutputs[:0], gated...)
-			found = true
+	})
+
+	// Phase 3 (serial): reduce in candidate order — the same
+	// first-strictly-smaller-Z rule the serial loop applies.
+	best := -1
+	bestZ := math.Inf(1)
+	for c, ev := range evals {
+		if ev.ok && ev.z < bestZ {
+			bestZ = ev.z
+			best = c
 		}
 	}
-	if !found {
+	if best < 0 {
 		return Rule{}, nil, 1, false
 	}
-	return bestRule, bestOutputs, bestZ, true
+	// Recompute the winner's gated outputs: one O(t) pass, far cheaper than
+	// retaining outputs for every candidate during the scored scan.
+	wc, ev := cands[best], evals[best]
+	outputs := make([]float64, t)
+	for i, tri := range tr.triples {
+		q := wc.proj[tri.Q]
+		if q >= ev.lo && q <= ev.hi {
+			outputs[i] = embed.Classify(q, wc.proj[tri.A], wc.proj[tri.B])
+		}
+	}
+	return Rule{Def: wc.def, Lo: ev.lo, Hi: ev.hi, Alpha: ev.alpha}, outputs, ev.z, true
+}
+
+// evaluate scores one candidate on all triples using caller-owned scratch
+// buffers (qv, ft, gated, each of length len(tr.triples)). It only reads
+// shared trainer state, so concurrent calls with distinct buffers are safe.
+func (tr *trainer[T]) evaluate(wc weakCand, qv, ft, gated, weights []float64) weakEval {
+	for i, tri := range tr.triples {
+		qv[i] = wc.proj[tri.Q]
+		ft[i] = embed.Classify(qv[i], wc.proj[tri.A], wc.proj[tri.B])
+	}
+	lo, hi := math.Inf(-1), math.Inf(1)
+	if tr.opts.Mode == QuerySensitive {
+		lo, hi = bestInterval(qv, ft, weights, wc.pairs)
+	}
+	for i := range gated {
+		if qv[i] >= lo && qv[i] <= hi {
+			gated[i] = ft[i]
+		} else {
+			gated[i] = 0
+		}
+	}
+	// Labels are all +1, so margins equal the outputs.
+	alpha, z := boost.OptimalAlpha(weights, gated)
+	if alpha <= 0 {
+		return weakEval{}
+	}
+	return weakEval{ok: true, z: z, alpha: alpha, lo: lo, hi: hi}
 }
 
 // bestInterval picks, for one 1D embedding, the splitter interval V with
-// the lowest weighted training error among IntervalsPerEmbedding random
-// intervals plus the full line. Random intervals span two random quantiles
-// of the queries' embedding values, per Sec. 5.3 ("set V to be a random
-// interval of R containing some of those values").
-func (tr *trainer[T]) bestInterval(qv, ft, weights []float64) (lo, hi float64) {
+// the lowest weighted training error among the pre-drawn random intervals
+// plus the full line. Random intervals span two random quantiles of the
+// queries' embedding values, per Sec. 5.3 ("set V to be a random interval
+// of R containing some of those values"); pairs holds the quantile indexes,
+// drawn by the trainer before the parallel fan-out.
+func bestInterval(qv, ft, weights []float64, pairs [][2]int) (lo, hi float64) {
 	sorted := append([]float64(nil), qv...)
 	sort.Float64s(sorted)
-	n := len(sorted)
 
 	bestLo, bestHi := math.Inf(-1), math.Inf(1)
 	bestErr := intervalError(qv, ft, weights, bestLo, bestHi)
 
-	for k := 0; k < tr.opts.IntervalsPerEmbedding; k++ {
-		i := tr.rng.Intn(n)
-		j := tr.rng.Intn(n)
-		l, h := sorted[i], sorted[j]
+	for _, pr := range pairs {
+		l, h := sorted[pr[0]], sorted[pr[1]]
 		if l > h {
 			l, h = h, l
 		}

@@ -83,11 +83,21 @@ func Chebyshev(a, b []float64) float64 {
 func WeightedL1(w, a, b []float64) float64 {
 	mustSameLen(len(a), len(b))
 	mustSameLen(len(w), len(a))
-	var sum float64
-	for i := range a {
+	for i := range w {
 		if w[i] < 0 {
 			panic("metrics: negative weight in WeightedL1")
 		}
+	}
+	return WeightedL1Unchecked(w, a, b)
+}
+
+// WeightedL1Unchecked is WeightedL1 without the per-element negativity
+// check, for hot loops whose weights are non-negative by construction
+// (core.Model.QueryWeights always is). The summation order is identical to
+// WeightedL1, so both return bit-identical results on valid inputs.
+func WeightedL1Unchecked(w, a, b []float64) float64 {
+	var sum float64
+	for i := range a {
 		sum += w[i] * math.Abs(a[i]-b[i])
 	}
 	return sum

@@ -326,3 +326,51 @@ func sanitize(raw []float64) []float64 {
 	}
 	return out
 }
+
+func TestWeightedL1UncheckedMatchesChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(128)
+		w := make([]float64, n)
+		a := randVec(rng, n)
+		b := randVec(rng, n)
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		if got, want := WeightedL1Unchecked(w, a, b), WeightedL1(w, a, b); got != want {
+			t.Fatalf("trial %d: unchecked %v != checked %v", trial, got, want)
+		}
+	}
+}
+
+// The unchecked variant exists purely for the retrieval filter scan; these
+// benches confirm it is no slower than the checked one (satellite of the
+// flat-storage PR; numbers tracked in CHANGES.md).
+func benchWeightedVecs(dims int) (w, a, b []float64) {
+	rng := rand.New(rand.NewSource(12))
+	w = make([]float64, dims)
+	a = make([]float64, dims)
+	b = make([]float64, dims)
+	for i := range w {
+		w[i] = rng.Float64()
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	return w, a, b
+}
+
+func BenchmarkWeightedL1(bb *testing.B) {
+	w, a, b := benchWeightedVecs(64)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		WeightedL1(w, a, b)
+	}
+}
+
+func BenchmarkWeightedL1Unchecked(bb *testing.B) {
+	w, a, b := benchWeightedVecs(64)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		WeightedL1Unchecked(w, a, b)
+	}
+}

@@ -1,0 +1,105 @@
+// Package par provides the deterministic fork-join primitives used by every
+// hot path in the repository (index build, filter scan, refine step,
+// boosting rounds). The design rule, stated once here and relied on
+// everywhere: parallel execution must be bit-for-bit identical to serial
+// execution. That is achieved by only parallelizing loops whose iterations
+// are independent writes to disjoint locations (elementwise maps, per-row
+// sorts, per-shard reductions merged in shard order) and never reassociating
+// floating-point accumulations across a worker boundary.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the effective parallelism: the current GOMAXPROCS
+// setting. All fork-join helpers in this package spawn at most this many
+// goroutines.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs f over contiguous chunks covering [0, n) using up to Workers()
+// goroutines. f(lo, hi) must only write to locations owned by iterations
+// [lo, hi). When n < serialBelow (or only one worker is available) f is
+// invoked once on the caller's goroutine as f(0, n), so small inputs pay no
+// synchronization overhead.
+//
+// Chunk boundaries are a pure function of n and the worker count, and each
+// iteration's work is independent, so results are identical regardless of
+// scheduling.
+func For(n, serialBelow int, f func(lo, hi int)) {
+	ForWorkers(Workers(), n, serialBelow, f)
+}
+
+// ForWorkers is For with an explicit worker cap: at most w goroutines are
+// spawned (w <= 0 means Workers(); w == 1 forces the serial path). Training
+// uses it to honor a caller-configured worker budget.
+func ForWorkers(w, n, serialBelow int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if w <= 0 {
+		w = Workers()
+	}
+	if w < 2 || n < serialBelow {
+		f(0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < w; s++ {
+		lo, hi := s*n/w, (s+1)*n/w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Shards runs f once per shard over a contiguous partition of [0, n) and
+// returns the number of shards used. Unlike For, the shard index is passed
+// to f so each shard can own a slot in a pre-sized result slice: pass the
+// slice's length as w (w <= 0 means Workers(), but callers sizing a result
+// slice should read Workers() once themselves and pass it, so the shard
+// count cannot outgrow the slice if GOMAXPROCS changes concurrently).
+// Callers that need deterministic reductions must merge the per-shard
+// results in shard order.
+//
+// When n < serialBelow or only one worker is available, f(0, 0, n) runs on
+// the caller's goroutine and Shards returns 1.
+func Shards(w, n, serialBelow int, f func(shard, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if w <= 0 {
+		w = Workers()
+	}
+	if w < 2 || n < serialBelow {
+		f(0, 0, n)
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < w; s++ {
+		lo, hi := s*n/w, (s+1)*n/w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			f(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	return w
+}

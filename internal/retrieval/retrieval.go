@@ -8,15 +8,42 @@
 // of exact distance computations per query (embedding step + refine step);
 // the vector arithmetic of the filter step is "a fraction of a second" and
 // is reported separately.
+//
+// The embedded database is stored as one contiguous row-major []float64
+// block (object i occupies the dims-wide row starting at i*dims), so the
+// filter scan streams through memory instead of chasing per-row pointers.
+// Index build, the filter scan and the refine step all fan out over
+// GOMAXPROCS goroutines above a size threshold; results are bit-identical
+// to serial execution (see internal/par and DESIGN.md §4). The distance
+// oracle and embedder must therefore be safe for concurrent use — every
+// oracle in this repository is a pure function of its inputs.
 package retrieval
 
 import (
 	"container/heap"
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"qse/internal/metrics"
+	"qse/internal/par"
 	"qse/internal/space"
 )
+
+// Parallelism thresholds: below these sizes the serial path runs directly
+// on the caller's goroutine. The filter scan does cheap vector arithmetic
+// per row, so it needs thousands of rows to amortize a fork-join; the
+// embed/refine steps call the (typically expensive) exact distance oracle,
+// so even small batches benefit.
+const (
+	minParallelScan = 4096
+	minParallelDist = 32
+)
+
+// shrinkFactor governs Remove's capacity watermark: when fewer than
+// cap/shrinkFactor slots remain in use, backing storage is reallocated to
+// fit, so long Add/Remove churn cannot strand memory.
+const shrinkFactor = 4
 
 // Embedder is any embedding method usable in the pipeline: it maps an
 // object to a vector at a known exact-distance price. Both core.Model and
@@ -36,14 +63,18 @@ type Weighter interface {
 
 // Index is an embedded database ready for filter-and-refine queries.
 type Index[T any] struct {
-	db       []T
-	vecs     [][]float64
+	db []T
+	// flat is the embedded database in row-major order: the vector of
+	// db[i] is flat[i*dims : (i+1)*dims].
+	flat     []float64
+	dims     int
 	embedder Embedder[T]
 	dist     space.Distance[T]
 }
 
 // BuildIndex embeds every database object offline. The preprocessing cost
-// (len(db) * EmbedCost exact distances) is paid here, once.
+// (len(db) * EmbedCost exact distances) is paid here, once; the embedding
+// work is spread across GOMAXPROCS goroutines.
 func BuildIndex[T any](db []T, dist space.Distance[T], em Embedder[T]) (*Index[T], error) {
 	if len(db) == 0 {
 		return nil, fmt.Errorf("retrieval: empty database")
@@ -51,14 +82,43 @@ func BuildIndex[T any](db []T, dist space.Distance[T], em Embedder[T]) (*Index[T
 	if em == nil {
 		return nil, fmt.Errorf("retrieval: nil embedder")
 	}
+	// Embed the first object serially to learn the dimensionality, then
+	// fan the rest out; every row lands in its own slot of the flat block,
+	// so the result is identical to a serial build.
+	first := em.Embed(db[0])
+	dims := len(first)
 	ix := &Index[T]{
 		db:       db,
-		vecs:     make([][]float64, len(db)),
+		flat:     make([]float64, len(db)*dims),
+		dims:     dims,
 		embedder: em,
 		dist:     dist,
 	}
-	for i, x := range db {
-		ix.vecs[i] = em.Embed(x)
+	copy(ix.flat[:dims], first)
+	// bad records the lowest mismatching row as row<<32|dims (row is always
+	// >= 1 here, and row owns the high bits, so taking the minimum packed
+	// value yields the same error row regardless of scheduling).
+	bad := atomic.Uint64{}
+	bad.Store(math.MaxUint64)
+	par.For(len(db)-1, minParallelDist, func(lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			v := em.Embed(db[i])
+			if len(v) != dims {
+				packed := uint64(i)<<32 | uint64(len(v))
+				for {
+					cur := bad.Load()
+					if packed >= cur || bad.CompareAndSwap(cur, packed) {
+						break
+					}
+				}
+				continue
+			}
+			copy(ix.flat[i*dims:(i+1)*dims], v)
+		}
+	})
+	if packed := bad.Load(); packed != math.MaxUint64 {
+		return nil, fmt.Errorf("retrieval: object %d embedded to %d dims, want %d",
+			packed>>32, packed&0xffffffff, dims)
 	}
 	return ix, nil
 }
@@ -66,9 +126,25 @@ func BuildIndex[T any](db []T, dist space.Distance[T], em Embedder[T]) (*Index[T
 // Size returns the number of database objects.
 func (ix *Index[T]) Size() int { return len(ix.db) }
 
-// Vectors returns the embedded database (the index's own storage; callers
-// must not modify it).
-func (ix *Index[T]) Vectors() [][]float64 { return ix.vecs }
+// Dims returns the embedding dimensionality.
+func (ix *Index[T]) Dims() int { return ix.dims }
+
+// vec returns the embedded vector of database object i: a view into the
+// flat block, not a copy.
+func (ix *Index[T]) vec(i int) []float64 {
+	return ix.flat[i*ix.dims : (i+1)*ix.dims]
+}
+
+// Vectors returns the embedded database as per-row views into the index's
+// flat storage (callers must not modify them, and must not retain them
+// across Add/Remove calls, which may reallocate the backing block).
+func (ix *Index[T]) Vectors() [][]float64 {
+	out := make([][]float64, len(ix.db))
+	for i := range out {
+		out[i] = ix.vec(i)
+	}
+	return out
+}
 
 // Stats reports the cost of one query, in the paper's currency.
 type Stats struct {
@@ -89,6 +165,12 @@ func (s Stats) Total() int { return s.EmbedDistances + s.RefineDistances }
 // k and p must be positive; p is clamped to the database size and must be
 // at least k to be able to return k results.
 func (ix *Index[T]) Search(q T, k, p int) ([]space.Neighbor, Stats, error) {
+	return ix.search(q, k, p, true)
+}
+
+// search is Search with an explicit parallelism switch so SearchBatch can
+// keep each query on a single goroutine while fanning queries out.
+func (ix *Index[T]) search(q T, k, p int, parallel bool) ([]space.Neighbor, Stats, error) {
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("retrieval: k = %d, want > 0", k)
 	}
@@ -107,12 +189,22 @@ func (ix *Index[T]) Search(q T, k, p int) ([]space.Neighbor, Stats, error) {
 	}
 
 	// Filter step: top-p by filter distance (no exact distances).
-	candidates := ix.FilterTopP(qvec, weights, p)
+	candidates := ix.filterTopP(qvec, weights, p, parallel)
 
-	// Refine step: exact distances on the survivors.
+	// Refine step: exact distances on the survivors. Each candidate's
+	// distance lands in its own slot, so the parallel fill is identical to
+	// a serial one.
 	refined := make([]space.Neighbor, len(candidates))
-	for i, c := range candidates {
-		refined[i] = space.Neighbor{Index: c.Index, Distance: ix.dist(q, ix.db[c.Index])}
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := candidates[i]
+			refined[i] = space.Neighbor{Index: c.Index, Distance: ix.dist(q, ix.db[c.Index])}
+		}
+	}
+	if parallel {
+		par.For(len(candidates), minParallelDist, fill)
+	} else {
+		fill(0, len(candidates))
 	}
 	space.SortNeighbors(refined)
 	if k > len(refined) {
@@ -125,27 +217,89 @@ func (ix *Index[T]) Search(q T, k, p int) ([]space.Neighbor, Stats, error) {
 	return refined[:k], stats, nil
 }
 
+// SearchBatch runs Search for every query, pipelining the queries across a
+// GOMAXPROCS-sized worker pool (each individual query stays serial, so the
+// pool is never oversubscribed). Results and stats are index-aligned with
+// queries and byte-identical to calling Search sequentially.
+func (ix *Index[T]) SearchBatch(queries []T, k, p int) ([][]space.Neighbor, []Stats, error) {
+	// Validate once up front with the shared rules (search re-checks per
+	// query, but failing fast here avoids launching workers just to fail).
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("retrieval: k = %d, want > 0", k)
+	}
+	if p < k {
+		return nil, nil, fmt.Errorf("retrieval: p = %d must be >= k = %d", p, k)
+	}
+	results := make([][]space.Neighbor, len(queries))
+	stats := make([]Stats, len(queries))
+	par.For(len(queries), 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// Parameters were validated above, so search cannot fail.
+			results[i], stats[i], _ = ix.search(queries[i], k, p, false)
+		}
+	})
+	return results, stats, nil
+}
+
 // FilterTopP ranks the embedded database under the filter distance and
 // returns the p best candidates in ascending order. weights may be nil for
 // the unweighted L1. Exposed for the evaluation harness, which needs the
 // filter ordering without paying for a refine step.
 func (ix *Index[T]) FilterTopP(qvec, weights []float64, p int) []space.Neighbor {
-	if p > len(ix.vecs) {
-		p = len(ix.vecs)
+	return ix.filterTopP(qvec, weights, p, true)
+}
+
+func (ix *Index[T]) filterTopP(qvec, weights []float64, p int, parallel bool) []space.Neighbor {
+	n := len(ix.db)
+	if p > n {
+		p = n
 	}
 	if p <= 0 {
 		return nil
 	}
-	// Max-heap of the p best seen so far: O(n log p).
+	if !parallel || n < minParallelScan {
+		out := []space.Neighbor(ix.scanShard(qvec, weights, 0, n, p))
+		space.SortNeighbors(out)
+		return out
+	}
+	// Partitioned scan: each worker keeps a bounded max-heap over its own
+	// contiguous shard of the flat block, and the per-shard survivors are
+	// merged afterwards in shard order. The final sorted top-p is unique
+	// under the (distance, index) total order, so the result is identical
+	// for any shard count — including the serial scan above.
+	w := par.Workers()
+	heaps := make([]neighborMaxHeap, w)
+	shards := par.Shards(w, n, minParallelScan, func(s, lo, hi int) {
+		heaps[s] = ix.scanShard(qvec, weights, lo, hi, p)
+	})
+	merged := make([]space.Neighbor, 0, shards*p)
+	for _, h := range heaps[:shards] {
+		merged = append(merged, h...)
+	}
+	space.SortNeighbors(merged)
+	if len(merged) > p {
+		merged = merged[:p]
+	}
+	return merged
+}
+
+// scanShard scans rows [lo, hi) of the flat block and returns (at most) the
+// p best under the filter distance as an unsorted bounded max-heap:
+// O((hi-lo) log p) with no allocation beyond the heap itself.
+func (ix *Index[T]) scanShard(qvec, weights []float64, lo, hi, p int) neighborMaxHeap {
 	h := make(neighborMaxHeap, 0, p+1)
-	for i, v := range ix.vecs {
-		var d float64
+	d := ix.dims
+	row := ix.flat[lo*d:]
+	for i := lo; i < hi; i++ {
+		v := row[:d]
+		row = row[d:]
+		var dd float64
 		if weights == nil {
-			d = metrics.L1(qvec, v)
+			dd = metrics.L1(qvec, v)
 		} else {
-			d = weightedL1(weights, qvec, v)
+			dd = metrics.WeightedL1Unchecked(weights, qvec, v)
 		}
-		n := space.Neighbor{Index: i, Distance: d}
+		n := space.Neighbor{Index: i, Distance: dd}
 		if len(h) < p {
 			heap.Push(&h, n)
 		} else if less(n, h[0]) {
@@ -153,25 +307,7 @@ func (ix *Index[T]) FilterTopP(qvec, weights []float64, p int) []space.Neighbor 
 			heap.Fix(&h, 0)
 		}
 	}
-	out := []space.Neighbor(h)
-	space.SortNeighbors(out)
-	return out
-}
-
-// weightedL1 is D_out of Eq. 11 (weights belong to the query side). It is
-// inlined here rather than calling metrics.WeightedL1 to skip the
-// per-element negativity check in this hot loop; weights from
-// core.Model.QueryWeights are non-negative by construction.
-func weightedL1(w, a, b []float64) float64 {
-	var sum float64
-	for i := range a {
-		d := a[i] - b[i]
-		if d < 0 {
-			d = -d
-		}
-		sum += w[i] * d
-	}
-	return sum
+	return h
 }
 
 // less orders neighbors like space.SortNeighbors.
@@ -207,20 +343,37 @@ func (ix *Index[T]) BruteForce(q T, k int) ([]space.Neighbor, Stats) {
 
 // Add embeds and appends a new database object (Sec. 7.1, dynamic
 // datasets): the cost is EmbedCost exact distances, and no retraining
-// happens. Callers monitoring distribution drift should use core.Drift.
+// happens. It panics if the embedder's dimensionality has drifted from the
+// index's.
 func (ix *Index[T]) Add(x T) {
+	v := ix.embedder.Embed(x)
+	if len(v) != ix.dims {
+		panic(fmt.Sprintf("retrieval: Add embedded to %d dims, index has %d", len(v), ix.dims))
+	}
 	ix.db = append(ix.db, x)
-	ix.vecs = append(ix.vecs, ix.embedder.Embed(x))
+	ix.flat = append(ix.flat, v...)
 }
 
 // Remove deletes the database object at index i (swap-with-last order is
 // NOT used: order is preserved so external ground-truth indexes stay
-// aligned; removal is O(n)).
+// aligned; removal is O(n)). When occupancy falls below 1/shrinkFactor of
+// capacity the backing arrays are reallocated to fit, so repeated
+// Add/Remove cycles do not strand vector storage.
 func (ix *Index[T]) Remove(i int) error {
 	if i < 0 || i >= len(ix.db) {
 		return fmt.Errorf("retrieval: remove index %d out of range [0,%d)", i, len(ix.db))
 	}
 	ix.db = append(ix.db[:i], ix.db[i+1:]...)
-	ix.vecs = append(ix.vecs[:i], ix.vecs[i+1:]...)
+	ix.flat = append(ix.flat[:i*ix.dims], ix.flat[(i+1)*ix.dims:]...)
+	if len(ix.db)*shrinkFactor <= cap(ix.db) {
+		db := make([]T, len(ix.db))
+		copy(db, ix.db)
+		ix.db = db
+	}
+	if len(ix.flat)*shrinkFactor <= cap(ix.flat) {
+		flat := make([]float64, len(ix.flat))
+		copy(flat, ix.flat)
+		ix.flat = flat
+	}
 	return nil
 }

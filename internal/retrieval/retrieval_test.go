@@ -2,6 +2,8 @@ package retrieval
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -263,6 +265,164 @@ func TestEndToEndWithTrainedModel(t *testing.T) {
 	for _, r := range res {
 		if r.Distance > 0.3 {
 			t.Errorf("retrieved a far object: %+v", r)
+		}
+	}
+}
+
+// bigTestDB is large enough (> the parallel-scan threshold) that FilterTopP
+// takes the partitioned path when GOMAXPROCS allows.
+func bigTestDB(n int) [][]float64 {
+	rng := stats.NewRand(9)
+	db := make([][]float64, n)
+	for i := range db {
+		db[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	return db
+}
+
+func withGOMAXPROCS(n int, f func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// TestFilterTopPShardedMatchesSerial pins the tentpole invariant: the
+// partitioned scan (per-shard bounded heaps merged in shard order) returns
+// byte-identical results to the serial scan for any worker count, including
+// in the presence of distance ties (the coordinates below collide often).
+func TestFilterTopPShardedMatchesSerial(t *testing.T) {
+	rng := stats.NewRand(31)
+	db := make([][]float64, 6000)
+	for i := range db {
+		// Quantized coordinates force many exact distance ties, so the
+		// (distance, index) tie-break is genuinely exercised.
+		db[i] = []float64{float64(rng.Intn(20)) / 20, float64(rng.Intn(20)) / 20}
+	}
+	ix, err := BuildIndex(db, l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.31, 0.62}
+	w := []float64{1.5, 0.5}
+	for _, p := range []int{1, 7, 200, 6000} {
+		var serial, sharded []space.Neighbor
+		withGOMAXPROCS(1, func() { serial = ix.FilterTopP(q, w, p) })
+		withGOMAXPROCS(8, func() { sharded = ix.FilterTopP(q, w, p) })
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Fatalf("p=%d: sharded scan differs from serial", p)
+		}
+	}
+}
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	db := bigTestDB(5000)
+	ix, err := BuildIndex(db, l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := db[100:140]
+	run := func() ([][]space.Neighbor, []Stats) {
+		batch, stats, err := ix.SearchBatch(queries, 3, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return batch, stats
+	}
+	var batch1, batch8 [][]space.Neighbor
+	var stats1, stats8 []Stats
+	withGOMAXPROCS(1, func() { batch1, stats1 = run() })
+	withGOMAXPROCS(8, func() { batch8, stats8 = run() })
+	if !reflect.DeepEqual(batch1, batch8) || !reflect.DeepEqual(stats1, stats8) {
+		t.Error("SearchBatch differs across GOMAXPROCS")
+	}
+	for qi, q := range queries {
+		res, st, err := ix.Search(q, 3, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, batch8[qi]) || st != stats8[qi] {
+			t.Fatalf("query %d: batch result differs from sequential Search", qi)
+		}
+	}
+}
+
+// mismatchEmbedder returns vectors whose length depends on the object,
+// which BuildIndex must reject.
+type mismatchEmbedder struct{}
+
+func (mismatchEmbedder) Embed(x []float64) []float64 {
+	if x[0] > 0.5 {
+		return []float64{x[0], x[1], 0}
+	}
+	return []float64{x[0], x[1]}
+}
+func (mismatchEmbedder) EmbedCost() int { return 0 }
+
+func TestBuildIndexRejectsInconsistentDims(t *testing.T) {
+	db := testDB(200)
+	if _, err := BuildIndex(db, l2, mismatchEmbedder{}); err == nil {
+		t.Error("inconsistent embedding dims should error")
+	}
+}
+
+// TestAddRemoveDoesNotLeakStorage covers the Remove capacity watermark:
+// grow-then-shrink churn must not strand vector storage proportional to the
+// high-water mark.
+func TestAddRemoveDoesNotLeakStorage(t *testing.T) {
+	db := testDB(10)
+	ix, err := BuildIndex(db, l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 5000; i++ {
+			ix.Add([]float64{float64(i), float64(cycle)})
+		}
+		for ix.Size() > 10 {
+			if err := ix.Remove(ix.Size() - 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if ix.Size() != 10 {
+		t.Fatalf("size = %d", ix.Size())
+	}
+	if got := cap(ix.flat); got > shrinkFactor*len(ix.flat) {
+		t.Errorf("flat storage leak: cap %d for len %d after churn", got, len(ix.flat))
+	}
+	if got := cap(ix.db); got > shrinkFactor*len(ix.db) {
+		t.Errorf("db storage leak: cap %d for len %d after churn", got, len(ix.db))
+	}
+	// The index must still answer correctly after all that churn.
+	got, _, err := ix.Search(db[3], 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Index != 3 || got[0].Distance != 0 {
+		t.Errorf("post-churn search broken: %+v", got[0])
+	}
+}
+
+// TestVectorsViewsFlatStorage checks Vectors() rows alias the flat block
+// and reflect the embedded database.
+func TestVectorsViewsFlatStorage(t *testing.T) {
+	db := testDB(40)
+	ix, err := BuildIndex(db, l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := ix.Vectors()
+	if len(vecs) != 40 {
+		t.Fatalf("len = %d", len(vecs))
+	}
+	for i, v := range vecs {
+		if len(v) != ix.Dims() {
+			t.Fatalf("row %d has %d dims, want %d", i, len(v), ix.Dims())
+		}
+		for j := range v {
+			if v[j] != db[i][j] {
+				t.Fatalf("row %d differs from embedding", i)
+			}
 		}
 	}
 }

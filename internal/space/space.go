@@ -15,6 +15,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"qse/internal/par"
 )
 
 // Distance is the exact distance oracle D_X over an object space.
@@ -138,23 +140,31 @@ func ComputeSymmetricMatrix[T any](dist Distance[T], xs []T) *Matrix {
 // ascending value (ties by index). Row i's ranking is the exact
 // nearest-neighbor ordering of object i against the column objects; it is
 // the ground truth used both for selective triple sampling (Sec. 6) and for
-// the retrieval-accuracy evaluation (Sec. 9).
-func RankRows(m *Matrix) [][]int {
+// the retrieval-accuracy evaluation (Sec. 9). Rows are ranked across all
+// cores; RankRowsWorkers takes an explicit cap.
+func RankRows(m *Matrix) [][]int { return RankRowsWorkers(m, 0) }
+
+// RankRowsWorkers is RankRows with a worker cap (0 = all cores, 1 =
+// serial). Each row's sort is independent and totally ordered (ties broken
+// by index), so the output does not depend on the worker count.
+func RankRowsWorkers(m *Matrix, workers int) [][]int {
 	out := make([][]int, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		idx := make([]int, m.Cols)
-		for j := range idx {
-			idx[j] = j
-		}
-		sort.Slice(idx, func(a, b int) bool {
-			if row[idx[a]] != row[idx[b]] {
-				return row[idx[a]] < row[idx[b]]
+	par.ForWorkers(workers, m.Rows, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			idx := make([]int, m.Cols)
+			for j := range idx {
+				idx[j] = j
 			}
-			return idx[a] < idx[b]
-		})
-		out[i] = idx
-	}
+			sort.Slice(idx, func(a, b int) bool {
+				if row[idx[a]] != row[idx[b]] {
+					return row[idx[a]] < row[idx[b]]
+				}
+				return idx[a] < idx[b]
+			})
+			out[i] = idx
+		}
+	})
 	return out
 }
 

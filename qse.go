@@ -22,6 +22,14 @@
 // strings, vectors — anything with a distance function. See examples/ for
 // runnable end-to-end programs and DESIGN.md for how this implementation
 // maps onto the paper.
+//
+// Training, index construction, the filter scan and the refine step all
+// parallelize across GOMAXPROCS goroutines (SearchBatch pipelines whole
+// query batches over the same pool). Results are bit-for-bit identical
+// regardless of the degree of parallelism; see DESIGN.md §4 for how that
+// is guaranteed. The one obligation this places on callers: a Distance
+// function may be invoked from multiple goroutines at once, so it must be
+// safe for concurrent use (any pure function of its inputs is).
 package qse
 
 import (
@@ -112,6 +120,10 @@ type TrainConfig struct {
 	// PivotFraction is the share of pivot-pair (FastMap-style) 1D
 	// embeddings in the pool; the rest are reference embeddings.
 	PivotFraction float64
+	// Workers caps training parallelism: 0 (default) uses all cores, 1
+	// forces serial execution — set 1 if the distance function is not safe
+	// for concurrent use. The trained model is bit-identical either way.
+	Workers int
 	// Seed makes training reproducible.
 	Seed int64
 }
@@ -148,6 +160,7 @@ func (c TrainConfig) options() (core.Options, error) {
 		EmbeddingsPerRound:    c.EmbeddingsPerRound,
 		IntervalsPerEmbedding: c.IntervalsPerEmbedding,
 		PivotFraction:         c.PivotFraction,
+		Workers:               c.Workers,
 		Seed:                  c.Seed,
 	}, nil
 }
@@ -270,7 +283,10 @@ type Index[T any] struct {
 }
 
 // NewIndex embeds every object of db offline (len(db) × EmbedCost exact
-// distances, paid once).
+// distances, paid once). The build — and every subsequent Search /
+// SearchBatch — may call dist from multiple goroutines at once, so dist
+// must be safe for concurrent use (any pure function of its inputs is);
+// a stateful oracle requires capping the process with GOMAXPROCS=1.
 func NewIndex[T any](model *Model[T], db []T, dist Distance[T]) (*Index[T], error) {
 	if model == nil {
 		return nil, fmt.Errorf("qse: nil model")
@@ -296,6 +312,28 @@ func (ix *Index[T]) Search(q T, k, p int) ([]Result, SearchStats, error) {
 		out[i] = Result{Index: n.Index, Distance: n.Distance}
 	}
 	return out, SearchStats{EmbedDistances: st.EmbedDistances, RefineDistances: st.RefineDistances}, nil
+}
+
+// SearchBatch runs Search for every query, pipelining the batch across a
+// GOMAXPROCS-sized worker pool. Results and stats are index-aligned with
+// queries, and byte-identical to calling Search on each query sequentially
+// — batching changes wall-clock time, never answers. Prefer it whenever
+// more than a handful of queries are in hand at once.
+func (ix *Index[T]) SearchBatch(queries []T, k, p int) ([][]Result, []SearchStats, error) {
+	ns, st, err := ix.inner.SearchBatch(queries, k, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]Result, len(ns))
+	stats := make([]SearchStats, len(ns))
+	for qi := range ns {
+		out[qi] = make([]Result, len(ns[qi]))
+		for i, n := range ns[qi] {
+			out[qi][i] = Result{Index: n.Index, Distance: n.Distance}
+		}
+		stats[qi] = SearchStats{EmbedDistances: st[qi].EmbedDistances, RefineDistances: st[qi].RefineDistances}
+	}
+	return out, stats, nil
 }
 
 // BruteForce returns the exact k nearest neighbors by scanning the whole

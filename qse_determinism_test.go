@@ -1,0 +1,139 @@
+package qse
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// withGOMAXPROCS runs f under the given GOMAXPROCS setting and restores the
+// previous value. Setting it above the machine's core count is fine: the
+// fork-join helpers key off GOMAXPROCS, so the parallel code paths are
+// exercised even on a single-CPU test box.
+func withGOMAXPROCS(n int, f func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// TestDeterminismAcrossGOMAXPROCS is the contract the whole parallel
+// retrieval engine is built on: same seed + same inputs ⇒ byte-identical
+// Train / Search / SearchBatch results no matter how many workers run them.
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	db := testDB(21, 400)
+	queries := db[:25]
+	cfg := testConfig()
+	cfg.Triples = 5000 // above the boosting Step parallel threshold
+
+	type outcome struct {
+		rounds  int
+		trErr   float64
+		results [][]Result
+		stats   []SearchStats
+		batch   [][]Result
+	}
+	run := func() outcome {
+		model, err := Train(db, l2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := NewIndex(model, db, l2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var o outcome
+		o.rounds = model.Report().Rounds
+		o.trErr = model.Report().TrainingError
+		for _, q := range queries {
+			res, st, err := ix.Search(q, 5, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.results = append(o.results, res)
+			o.stats = append(o.stats, st)
+		}
+		batch, _, err := ix.SearchBatch(queries, 5, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.batch = batch
+		return o
+	}
+
+	var serial, parallel outcome
+	withGOMAXPROCS(1, func() { serial = run() })
+	withGOMAXPROCS(8, func() { parallel = run() })
+
+	if serial.rounds != parallel.rounds || serial.trErr != parallel.trErr {
+		t.Fatalf("training diverged: GOMAXPROCS=1 (rounds=%d err=%v) vs GOMAXPROCS=8 (rounds=%d err=%v)",
+			serial.rounds, serial.trErr, parallel.rounds, parallel.trErr)
+	}
+	if !reflect.DeepEqual(serial.results, parallel.results) {
+		t.Error("Search results differ between GOMAXPROCS=1 and GOMAXPROCS=8")
+	}
+	if !reflect.DeepEqual(serial.stats, parallel.stats) {
+		t.Error("Search stats differ between GOMAXPROCS=1 and GOMAXPROCS=8")
+	}
+	if !reflect.DeepEqual(serial.batch, parallel.batch) {
+		t.Error("SearchBatch results differ between GOMAXPROCS=1 and GOMAXPROCS=8")
+	}
+	if !reflect.DeepEqual(serial.batch, serial.results) {
+		t.Error("SearchBatch differs from sequential Search on the same queries")
+	}
+}
+
+// TestTrainWorkersBitIdentical pins the Workers knob specifically: a
+// caller-capped worker count must train the exact same model as serial.
+func TestTrainWorkersBitIdentical(t *testing.T) {
+	db := testDB(22, 300)
+	q := []float64{0.4, 0.6}
+
+	search := func(workers int) ([]Result, TrainReport) {
+		cfg := testConfig()
+		cfg.Workers = workers
+		model, err := Train(db, l2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := NewIndex(model, db, l2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := ix.Search(q, 3, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, model.Report()
+	}
+
+	res1, rep1 := search(1)
+	res8, rep8 := search(8)
+	if !reflect.DeepEqual(rep1, rep8) {
+		t.Errorf("reports differ: Workers=1 %+v vs Workers=8 %+v", rep1, rep8)
+	}
+	if !reflect.DeepEqual(res1, res8) {
+		t.Errorf("results differ: Workers=1 %v vs Workers=8 %v", res1, res8)
+	}
+}
+
+func TestSearchBatchValidation(t *testing.T) {
+	db := testDB(23, 150)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(model, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.SearchBatch(db[:3], 0, 10); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, _, err := ix.SearchBatch(db[:3], 5, 3); err == nil {
+		t.Error("p < k should error")
+	}
+	res, stats, err := ix.SearchBatch(nil, 1, 10)
+	if err != nil || len(res) != 0 || len(stats) != 0 {
+		t.Errorf("empty batch: res=%v stats=%v err=%v", res, stats, err)
+	}
+}
