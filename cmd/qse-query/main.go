@@ -1,10 +1,17 @@
-// Command qse-query loads a model trained by qse-train, rebuilds the same
-// database, indexes it, and runs nearest-neighbor queries, printing the
-// results and the exact-distance cost compared to brute force.
+// Command qse-query runs nearest-neighbor queries against a trained
+// index, printing the results and the exact-distance cost compared to
+// brute force. It can load the index two ways:
+//
+//   - -model: a model gob from qse-train. The database is regenerated
+//     from -db/-dataseed (which must match training) and re-embedded.
+//   - -bundle: a self-contained bundle from qse-serve (or Store.Save).
+//     Nothing is regenerated or re-embedded; -db/-dataseed are ignored
+//     and the dataset flag only picks the query generator and distance.
 //
 // Usage:
 //
 //	qse-query -model model.gob -dataset series -db 1000 -dataseed 7 [flags]
+//	qse-query -bundle qse.bundle -dataset series [flags]
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 func main() {
 	var (
 		modelPath = flag.String("model", "model.gob", "model file from qse-train")
+		bundle    = flag.String("bundle", "", "self-contained bundle from qse-serve/Store.Save (overrides -model; no dataset rebuild)")
 		dataset   = flag.String("dataset", "series", "digits | series (must match training)")
 		dbSize    = flag.Int("db", 1000, "database size (must match training)")
 		dataseed  = flag.Int64("dataseed", 7, "dataset seed (must match training)")
@@ -32,30 +40,87 @@ func main() {
 	)
 	flag.Parse()
 
+	if *bundle != "" && *autoP {
+		fatalf("-autop needs a model and database; it is not supported with -bundle")
+	}
+
 	switch *dataset {
 	case "digits":
-		db, dist, err := datasets.Digits(*dbSize, *dataseed)
-		if err != nil {
-			fatalf("rebuilding database: %v", err)
-		}
-		qs, _, err := datasets.Digits(*numQ, *queryseed)
-		if err != nil {
-			fatalf("generating queries: %v", err)
-		}
-		run(*modelPath, db, qs, dist, *k, *p, *autoP, *pct, *queryseed)
+		dispatch(datasets.Digits, *bundle, *modelPath, *dbSize, *dataseed, *numQ, *queryseed, *k, *p, *autoP, *pct)
 	case "series":
-		db, dist, err := datasets.Series(*dbSize, *dataseed)
-		if err != nil {
-			fatalf("rebuilding database: %v", err)
-		}
-		qs, _, err := datasets.Series(*numQ, *queryseed)
-		if err != nil {
-			fatalf("generating queries: %v", err)
-		}
-		run(*modelPath, db, qs, dist, *k, *p, *autoP, *pct, *queryseed)
+		dispatch(datasets.Series, *bundle, *modelPath, *dbSize, *dataseed, *numQ, *queryseed, *k, *p, *autoP, *pct)
 	default:
 		fatalf("unknown dataset %q", *dataset)
 	}
+}
+
+// dispatch runs the query flow for one dataset generator: queries always
+// come from the generator; the database comes from a bundle when one is
+// given, and is regenerated + re-embedded from the model otherwise.
+func dispatch[T any](gen func(int, int64) ([]T, func(a, b T) float64, error),
+	bundle, modelPath string, dbSize int, dataseed int64, numQ int, queryseed int64,
+	k, p int, autoP bool, pct float64) {
+	qs, dist, err := gen(numQ, queryseed)
+	if err != nil {
+		fatalf("generating queries: %v", err)
+	}
+	if bundle != "" {
+		runBundle(bundle, qs, dist, k, p)
+		return
+	}
+	db, dist, err := gen(dbSize, dataseed)
+	if err != nil {
+		fatalf("rebuilding database: %v", err)
+	}
+	run(modelPath, db, qs, dist, k, p, autoP, pct, queryseed)
+}
+
+// runBundle serves the queries from a self-contained bundle: no database
+// regeneration, no re-embedding. The exact baseline is obtained by
+// searching with p = store size, which degenerates filter-and-refine to
+// an exact scan.
+func runBundle[T any](path string, queries []T, dist qse.Distance[T], k, p int) {
+	start := time.Now()
+	st, err := qse.OpenStore(path, dist, qse.GobCodec[T]())
+	if err != nil {
+		fatalf("opening bundle: %v", err)
+	}
+	fmt.Printf("bundle: %d objects, %d dims, opened in %v (0 exact distances)\n\n",
+		st.Size(), st.Dims(), time.Since(start).Round(time.Millisecond))
+
+	var totalCost, hits, possible int
+	for qi, q := range queries {
+		res, stats, err := st.Search(q, k, p)
+		if err != nil {
+			fatalf("query %d: %v", qi, err)
+		}
+		exact, _, err := st.Search(q, k, max(k, st.Size()))
+		if err != nil {
+			fatalf("query %d exact baseline: %v", qi, err)
+		}
+		exactSet := map[uint64]bool{}
+		for _, e := range exact {
+			exactSet[e.ID] = true
+		}
+		found := 0
+		for _, r := range res {
+			if exactSet[r.ID] {
+				found++
+			}
+		}
+		hits += found
+		possible += len(exact)
+		totalCost += stats.Total()
+		fmt.Printf("query %2d: top-%d recall %d/%d, cost %4d exact distances (vs %d brute force)\n",
+			qi, k, found, len(exact), stats.Total(), st.Size())
+		for _, r := range res[:min(3, len(res))] {
+			fmt.Printf("          id %-5d d=%.4f\n", r.ID, r.Distance)
+		}
+	}
+	fmt.Printf("\nmean cost %.1f distances/query, speed-up %.1fx, recall %.1f%%\n",
+		float64(totalCost)/float64(len(queries)),
+		float64(st.Size())*float64(len(queries))/float64(totalCost),
+		100*float64(hits)/float64(possible))
 }
 
 func run[T any](modelPath string, db, queries []T, dist qse.Distance[T], k, p int, autoP bool, pct float64, queryseed int64) {

@@ -1,0 +1,233 @@
+// Command qse-serve serves a query-sensitive embedding index over HTTP.
+//
+// On first run it builds a durable bundle — training a model on a
+// synthetic dataset (or loading one saved by qse-train), embedding the
+// database, and writing everything to one self-contained file. On later
+// runs it opens that bundle directly: no dataset regeneration, no
+// retraining, no re-embedding. While serving, /v1/search traffic runs
+// lock-free and concurrent with /v1/objects mutations, and the store can
+// be snapshotted back to disk periodically in the background.
+//
+// Usage:
+//
+//	qse-serve -dataset series -db 400 -bundle qse.bundle -addr 127.0.0.1:8080
+//	qse-serve -bundle qse.bundle                  # reopen an existing bundle
+//	qse-serve -bundle qse.bundle -build-only      # build the bundle and exit
+//
+// Endpoints (JSON): POST /v1/search, POST /v1/search/batch,
+// POST /v1/objects, DELETE /v1/objects/{id}, GET /v1/stats, GET /healthz.
+// A query/object for the series dataset is a [time][dim] array, e.g.
+// {"query": [[0.1,0.2],[0.3,0.4]], "k": 5, "p": 100}; {"id": 7, "k": 5}
+// searches with a stored object as the query.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"qse/internal/core"
+	"qse/internal/datasets"
+	"qse/internal/dtw"
+	"qse/internal/server"
+	"qse/internal/space"
+	"qse/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		bundle    = flag.String("bundle", "qse.bundle", "bundle file: opened if it exists, built and written otherwise")
+		buildOnly = flag.Bool("build-only", false, "build the bundle and exit without serving")
+		dataset   = flag.String("dataset", "series", "dataset for first-time bundle builds (only series has a JSON query encoding)")
+		dbSize    = flag.Int("db", 400, "database size for first-time builds")
+		dataseed  = flag.Int64("dataseed", 7, "dataset generation seed for first-time builds")
+		modelPath = flag.String("model", "", "model gob from qse-train to reuse (empty = train a fresh model)")
+		rounds    = flag.Int("rounds", 16, "boosting rounds when training")
+		triples   = flag.Int("triples", 2000, "training triples when training")
+		cands     = flag.Int("candidates", 60, "candidate objects |C| when training")
+		pool      = flag.Int("pool", 120, "training pool |Xtr| when training")
+		k1        = flag.Int("k1", 5, "selective-sampling radius when training")
+		seed      = flag.Int64("seed", 1, "training seed")
+		snapEvery = flag.Duration("snapshot-every", 0, "periodic background snapshot interval (0 disables)")
+		maxBody   = flag.Int64("max-body", server.DefaultMaxBody, "maximum request body bytes")
+		dims      = flag.Int("series-dims", 0, "sample dimensionality queries must have (0 = derive from the stored data)")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("qse-serve: ")
+
+	if *dataset != "series" {
+		log.Fatalf("unsupported dataset %q: only series objects have a JSON encoding", *dataset)
+	}
+	dist := space.Distance[dtw.Series](func(a, b dtw.Series) float64 { return dtw.Constrained(a, b, 0.10) })
+	codec := store.Gob[dtw.Series]()
+
+	st, err := openOrBuild(*bundle, dist, codec, buildConfig{
+		dbSize: *dbSize, dataseed: *dataseed, modelPath: *modelPath,
+		rounds: *rounds, triples: *triples, cands: *cands, pool: *pool, k1: *k1, seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := st.Stats()
+	log.Printf("store ready: %d objects, %d dims, generation %d", stats.Size, stats.Dims, stats.Generation)
+	if *buildOnly {
+		return
+	}
+
+	// DTW panics on sample-dimensionality mismatch, so the decoder must
+	// reject queries whose shape differs from the stored data. The shape
+	// is derived from the data itself, not trusted from a flag, unless
+	// the operator overrides it explicitly.
+	wantDims := *dims
+	if wantDims == 0 {
+		first, ok := st.First()
+		if !ok {
+			log.Fatal("store is empty and -series-dims is unset; cannot infer the query shape")
+		}
+		wantDims = first.Dims()
+	}
+	decode := func(raw json.RawMessage) (dtw.Series, error) {
+		var s dtw.Series
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, err
+		}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if s.Dims() != wantDims {
+			return nil, fmt.Errorf("series samples have %d dims, this index requires %d", s.Dims(), wantDims)
+		}
+		return s, nil
+	}
+	srv := server.New(st, decode, server.Options{MaxBodyBytes: *maxBody})
+
+	// Periodic background snapshots: only write when the store actually
+	// changed since the bundle on disk. savedGen tracks the generation the
+	// on-disk bundle holds; the just-opened (or just-built) bundle matches
+	// the store's current generation.
+	var savedGen atomic.Uint64
+	savedGen.Store(st.Stats().Generation)
+	snapDone := make(chan struct{})
+	if *snapEvery > 0 {
+		go func() {
+			defer close(snapDone)
+			ticker := time.NewTicker(*snapEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-snapDone:
+					return
+				case <-ticker.C:
+					if gen := st.Stats().Generation; gen != savedGen.Load() {
+						if err := st.Save(*bundle); err != nil {
+							log.Printf("background snapshot: %v", err)
+							continue
+						}
+						savedGen.Store(gen)
+						log.Printf("background snapshot written (generation %d)", gen)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	log.Printf("listening on http://%s (try GET /healthz)", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("serving: %v", err)
+	case sig := <-sigc:
+		log.Printf("received %v, draining", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if *snapEvery > 0 {
+		snapDone <- struct{}{}
+	}
+	// Final snapshot so mutations taken over HTTP survive the restart —
+	// skipped when the bundle on disk already matches the store.
+	if gen := st.Stats().Generation; gen == savedGen.Load() {
+		log.Printf("no mutations since last snapshot; bundle %s is current", *bundle)
+	} else if err := st.Save(*bundle); err != nil {
+		log.Printf("final snapshot: %v", err)
+	} else {
+		log.Printf("final snapshot written to %s (generation %d)", *bundle, gen)
+	}
+}
+
+type buildConfig struct {
+	dbSize                           int
+	dataseed                         int64
+	modelPath                        string
+	rounds, triples, cands, pool, k1 int
+	seed                             int64
+}
+
+// openOrBuild opens an existing bundle, or builds one from the synthetic
+// dataset and persists it.
+func openOrBuild(path string, dist space.Distance[dtw.Series], codec store.Codec[dtw.Series], cfg buildConfig) (*store.Store[dtw.Series], error) {
+	if _, err := os.Stat(path); err == nil {
+		log.Printf("opening bundle %s", path)
+		return store.Open(path, dist, codec)
+	}
+	log.Printf("bundle %s not found; building from dataset (db=%d, seed=%d)", path, cfg.dbSize, cfg.dataseed)
+	db, _, err := datasets.Series(cfg.dbSize, cfg.dataseed)
+	if err != nil {
+		return nil, fmt.Errorf("building dataset: %w", err)
+	}
+
+	var model *core.Model[dtw.Series]
+	if cfg.modelPath != "" {
+		f, err := os.Open(cfg.modelPath)
+		if err != nil {
+			return nil, fmt.Errorf("opening model: %w", err)
+		}
+		defer f.Close()
+		if model, err = core.Load(f, db, dist); err != nil {
+			return nil, fmt.Errorf("loading model: %w", err)
+		}
+		log.Printf("loaded model %s: %d dims", cfg.modelPath, model.Dims())
+	} else {
+		opts := core.DefaultOptions()
+		opts.Rounds = cfg.rounds
+		opts.NumTriples = cfg.triples
+		opts.NumCandidates = cfg.cands
+		opts.NumTraining = cfg.pool
+		opts.K1 = cfg.k1
+		opts.Seed = cfg.seed
+		t0 := time.Now()
+		var report *core.Report
+		if model, report, err = core.Train(db, dist, opts); err != nil {
+			return nil, fmt.Errorf("training: %w", err)
+		}
+		log.Printf("trained %s in %v: %d dims, embed cost %d, training error %.4f",
+			report.Variant, time.Since(t0).Round(time.Millisecond), model.Dims(), model.EmbedCost(), report.FinalTrainingError())
+	}
+
+	st, err := store.New(model, db, dist, codec)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Save(path); err != nil {
+		return nil, fmt.Errorf("writing bundle: %w", err)
+	}
+	log.Printf("bundle written to %s", path)
+	return st, nil
+}

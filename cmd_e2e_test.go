@@ -1,11 +1,16 @@
 package qse
 
 import (
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestCommandLineTools exercises the qse-train -> qse-query round trip and
@@ -55,5 +60,133 @@ func TestCommandLineTools(t *testing.T) {
 	benchOut := run("qse-bench", "-experiment", "fig1", "-scale", "small")
 	if !strings.Contains(benchOut, "Figure 1") || !strings.Contains(benchOut, "done in") {
 		t.Fatalf("bench output unexpected:\n%s", benchOut)
+	}
+}
+
+// TestServeTools exercises the embedding-store service end to end as real
+// subprocesses: qse-serve builds a durable bundle, qse-query reopens it
+// without regenerating the dataset, and a live qse-serve answers HTTP
+// queries concurrently with mutations, then drains on SIGTERM. Skipped in
+// -short mode.
+func TestServeTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bundlePath := filepath.Join(dir, "qse.bundle")
+	bin := filepath.Join(dir, "qse-serve")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/qse-serve")
+	build.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building qse-serve: %v\n%s", err, out)
+	}
+
+	// First run: no bundle yet — train, embed, persist, exit.
+	buildCmd := exec.Command(bin,
+		"-dataset", "series", "-db", "120", "-rounds", "6", "-triples", "600",
+		"-candidates", "20", "-pool", "40", "-bundle", bundlePath, "-build-only")
+	if out, err := buildCmd.CombinedOutput(); err != nil {
+		t.Fatalf("qse-serve -build-only: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(bundlePath); err != nil {
+		t.Fatalf("bundle missing: %v", err)
+	}
+
+	// The bundle is self-contained: qse-query serves from it without
+	// -db/-dataseed.
+	queryCmd := exec.Command("go", "run", "./cmd/qse-query",
+		"-bundle", bundlePath, "-dataset", "series", "-n", "3", "-k", "2", "-p", "20")
+	queryCmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	queryOut, err := queryCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("qse-query -bundle: %v\n%s", err, queryOut)
+	}
+	if !strings.Contains(string(queryOut), "0 exact distances") || !strings.Contains(string(queryOut), "recall") {
+		t.Fatalf("qse-query -bundle output unexpected:\n%s", queryOut)
+	}
+
+	// Second run: reopen the bundle and serve HTTP.
+	const addr = "127.0.0.1:18091"
+	serve := exec.Command(bin, "-bundle", bundlePath, "-addr", addr)
+	serve.Stdout, serve.Stderr = os.Stderr, os.Stderr
+	if err := serve.Start(); err != nil {
+		t.Fatalf("starting qse-serve: %v", err)
+	}
+	defer serve.Process.Kill()
+
+	base := "http://" + addr
+	var up bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("server never became healthy")
+	}
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := post("/v1/search", `{"id":0,"k":3,"p":24}`); code != http.StatusOK || !strings.Contains(body, `"results"`) {
+		t.Fatalf("/v1/search: %d %s", code, body)
+	}
+	if code, body := post("/v1/objects", `{"object":[[0.1,0.2],[0.3,0.4],[0.5,0.6]]}`); code != http.StatusCreated {
+		t.Fatalf("/v1/objects: %d %s", code, body)
+	} else if !strings.Contains(body, `"id":120`) {
+		t.Fatalf("/v1/objects body: %s", body)
+	}
+	req, _ := http.NewRequest("DELETE", base+"/v1/objects/120", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /v1/objects/120: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("/v1/stats: %v", err)
+	}
+	statsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(statsBody), `"generation":2`) {
+		t.Fatalf("/v1/stats should show two mutations:\n%s", statsBody)
+	}
+
+	// Graceful shutdown: SIGTERM drains and writes a final snapshot.
+	if err := serve.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signaling: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serve.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("qse-serve exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("qse-serve did not drain after SIGTERM")
+	}
+
+	// The final snapshot captured the (net-zero) mutations: reopening
+	// must show generation reset with the original 120 objects intact.
+	reopen := exec.Command(bin, "-bundle", bundlePath, "-build-only")
+	out, err := reopen.CombinedOutput()
+	if err != nil {
+		t.Fatalf("reopening final snapshot: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), fmt.Sprintf("store ready: %d objects", 120)) {
+		t.Fatalf("final snapshot reopen output:\n%s", out)
 	}
 }

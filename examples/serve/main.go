@@ -1,0 +1,136 @@
+// Serve walkthrough: take a trained index all the way to a running HTTP
+// service — train, build a Store, save it as a durable bundle, reopen the
+// bundle (zero exact distances), and serve it while a client searches and
+// mutates it over the network.
+//
+// The flow mirrors production use:
+//
+//	train → qse.NewStore → Store.Save(bundle)        (offline, once)
+//	store.Open(bundle) → server.New → Serve          (every process start)
+//
+// The bundle is the interchange format between the two halves: it carries
+// the model, the embedded vectors, the objects themselves, and the
+// stable-ID table, so the serving process needs neither the training
+// database nor any retraining.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"qse"
+	"qse/internal/server"
+	"qse/internal/store"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	// A clustered vector database under Euclidean distance. Any object
+	// type and distance function works the same way.
+	centers := make([][]float64, 10)
+	for i := range centers {
+		centers[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	db := make([][]float64, 600)
+	for i := range db {
+		c := centers[i%len(centers)]
+		db[i] = []float64{c[0] + rng.NormFloat64()*0.04, c[1] + rng.NormFloat64()*0.04}
+	}
+	dist := func(a, b []float64) float64 {
+		dx, dy := a[0]-b[0], a[1]-b[1]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+
+	// ---- Offline: train, index into a Store, persist a bundle. ----
+	cfg := qse.DefaultTrainConfig()
+	cfg.Rounds = 24
+	cfg.Seed = 1
+	model, err := qse.Train(db, dist, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := qse.NewStore(model, db, dist, qse.GobCodec[[]float64]())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "qse-serve-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	bundle := filepath.Join(dir, "vectors.bundle")
+	if err := st.Save(bundle); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(bundle)
+	fmt.Printf("bundle written: %d objects, %d dims, %d bytes\n", st.Size(), st.Dims(), info.Size())
+
+	// ---- Serving process: reopen the bundle and put it on the network.
+	// Opening costs zero exact distance computations — the embedded
+	// vectors travel inside the bundle.
+	served, err := store.Open(bundle, dist, store.Gob[[]float64]())
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode := func(raw json.RawMessage) ([]float64, error) {
+		var v []float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		if len(v) != 2 {
+			return nil, fmt.Errorf("want 2-dimensional points, got %d", len(v))
+		}
+		return v, nil
+	}
+	srv := server.New(served, decode, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// ---- A client, over plain HTTP. ----
+	post := func(path, body string) string {
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.String()
+	}
+
+	q := []float64{centers[3][0], centers[3][1]}
+	fmt.Printf("POST /v1/search near cluster 3:\n  %s\n", post("/v1/search", fmt.Sprintf(`{"query":[%g,%g],"k":3,"p":60}`, q[0], q[1])))
+	fmt.Printf("POST /v1/objects (insert while serving):\n  %s\n", post("/v1/objects", `{"object":[0.5,0.5]}`))
+	fmt.Printf("POST /v1/search by stored id:\n  %s\n", post("/v1/search", `{"id":600,"k":2,"p":40}`))
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats bytes.Buffer
+	stats.ReadFrom(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("GET /v1/stats:\n  %s\n", stats.String())
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained and stopped.")
+}

@@ -42,6 +42,25 @@ func (m *Model[T]) Snapshot() (*Snapshot, error) {
 	}, nil
 }
 
+// SelfSnapshot returns a snapshot whose CandidateIdx is the identity over
+// the model's own candidate list. Unlike Snapshot it needs no training
+// provenance: it is meant for containers (the store's bundle format) that
+// serialize the candidate objects themselves alongside the snapshot and
+// restore with Restore(snap, candidates, dist) — making the result
+// self-contained rather than tied to a particular database ordering.
+func (m *Model[T]) SelfSnapshot() *Snapshot {
+	idx := make([]int, len(m.candidates))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &Snapshot{
+		Mode:          m.Mode,
+		Rules:         append([]Rule(nil), m.Rules...),
+		CandidateIdx:  idx,
+		FormatVersion: snapshotVersion,
+	}
+}
+
 // Save writes the model's snapshot to w.
 func (m *Model[T]) Save(w io.Writer) error {
 	snap, err := m.Snapshot()

@@ -123,8 +123,54 @@ func BuildIndex[T any](db []T, dist space.Distance[T], em Embedder[T]) (*Index[T
 	return ix, nil
 }
 
+// FromParts reassembles an index from a previously saved flat vector block
+// without re-embedding anything: db and flat must come from the same index
+// (len(flat) == len(db)*dims). This is what lets a durable bundle reopen in
+// O(decode) instead of O(n · EmbedCost) exact distances. Unlike BuildIndex,
+// an empty database is accepted — a store drained by removals must still
+// reopen — so dims must be supplied explicitly.
+func FromParts[T any](db []T, flat []float64, dims int, dist space.Distance[T], em Embedder[T]) (*Index[T], error) {
+	if em == nil {
+		return nil, fmt.Errorf("retrieval: nil embedder")
+	}
+	if dims <= 0 {
+		return nil, fmt.Errorf("retrieval: dims = %d, want > 0", dims)
+	}
+	if len(flat) != len(db)*dims {
+		return nil, fmt.Errorf("retrieval: flat block has %d values, want %d objects x %d dims = %d",
+			len(flat), len(db), dims, len(db)*dims)
+	}
+	return &Index[T]{db: db, flat: flat, dims: dims, embedder: em, dist: dist}, nil
+}
+
+// Clone returns an index whose db and flat storage are independent copies
+// (allocated with no spare capacity, so a subsequent Add on the clone can
+// never scribble into the original's backing arrays). The embedder and
+// distance oracle are shared — both are immutable. Clone is the primitive
+// behind the store's copy-on-write discipline: readers keep searching the
+// original while a mutator edits the clone.
+func (ix *Index[T]) Clone() *Index[T] {
+	db := make([]T, len(ix.db))
+	copy(db, ix.db)
+	flat := make([]float64, len(ix.flat))
+	copy(flat, ix.flat)
+	return &Index[T]{db: db, flat: flat, dims: ix.dims, embedder: ix.embedder, dist: ix.dist}
+}
+
 // Size returns the number of database objects.
 func (ix *Index[T]) Size() int { return len(ix.db) }
+
+// Object returns database object i.
+func (ix *Index[T]) Object(i int) T { return ix.db[i] }
+
+// Objects returns the database slice itself (callers must not modify it,
+// and must not retain it across Add/Remove calls).
+func (ix *Index[T]) Objects() []T { return ix.db }
+
+// Flat returns the raw row-major embedded block and its row width — the
+// counterpart of FromParts, used to persist an index. The slice is the
+// index's own storage, not a copy; the same caveats as Vectors apply.
+func (ix *Index[T]) Flat() ([]float64, int) { return ix.flat, ix.dims }
 
 // Dims returns the embedding dimensionality.
 func (ix *Index[T]) Dims() int { return ix.dims }

@@ -1,0 +1,455 @@
+// Package server puts a store on the network: a small, dependency-free
+// JSON API over net/http, so the filter-and-refine engine can serve
+// queries from processes that did not build (or even cannot build) the
+// index. The surface is deliberately narrow:
+//
+//	POST   /v1/search        one k-NN query (by inline object or stored ID)
+//	POST   /v1/search/batch  many queries, pipelined through SearchBatch
+//	POST   /v1/objects       add an object, returns its stable ID
+//	DELETE /v1/objects/{id}  remove by stable ID
+//	GET    /v1/stats         store + per-endpoint traffic statistics
+//	GET    /healthz          liveness probe
+//
+// Because the store's reads are lock-free copy-on-write, the handlers
+// never hold a lock across a search: any number of /v1/search requests
+// proceed concurrently with /v1/objects mutations, each request seeing
+// one consistent store version. Request bodies are size-bounded, every
+// endpoint validates before touching the store, and per-endpoint
+// request/error/latency counters are maintained with atomics (visible
+// under /v1/stats). Queries arrive as raw JSON and are turned into domain
+// objects by a caller-supplied decode function — the HTTP layer stays as
+// generic over T as everything else in the repository.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"qse/internal/retrieval"
+	"qse/internal/store"
+)
+
+// DefaultMaxBody bounds request bodies when Options.MaxBodyBytes is zero.
+const DefaultMaxBody = 1 << 20
+
+// DefaultBatchLimit bounds the number of queries in one batch request.
+const DefaultBatchLimit = 1024
+
+// Options configures a Server. The zero value is usable.
+type Options struct {
+	// MaxBodyBytes caps the request body size; oversized requests get 413.
+	MaxBodyBytes int64
+	// BatchLimit caps queries per /v1/search/batch request.
+	BatchLimit int
+}
+
+// endpoint indexes the per-endpoint metric slots.
+type endpoint int
+
+const (
+	epSearch endpoint = iota
+	epSearchBatch
+	epAdd
+	epRemove
+	epStats
+	epHealth
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{
+	"search", "search_batch", "add", "remove", "stats", "healthz",
+}
+
+// metrics is one endpoint's traffic counters. All fields are atomics so
+// the hot path never takes a lock to account for itself.
+type metrics struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	latencyNs atomic.Int64
+}
+
+// Server serves one Store over HTTP.
+type Server[T any] struct {
+	st     *store.Store[T]
+	decode func(json.RawMessage) (T, error)
+	opts   Options
+	start  time.Time
+	eps    [numEndpoints]metrics
+
+	httpSrv *http.Server
+}
+
+// New wraps st in an HTTP server. decode turns the raw JSON of a "query"
+// or "object" field into a domain object; it should validate and return
+// an error for objects the distance function cannot handle (the error
+// text is surfaced to the client with status 400).
+func New[T any](st *store.Store[T], decode func(json.RawMessage) (T, error), opts Options) *Server[T] {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBody
+	}
+	if opts.BatchLimit <= 0 {
+		opts.BatchLimit = DefaultBatchLimit
+	}
+	s := &Server[T]{st: st, decode: decode, opts: opts, start: time.Now()}
+	// The http.Server is created here, not lazily in Serve, so Shutdown
+	// is race-free against a Serve running on another goroutine (and so
+	// one Shutdown stops every listener handed to Serve).
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Handler returns the route table. It is safe to serve from multiple
+// listeners at once.
+func (s *Server[T]) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.instrument(epSearch, s.handleSearch))
+	mux.HandleFunc("POST /v1/search/batch", s.instrument(epSearchBatch, s.handleSearchBatch))
+	mux.HandleFunc("POST /v1/objects", s.instrument(epAdd, s.handleAdd))
+	mux.HandleFunc("DELETE /v1/objects/{id}", s.instrument(epRemove, s.handleRemove))
+	mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server[T]) Serve(l net.Listener) error {
+	return s.httpSrv.Serve(l)
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server[T]) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully drains in-flight requests (bounded by ctx) and
+// closes every listener.
+func (s *Server[T]) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// statusRecorder captures the response status for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with body bounding and traffic accounting.
+func (s *Server[T]) instrument(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		m := &s.eps[ep]
+		m.requests.Add(1)
+		if rec.status >= 400 {
+			m.errors.Add(1)
+		}
+		m.latencyNs.Add(time.Since(t0).Nanoseconds())
+	}
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody decodes the request body into dst, translating the failure
+// modes into the right status codes: 413 for an oversized body, 400 for
+// malformed or unknown-field JSON.
+func readBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeErr(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// searchRequest is the body of /v1/search. Exactly one of Query (an
+// inline object in the dataset's JSON encoding) or ID (a stored object's
+// stable ID) must be set. P defaults to 10·K.
+type searchRequest struct {
+	Query json.RawMessage `json:"query,omitempty"`
+	ID    *uint64         `json:"id,omitempty"`
+	K     int             `json:"k"`
+	P     int             `json:"p,omitempty"`
+}
+
+type resultJSON struct {
+	ID       uint64  `json:"id"`
+	Distance float64 `json:"distance"`
+}
+
+type statsJSON struct {
+	EmbedDistances  int `json:"embed_distances"`
+	RefineDistances int `json:"refine_distances"`
+}
+
+type searchResponse struct {
+	Results []resultJSON `json:"results"`
+	Stats   statsJSON    `json:"stats"`
+}
+
+// checkKP applies the shared parameter rules and the P default.
+func checkKP(w http.ResponseWriter, k, p int) (int, bool) {
+	if k <= 0 {
+		writeErr(w, http.StatusBadRequest, "k = %d, want > 0", k)
+		return 0, false
+	}
+	if p == 0 {
+		p = 10 * k
+	}
+	if p < k {
+		writeErr(w, http.StatusBadRequest, "p = %d must be >= k = %d", p, k)
+		return 0, false
+	}
+	return p, true
+}
+
+// resolveQuery turns a searchRequest's query-or-ID into a domain object.
+func (s *Server[T]) resolveQuery(w http.ResponseWriter, query json.RawMessage, id *uint64) (T, bool) {
+	var zero T
+	switch {
+	case id != nil && query != nil:
+		writeErr(w, http.StatusBadRequest, "set either query or id, not both")
+		return zero, false
+	case id != nil:
+		q, ok := s.st.Get(*id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown object id %d", *id)
+			return zero, false
+		}
+		return q, true
+	case query != nil:
+		q, err := s.decode(query)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid query: %v", err)
+			return zero, false
+		}
+		return q, true
+	default:
+		writeErr(w, http.StatusBadRequest, "missing query (or id)")
+		return zero, false
+	}
+}
+
+func toJSONResults(rs []store.Result) []resultJSON {
+	out := make([]resultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = resultJSON{ID: r.ID, Distance: r.Distance}
+	}
+	return out
+}
+
+func toJSONStats(st retrieval.Stats) statsJSON {
+	return statsJSON{EmbedDistances: st.EmbedDistances, RefineDistances: st.RefineDistances}
+}
+
+func (s *Server[T]) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	p, ok := checkKP(w, req.K, req.P)
+	if !ok {
+		return
+	}
+	q, ok := s.resolveQuery(w, req.Query, req.ID)
+	if !ok {
+		return
+	}
+	res, st, err := s.st.Search(q, req.K, p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, searchResponse{Results: toJSONResults(res), Stats: toJSONStats(st)})
+}
+
+// batchRequest is the body of /v1/search/batch.
+type batchRequest struct {
+	Queries []json.RawMessage `json:"queries"`
+	K       int               `json:"k"`
+	P       int               `json:"p,omitempty"`
+}
+
+type batchResponse struct {
+	Results [][]resultJSON `json:"results"`
+	Stats   []statsJSON    `json:"stats"`
+}
+
+func (s *Server[T]) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty query batch")
+		return
+	}
+	if len(req.Queries) > s.opts.BatchLimit {
+		writeErr(w, http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Queries), s.opts.BatchLimit)
+		return
+	}
+	p, ok := checkKP(w, req.K, req.P)
+	if !ok {
+		return
+	}
+	queries := make([]T, len(req.Queries))
+	for i, raw := range req.Queries {
+		q, err := s.decode(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid query %d: %v", i, err)
+			return
+		}
+		queries[i] = q
+	}
+	res, sts, err := s.st.SearchBatch(queries, req.K, p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := batchResponse{Results: make([][]resultJSON, len(res)), Stats: make([]statsJSON, len(sts))}
+	for i := range res {
+		resp.Results[i] = toJSONResults(res[i])
+		resp.Stats[i] = toJSONStats(sts[i])
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// addRequest is the body of /v1/objects.
+type addRequest struct {
+	Object json.RawMessage `json:"object"`
+}
+
+type addResponse struct {
+	ID uint64 `json:"id"`
+}
+
+func (s *Server[T]) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req addRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if req.Object == nil {
+		writeErr(w, http.StatusBadRequest, "missing object")
+		return
+	}
+	x, err := s.decode(req.Object)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid object: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, addResponse{ID: s.st.Add(x)})
+}
+
+func (s *Server[T]) handleRemove(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid object id %q", r.PathValue("id"))
+		return
+	}
+	if err := s.st.Remove(id); err != nil {
+		if errors.Is(err, store.ErrUnknownID) {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"removed": id})
+}
+
+// endpointStatsJSON is one endpoint's row in /v1/stats.
+type endpointStatsJSON struct {
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+	QPS          float64 `json:"qps"`
+}
+
+type storeStatsJSON struct {
+	Size       int    `json:"size"`
+	Dims       int    `json:"dims"`
+	Generation uint64 `json:"generation"`
+	NextID     uint64 `json:"next_id"`
+}
+
+type statsResponse struct {
+	Store         storeStatsJSON               `json:"store"`
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Endpoints     map[string]endpointStatsJSON `json:"endpoints"`
+}
+
+func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.st.Stats()
+	uptime := time.Since(s.start).Seconds()
+	eps := make(map[string]endpointStatsJSON, numEndpoints)
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		m := &s.eps[ep]
+		reqs := m.requests.Load()
+		row := endpointStatsJSON{Requests: reqs, Errors: m.errors.Load()}
+		if reqs > 0 {
+			row.AvgLatencyUs = float64(m.latencyNs.Load()) / float64(reqs) / 1e3
+		}
+		if uptime > 0 {
+			row.QPS = float64(reqs) / uptime
+		}
+		eps[endpointNames[ep]] = row
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Store: storeStatsJSON{
+			Size:       st.Size,
+			Dims:       st.Dims,
+			Generation: st.Generation,
+			NextID:     st.NextID,
+		},
+		UptimeSeconds: uptime,
+		Endpoints:     eps,
+	})
+}
+
+func (s *Server[T]) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "size": s.st.Size()})
+}

@@ -1,0 +1,198 @@
+// Package store gives a trained index a production life outside the
+// process that built it. It has two halves:
+//
+//   - A durable, self-contained bundle format: one file holding the model
+//     snapshot, the candidate objects it references, the embedded database
+//     (the flat vector block — so reopening costs zero exact distances),
+//     the database objects themselves, and the stable-ID table. Unlike the
+//     model gob written by qse-train, a bundle does not require the reader
+//     to regenerate an identically ordered database: everything needed to
+//     serve queries travels in the file. Writes are atomic (temp file +
+//     rename) and reads are integrity-checked (magic, version, length,
+//     CRC-32C).
+//
+//   - Store, a concurrency shell around retrieval.Index (store.go): reads
+//     are lock-free against an immutable copy-on-write snapshot while
+//     mutations serialize behind a mutex, and every object carries a
+//     stable uint64 ID that survives the index's shift-on-remove.
+//
+// Domain objects cross the serialization boundary through a caller-supplied
+// Codec, keeping the package generic over T exactly like the rest of the
+// repository.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"qse/internal/core"
+)
+
+// Codec translates domain objects to and from bytes for bundle storage.
+// Encode and Decode must be inverses down to the bit level for any state
+// the distance function reads: a reopened bundle reproduces the original
+// index's answers exactly only if decoded objects are distance-identical
+// to the originals.
+type Codec[T any] interface {
+	Encode(x T) ([]byte, error)
+	Decode(data []byte) (T, error)
+}
+
+// Gob returns a Codec backed by encoding/gob. It round-trips float64s
+// bit-exactly, which makes it the right default for every object type in
+// this repository (series, shapes, vectors).
+func Gob[T any]() Codec[T] { return gobCodec[T]{} }
+
+type gobCodec[T any] struct{}
+
+func (gobCodec[T]) Encode(x T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&x); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (gobCodec[T]) Decode(data []byte) (T, error) {
+	var x T
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&x)
+	return x, err
+}
+
+// Bundle file layout (all integers little-endian):
+//
+//	[0:6]    magic "QSEBDL"
+//	[6:8]    format version (currently 1)
+//	[8:16]   gob body length n
+//	[16:16+n] gob-encoded bundleBody
+//	[16+n:20+n] CRC-32C over bytes [0, 16+n)
+const (
+	bundleMagic   = "QSEBDL"
+	bundleVersion = 1
+	headerLen     = 16
+	crcLen        = 4
+)
+
+// Sentinel errors let callers distinguish "not ours" from "ours but
+// damaged" from "ours but from a future layout".
+var (
+	// ErrNotBundle means the file does not start with the bundle magic.
+	ErrNotBundle = errors.New("store: not a bundle file")
+	// ErrCorrupt means the file is recognizably a bundle but fails the
+	// length, checksum, or cross-field consistency checks.
+	ErrCorrupt = errors.New("store: bundle corrupted")
+	// ErrVersion means the bundle was written by an incompatible format
+	// version.
+	ErrVersion = errors.New("store: unsupported bundle version")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// bundleBody is the gob payload of a bundle. The model snapshot's
+// CandidateIdx indexes Candidates (identity order, via SelfSnapshot), so
+// restoring never consults an external database.
+type bundleBody struct {
+	Model      core.Snapshot
+	Candidates [][]byte
+	Dims       int
+	Flat       []float64
+	Objects    [][]byte
+	IDs        []uint64
+	NextID     uint64
+}
+
+// writeBundle atomically writes body to path: the bytes land in a
+// temporary file in the same directory, are synced, and are renamed over
+// path, so a crash mid-write can never leave a half-written bundle where
+// readers look.
+func writeBundle(path string, body *bundleBody) (err error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(body); err != nil {
+		return fmt.Errorf("store: encoding bundle: %w", err)
+	}
+	buf := make([]byte, 0, headerLen+payload.Len()+crcLen)
+	buf = append(buf, bundleMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, bundleVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(payload.Len()))
+	buf = append(buf, payload.Bytes()...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bundle-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp bundle: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(buf); err != nil {
+		return fmt.Errorf("store: writing bundle: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("store: syncing bundle: %w", err)
+	}
+	if err = tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("store: chmod bundle: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing bundle: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: publishing bundle: %w", err)
+	}
+	return nil
+}
+
+// readBundle reads and verifies a bundle file: magic, version, declared
+// length, and CRC must all check out before the gob decoder sees a byte.
+func readBundle(path string) (*bundleBody, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading bundle: %w", err)
+	}
+	if len(data) < len(bundleMagic) || string(data[:len(bundleMagic)]) != bundleMagic {
+		return nil, fmt.Errorf("%w: %s", ErrNotBundle, path)
+	}
+	if len(data) < headerLen+crcLen {
+		return nil, fmt.Errorf("%w: %s: truncated header (%d bytes)", ErrCorrupt, path, len(data))
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	if n != uint64(len(data)-headerLen-crcLen) {
+		return nil, fmt.Errorf("%w: %s: body length %d, file holds %d", ErrCorrupt, path, n, len(data)-headerLen-crcLen)
+	}
+	// CRC before the version field is interpreted: the checksum covers the
+	// whole header, so a bit-flipped version byte reports as corruption,
+	// and only an intact file from a genuinely different format version
+	// reports as version skew.
+	sum := binary.LittleEndian.Uint32(data[len(data)-crcLen:])
+	if got := crc32.Checksum(data[:len(data)-crcLen], crcTable); got != sum {
+		return nil, fmt.Errorf("%w: %s: checksum %08x, want %08x", ErrCorrupt, path, got, sum)
+	}
+	if v := binary.LittleEndian.Uint16(data[6:8]); v != bundleVersion {
+		return nil, fmt.Errorf("%w: %s has version %d, this build reads %d", ErrVersion, path, v, bundleVersion)
+	}
+	var body bundleBody
+	if err := gob.NewDecoder(bytes.NewReader(data[headerLen : len(data)-crcLen])).Decode(&body); err != nil {
+		return nil, fmt.Errorf("%w: %s: decoding body: %v", ErrCorrupt, path, err)
+	}
+	if len(body.IDs) != len(body.Objects) {
+		return nil, fmt.Errorf("%w: %s: %d ids for %d objects", ErrCorrupt, path, len(body.IDs), len(body.Objects))
+	}
+	if body.Dims <= 0 {
+		return nil, fmt.Errorf("%w: %s: dims %d", ErrCorrupt, path, body.Dims)
+	}
+	if len(body.Flat) != len(body.Objects)*body.Dims {
+		return nil, fmt.Errorf("%w: %s: flat block has %d values for %d objects x %d dims",
+			ErrCorrupt, path, len(body.Flat), len(body.Objects), body.Dims)
+	}
+	return &body, nil
+}

@@ -1,0 +1,320 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qse/internal/core"
+	"qse/internal/retrieval"
+	"qse/internal/space"
+)
+
+// ErrUnknownID is returned by Remove for an ID that is not (or no longer)
+// in the store. The HTTP layer maps it to 404.
+var ErrUnknownID = errors.New("store: unknown object id")
+
+// Result is one retrieved neighbor, addressed by stable ID rather than by
+// database position: positions shift when objects are removed, IDs never
+// do, so IDs are the only handle that survives a mutating workload.
+type Result struct {
+	ID       uint64
+	Distance float64
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	// Size is the number of stored objects; Dims the embedding width.
+	Size int
+	Dims int
+	// Generation counts mutations (Add/Remove) since the store was created
+	// or opened; a changed generation means a snapshot is stale.
+	Generation uint64
+	// NextID is the ID the next Add will receive.
+	NextID uint64
+}
+
+// snapshot is one immutable version of the store's state. Readers operate
+// on whichever snapshot they loaded for their whole call; mutators never
+// modify a published snapshot, they publish a new one.
+type snapshot[T any] struct {
+	ix *retrieval.Index[T]
+	// ids maps position -> stable ID; pos is the inverse.
+	ids []uint64
+	pos map[uint64]int
+	// gen is the mutation count that produced this snapshot. It lives
+	// inside the snapshot — not in a separate atomic — so contents and
+	// generation are always observed together: equal generations really
+	// do mean identical contents.
+	gen uint64
+}
+
+// Store serves a retrieval index under a copy-on-write discipline:
+// Search, SearchBatch, Get, Stats and Save are lock-free — they atomically
+// load the current snapshot and never block, even while a mutation is in
+// flight — and Add/Remove serialize behind a mutex, clone the index, edit
+// the clone, and publish it with a single atomic pointer swap. Mutations
+// are therefore O(n) (the price of never making a reader wait), which is
+// the right trade for a read-heavy serving workload; bulk rebuilds should
+// construct a fresh store instead of looping Add.
+type Store[T any] struct {
+	model *core.Model[T]
+	dist  space.Distance[T]
+	codec Codec[T]
+
+	cur atomic.Pointer[snapshot[T]]
+
+	// mu serializes mutations. nextID is only advanced under mu but is
+	// atomic so the lock-free readers (Save, Stats) never touch the lock —
+	// a slow Add must not stall a stats probe or a background snapshot.
+	mu     sync.Mutex
+	nextID atomic.Uint64
+}
+
+// New builds a store over db: the database is embedded (len(db) ×
+// EmbedCost exact distances, the usual index-build price) and objects are
+// assigned stable IDs 0..len(db)-1. The codec is only exercised by Save,
+// but is required up front so a store that cannot persist fails at
+// construction, not at snapshot time.
+func New[T any](model *core.Model[T], db []T, dist space.Distance[T], codec Codec[T]) (*Store[T], error) {
+	if model == nil {
+		return nil, fmt.Errorf("store: nil model")
+	}
+	if codec == nil {
+		return nil, fmt.Errorf("store: nil codec")
+	}
+	ix, err := retrieval.BuildIndex(db, dist, model)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, len(db))
+	pos := make(map[uint64]int, len(db))
+	for i := range ids {
+		ids[i] = uint64(i)
+		pos[uint64(i)] = i
+	}
+	s := &Store[T]{model: model, dist: dist, codec: codec}
+	s.nextID.Store(uint64(len(db)))
+	s.cur.Store(&snapshot[T]{ix: ix, ids: ids, pos: pos})
+	return s, nil
+}
+
+// Open restores a store from a bundle written by Save. No exact distances
+// are computed: the embedded vectors travel in the bundle, so opening
+// costs only decode time, and search answers are bit-identical to the
+// store that saved it. dist and codec must match the ones the bundle was
+// saved under (neither is serializable).
+func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T], error) {
+	if codec == nil {
+		return nil, fmt.Errorf("store: nil codec")
+	}
+	body, err := readBundle(path)
+	if err != nil {
+		return nil, err
+	}
+	candidates := make([]T, len(body.Candidates))
+	for i, raw := range body.Candidates {
+		if candidates[i], err = codec.Decode(raw); err != nil {
+			return nil, fmt.Errorf("%w: %s: candidate %d: %v", ErrCorrupt, path, i, err)
+		}
+	}
+	model, err := core.Restore(&body.Model, candidates, dist)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: restoring model: %w", path, err)
+	}
+	if model.Dims() != body.Dims {
+		return nil, fmt.Errorf("%w: %s: model embeds to %d dims, flat block has %d", ErrCorrupt, path, model.Dims(), body.Dims)
+	}
+	db := make([]T, len(body.Objects))
+	for i, raw := range body.Objects {
+		if db[i], err = codec.Decode(raw); err != nil {
+			return nil, fmt.Errorf("%w: %s: object %d: %v", ErrCorrupt, path, i, err)
+		}
+	}
+	pos := make(map[uint64]int, len(body.IDs))
+	for i, id := range body.IDs {
+		if _, dup := pos[id]; dup {
+			return nil, fmt.Errorf("%w: %s: duplicate object id %d", ErrCorrupt, path, id)
+		}
+		if id >= body.NextID {
+			return nil, fmt.Errorf("%w: %s: object id %d >= next id %d", ErrCorrupt, path, id, body.NextID)
+		}
+		pos[id] = i
+	}
+	ix, err := retrieval.FromParts(db, body.Flat, body.Dims, dist, model)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	s := &Store[T]{model: model, dist: dist, codec: codec}
+	s.nextID.Store(body.NextID)
+	s.cur.Store(&snapshot[T]{ix: ix, ids: body.IDs, pos: pos})
+	return s, nil
+}
+
+// Save writes the store's current state to path as a self-contained
+// bundle, atomically. It runs against one immutable snapshot, so it never
+// blocks searches or mutations and never observes a torn state — a Save
+// racing an Add simply captures either the before or the after.
+func (s *Store[T]) Save(path string) error {
+	// Load the snapshot first: nextID only grows, and Add advances it
+	// before publishing the snapshot that uses the new ID, so the pair
+	// (snapshot, nextID-read-after) can never under-count.
+	snap := s.cur.Load()
+	nextID := s.nextID.Load()
+
+	candObjs := s.model.Candidates()
+	candidates := make([][]byte, len(candObjs))
+	var err error
+	for i, c := range candObjs {
+		if candidates[i], err = s.codec.Encode(c); err != nil {
+			return fmt.Errorf("store: encoding candidate %d: %w", i, err)
+		}
+	}
+	objs := snap.ix.Objects()
+	objects := make([][]byte, len(objs))
+	for i, x := range objs {
+		if objects[i], err = s.codec.Encode(x); err != nil {
+			return fmt.Errorf("store: encoding object %d: %w", i, err)
+		}
+	}
+	flat, dims := snap.ix.Flat()
+	return writeBundle(path, &bundleBody{
+		Model:      *s.model.SelfSnapshot(),
+		Candidates: candidates,
+		Dims:       dims,
+		Flat:       flat,
+		Objects:    objects,
+		IDs:        snap.ids,
+		NextID:     nextID,
+	})
+}
+
+// Search runs a filter-and-refine query against the current snapshot.
+// Results carry stable IDs.
+func (s *Store[T]) Search(q T, k, p int) ([]Result, retrieval.Stats, error) {
+	snap := s.cur.Load()
+	ns, st, err := snap.ix.Search(q, k, p)
+	if err != nil {
+		return nil, retrieval.Stats{}, err
+	}
+	return toResults(snap, ns), st, nil
+}
+
+// SearchBatch pipelines a whole query batch across the worker pool (see
+// retrieval.SearchBatch). The entire batch runs against one snapshot, so
+// every query in it sees the same store version even under concurrent
+// mutation.
+func (s *Store[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.Stats, error) {
+	snap := s.cur.Load()
+	ns, st, err := snap.ix.SearchBatch(queries, k, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]Result, len(ns))
+	for i := range ns {
+		out[i] = toResults(snap, ns[i])
+	}
+	return out, st, nil
+}
+
+func toResults[T any](snap *snapshot[T], ns []space.Neighbor) []Result {
+	out := make([]Result, len(ns))
+	for i, n := range ns {
+		out[i] = Result{ID: snap.ids[n.Index], Distance: n.Distance}
+	}
+	return out
+}
+
+// First returns an arbitrary stored object (the one at position 0 of the
+// current snapshot), for callers that need a representative sample — the
+// serving CLI derives the expected query shape from it.
+func (s *Store[T]) First() (T, bool) {
+	snap := s.cur.Load()
+	if snap.ix.Size() == 0 {
+		var zero T
+		return zero, false
+	}
+	return snap.ix.Object(0), true
+}
+
+// Get returns the object with the given stable ID.
+func (s *Store[T]) Get(id uint64) (T, bool) {
+	snap := s.cur.Load()
+	i, ok := snap.pos[id]
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return snap.ix.Object(i), true
+}
+
+// Add embeds and inserts x (EmbedCost exact distances plus an O(n) clone)
+// and returns its stable ID. Concurrent searches keep running against the
+// previous snapshot until the new one is published.
+func (s *Store[T]) Add(x T) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cur.Load()
+	ix := old.ix.Clone()
+	ix.Add(x)
+	id := s.nextID.Add(1) - 1
+	ids := make([]uint64, len(old.ids)+1)
+	copy(ids, old.ids)
+	ids[len(old.ids)] = id
+	s.publish(ix, ids)
+	return id
+}
+
+// Remove deletes the object with the given stable ID; later objects shift
+// down one position inside the index, but their IDs — the only handle this
+// API hands out — are untouched.
+func (s *Store[T]) Remove(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cur.Load()
+	i, ok := old.pos[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	ix := old.ix.Clone()
+	if err := ix.Remove(i); err != nil {
+		return err
+	}
+	ids := make([]uint64, 0, len(old.ids)-1)
+	ids = append(ids, old.ids[:i]...)
+	ids = append(ids, old.ids[i+1:]...)
+	s.publish(ix, ids)
+	return nil
+}
+
+// publish swaps in a new snapshot with a bumped generation. Callers hold mu.
+func (s *Store[T]) publish(ix *retrieval.Index[T], ids []uint64) {
+	pos := make(map[uint64]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	s.cur.Store(&snapshot[T]{ix: ix, ids: ids, pos: pos, gen: s.cur.Load().gen + 1})
+}
+
+// Size returns the number of stored objects.
+func (s *Store[T]) Size() int { return s.cur.Load().ix.Size() }
+
+// Dims returns the embedding dimensionality.
+func (s *Store[T]) Dims() int { return s.cur.Load().ix.Dims() }
+
+// Generation returns the mutation counter: it starts at 0 and increments
+// on every Add/Remove, so equal generations mean identical contents.
+func (s *Store[T]) Generation() uint64 { return s.cur.Load().gen }
+
+// Stats returns a point-in-time summary. Size, Dims and Generation come
+// from one snapshot load, so they are mutually consistent.
+func (s *Store[T]) Stats() Stats {
+	snap := s.cur.Load()
+	return Stats{
+		Size:       snap.ix.Size(),
+		Dims:       snap.ix.Dims(),
+		Generation: snap.gen,
+		NextID:     s.nextID.Load(),
+	}
+}

@@ -1,0 +1,363 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"qse/internal/core"
+)
+
+// l1 is the exact distance for the test fixture: cheap, deterministic,
+// safe for concurrent use.
+func l1(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// fixture trains a small model over clustered vectors and returns the
+// database with it.
+func fixture(t *testing.T, n int) (*core.Model[[]float64], [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	db := make([][]float64, n)
+	for i := range db {
+		c := float64(i % 7)
+		db[i] = []float64{c + rng.NormFloat64()*0.2, -c + rng.NormFloat64()*0.2, rng.NormFloat64()}
+	}
+	opts := core.DefaultOptions()
+	opts.Rounds = 8
+	opts.NumCandidates = 20
+	opts.NumTraining = 40
+	opts.NumTriples = 400
+	opts.K1 = 3
+	opts.Seed = 1
+	model, _, err := core.Train(db, l1, opts)
+	if err != nil {
+		t.Fatalf("training fixture: %v", err)
+	}
+	return model, db
+}
+
+func queries(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([][]float64, n)
+	for i := range qs {
+		qs[i] = []float64{rng.Float64() * 7, -rng.Float64() * 7, rng.NormFloat64()}
+	}
+	return qs
+}
+
+func newStore(t *testing.T, n int) *Store[[]float64] {
+	t.Helper()
+	model, db := fixture(t, n)
+	s, err := New(model, db, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// TestBundleRoundTrip is the acceptance criterion: a saved bundle reopens
+// in a fresh store with bit-identical search results and no re-embedding.
+func TestBundleRoundTrip(t *testing.T) {
+	s := newStore(t, 80)
+	path := filepath.Join(t.TempDir(), "ix.bundle")
+	if err := s.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r, err := Open(path, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if r.Size() != s.Size() || r.Dims() != s.Dims() {
+		t.Fatalf("reopened store is %dx%d, want %dx%d", r.Size(), r.Dims(), s.Size(), s.Dims())
+	}
+	for qi, q := range queries(25, 7) {
+		want, wst, err := s.Search(q, 5, 20)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		got, gst, err := r.Search(q, 5, 20)
+		if err != nil {
+			t.Fatalf("reopened query %d: %v", qi, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: reopened results differ:\n got %v\nwant %v", qi, got, want)
+		}
+		if gst != wst {
+			t.Fatalf("query %d: stats differ: got %+v want %+v", qi, gst, wst)
+		}
+	}
+	// Batch answers must match single-query answers on the reopened store.
+	qs := queries(8, 9)
+	batch, _, err := r.SearchBatch(qs, 3, 12)
+	if err != nil {
+		t.Fatalf("SearchBatch: %v", err)
+	}
+	for i, q := range qs {
+		single, _, _ := r.Search(q, 3, 12)
+		if !reflect.DeepEqual(batch[i], single) {
+			t.Fatalf("batch query %d differs from single search", i)
+		}
+	}
+}
+
+// TestBundleSurvivesMutation saves after Add/Remove churn and checks the
+// stable-ID table and ID allocator travel with the bundle.
+func TestBundleSurvivesMutation(t *testing.T) {
+	s := newStore(t, 60)
+	added := s.Add([]float64{3.5, -3.5, 0})
+	if added != 60 {
+		t.Fatalf("first added ID = %d, want 60", added)
+	}
+	for _, id := range []uint64{0, 30, 59} {
+		if err := s.Remove(id); err != nil {
+			t.Fatalf("Remove(%d): %v", id, err)
+		}
+	}
+	if err := s.Remove(30); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("double Remove: got %v, want ErrUnknownID", err)
+	}
+	path := filepath.Join(t.TempDir(), "ix.bundle")
+	if err := s.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r, err := Open(path, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if r.Size() != s.Size() {
+		t.Fatalf("reopened size %d, want %d", r.Size(), s.Size())
+	}
+	if _, ok := r.Get(30); ok {
+		t.Fatal("removed ID 30 resurfaced after reopen")
+	}
+	if got, ok := r.Get(added); !ok || got[0] != 3.5 {
+		t.Fatalf("added object lost across reopen: %v %v", got, ok)
+	}
+	if next := r.Stats().NextID; next != 61 {
+		t.Fatalf("reopened NextID = %d, want 61", next)
+	}
+	if id := r.Add([]float64{1, 1, 1}); id != 61 {
+		t.Fatalf("post-reopen Add got ID %d, want 61", id)
+	}
+	// Mirror the post-reopen Add into the original store so both hold the
+	// same contents, then searches must agree exactly.
+	q := []float64{3.5, -3.5, 0}
+	s.Add([]float64{1, 1, 1})
+	want, _, _ := s.Search(q, 4, 16)
+	got, _, _ := r.Search(q, 4, 16)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-mutation search differs:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestBundleErrorPaths covers truncation, corruption, foreign files, and
+// version skew.
+func TestBundleErrorPaths(t *testing.T) {
+	s := newStore(t, 40)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.bundle")
+	if err := s.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, raw []byte, want error) {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(p, l1, Gob[[]float64]()); !errors.Is(err, want) {
+			t.Fatalf("%s: got error %v, want %v", name, err, want)
+		}
+	}
+
+	check("foreign", []byte("PNG\x0d\x0a not ours at all"), ErrNotBundle)
+	check("empty", nil, ErrNotBundle)
+	check("truncated-header", data[:10], ErrCorrupt)
+	check("truncated-body", data[:len(data)/2], ErrCorrupt)
+
+	flipped := append([]byte(nil), data...)
+	flipped[headerLen+50] ^= 0xff
+	check("bitflip", flipped, ErrCorrupt)
+
+	shorn := append([]byte(nil), data[:len(data)-1]...)
+	check("shorn-crc", shorn, ErrCorrupt)
+
+	// A future-version file is only reported as version skew when it is
+	// otherwise intact, so re-seal the checksum after patching the field.
+	future := append([]byte(nil), data...)
+	future[6], future[7] = 0xff, 0x7f
+	binary.LittleEndian.PutUint32(future[len(future)-crcLen:],
+		crc32.Checksum(future[:len(future)-crcLen], crcTable))
+	check("future-version", future, ErrVersion)
+
+	// A bit-flipped version byte without a matching checksum is damage,
+	// not skew.
+	vflip := append([]byte(nil), data...)
+	vflip[6] ^= 0xff
+	check("version-bitflip", vflip, ErrCorrupt)
+
+	if _, err := Open(filepath.Join(dir, "does-not-exist"), l1, Gob[[]float64]()); err == nil {
+		t.Fatal("opening a missing file succeeded")
+	}
+}
+
+// TestAtomicSaveLeavesNoTemp checks Save publishes via rename and cleans up.
+func TestAtomicSaveLeavesNoTemp(t *testing.T) {
+	s := newStore(t, 40)
+	dir := t.TempDir()
+	if err := s.Save(filepath.Join(dir, "ix.bundle")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ix.bundle" {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory holds %v, want exactly ix.bundle", names)
+	}
+}
+
+// TestStableIDsUnderRemoval pins the shift-on-remove behavior the HTTP
+// layer depends on: positions move, IDs do not.
+func TestStableIDsUnderRemoval(t *testing.T) {
+	s := newStore(t, 50)
+	before, ok := s.Get(49)
+	if !ok {
+		t.Fatal("Get(49) missing")
+	}
+	if err := s.Remove(10); err != nil {
+		t.Fatal(err)
+	}
+	after, ok := s.Get(49)
+	if !ok {
+		t.Fatal("ID 49 vanished after removing ID 10")
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("ID 49 resolves to a different object after an unrelated Remove")
+	}
+	res, _, err := s.Search(after, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].ID != 49 {
+		t.Fatalf("self-search returned %v, want ID 49 first", res)
+	}
+	if g := s.Generation(); g != 1 {
+		t.Fatalf("generation %d after one mutation, want 1", g)
+	}
+}
+
+// TestConcurrentSearchAndMutate is the -race stress test: lock-free reads
+// against copy-on-write snapshots while a mutator churns and a snapshotter
+// saves. Every observed result set must be internally consistent (sorted,
+// IDs valid at some point in time), and the run must be free of data races
+// and torn reads by construction.
+func TestConcurrentSearchAndMutate(t *testing.T) {
+	s := newStore(t, 80)
+	dir := t.TempDir()
+	qs := queries(16, 11)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: single searches and batches.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[(i+r)%len(qs)]
+				res, _, err := s.Search(q, 3, 12)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				for j := 1; j < len(res); j++ {
+					if res[j].Distance < res[j-1].Distance {
+						t.Errorf("reader %d: unsorted results %v", r, res)
+						return
+					}
+				}
+				if i%7 == 0 {
+					if _, _, err := s.SearchBatch(qs[:4], 2, 8); err != nil {
+						t.Errorf("reader %d batch: %v", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Snapshotter: periodic saves while everything churns.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Save(filepath.Join(dir, "stress.bundle")); err != nil {
+				t.Errorf("snapshotter: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Mutator: interleaved adds and removes on the main test goroutine.
+	rng := rand.New(rand.NewSource(5))
+	live := []uint64{}
+	for i := 0; i < 60; i++ {
+		id := s.Add([]float64{rng.Float64() * 7, -rng.Float64() * 7, rng.NormFloat64()})
+		live = append(live, id)
+		if len(live) > 3 && rng.Intn(2) == 0 {
+			k := rng.Intn(len(live))
+			if err := s.Remove(live[k]); err != nil {
+				t.Errorf("mutator remove: %v", err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := s.Save(filepath.Join(dir, "stress.bundle")); err != nil {
+		t.Fatalf("final save: %v", err)
+	}
+
+	// The final bundle must reopen cleanly and agree with the live store.
+	r, err := Open(filepath.Join(dir, "stress.bundle"), l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatalf("reopening stress bundle: %v", err)
+	}
+	if r.Size() == 0 {
+		t.Fatal("stress bundle is empty")
+	}
+}

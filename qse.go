@@ -352,6 +352,14 @@ func (ix *Index[T]) BruteForce(q T, k int) ([]Result, SearchStats) {
 // the incoming distribution may have shifted.
 func (ix *Index[T]) Add(x T) { ix.inner.Add(x) }
 
+// Remove deletes the database object at position i. Order is preserved —
+// later objects shift down one position — so external ground-truth indexes
+// stay aligned; removal is O(n). Note the position-shifting makes bare
+// indexes unstable handles under repeated removal: a Store tracks objects
+// by stable ID instead, which is what a long-lived mutating workload
+// should use.
+func (ix *Index[T]) Remove(i int) error { return ix.inner.Remove(i) }
+
 // Size returns the number of indexed objects.
 func (ix *Index[T]) Size() int { return ix.inner.Size() }
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the embedding-store service: build qse-serve,
+# build a durable bundle from the synthetic series dataset, serve it, and
+# drive the HTTP API with curl. Run from the repository root; CI runs it
+# on every push.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+addr=127.0.0.1:18092
+bundle="$workdir/qse.bundle"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# expect PATTERN CMD...: run CMD, require PATTERN in its output.
+expect() {
+  local pattern=$1
+  shift
+  local out
+  out=$("$@" 2>&1)
+  if ! grep -q "$pattern" <<<"$out"; then
+    echo "FAIL: output of '$*' lacks '$pattern':" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+}
+
+echo "== building qse-serve"
+go build -o "$workdir/qse-serve" ./cmd/qse-serve
+
+echo "== building bundle from the synthetic dataset"
+"$workdir/qse-serve" -dataset series -db 120 -rounds 6 -triples 600 \
+  -candidates 20 -pool 40 -bundle "$bundle" -build-only
+test -s "$bundle"
+
+echo "== qse-query serves from the bundle without dataset regeneration"
+expect "0 exact distances" \
+  go run ./cmd/qse-query -bundle "$bundle" -dataset series -n 2 -k 2 -p 20
+
+echo "== serving the bundle"
+"$workdir/qse-serve" -bundle "$bundle" -addr "$addr" &
+pid=$!
+
+for i in $(seq 1 100); do
+  curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+echo "== GET /healthz"
+expect '"status":"ok"' curl -fsS "http://$addr/healthz"
+
+echo "== POST /v1/search (by stored id)"
+expect '"results"' curl -fsS -X POST "http://$addr/v1/search" \
+  -d '{"id":0,"k":3,"p":24}'
+
+echo "== POST /v1/search (inline query)"
+expect '"results"' curl -fsS -X POST "http://$addr/v1/search" \
+  -d '{"query":[[0.1,0.2],[0.3,0.4],[0.5,0.6]],"k":2}'
+
+echo "== mutations under load: add + remove"
+expect '"id":120' curl -fsS -X POST "http://$addr/v1/objects" \
+  -d '{"object":[[0.1,0.2],[0.3,0.4]]}'
+expect '"removed":120' curl -fsS -X DELETE "http://$addr/v1/objects/120"
+
+echo "== GET /v1/stats reflects the traffic"
+expect '"generation":2' curl -fsS "http://$addr/v1/stats"
+expect '"search"' curl -fsS "http://$addr/v1/stats"
+
+echo "== graceful shutdown writes a final snapshot"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+expect "store ready: 120 objects" "$workdir/qse-serve" -bundle "$bundle" -build-only
+
+echo "e2e serve: OK"

@@ -1,0 +1,148 @@
+package qse
+
+import (
+	"fmt"
+
+	"qse/internal/space"
+	"qse/internal/store"
+)
+
+// Codec translates domain objects to and from bytes so a Store can
+// persist them inside a bundle. Encode/Decode must round-trip every value
+// the Distance function reads bit-exactly; GobCodec does, for any
+// gob-encodable object type.
+type Codec[T any] interface {
+	Encode(x T) ([]byte, error)
+	Decode(data []byte) (T, error)
+}
+
+// GobCodec returns the default Codec, backed by encoding/gob.
+func GobCodec[T any]() Codec[T] { return store.Gob[T]() }
+
+// StoreResult is one neighbor retrieved from a Store, addressed by stable
+// ID. Unlike Result.Index, which is a database position that shifts when
+// earlier objects are removed, an ID names the same object for the
+// store's whole lifetime — across mutations and across Save/OpenStore.
+type StoreResult struct {
+	ID       uint64
+	Distance float64
+}
+
+// StoreStats is a point-in-time summary of a Store.
+type StoreStats struct {
+	// Size is the number of stored objects, Dims the embedding width.
+	Size int
+	Dims int
+	// Generation counts mutations since the store was created or opened.
+	Generation uint64
+	// NextID is the ID the next Add will assign.
+	NextID uint64
+}
+
+// Store is an Index made durable and safe for concurrent mutation. It
+// adds three things to Index:
+//
+//   - Persistence: Save writes a self-contained bundle — model, embedded
+//     vectors, and the objects themselves — that OpenStore reopens in a
+//     fresh process with bit-identical search results, no retraining, no
+//     re-embedding, and no need to regenerate the original database.
+//   - Concurrency: Search/SearchBatch are lock-free reads against an
+//     immutable copy-on-write snapshot and may run at full parallelism
+//     while Add/Remove/Save execute; mutations serialize among themselves.
+//   - Stable IDs: every object gets a uint64 ID that survives removals of
+//     other objects, which is what a network API can safely hand out.
+//
+// It is the storage engine behind internal/server and cmd/qse-serve.
+type Store[T any] struct {
+	inner *store.Store[T]
+}
+
+// NewStore embeds db (len(db) × EmbedCost exact distances, as NewIndex)
+// and wraps it for serving. Objects receive stable IDs 0..len(db)-1.
+func NewStore[T any](model *Model[T], db []T, dist Distance[T], codec Codec[T]) (*Store[T], error) {
+	if model == nil {
+		return nil, fmt.Errorf("qse: nil model")
+	}
+	inner, err := store.New(model.inner, db, space.Distance[T](dist), codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Store[T]{inner: inner}, nil
+}
+
+// OpenStore reopens a bundle written by Save. No exact distances are
+// computed: the embedded vectors travel inside the bundle. dist and codec
+// must match the ones the bundle was saved under (neither can be
+// serialized). The file's magic, version, and checksum are verified
+// before anything is decoded.
+func OpenStore[T any](path string, dist Distance[T], codec Codec[T]) (*Store[T], error) {
+	inner, err := store.Open(path, space.Distance[T](dist), codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Store[T]{inner: inner}, nil
+}
+
+// Save atomically writes the store's current state to path as a
+// self-contained bundle (temp file + rename; a crash cannot leave a torn
+// file at path). It runs against one immutable snapshot and never blocks
+// concurrent searches or mutations.
+func (s *Store[T]) Save(path string) error { return s.inner.Save(path) }
+
+// Search returns the k approximate nearest neighbors of q (see
+// Index.Search for the k/p contract), identified by stable ID.
+func (s *Store[T]) Search(q T, k, p int) ([]StoreResult, SearchStats, error) {
+	res, st, err := s.inner.Search(q, k, p)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	return toStoreResults(res), SearchStats{EmbedDistances: st.EmbedDistances, RefineDistances: st.RefineDistances}, nil
+}
+
+// SearchBatch pipelines a query batch across the worker pool; the whole
+// batch runs against one snapshot, so every query sees the same store
+// version even under concurrent mutation.
+func (s *Store[T]) SearchBatch(queries []T, k, p int) ([][]StoreResult, []SearchStats, error) {
+	res, sts, err := s.inner.SearchBatch(queries, k, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]StoreResult, len(res))
+	stats := make([]SearchStats, len(res))
+	for i := range res {
+		out[i] = toStoreResults(res[i])
+		stats[i] = SearchStats{EmbedDistances: sts[i].EmbedDistances, RefineDistances: sts[i].RefineDistances}
+	}
+	return out, stats, nil
+}
+
+func toStoreResults(rs []store.Result) []StoreResult {
+	out := make([]StoreResult, len(rs))
+	for i, r := range rs {
+		out[i] = StoreResult{ID: r.ID, Distance: r.Distance}
+	}
+	return out
+}
+
+// Add embeds and inserts x, returning its stable ID. Concurrent searches
+// keep running against the previous snapshot until the insert publishes.
+func (s *Store[T]) Add(x T) uint64 { return s.inner.Add(x) }
+
+// Remove deletes the object with the given stable ID. Other objects keep
+// their IDs.
+func (s *Store[T]) Remove(id uint64) error { return s.inner.Remove(id) }
+
+// Get returns the object with the given stable ID.
+func (s *Store[T]) Get(id uint64) (T, bool) { return s.inner.Get(id) }
+
+// Size returns the number of stored objects.
+func (s *Store[T]) Size() int { return s.inner.Size() }
+
+// Dims returns the embedding dimensionality.
+func (s *Store[T]) Dims() int { return s.inner.Dims() }
+
+// Stats returns a point-in-time summary.
+func (s *Store[T]) Stats() StoreStats {
+	st := s.inner.Stats()
+	return StoreStats{Size: st.Size, Dims: st.Dims, Generation: st.Generation, NextID: st.NextID}
+}

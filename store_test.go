@@ -1,0 +1,137 @@
+package qse
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestPublicStoreRoundTrip drives the public Store API end to end: a
+// store built from a trained model answers exactly like the plain Index,
+// and a saved bundle reopens with bit-identical results.
+func TestPublicStoreRoundTrip(t *testing.T) {
+	db := testDB(3, 120)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := NewIndex(model, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStore(model, db, l2, GobCodec[[]float64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := testDB(9, 12)
+	for qi, q := range queries {
+		fromIndex, ist, err := index.Search(q, 4, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromStore, sst, err := st.Search(q, 4, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fromIndex) != len(fromStore) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(fromIndex), len(fromStore))
+		}
+		// A fresh store's IDs coincide with database positions.
+		for i := range fromIndex {
+			if uint64(fromIndex[i].Index) != fromStore[i].ID || fromIndex[i].Distance != fromStore[i].Distance {
+				t.Fatalf("query %d result %d: index %+v vs store %+v", qi, i, fromIndex[i], fromStore[i])
+			}
+		}
+		if ist != sst {
+			t.Fatalf("query %d stats differ: %+v vs %+v", qi, ist, sst)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "public.bundle")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenStore(path, l2, GobCodec[[]float64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		want, _, _ := st.Search(q, 4, 20)
+		got, _, err := reopened.Search(q, 4, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: reopened store differs:\n got %v\nwant %v", qi, got, want)
+		}
+	}
+	batch, _, err := reopened.SearchBatch(queries, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		single, _, _ := reopened.Search(q, 4, 20)
+		if !reflect.DeepEqual(batch[qi], single) {
+			t.Fatalf("batch query %d differs from single search", qi)
+		}
+	}
+
+	// Stable IDs across mutation: remove an early object, later IDs keep
+	// resolving to the same objects.
+	obj, ok := reopened.Get(100)
+	if !ok {
+		t.Fatal("Get(100) missing")
+	}
+	if err := reopened.Remove(5); err != nil {
+		t.Fatal(err)
+	}
+	after, ok := reopened.Get(100)
+	if !ok || !reflect.DeepEqual(obj, after) {
+		t.Fatal("ID 100 changed identity after removing ID 5")
+	}
+	id := reopened.Add([]float64{0.5, 0.5})
+	if id != 120 {
+		t.Fatalf("Add assigned ID %d, want 120", id)
+	}
+	stats := reopened.Stats()
+	if stats.Size != 120 || stats.Generation != 2 || stats.NextID != 121 {
+		t.Fatalf("stats %+v, want size 120, generation 2, next 121", stats)
+	}
+}
+
+// TestIndexRemove covers the newly exposed Index.Remove: order-preserving
+// shift, size accounting, and range errors.
+func TestIndexRemove(t *testing.T) {
+	db := testDB(4, 100)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := NewIndex(model, db, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := index.Remove(100); err == nil {
+		t.Fatal("Remove past the end should fail")
+	}
+	if err := index.Remove(-1); err == nil {
+		t.Fatal("Remove(-1) should fail")
+	}
+	target := db[50]
+	if err := index.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if index.Size() != 99 {
+		t.Fatalf("size %d after Remove, want 99", index.Size())
+	}
+	// The object formerly at position 50 now sits at 49 and is still its
+	// own nearest neighbor.
+	res, _, err := index.Search(target, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Index != 49 || res[0].Distance != 0 {
+		t.Fatalf("post-remove self-search: %+v", res)
+	}
+}
