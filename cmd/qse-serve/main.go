@@ -59,6 +59,19 @@ func main() {
 		snapEvery = flag.Duration("snapshot-every", 0, "periodic background snapshot interval (0 disables)")
 		maxBody   = flag.Int64("max-body", server.DefaultMaxBody, "maximum request body bytes")
 		dims      = flag.Int("series-dims", 0, "sample dimensionality queries must have (0 = derive from the stored data)")
+
+		// Compaction: the mutation path folds the append-only delta segment
+		// and the tombstones back into the base when either threshold pair
+		// is crossed, and an optional background compactor folds them during
+		// quiet periods so scans stay clean and snapshots cheap. Flag
+		// defaults come from the library's policy so the CLI and an
+		// embedded store can never silently diverge.
+		defPol           = store.DefaultCompactionPolicy()
+		compactEvery     = flag.Duration("compact-every", 0, "background compaction interval (0 disables the background compactor)")
+		compactMinDelta  = flag.Int("compact-min-delta", defPol.MinDelta, "compact when the delta segment holds at least this many objects and -compact-delta-frac of the base")
+		compactDeltaFrac = flag.Float64("compact-delta-frac", defPol.DeltaFrac, "delta-to-base ratio that (with -compact-min-delta) triggers compaction")
+		compactMinDead   = flag.Int("compact-min-dead", defPol.MinDead, "compact when at least this many rows are tombstoned and -compact-dead-frac of the store")
+		compactDeadFrac  = flag.Float64("compact-dead-frac", defPol.DeadFrac, "tombstone-to-total ratio that (with -compact-min-dead) triggers compaction")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -77,6 +90,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	st.SetCompactionPolicy(store.CompactionPolicy{
+		MinDelta: *compactMinDelta, DeltaFrac: *compactDeltaFrac,
+		MinDead: *compactMinDead, DeadFrac: *compactDeadFrac,
+	})
 	stats := st.Stats()
 	log.Printf("store ready: %d objects, %d dims, generation %d", stats.Size, stats.Dims, stats.Generation)
 	if *buildOnly {
@@ -140,6 +157,30 @@ func main() {
 		}()
 	}
 
+	// Background compactor: folds the delta segment and tombstones into the
+	// base during quiet periods, ahead of the mutation-path thresholds.
+	// Compaction publishes a new snapshot atomically, so searches are never
+	// blocked by it.
+	compactDone := make(chan struct{})
+	if *compactEvery > 0 {
+		go func() {
+			defer close(compactDone)
+			ticker := time.NewTicker(*compactEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-compactDone:
+					return
+				case <-ticker.C:
+					if st.Compact() {
+						cs := st.Stats()
+						log.Printf("background compaction folded store to %d objects (generation %d)", cs.Size, cs.Generation)
+					}
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 	log.Printf("listening on http://%s (try GET /healthz)", *addr)
@@ -160,6 +201,9 @@ func main() {
 	}
 	if *snapEvery > 0 {
 		snapDone <- struct{}{}
+	}
+	if *compactEvery > 0 {
+		compactDone <- struct{}{}
 	}
 	// Final snapshot so mutations taken over HTTP survive the restart —
 	// skipped when the bundle on disk already matches the store.

@@ -66,7 +66,9 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, s := range same.Series {
-		index.Add(s)
+		if err := index.Add(s); err != nil {
+			log.Fatal(err)
+		}
 		db = append(db, s)
 	}
 	report("after in-distribution inserts")
@@ -80,7 +82,9 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, s := range other.Series {
-		index.Add(s)
+		if err := index.Add(s); err != nil {
+			log.Fatal(err)
+		}
 		db = append(db, s)
 	}
 	drift := report("after distribution-shift inserts")

@@ -20,12 +20,10 @@
 package retrieval
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sync/atomic"
 
-	"qse/internal/metrics"
 	"qse/internal/par"
 	"qse/internal/space"
 )
@@ -143,20 +141,6 @@ func FromParts[T any](db []T, flat []float64, dims int, dist space.Distance[T], 
 	return &Index[T]{db: db, flat: flat, dims: dims, embedder: em, dist: dist}, nil
 }
 
-// Clone returns an index whose db and flat storage are independent copies
-// (allocated with no spare capacity, so a subsequent Add on the clone can
-// never scribble into the original's backing arrays). The embedder and
-// distance oracle are shared — both are immutable. Clone is the primitive
-// behind the store's copy-on-write discipline: readers keep searching the
-// original while a mutator edits the clone.
-func (ix *Index[T]) Clone() *Index[T] {
-	db := make([]T, len(ix.db))
-	copy(db, ix.db)
-	flat := make([]float64, len(ix.flat))
-	copy(flat, ix.flat)
-	return &Index[T]{db: db, flat: flat, dims: ix.dims, embedder: ix.embedder, dist: ix.dist}
-}
-
 // Size returns the number of database objects.
 func (ix *Index[T]) Size() int { return len(ix.db) }
 
@@ -209,81 +193,45 @@ func (s Stats) Total() int { return s.EmbedDistances + s.RefineDistances }
 // the query-sensitive D_out of Eq. 11; otherwise it is the unweighted L1.
 //
 // k and p must be positive; p is clamped to the database size and must be
-// at least k to be able to return k results.
+// at least k to be able to return k results. Fewer than k results — down
+// to none at all — is not an error: an index smaller than k (including an
+// empty index reassembled by FromParts, e.g. a store drained by removals)
+// answers with what it has, so a mutating workload can never turn a valid
+// query into a failure.
+//
+// There is exactly one search engine in this package: an Index searches
+// as a Segmented with an empty delta and no tombstones (see view), so the
+// two layouts cannot drift apart behaviorally.
 func (ix *Index[T]) Search(q T, k, p int) ([]space.Neighbor, Stats, error) {
-	return ix.search(q, k, p, true)
+	return ix.view().search(q, k, p, true)
 }
 
-// search is Search with an explicit parallelism switch so SearchBatch can
-// keep each query on a single goroutine while fanning queries out.
-func (ix *Index[T]) search(q T, k, p int, parallel bool) ([]space.Neighbor, Stats, error) {
-	if k <= 0 {
-		return nil, Stats{}, fmt.Errorf("retrieval: k = %d, want > 0", k)
-	}
-	if p < k {
-		return nil, Stats{}, fmt.Errorf("retrieval: p = %d must be >= k = %d", p, k)
-	}
-	if p > len(ix.db) {
-		p = len(ix.db)
-	}
-
-	// Embedding step.
-	qvec := ix.embedder.Embed(q)
-	var weights []float64
-	if w, ok := ix.embedder.(Weighter); ok {
-		weights = w.QueryWeights(qvec)
-	}
-
-	// Filter step: top-p by filter distance (no exact distances).
-	candidates := ix.filterTopP(qvec, weights, p, parallel)
-
-	// Refine step: exact distances on the survivors. Each candidate's
-	// distance lands in its own slot, so the parallel fill is identical to
-	// a serial one.
-	refined := make([]space.Neighbor, len(candidates))
-	fill := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			c := candidates[i]
-			refined[i] = space.Neighbor{Index: c.Index, Distance: ix.dist(q, ix.db[c.Index])}
-		}
-	}
-	if parallel {
-		par.For(len(candidates), minParallelDist, fill)
-	} else {
-		fill(0, len(candidates))
-	}
-	space.SortNeighbors(refined)
-	if k > len(refined) {
-		k = len(refined)
-	}
-	stats := Stats{
-		EmbedDistances:  ix.embedder.EmbedCost(),
-		RefineDistances: len(candidates),
-	}
-	return refined[:k], stats, nil
-}
+// view wraps the index as a delta-less, tombstone-less Segmented: global
+// positions coincide with index positions, the dead bitmaps are empty,
+// and the scan partitions [0, n) exactly as the single-segment scan did —
+// so delegating through it is behavior- and bit-identical.
+func (ix *Index[T]) view() *Segmented[T] { return &Segmented[T]{base: ix} }
 
 // SearchBatch runs Search for every query, pipelining the queries across a
 // GOMAXPROCS-sized worker pool (each individual query stays serial, so the
 // pool is never oversubscribed). Results and stats are index-aligned with
-// queries and byte-identical to calling Search sequentially.
+// queries and byte-identical to calling Search sequentially. If any query
+// fails (e.g. it embeds to the wrong dimensionality), the error of the
+// lowest-indexed failing query is returned and the results are discarded —
+// never a silently nil result row.
 func (ix *Index[T]) SearchBatch(queries []T, k, p int) ([][]space.Neighbor, []Stats, error) {
-	// Validate once up front with the shared rules (search re-checks per
-	// query, but failing fast here avoids launching workers just to fail).
-	if k <= 0 {
-		return nil, nil, fmt.Errorf("retrieval: k = %d, want > 0", k)
-	}
-	if p < k {
-		return nil, nil, fmt.Errorf("retrieval: p = %d must be >= k = %d", p, k)
-	}
-	results := make([][]space.Neighbor, len(queries))
-	stats := make([]Stats, len(queries))
-	par.For(len(queries), 2, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			// Parameters were validated above, so search cannot fail.
-			results[i], stats[i], _ = ix.search(queries[i], k, p, false)
+	return ix.view().SearchBatch(queries, k, p)
+}
+
+// firstBatchError scans per-query errors in query order — deterministic
+// regardless of worker scheduling — and fails the whole batch on the first
+// one, annotated with the query's index.
+func firstBatchError(results [][]space.Neighbor, stats []Stats, errs []error) ([][]space.Neighbor, []Stats, error) {
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("query %d: %w", i, err)
 		}
-	})
+	}
 	return results, stats, nil
 }
 
@@ -292,68 +240,7 @@ func (ix *Index[T]) SearchBatch(queries []T, k, p int) ([][]space.Neighbor, []St
 // the unweighted L1. Exposed for the evaluation harness, which needs the
 // filter ordering without paying for a refine step.
 func (ix *Index[T]) FilterTopP(qvec, weights []float64, p int) []space.Neighbor {
-	return ix.filterTopP(qvec, weights, p, true)
-}
-
-func (ix *Index[T]) filterTopP(qvec, weights []float64, p int, parallel bool) []space.Neighbor {
-	n := len(ix.db)
-	if p > n {
-		p = n
-	}
-	if p <= 0 {
-		return nil
-	}
-	if !parallel || n < minParallelScan {
-		out := []space.Neighbor(ix.scanShard(qvec, weights, 0, n, p))
-		space.SortNeighbors(out)
-		return out
-	}
-	// Partitioned scan: each worker keeps a bounded max-heap over its own
-	// contiguous shard of the flat block, and the per-shard survivors are
-	// merged afterwards in shard order. The final sorted top-p is unique
-	// under the (distance, index) total order, so the result is identical
-	// for any shard count — including the serial scan above.
-	w := par.Workers()
-	heaps := make([]neighborMaxHeap, w)
-	shards := par.Shards(w, n, minParallelScan, func(s, lo, hi int) {
-		heaps[s] = ix.scanShard(qvec, weights, lo, hi, p)
-	})
-	merged := make([]space.Neighbor, 0, shards*p)
-	for _, h := range heaps[:shards] {
-		merged = append(merged, h...)
-	}
-	space.SortNeighbors(merged)
-	if len(merged) > p {
-		merged = merged[:p]
-	}
-	return merged
-}
-
-// scanShard scans rows [lo, hi) of the flat block and returns (at most) the
-// p best under the filter distance as an unsorted bounded max-heap:
-// O((hi-lo) log p) with no allocation beyond the heap itself.
-func (ix *Index[T]) scanShard(qvec, weights []float64, lo, hi, p int) neighborMaxHeap {
-	h := make(neighborMaxHeap, 0, p+1)
-	d := ix.dims
-	row := ix.flat[lo*d:]
-	for i := lo; i < hi; i++ {
-		v := row[:d]
-		row = row[d:]
-		var dd float64
-		if weights == nil {
-			dd = metrics.L1(qvec, v)
-		} else {
-			dd = metrics.WeightedL1Unchecked(weights, qvec, v)
-		}
-		n := space.Neighbor{Index: i, Distance: dd}
-		if len(h) < p {
-			heap.Push(&h, n)
-		} else if less(n, h[0]) {
-			h[0] = n
-			heap.Fix(&h, 0)
-		}
-	}
-	return h
+	return ix.view().filterTopP(qvec, weights, p, true)
 }
 
 // less orders neighbors like space.SortNeighbors.
@@ -389,15 +276,17 @@ func (ix *Index[T]) BruteForce(q T, k int) ([]space.Neighbor, Stats) {
 
 // Add embeds and appends a new database object (Sec. 7.1, dynamic
 // datasets): the cost is EmbedCost exact distances, and no retraining
-// happens. It panics if the embedder's dimensionality has drifted from the
-// index's.
-func (ix *Index[T]) Add(x T) {
+// happens. An object that embeds to the wrong dimensionality is rejected
+// with an error — not a panic — so a serving layer can turn a bad insert
+// into a 4xx response instead of a crashed request.
+func (ix *Index[T]) Add(x T) error {
 	v := ix.embedder.Embed(x)
 	if len(v) != ix.dims {
-		panic(fmt.Sprintf("retrieval: Add embedded to %d dims, index has %d", len(v), ix.dims))
+		return fmt.Errorf("retrieval: object embedded to %d dims, index has %d", len(v), ix.dims)
 	}
 	ix.db = append(ix.db, x)
 	ix.flat = append(ix.flat, v...)
+	return nil
 }
 
 // Remove deletes the database object at index i (swap-with-last order is

@@ -192,9 +192,17 @@ func TestFilterWeightedMatchesMetrics(t *testing.T) {
 func TestAddRemove(t *testing.T) {
 	db := testDB(10)
 	ix, _ := BuildIndex(db, l2, identityEmbedder{})
-	ix.Add([]float64{0.42, 0.42})
+	if err := ix.Add([]float64{0.42, 0.42}); err != nil {
+		t.Fatal(err)
+	}
 	if ix.Size() != 11 {
 		t.Fatalf("size = %d", ix.Size())
+	}
+	if err := ix.Add([]float64{1, 2, 3}); err == nil {
+		t.Error("adding an object that embeds to the wrong dims should error, not panic")
+	}
+	if ix.Size() != 11 {
+		t.Fatalf("failed Add must leave the index unchanged, size = %d", ix.Size())
 	}
 	got, _, err := ix.Search([]float64{0.42, 0.42}, 1, 3)
 	if err != nil {
@@ -376,7 +384,9 @@ func TestAddRemoveDoesNotLeakStorage(t *testing.T) {
 	}
 	for cycle := 0; cycle < 3; cycle++ {
 		for i := 0; i < 5000; i++ {
-			ix.Add([]float64{float64(i), float64(cycle)})
+			if err := ix.Add([]float64{float64(i), float64(cycle)}); err != nil {
+				t.Fatal(err)
+			}
 		}
 		for ix.Size() > 10 {
 			if err := ix.Remove(ix.Size() - 1); err != nil {

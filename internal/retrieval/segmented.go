@@ -1,0 +1,353 @@
+// Segmented index: the storage shape behind cheap dynamic updates
+// (Sec. 7.1). A plain Index answers queries over one contiguous flat
+// block, which makes mutation under a copy-on-write serving discipline
+// O(n): every published version needs its own copy of everything. A
+// Segmented index splits the database into
+//
+//   - an immutable base segment (a whole *Index, shared by every version
+//     that descends from it),
+//   - a small append-only delta segment (backing arrays shared across
+//     versions; each version sees a prefix), and
+//   - tombstone bitmaps over both segments.
+//
+// Add and Remove are persistent-data-structure operations: they return a
+// new *Segmented and never modify the receiver, so a reader holding an
+// older version keeps getting exactly its answers. Because the delta
+// arrays are append-only and a version only ever reads its own prefix,
+// Add costs O(EmbedCost + dims) amortized — no copy of the base, the
+// delta, or the id tables — and Remove costs one bitmap copy
+// (O(rows/64) words). Compact folds delta and tombstones back into a
+// fresh single-segment Index when the caller's thresholds say so.
+//
+// Positions are global: base rows keep their base positions, delta row j
+// sits at BaseSize()+j. Search results are bit-identical to a freshly
+// compacted index (see DESIGN.md §7): tombstoned rows are filtered before
+// the top-p truncation, distances are computed by the same kernels on the
+// same vectors, and compaction preserves the relative order of live rows,
+// so the (distance, position) total order ranks live rows identically in
+// both layouts.
+//
+// (This file extends package retrieval; the package comment lives in
+// retrieval.go.)
+
+package retrieval
+
+import (
+	"container/heap"
+	"fmt"
+
+	"qse/internal/metrics"
+	"qse/internal/par"
+	"qse/internal/space"
+)
+
+// bitmap is an immutable tombstone set over row positions. Bits beyond
+// the backing slice are implicitly zero (alive), so an append-only
+// segment can grow without the bitmap being touched.
+type bitmap []uint64
+
+func (b bitmap) get(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]>>(uint(i)&63)&1 != 0
+}
+
+// withSet returns a copy of b with bit i set, grown as needed.
+func (b bitmap) withSet(i int) bitmap {
+	w := i >> 6
+	n := len(b)
+	if w >= n {
+		n = w + 1
+	}
+	out := make(bitmap, n)
+	copy(out, b)
+	out[w] |= 1 << (uint(i) & 63)
+	return out
+}
+
+// Segmented is one immutable version of a segmented index. The zero value
+// is not usable; build one with NewSegmented.
+type Segmented[T any] struct {
+	base *Index[T]
+	// deltaDB/deltaFlat are the delta segment. Their backing arrays are
+	// shared by every version in an Add chain: a version's visible prefix
+	// is the slice length, and appends beyond it (made while holding the
+	// owning store's mutation lock) land in slots no published version
+	// can read.
+	deltaDB   []T
+	deltaFlat []float64
+	// baseDead/deltaDead are tombstones over base positions and delta
+	// offsets respectively; dead is their total population.
+	baseDead  bitmap
+	deltaDead bitmap
+	dead      int
+}
+
+// NewSegmented wraps a single-segment index as a Segmented with an empty
+// delta and no tombstones.
+func NewSegmented[T any](base *Index[T]) *Segmented[T] {
+	return &Segmented[T]{base: base}
+}
+
+// Base returns the immutable base segment.
+func (s *Segmented[T]) Base() *Index[T] { return s.base }
+
+// BaseSize returns the number of base rows (live or tombstoned).
+func (s *Segmented[T]) BaseSize() int { return s.base.Size() }
+
+// DeltaLen returns the number of delta rows (live or tombstoned).
+func (s *Segmented[T]) DeltaLen() int { return len(s.deltaDB) }
+
+// Total returns the number of rows across both segments, including
+// tombstoned ones; valid positions are [0, Total()).
+func (s *Segmented[T]) Total() int { return s.base.Size() + len(s.deltaDB) }
+
+// Tombstones returns the number of tombstoned rows.
+func (s *Segmented[T]) Tombstones() int { return s.dead }
+
+// Live returns the number of live (searchable) rows.
+func (s *Segmented[T]) Live() int { return s.Total() - s.dead }
+
+// Dims returns the embedding dimensionality.
+func (s *Segmented[T]) Dims() int { return s.base.dims }
+
+// Alive reports whether position pos holds a live row.
+func (s *Segmented[T]) Alive(pos int) bool {
+	if bn := s.base.Size(); pos >= bn {
+		return !s.deltaDead.get(pos - bn)
+	}
+	return !s.baseDead.get(pos)
+}
+
+// Object returns the database object at global position pos.
+func (s *Segmented[T]) Object(pos int) T {
+	if bn := s.base.Size(); pos >= bn {
+		return s.deltaDB[pos-bn]
+	}
+	return s.base.db[pos]
+}
+
+// Add embeds x and returns a new version with x appended to the delta
+// segment, along with x's global position. The receiver is unchanged. An
+// object embedding to the wrong dimensionality is rejected with an error.
+// Callers that publish versions concurrently must serialize Adds (they
+// append to the shared delta backing).
+func (s *Segmented[T]) Add(x T) (*Segmented[T], int, error) {
+	v := s.base.embedder.Embed(x)
+	if len(v) != s.base.dims {
+		return nil, 0, fmt.Errorf("retrieval: object embedded to %d dims, index has %d", len(v), s.base.dims)
+	}
+	n := *s
+	n.deltaDB = append(s.deltaDB, x)
+	n.deltaFlat = append(s.deltaFlat, v...)
+	return &n, s.Total(), nil
+}
+
+// Remove returns a new version with the row at global position pos
+// tombstoned; the receiver is unchanged. Removing an out-of-range or
+// already-tombstoned position is an error.
+func (s *Segmented[T]) Remove(pos int) (*Segmented[T], error) {
+	if pos < 0 || pos >= s.Total() {
+		return nil, fmt.Errorf("retrieval: remove position %d out of range [0,%d)", pos, s.Total())
+	}
+	if !s.Alive(pos) {
+		return nil, fmt.Errorf("retrieval: position %d already removed", pos)
+	}
+	n := *s
+	if bn := s.base.Size(); pos >= bn {
+		n.deltaDead = s.deltaDead.withSet(pos - bn)
+	} else {
+		n.baseDead = s.baseDead.withSet(pos)
+	}
+	n.dead = s.dead + 1
+	return &n, nil
+}
+
+// Compact folds both segments and the tombstones into a fresh
+// single-segment Index holding exactly the live rows, base order first,
+// then delta order — the relative order of live rows is preserved, which
+// is what makes segmented search results bit-identical to searching the
+// compacted index. The receiver is unchanged and shares no mutable
+// storage with the result.
+func (s *Segmented[T]) Compact() *Index[T] {
+	live, d := s.Live(), s.base.dims
+	db := make([]T, 0, live)
+	flat := make([]float64, 0, live*d)
+	appendLive := func(src []T, srcFlat []float64, dead bitmap) {
+		for i := range src {
+			if dead.get(i) {
+				continue
+			}
+			db = append(db, src[i])
+			flat = append(flat, srcFlat[i*d:(i+1)*d]...)
+		}
+	}
+	appendLive(s.base.db, s.base.flat, s.baseDead)
+	appendLive(s.deltaDB, s.deltaFlat, s.deltaDead)
+	return &Index[T]{db: db, flat: flat, dims: d, embedder: s.base.embedder, dist: s.base.dist}
+}
+
+// Search runs filter-and-refine over both segments, skipping tombstoned
+// rows before the top-p truncation. Neighbor indices are global
+// positions; distances, ordering and the empty-index contract are exactly
+// those of Index.Search on the compacted equivalent.
+func (s *Segmented[T]) Search(q T, k, p int) ([]space.Neighbor, Stats, error) {
+	return s.search(q, k, p, true)
+}
+
+func (s *Segmented[T]) search(q T, k, p int, parallel bool) ([]space.Neighbor, Stats, error) {
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("retrieval: k = %d, want > 0", k)
+	}
+	if p < k {
+		return nil, Stats{}, fmt.Errorf("retrieval: p = %d must be >= k = %d", p, k)
+	}
+	qvec := s.base.embedder.Embed(q)
+	if len(qvec) != s.base.dims {
+		return nil, Stats{}, fmt.Errorf("retrieval: query embedded to %d dims, index has %d", len(qvec), s.base.dims)
+	}
+	var weights []float64
+	if w, ok := s.base.embedder.(Weighter); ok {
+		weights = w.QueryWeights(qvec)
+	}
+
+	candidates := s.filterTopP(qvec, weights, p, parallel)
+
+	refined := make([]space.Neighbor, len(candidates))
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := candidates[i]
+			refined[i] = space.Neighbor{Index: c.Index, Distance: s.base.dist(q, s.Object(c.Index))}
+		}
+	}
+	if parallel {
+		par.For(len(candidates), minParallelDist, fill)
+	} else {
+		fill(0, len(candidates))
+	}
+	space.SortNeighbors(refined)
+	if k > len(refined) {
+		k = len(refined)
+	}
+	stats := Stats{
+		EmbedDistances:  s.base.embedder.EmbedCost(),
+		RefineDistances: len(candidates),
+	}
+	return refined[:k], stats, nil
+}
+
+// SearchBatch pipelines queries across the worker pool like
+// Index.SearchBatch, with the same deterministic first-error semantics.
+func (s *Segmented[T]) SearchBatch(queries []T, k, p int) ([][]space.Neighbor, []Stats, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("retrieval: k = %d, want > 0", k)
+	}
+	if p < k {
+		return nil, nil, fmt.Errorf("retrieval: p = %d must be >= k = %d", p, k)
+	}
+	results := make([][]space.Neighbor, len(queries))
+	stats := make([]Stats, len(queries))
+	errs := make([]error, len(queries))
+	par.For(len(queries), 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i], stats[i], errs[i] = s.search(queries[i], k, p, false)
+		}
+	})
+	return firstBatchError(results, stats, errs)
+}
+
+// filterTopP ranks the live rows of both segments under the filter
+// distance and returns the p best in ascending (distance, position)
+// order. Tombstoned rows are skipped before the truncation, so p live
+// candidates survive whenever p live rows exist. The global position
+// space is partitioned exactly like Index.filterTopP partitions its rows;
+// the merged top-p is unique under the total order, so the result is
+// identical for any shard count.
+func (s *Segmented[T]) filterTopP(qvec, weights []float64, p int, parallel bool) []space.Neighbor {
+	total := s.Total()
+	if live := s.Live(); p > live {
+		p = live
+	}
+	if p <= 0 {
+		return nil
+	}
+	if !parallel || total < minParallelScan {
+		out := []space.Neighbor(s.scanRange(qvec, weights, 0, total, p))
+		space.SortNeighbors(out)
+		return out
+	}
+	w := par.Workers()
+	heaps := make([]neighborMaxHeap, w)
+	shards := par.Shards(w, total, minParallelScan, func(sh, lo, hi int) {
+		heaps[sh] = s.scanRange(qvec, weights, lo, hi, p)
+	})
+	merged := make([]space.Neighbor, 0, shards*p)
+	for _, h := range heaps[:shards] {
+		merged = append(merged, h...)
+	}
+	space.SortNeighbors(merged)
+	if len(merged) > p {
+		merged = merged[:p]
+	}
+	return merged
+}
+
+// scanRange scans global positions [lo, hi), splitting the range at the
+// base/delta boundary, and returns at most the p best live rows as an
+// unsorted bounded max-heap (threaded through both segment scans by
+// value, like the pre-segmentation scanShard kernel).
+func (s *Segmented[T]) scanRange(qvec, weights []float64, lo, hi, p int) neighborMaxHeap {
+	h := make(neighborMaxHeap, 0, p+1)
+	bn := s.base.Size()
+	if lo < bn {
+		h = scanSegment(h, s.base.flat, s.base.dims, s.baseDead, qvec, weights, lo, min(hi, bn), 0, p)
+	}
+	if hi > bn {
+		h = scanSegment(h, s.deltaFlat, s.base.dims, s.deltaDead, qvec, weights, max(lo, bn)-bn, hi-bn, bn, p)
+	}
+	return h
+}
+
+// scanSegment scans rows [lo, hi) of one segment's flat block, skipping
+// tombstoned rows, accumulating survivors (offset to global positions by
+// posOff) into the bounded max-heap, which it returns: O((hi-lo) log p)
+// with no allocation beyond the heap itself. A segment with no tombstones
+// (always true for a plain Index searching through its Segmented view)
+// takes a dedicated loop with no per-row liveness test, so the hot scan
+// is instruction-identical to the pre-segmentation kernel.
+func scanSegment(h neighborMaxHeap, flat []float64, dims int, dead bitmap, qvec, weights []float64, lo, hi, posOff, p int) neighborMaxHeap {
+	row := flat[lo*dims:]
+	push := func(i int, dd float64) {
+		n := space.Neighbor{Index: posOff + i, Distance: dd}
+		if len(h) < p {
+			heap.Push(&h, n)
+		} else if less(n, h[0]) {
+			h[0] = n
+			heap.Fix(&h, 0)
+		}
+	}
+	if len(dead) == 0 {
+		for i := lo; i < hi; i++ {
+			v := row[:dims]
+			row = row[dims:]
+			if weights == nil {
+				push(i, metrics.L1(qvec, v))
+			} else {
+				push(i, metrics.WeightedL1Unchecked(weights, qvec, v))
+			}
+		}
+		return h
+	}
+	for i := lo; i < hi; i++ {
+		v := row[:dims]
+		row = row[dims:]
+		if dead.get(i) {
+			continue
+		}
+		if weights == nil {
+			push(i, metrics.L1(qvec, v))
+		} else {
+			push(i, metrics.WeightedL1Unchecked(weights, qvec, v))
+		}
+	}
+	return h
+}

@@ -381,7 +381,15 @@ func (s *Server[T]) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid object: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, addResponse{ID: s.st.Add(x)})
+	// The store re-validates at the embedding layer (e.g. an object that
+	// embeds to the wrong dimensionality); that is still the client's
+	// fault, so it surfaces as 400, never as a crashed request.
+	id, err := s.st.Add(x)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid object: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, addResponse{ID: id})
 }
 
 func (s *Server[T]) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -414,6 +422,13 @@ type storeStatsJSON struct {
 	Dims       int    `json:"dims"`
 	Generation uint64 `json:"generation"`
 	NextID     uint64 `json:"next_id"`
+	// Segment layout: how much of the store sits in the immutable base,
+	// how much in the append-only delta, and how many rows are tombstoned
+	// awaiting compaction. size = base_size + delta_size - tombstones.
+	BaseSize    int    `json:"base_size"`
+	DeltaSize   int    `json:"delta_size"`
+	Tombstones  int    `json:"tombstones"`
+	Compactions uint64 `json:"compactions"`
 }
 
 type statsResponse struct {
@@ -440,10 +455,14 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Store: storeStatsJSON{
-			Size:       st.Size,
-			Dims:       st.Dims,
-			Generation: st.Generation,
-			NextID:     st.NextID,
+			Size:        st.Size,
+			Dims:        st.Dims,
+			Generation:  st.Generation,
+			NextID:      st.NextID,
+			BaseSize:    st.BaseSize,
+			DeltaSize:   st.DeltaSize,
+			Tombstones:  st.Tombstones,
+			Compactions: st.Compactions,
 		},
 		UptimeSeconds: uptime,
 		Endpoints:     eps,

@@ -237,6 +237,65 @@ func TestAddAndRemoveEndpoints(t *testing.T) {
 	}
 }
 
+// TestDrainedStoreKeepsServing pins the empty-store contract at the HTTP
+// layer: deleting every object must leave a server that answers
+// /v1/search with 200 and empty results — never a 500 — and accepts new
+// objects afterwards.
+func TestDrainedStoreKeepsServing(t *testing.T) {
+	_, h := newTestServer(t, Options{})
+
+	for id := 0; id < 70; id++ {
+		if rec := do(h, "DELETE", fmt.Sprintf("/v1/objects/%d", id), ""); rec.Code != http.StatusOK {
+			t.Fatalf("draining delete %d: %d %s", id, rec.Code, rec.Body)
+		}
+	}
+
+	rec := do(h, "POST", "/v1/search", `{"query":[3,-3,0],"k":5,"p":20}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search on drained store: %d %s, want 200", rec.Code, rec.Body)
+	}
+	var resp searchResponse
+	decodeInto(t, rec, &resp)
+	if len(resp.Results) != 0 {
+		t.Fatalf("drained search returned %v, want none", resp.Results)
+	}
+
+	rec = do(h, "POST", "/v1/search/batch", `{"queries":[[3,-3,0],[1,-1,0]],"k":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch on drained store: %d %s, want 200", rec.Code, rec.Body)
+	}
+
+	// Searching by a removed ID is the client's error, not the server's.
+	if rec := do(h, "POST", "/v1/search", `{"id":3,"k":2}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("search by removed id: %d, want 404", rec.Code)
+	}
+
+	var stats statsResponse
+	decodeInto(t, do(h, "GET", "/v1/stats", ""), &stats)
+	if stats.Store.Size != 0 || stats.Store.Tombstones != 70 {
+		t.Fatalf("drained stats %+v, want size 0, tombstones 70", stats.Store)
+	}
+
+	if rec := do(h, "GET", "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz on drained store: %d", rec.Code)
+	}
+
+	rec = do(h, "POST", "/v1/objects", `{"object":[2.5,-2.5,0]}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("add after drain: %d %s", rec.Code, rec.Body)
+	}
+	var added addResponse
+	decodeInto(t, rec, &added)
+	if added.ID != 70 {
+		t.Fatalf("post-drain ID %d, want 70", added.ID)
+	}
+	var sr searchResponse
+	decodeInto(t, do(h, "POST", "/v1/search", `{"query":[2.5,-2.5,0],"k":1}`), &sr)
+	if len(sr.Results) != 1 || sr.Results[0].ID != 70 {
+		t.Fatalf("post-drain search: %v", sr.Results)
+	}
+}
+
 func TestOversizedBody(t *testing.T) {
 	_, h := newTestServer(t, Options{MaxBodyBytes: 128})
 	big := `{"query":[` + strings.Repeat("1,", 200) + `1],"k":2}`
@@ -270,6 +329,10 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 	if stats.Store.Generation != 1 {
 		t.Fatalf("generation %d, want 1", stats.Store.Generation)
+	}
+	// The one added object sits in the delta segment until compaction.
+	if stats.Store.BaseSize != 70 || stats.Store.DeltaSize != 1 || stats.Store.Tombstones != 0 {
+		t.Fatalf("segment stats %+v, want base 70 / delta 1 / tombstones 0", stats.Store)
 	}
 	se := stats.Endpoints["search"]
 	if se.Requests != 2 || se.Errors != 1 {

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -25,24 +26,64 @@ type Result struct {
 
 // Stats is a point-in-time summary of the store.
 type Stats struct {
-	// Size is the number of stored objects; Dims the embedding width.
+	// Size is the number of live stored objects; Dims the embedding width.
 	Size int
 	Dims int
 	// Generation counts mutations (Add/Remove) since the store was created
-	// or opened; a changed generation means a snapshot is stale.
+	// or opened; a changed generation means a snapshot is stale. Compaction
+	// does not bump it — it changes the physical layout, not the contents.
 	Generation uint64
 	// NextID is the ID the next Add will receive.
 	NextID uint64
+	// BaseSize and DeltaSize are the row counts of the two segments
+	// (including tombstoned rows); Tombstones is the number of dead rows
+	// awaiting compaction. Size = BaseSize + DeltaSize - Tombstones.
+	BaseSize   int
+	DeltaSize  int
+	Tombstones int
+	// Compactions counts delta/tombstone fold-ins since the store was
+	// created or opened (threshold-triggered and explicit alike).
+	Compactions uint64
+}
+
+// CompactionPolicy decides when the mutation path folds the delta segment
+// and the tombstones back into the base. Both triggers combine a floor
+// with a fraction: the delta trigger fires when the delta holds at least
+// MinDelta rows AND at least DeltaFrac of the base size; the tombstone
+// trigger fires when at least MinDead rows are dead AND they make up at
+// least DeadFrac of all rows. Fraction-of-n thresholds are what make
+// mutations O(1) amortized: an O(n) compaction is paid for by the Θ(n)
+// cheap mutations that had to happen since the previous one.
+type CompactionPolicy struct {
+	MinDelta  int
+	DeltaFrac float64
+	MinDead   int
+	DeadFrac  float64
+}
+
+// DefaultCompactionPolicy compacts when the delta reaches 1024 rows and
+// 1/8 of the base, or when 1024 rows and 1/4 of the store are tombstones.
+func DefaultCompactionPolicy() CompactionPolicy {
+	return CompactionPolicy{MinDelta: 1024, DeltaFrac: 0.125, MinDead: 1024, DeadFrac: 0.25}
 }
 
 // snapshot is one immutable version of the store's state. Readers operate
 // on whichever snapshot they loaded for their whole call; mutators never
-// modify a published snapshot, they publish a new one.
+// modify a published snapshot, they publish a new one. The expensive
+// parts are shared between consecutive snapshots: the base segment,
+// baseIDs and basePos are reused untouched by every mutation until the
+// next compaction, and deltaIDs shares its backing array with its
+// predecessor (Add appends one slot past every published prefix, under
+// the store's mutation lock).
 type snapshot[T any] struct {
-	ix *retrieval.Index[T]
-	// ids maps position -> stable ID; pos is the inverse.
-	ids []uint64
-	pos map[uint64]int
+	seg *retrieval.Segmented[T]
+	// baseIDs maps base position -> stable ID; basePos is its inverse.
+	// Both are immutable and rebuilt only by compaction.
+	baseIDs []uint64
+	basePos map[uint64]int
+	// deltaIDs maps delta offset -> stable ID. Add assigns ascending IDs,
+	// so it is sorted and lookups binary-search it.
+	deltaIDs []uint64
 	// gen is the mutation count that produced this snapshot. It lives
 	// inside the snapshot — not in a separate atomic — so contents and
 	// generation are always observed together: equal generations really
@@ -50,14 +91,58 @@ type snapshot[T any] struct {
 	gen uint64
 }
 
+// idAt returns the stable ID of the row at global position pos.
+func (sn *snapshot[T]) idAt(pos int) uint64 {
+	if bn := len(sn.baseIDs); pos >= bn {
+		return sn.deltaIDs[pos-bn]
+	}
+	return sn.baseIDs[pos]
+}
+
+// lookup resolves a stable ID to a live global position.
+func (sn *snapshot[T]) lookup(id uint64) (int, bool) {
+	if i, ok := sn.basePos[id]; ok {
+		return i, sn.seg.Alive(i)
+	}
+	if j, ok := slices.BinarySearch(sn.deltaIDs, id); ok {
+		pos := len(sn.baseIDs) + j
+		return pos, sn.seg.Alive(pos)
+	}
+	return 0, false
+}
+
+// liveIDs returns the stable IDs of the live rows in position order —
+// the ID table of the compacted equivalent of this snapshot.
+func (sn *snapshot[T]) liveIDs() []uint64 {
+	out := make([]uint64, 0, sn.seg.Live())
+	for pos, total := 0, sn.seg.Total(); pos < total; pos++ {
+		if sn.seg.Alive(pos) {
+			out = append(out, sn.idAt(pos))
+		}
+	}
+	return out
+}
+
+// compacted returns the snapshot's contents as a single-segment index
+// plus its ID table, reusing the base directly when there is nothing to
+// fold. It only reads immutable state, so any holder of a snapshot may
+// call it without the store lock (Save does).
+func (sn *snapshot[T]) compacted() (*retrieval.Index[T], []uint64) {
+	if sn.seg.DeltaLen() == 0 && sn.seg.Tombstones() == 0 {
+		return sn.seg.Base(), sn.baseIDs
+	}
+	return sn.seg.Compact(), sn.liveIDs()
+}
+
 // Store serves a retrieval index under a copy-on-write discipline:
 // Search, SearchBatch, Get, Stats and Save are lock-free — they atomically
 // load the current snapshot and never block, even while a mutation is in
-// flight — and Add/Remove serialize behind a mutex, clone the index, edit
-// the clone, and publish it with a single atomic pointer swap. Mutations
-// are therefore O(n) (the price of never making a reader wait), which is
-// the right trade for a read-heavy serving workload; bulk rebuilds should
-// construct a fresh store instead of looping Add.
+// flight — and Add/Remove serialize behind a mutex. Mutations are cheap:
+// the snapshot is segmented (immutable base + append-only delta +
+// tombstones, see retrieval.Segmented), so Add costs O(EmbedCost + dims)
+// amortized, Remove one small bitmap copy, and a threshold-triggered
+// compaction (see CompactionPolicy) periodically folds the delta and the
+// tombstones back into the base — O(n), amortized O(1) per mutation.
 type Store[T any] struct {
 	model *core.Model[T]
 	dist  space.Distance[T]
@@ -65,11 +150,15 @@ type Store[T any] struct {
 
 	cur atomic.Pointer[snapshot[T]]
 
-	// mu serializes mutations. nextID is only advanced under mu but is
-	// atomic so the lock-free readers (Save, Stats) never touch the lock —
-	// a slow Add must not stall a stats probe or a background snapshot.
+	// mu serializes mutations, compaction, and policy changes. nextID is
+	// only advanced under mu but is atomic so the lock-free readers (Save,
+	// Stats) never touch the lock — a slow Add must not stall a stats
+	// probe or a background snapshot.
 	mu     sync.Mutex
 	nextID atomic.Uint64
+	policy CompactionPolicy
+	// compactions counts fold-ins; atomic so Stats stays lock-free.
+	compactions atomic.Uint64
 }
 
 // New builds a store over db: the database is embedded (len(db) ×
@@ -89,14 +178,12 @@ func New[T any](model *core.Model[T], db []T, dist space.Distance[T], codec Code
 		return nil, err
 	}
 	ids := make([]uint64, len(db))
-	pos := make(map[uint64]int, len(db))
 	for i := range ids {
 		ids[i] = uint64(i)
-		pos[uint64(i)] = i
 	}
-	s := &Store[T]{model: model, dist: dist, codec: codec}
+	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy()}
 	s.nextID.Store(uint64(len(db)))
-	s.cur.Store(&snapshot[T]{ix: ix, ids: ids, pos: pos})
+	s.cur.Store(newBaseSnapshot(ix, ids, 0))
 	return s, nil
 }
 
@@ -104,7 +191,9 @@ func New[T any](model *core.Model[T], db []T, dist space.Distance[T], codec Code
 // are computed: the embedded vectors travel in the bundle, so opening
 // costs only decode time, and search answers are bit-identical to the
 // store that saved it. dist and codec must match the ones the bundle was
-// saved under (neither is serializable).
+// saved under (neither is serializable). Bundles are always written
+// compacted, so an opened store starts with an empty delta and no
+// tombstones.
 func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T], error) {
 	if codec == nil {
 		return nil, fmt.Errorf("store: nil codec")
@@ -132,36 +221,47 @@ func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T]
 			return nil, fmt.Errorf("%w: %s: object %d: %v", ErrCorrupt, path, i, err)
 		}
 	}
-	pos := make(map[uint64]int, len(body.IDs))
 	for i, id := range body.IDs {
-		if _, dup := pos[id]; dup {
-			return nil, fmt.Errorf("%w: %s: duplicate object id %d", ErrCorrupt, path, id)
+		if i > 0 && body.IDs[i-1] >= id {
+			return nil, fmt.Errorf("%w: %s: object ids not strictly ascending at %d", ErrCorrupt, path, i)
 		}
 		if id >= body.NextID {
 			return nil, fmt.Errorf("%w: %s: object id %d >= next id %d", ErrCorrupt, path, id, body.NextID)
 		}
-		pos[id] = i
 	}
 	ix, err := retrieval.FromParts(db, body.Flat, body.Dims, dist, model)
 	if err != nil {
 		return nil, fmt.Errorf("store: %s: %w", path, err)
 	}
-	s := &Store[T]{model: model, dist: dist, codec: codec}
+	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy()}
 	s.nextID.Store(body.NextID)
-	s.cur.Store(&snapshot[T]{ix: ix, ids: body.IDs, pos: pos})
+	s.cur.Store(newBaseSnapshot(ix, body.IDs, 0))
 	return s, nil
+}
+
+// newBaseSnapshot wraps a single-segment index as a snapshot.
+func newBaseSnapshot[T any](ix *retrieval.Index[T], ids []uint64, gen uint64) *snapshot[T] {
+	pos := make(map[uint64]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	return &snapshot[T]{seg: retrieval.NewSegmented(ix), baseIDs: ids, basePos: pos, gen: gen}
 }
 
 // Save writes the store's current state to path as a self-contained
 // bundle, atomically. It runs against one immutable snapshot, so it never
 // blocks searches or mutations and never observes a torn state — a Save
-// racing an Add simply captures either the before or the after.
+// racing an Add simply captures either the before or the after. The
+// snapshot is compacted on the way out (without publishing anything), so
+// bundles always hold a single clean segment regardless of how much delta
+// and tombstone state is live in memory.
 func (s *Store[T]) Save(path string) error {
 	// Load the snapshot first: nextID only grows, and Add advances it
 	// before publishing the snapshot that uses the new ID, so the pair
 	// (snapshot, nextID-read-after) can never under-count.
 	snap := s.cur.Load()
 	nextID := s.nextID.Load()
+	ix, ids := snap.compacted()
 
 	candObjs := s.model.Candidates()
 	candidates := make([][]byte, len(candObjs))
@@ -171,30 +271,32 @@ func (s *Store[T]) Save(path string) error {
 			return fmt.Errorf("store: encoding candidate %d: %w", i, err)
 		}
 	}
-	objs := snap.ix.Objects()
+	objs := ix.Objects()
 	objects := make([][]byte, len(objs))
 	for i, x := range objs {
 		if objects[i], err = s.codec.Encode(x); err != nil {
 			return fmt.Errorf("store: encoding object %d: %w", i, err)
 		}
 	}
-	flat, dims := snap.ix.Flat()
+	flat, dims := ix.Flat()
 	return writeBundle(path, &bundleBody{
 		Model:      *s.model.SelfSnapshot(),
 		Candidates: candidates,
 		Dims:       dims,
 		Flat:       flat,
 		Objects:    objects,
-		IDs:        snap.ids,
+		IDs:        ids,
 		NextID:     nextID,
 	})
 }
 
 // Search runs a filter-and-refine query against the current snapshot.
-// Results carry stable IDs.
+// Results carry stable IDs. A store smaller than k — including one
+// drained empty by removals — answers with what it has (possibly zero
+// results); that is not an error.
 func (s *Store[T]) Search(q T, k, p int) ([]Result, retrieval.Stats, error) {
 	snap := s.cur.Load()
-	ns, st, err := snap.ix.Search(q, k, p)
+	ns, st, err := snap.seg.Search(q, k, p)
 	if err != nil {
 		return nil, retrieval.Stats{}, err
 	}
@@ -207,7 +309,7 @@ func (s *Store[T]) Search(q T, k, p int) ([]Result, retrieval.Stats, error) {
 // mutation.
 func (s *Store[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.Stats, error) {
 	snap := s.cur.Load()
-	ns, st, err := snap.ix.SearchBatch(queries, k, p)
+	ns, st, err := snap.seg.SearchBatch(queries, k, p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -221,100 +323,156 @@ func (s *Store[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.S
 func toResults[T any](snap *snapshot[T], ns []space.Neighbor) []Result {
 	out := make([]Result, len(ns))
 	for i, n := range ns {
-		out[i] = Result{ID: snap.ids[n.Index], Distance: n.Distance}
+		out[i] = Result{ID: snap.idAt(n.Index), Distance: n.Distance}
 	}
 	return out
 }
 
-// First returns an arbitrary stored object (the one at position 0 of the
-// current snapshot), for callers that need a representative sample — the
-// serving CLI derives the expected query shape from it.
+// First returns an arbitrary live stored object (the lowest-position one
+// in the current snapshot), for callers that need a representative
+// sample — the serving CLI derives the expected query shape from it.
 func (s *Store[T]) First() (T, bool) {
 	snap := s.cur.Load()
-	if snap.ix.Size() == 0 {
-		var zero T
-		return zero, false
+	for pos, total := 0, snap.seg.Total(); pos < total; pos++ {
+		if snap.seg.Alive(pos) {
+			return snap.seg.Object(pos), true
+		}
 	}
-	return snap.ix.Object(0), true
+	var zero T
+	return zero, false
 }
 
 // Get returns the object with the given stable ID.
 func (s *Store[T]) Get(id uint64) (T, bool) {
 	snap := s.cur.Load()
-	i, ok := snap.pos[id]
+	pos, ok := snap.lookup(id)
 	if !ok {
 		var zero T
 		return zero, false
 	}
-	return snap.ix.Object(i), true
+	return snap.seg.Object(pos), true
 }
 
-// Add embeds and inserts x (EmbedCost exact distances plus an O(n) clone)
-// and returns its stable ID. Concurrent searches keep running against the
-// previous snapshot until the new one is published.
-func (s *Store[T]) Add(x T) uint64 {
+// Add embeds and inserts x (EmbedCost exact distances plus an amortized
+// O(dims) append to the delta segment) and returns its stable ID.
+// Concurrent searches keep running against the previous snapshot until
+// the new one is published. An object that embeds to the wrong
+// dimensionality is rejected with an error and the store is unchanged.
+func (s *Store[T]) Add(x T) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur.Load()
-	ix := old.ix.Clone()
-	ix.Add(x)
+	seg, _, err := old.seg.Add(x)
+	if err != nil {
+		return 0, err
+	}
 	id := s.nextID.Add(1) - 1
-	ids := make([]uint64, len(old.ids)+1)
-	copy(ids, old.ids)
-	ids[len(old.ids)] = id
-	s.publish(ix, ids)
-	return id
+	s.cur.Store(s.maybeCompact(&snapshot[T]{
+		seg:     seg,
+		baseIDs: old.baseIDs, basePos: old.basePos,
+		// Appending to the shared backing is safe: every published
+		// snapshot's deltaIDs prefix ends before this slot, and mu
+		// serializes the writers.
+		deltaIDs: append(old.deltaIDs, id),
+		gen:      old.gen + 1,
+	}))
+	return id, nil
 }
 
-// Remove deletes the object with the given stable ID; later objects shift
-// down one position inside the index, but their IDs — the only handle this
-// API hands out — are untouched.
+// Remove deletes the object with the given stable ID by tombstoning its
+// row — O(1) apart from one small bitmap copy; the row's storage is
+// reclaimed by the next compaction. Other objects keep their IDs and
+// positions.
 func (s *Store[T]) Remove(id uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur.Load()
-	i, ok := old.pos[id]
+	pos, ok := old.lookup(id)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownID, id)
 	}
-	ix := old.ix.Clone()
-	if err := ix.Remove(i); err != nil {
+	seg, err := old.seg.Remove(pos)
+	if err != nil {
 		return err
 	}
-	ids := make([]uint64, 0, len(old.ids)-1)
-	ids = append(ids, old.ids[:i]...)
-	ids = append(ids, old.ids[i+1:]...)
-	s.publish(ix, ids)
+	s.cur.Store(s.maybeCompact(&snapshot[T]{
+		seg:     seg,
+		baseIDs: old.baseIDs, basePos: old.basePos,
+		deltaIDs: old.deltaIDs,
+		gen:      old.gen + 1,
+	}))
 	return nil
 }
 
-// publish swaps in a new snapshot with a bumped generation. Callers hold mu.
-func (s *Store[T]) publish(ix *retrieval.Index[T], ids []uint64) {
-	pos := make(map[uint64]int, len(ids))
-	for i, id := range ids {
-		pos[id] = i
-	}
-	s.cur.Store(&snapshot[T]{ix: ix, ids: ids, pos: pos, gen: s.cur.Load().gen + 1})
+// SetCompactionPolicy replaces the thresholds that drive automatic
+// compaction on the mutation path. It does not trigger a compaction by
+// itself; the next mutation applies the new policy.
+func (s *Store[T]) SetCompactionPolicy(p CompactionPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policy = p
 }
 
-// Size returns the number of stored objects.
-func (s *Store[T]) Size() int { return s.cur.Load().ix.Size() }
+// Compact folds the delta segment and the tombstones into a fresh base
+// immediately, regardless of thresholds, and reports whether there was
+// anything to fold. Searches are never blocked: they keep hitting the
+// old snapshot until the compacted one is published. A background
+// compactor (cmd/qse-serve runs one) calls this during quiet periods so
+// scans stay clean and Save stays cheap.
+func (s *Store[T]) Compact() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.cur.Load()
+	if snap.seg.DeltaLen() == 0 && snap.seg.Tombstones() == 0 {
+		return false
+	}
+	s.compactions.Add(1)
+	s.cur.Store(compactSnapshot(snap))
+	return true
+}
+
+// maybeCompact applies the compaction policy to a snapshot about to be
+// published. Callers hold mu.
+func (s *Store[T]) maybeCompact(sn *snapshot[T]) *snapshot[T] {
+	base, delta, dead := sn.seg.BaseSize(), sn.seg.DeltaLen(), sn.seg.Tombstones()
+	deltaTrig := delta >= max(s.policy.MinDelta, 1) && float64(delta) >= s.policy.DeltaFrac*float64(base)
+	deadTrig := dead >= max(s.policy.MinDead, 1) && float64(dead) >= s.policy.DeadFrac*float64(base+delta)
+	if !deltaTrig && !deadTrig {
+		return sn
+	}
+	s.compactions.Add(1)
+	return compactSnapshot(sn)
+}
+
+// compactSnapshot returns the compacted equivalent of sn: same live
+// contents, same generation, single segment, fresh ID tables.
+func compactSnapshot[T any](sn *snapshot[T]) *snapshot[T] {
+	ix, ids := sn.compacted()
+	return newBaseSnapshot(ix, ids, sn.gen)
+}
+
+// Size returns the number of live stored objects.
+func (s *Store[T]) Size() int { return s.cur.Load().seg.Live() }
 
 // Dims returns the embedding dimensionality.
-func (s *Store[T]) Dims() int { return s.cur.Load().ix.Dims() }
+func (s *Store[T]) Dims() int { return s.cur.Load().seg.Dims() }
 
 // Generation returns the mutation counter: it starts at 0 and increments
 // on every Add/Remove, so equal generations mean identical contents.
 func (s *Store[T]) Generation() uint64 { return s.cur.Load().gen }
 
-// Stats returns a point-in-time summary. Size, Dims and Generation come
-// from one snapshot load, so they are mutually consistent.
+// Stats returns a point-in-time summary. The segment fields come from one
+// snapshot load, so they are mutually consistent.
 func (s *Store[T]) Stats() Stats {
 	snap := s.cur.Load()
 	return Stats{
-		Size:       snap.ix.Size(),
-		Dims:       snap.ix.Dims(),
-		Generation: snap.gen,
-		NextID:     s.nextID.Load(),
+		Size:        snap.seg.Live(),
+		Dims:        snap.seg.Dims(),
+		Generation:  snap.gen,
+		NextID:      s.nextID.Load(),
+		BaseSize:    snap.seg.BaseSize(),
+		DeltaSize:   snap.seg.DeltaLen(),
+		Tombstones:  snap.seg.Tombstones(),
+		Compactions: s.compactions.Load(),
 	}
 }

@@ -117,7 +117,10 @@ func TestBundleRoundTrip(t *testing.T) {
 // stable-ID table and ID allocator travel with the bundle.
 func TestBundleSurvivesMutation(t *testing.T) {
 	s := newStore(t, 60)
-	added := s.Add([]float64{3.5, -3.5, 0})
+	added, err := s.Add([]float64{3.5, -3.5, 0})
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
 	if added != 60 {
 		t.Fatalf("first added ID = %d, want 60", added)
 	}
@@ -149,13 +152,15 @@ func TestBundleSurvivesMutation(t *testing.T) {
 	if next := r.Stats().NextID; next != 61 {
 		t.Fatalf("reopened NextID = %d, want 61", next)
 	}
-	if id := r.Add([]float64{1, 1, 1}); id != 61 {
-		t.Fatalf("post-reopen Add got ID %d, want 61", id)
+	if id, err := r.Add([]float64{1, 1, 1}); err != nil || id != 61 {
+		t.Fatalf("post-reopen Add got ID %d (err %v), want 61", id, err)
 	}
 	// Mirror the post-reopen Add into the original store so both hold the
 	// same contents, then searches must agree exactly.
 	q := []float64{3.5, -3.5, 0}
-	s.Add([]float64{1, 1, 1})
+	if _, err := s.Add([]float64{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
 	want, _, _ := s.Search(q, 4, 16)
 	got, _, _ := r.Search(q, 4, 16)
 	if !reflect.DeepEqual(got, want) {
@@ -332,11 +337,29 @@ func TestConcurrentSearchAndMutate(t *testing.T) {
 		}
 	}()
 
+	// Background compactor: folds segments while readers, the snapshotter
+	// and the mutator all race it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Compact()
+			}
+		}
+	}()
+
 	// Mutator: interleaved adds and removes on the main test goroutine.
 	rng := rand.New(rand.NewSource(5))
 	live := []uint64{}
 	for i := 0; i < 60; i++ {
-		id := s.Add([]float64{rng.Float64() * 7, -rng.Float64() * 7, rng.NormFloat64()})
+		id, err := s.Add([]float64{rng.Float64() * 7, -rng.Float64() * 7, rng.NormFloat64()})
+		if err != nil {
+			t.Fatalf("mutator add: %v", err)
+		}
 		live = append(live, id)
 		if len(live) > 3 && rng.Intn(2) == 0 {
 			k := rng.Intn(len(live))
@@ -359,5 +382,202 @@ func TestConcurrentSearchAndMutate(t *testing.T) {
 	}
 	if r.Size() == 0 {
 		t.Fatal("stress bundle is empty")
+	}
+}
+
+// aggressive compacts on every mutation — the segmented store then
+// behaves exactly like the old clone-per-mutation design.
+var aggressive = CompactionPolicy{MinDelta: 1, DeltaFrac: 0, MinDead: 1, DeadFrac: 0}
+
+// lazy never compacts within test-sized workloads.
+var lazy = CompactionPolicy{MinDelta: 1 << 30, DeltaFrac: 1, MinDead: 1 << 30, DeadFrac: 1}
+
+// TestCompactionEquivalence is the tentpole acceptance check at the store
+// layer: the same mutation script applied to a compact-every-time store
+// and a never-compact store yields bit-identical search results (IDs and
+// distances), and explicitly compacting the lazy store afterwards changes
+// nothing.
+func TestCompactionEquivalence(t *testing.T) {
+	model, db := fixture(t, 60)
+	mk := func(pol CompactionPolicy) *Store[[]float64] {
+		s, err := New(model, db, l1, Gob[[]float64]())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetCompactionPolicy(pol)
+		return s
+	}
+	eager, never := mk(aggressive), mk(lazy)
+
+	for _, s := range []*Store[[]float64]{eager, never} {
+		rng := rand.New(rand.NewSource(17))
+		live := []uint64{}
+		for i := 0; i < 120; i++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				id, err := s.Add([]float64{rng.Float64() * 7, -rng.Float64() * 7, rng.NormFloat64()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, id)
+			} else {
+				k := rng.Intn(len(live))
+				if err := s.Remove(live[k]); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+	}
+
+	est, nst := eager.Stats(), never.Stats()
+	if est.Size != nst.Size || est.Generation != nst.Generation || est.NextID != nst.NextID {
+		t.Fatalf("stores diverged: %+v vs %+v", est, nst)
+	}
+	if est.DeltaSize != 0 || est.Tombstones != 0 || est.Compactions == 0 {
+		t.Fatalf("aggressive store not compacted: %+v", est)
+	}
+	if nst.DeltaSize == 0 || nst.Tombstones == 0 || nst.Compactions != 0 {
+		t.Fatalf("lazy store compacted unexpectedly: %+v", nst)
+	}
+	if got, want := nst.BaseSize+nst.DeltaSize-nst.Tombstones, nst.Size; got != want {
+		t.Fatalf("segment accounting: base+delta-tombstones = %d, size = %d", got, want)
+	}
+
+	compare := func(stage string) {
+		t.Helper()
+		for qi, q := range queries(30, 23) {
+			want, wst, err := eager.Search(q, 5, 25)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", stage, qi, err)
+			}
+			got, gst, err := never.Search(q, 5, 25)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", stage, qi, err)
+			}
+			if !reflect.DeepEqual(got, want) || gst != wst {
+				t.Fatalf("%s query %d: segmented %v != compacted %v", stage, qi, got, want)
+			}
+		}
+		qs := queries(6, 29)
+		wb, _, err := eager.SearchBatch(qs, 4, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, _, err := never.SearchBatch(qs, 4, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gb, wb) {
+			t.Fatalf("%s: batch results diverge", stage)
+		}
+	}
+	compare("segmented-vs-compacted")
+
+	if !never.Compact() {
+		t.Fatal("lazy store had nothing to compact")
+	}
+	if never.Compact() {
+		t.Fatal("second Compact should be a no-op")
+	}
+	nst = never.Stats()
+	if nst.DeltaSize != 0 || nst.Tombstones != 0 || nst.Compactions != 1 {
+		t.Fatalf("explicit compaction did not fold: %+v", nst)
+	}
+	compare("both-compacted")
+
+	// Both stores must also round-trip through bundles identically: Save
+	// compacts on the way out, so the lazy store's bundle equals the
+	// eager one's state.
+	dir := t.TempDir()
+	for name, s := range map[string]*Store[[]float64]{"eager": eager, "never": never} {
+		path := filepath.Join(dir, name+".bundle")
+		if err := s.Save(path); err != nil {
+			t.Fatalf("%s: Save: %v", name, err)
+		}
+		r, err := Open(path, l1, Gob[[]float64]())
+		if err != nil {
+			t.Fatalf("%s: Open: %v", name, err)
+		}
+		for qi, q := range queries(10, 31) {
+			want, _, _ := s.Search(q, 5, 25)
+			got, _, err := r.Search(q, 5, 25)
+			if err != nil || !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s query %d: reopened %v != live %v (err %v)", name, qi, got, want, err)
+			}
+		}
+	}
+}
+
+// TestThresholdCompaction checks the mutation path actually fires the
+// policy: crossing the delta threshold folds the delta into the base.
+func TestThresholdCompaction(t *testing.T) {
+	s := newStore(t, 40)
+	s.SetCompactionPolicy(CompactionPolicy{MinDelta: 10, DeltaFrac: 0, MinDead: 1 << 30, DeadFrac: 1})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 25; i++ {
+		if _, err := s.Add([]float64{rng.Float64(), rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions != 2 {
+		t.Fatalf("25 adds at MinDelta=10: %d compactions, want 2 (stats %+v)", st.Compactions, st)
+	}
+	if st.DeltaSize != 5 || st.BaseSize != 60 || st.Size != 65 {
+		t.Fatalf("post-compaction layout %+v, want base 60 + delta 5", st)
+	}
+}
+
+// TestDrainedStore pins the empty-store contract end to end: a store
+// whose every object has been removed keeps answering searches (with
+// zero results, not an error), survives a bundle round-trip, and accepts
+// new objects afterwards.
+func TestDrainedStore(t *testing.T) {
+	s := newStore(t, 40)
+	for id := uint64(0); id < 40; id++ {
+		if err := s.Remove(id); err != nil {
+			t.Fatalf("Remove(%d): %v", id, err)
+		}
+	}
+	if s.Size() != 0 {
+		t.Fatalf("size %d after draining", s.Size())
+	}
+	if _, ok := s.First(); ok {
+		t.Fatal("First on a drained store should report empty")
+	}
+	res, st, err := s.Search([]float64{1, -1, 0}, 5, 20)
+	if err != nil {
+		t.Fatalf("search on drained store: %v", err)
+	}
+	if len(res) != 0 || st.RefineDistances != 0 {
+		t.Fatalf("drained search: %v (stats %+v), want empty", res, st)
+	}
+	if _, _, err := s.SearchBatch(queries(3, 5), 2, 8); err != nil {
+		t.Fatalf("batch search on drained store: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "drained.bundle")
+	if err := s.Save(path); err != nil {
+		t.Fatalf("saving drained store: %v", err)
+	}
+	r, err := Open(path, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatalf("reopening drained bundle: %v", err)
+	}
+	if r.Size() != 0 || r.Dims() != s.Dims() {
+		t.Fatalf("reopened drained store: size %d dims %d", r.Size(), r.Dims())
+	}
+	if res, _, err := r.Search([]float64{1, -1, 0}, 5, 20); err != nil || len(res) != 0 {
+		t.Fatalf("reopened drained search: %v, %v", res, err)
+	}
+	id, err := r.Add([]float64{2, -2, 0})
+	if err != nil {
+		t.Fatalf("Add after drain: %v", err)
+	}
+	if id != 40 {
+		t.Fatalf("post-drain Add got ID %d, want 40 (allocator must survive draining)", id)
+	}
+	if res, _, err := r.Search([]float64{2, -2, 0}, 1, 4); err != nil || len(res) != 1 || res[0].ID != 40 {
+		t.Fatalf("post-drain search: %v, %v", res, err)
 	}
 }

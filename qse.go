@@ -348,9 +348,11 @@ func (ix *Index[T]) BruteForce(q T, k int) ([]Result, SearchStats) {
 }
 
 // Add embeds and inserts a new object (Sec. 7.1 dynamic datasets). It
-// costs EmbedCost exact distances and no retraining. Monitor DriftError if
-// the incoming distribution may have shifted.
-func (ix *Index[T]) Add(x T) { ix.inner.Add(x) }
+// costs EmbedCost exact distances and no retraining. An object that
+// embeds to the wrong dimensionality is rejected with an error and the
+// index is unchanged. Monitor DriftError if the incoming distribution may
+// have shifted.
+func (ix *Index[T]) Add(x T) error { return ix.inner.Add(x) }
 
 // Remove deletes the database object at position i. Order is preserved —
 // later objects shift down one position — so external ground-truth indexes

@@ -183,7 +183,9 @@ func TestDynamicAddAndDrift(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.Add([]float64{0.5, 0.5})
+	if err := ix.Add([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
 	if ix.Size() != 201 {
 		t.Errorf("Size = %d", ix.Size())
 	}

@@ -65,9 +65,13 @@ expect '"id":120' curl -fsS -X POST "http://$addr/v1/objects" \
   -d '{"object":[[0.1,0.2],[0.3,0.4]]}'
 expect '"removed":120' curl -fsS -X DELETE "http://$addr/v1/objects/120"
 
-echo "== GET /v1/stats reflects the traffic"
+echo "== GET /v1/stats reflects the traffic and the segment layout"
 expect '"generation":2' curl -fsS "http://$addr/v1/stats"
 expect '"search"' curl -fsS "http://$addr/v1/stats"
+# The add landed in the delta segment and the remove tombstoned it.
+expect '"delta_size":1' curl -fsS "http://$addr/v1/stats"
+expect '"tombstones":1' curl -fsS "http://$addr/v1/stats"
+expect '"size":120' curl -fsS "http://$addr/v1/stats"
 
 echo "== graceful shutdown writes a final snapshot"
 kill -TERM "$pid"

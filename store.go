@@ -30,13 +30,21 @@ type StoreResult struct {
 
 // StoreStats is a point-in-time summary of a Store.
 type StoreStats struct {
-	// Size is the number of stored objects, Dims the embedding width.
+	// Size is the number of live stored objects, Dims the embedding width.
 	Size int
 	Dims int
 	// Generation counts mutations since the store was created or opened.
 	Generation uint64
 	// NextID is the ID the next Add will assign.
 	NextID uint64
+	// BaseSize and DeltaSize are the row counts of the immutable base and
+	// append-only delta segments (including tombstoned rows); Tombstones
+	// counts dead rows awaiting compaction; Compactions counts fold-ins
+	// since the store was created or opened.
+	BaseSize    int
+	DeltaSize   int
+	Tombstones  int
+	Compactions uint64
 }
 
 // Store is an Index made durable and safe for concurrent mutation. It
@@ -49,6 +57,10 @@ type StoreStats struct {
 //   - Concurrency: Search/SearchBatch are lock-free reads against an
 //     immutable copy-on-write snapshot and may run at full parallelism
 //     while Add/Remove/Save execute; mutations serialize among themselves.
+//   - Cheap mutation: snapshots are segmented (immutable base +
+//     append-only delta + tombstones), so Add costs O(EmbedCost) amortized
+//     and Remove is a tombstone, with background compaction folding the
+//     segments together — mutations never clone the database.
 //   - Stable IDs: every object gets a uint64 ID that survives removals of
 //     other objects, which is what a network API can safely hand out.
 //
@@ -90,7 +102,10 @@ func OpenStore[T any](path string, dist Distance[T], codec Codec[T]) (*Store[T],
 func (s *Store[T]) Save(path string) error { return s.inner.Save(path) }
 
 // Search returns the k approximate nearest neighbors of q (see
-// Index.Search for the k/p contract), identified by stable ID.
+// Index.Search for the k/p contract), identified by stable ID. A store
+// holding fewer than k objects — including one drained empty by
+// removals — answers with what it has (possibly zero results); that is
+// not an error.
 func (s *Store[T]) Search(q T, k, p int) ([]StoreResult, SearchStats, error) {
 	res, st, err := s.inner.Search(q, k, p)
 	if err != nil {
@@ -126,11 +141,19 @@ func toStoreResults(rs []store.Result) []StoreResult {
 
 // Add embeds and inserts x, returning its stable ID. Concurrent searches
 // keep running against the previous snapshot until the insert publishes.
-func (s *Store[T]) Add(x T) uint64 { return s.inner.Add(x) }
+// An object that embeds to the wrong dimensionality is rejected with an
+// error and the store is unchanged.
+func (s *Store[T]) Add(x T) (uint64, error) { return s.inner.Add(x) }
 
-// Remove deletes the object with the given stable ID. Other objects keep
+// Remove deletes the object with the given stable ID by tombstoning it;
+// the storage is reclaimed by a later compaction. Other objects keep
 // their IDs.
 func (s *Store[T]) Remove(id uint64) error { return s.inner.Remove(id) }
+
+// Compact folds the delta segment and tombstones into a fresh base
+// immediately, regardless of the automatic thresholds, and reports
+// whether there was anything to fold. Searches are never blocked.
+func (s *Store[T]) Compact() bool { return s.inner.Compact() }
 
 // Get returns the object with the given stable ID.
 func (s *Store[T]) Get(id uint64) (T, bool) { return s.inner.Get(id) }
@@ -144,5 +167,9 @@ func (s *Store[T]) Dims() int { return s.inner.Dims() }
 // Stats returns a point-in-time summary.
 func (s *Store[T]) Stats() StoreStats {
 	st := s.inner.Stats()
-	return StoreStats{Size: st.Size, Dims: st.Dims, Generation: st.Generation, NextID: st.NextID}
+	return StoreStats{
+		Size: st.Size, Dims: st.Dims, Generation: st.Generation, NextID: st.NextID,
+		BaseSize: st.BaseSize, DeltaSize: st.DeltaSize, Tombstones: st.Tombstones,
+		Compactions: st.Compactions,
+	}
 }

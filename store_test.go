@@ -90,7 +90,10 @@ func TestPublicStoreRoundTrip(t *testing.T) {
 	if !ok || !reflect.DeepEqual(obj, after) {
 		t.Fatal("ID 100 changed identity after removing ID 5")
 	}
-	id := reopened.Add([]float64{0.5, 0.5})
+	id, err := reopened.Add([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if id != 120 {
 		t.Fatalf("Add assigned ID %d, want 120", id)
 	}
