@@ -7,6 +7,9 @@
 //   - -bundle: a self-contained bundle from qse-serve (or Store.Save).
 //     Nothing is regenerated or re-embedded; -db/-dataseed are ignored
 //     and the dataset flag only picks the query generator and distance.
+//     Sharded layouts (a manifest written by qse-serve -shards N) open
+//     transparently; answers are identical to an unsharded bundle of the
+//     same data, so no flag is needed here.
 //
 // Usage:
 //
@@ -85,8 +88,8 @@ func runBundle[T any](path string, queries []T, dist qse.Distance[T], k, p int) 
 	if err != nil {
 		fatalf("opening bundle: %v", err)
 	}
-	fmt.Printf("bundle: %d objects, %d dims, opened in %v (0 exact distances)\n\n",
-		st.Size(), st.Dims(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("bundle: %d objects, %d dims, %d shard(s), opened in %v (0 exact distances)\n\n",
+		st.Size(), st.Dims(), st.Stats().Shards, time.Since(start).Round(time.Millisecond))
 
 	var totalCost, hits, possible int
 	for qi, q := range queries {

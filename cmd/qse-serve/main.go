@@ -13,6 +13,14 @@
 //	qse-serve -dataset series -db 400 -bundle qse.bundle -addr 127.0.0.1:8080
 //	qse-serve -bundle qse.bundle                  # reopen an existing bundle
 //	qse-serve -bundle qse.bundle -build-only      # build the bundle and exit
+//	qse-serve -bundle qse.bundle -shards 8        # hash-sharded build: per-shard
+//	                                              # locks and compaction, same answers
+//
+// With -shards N (first build only; a reopened bundle keeps its layout)
+// the store is hash-partitioned into N independent shards: mutations to
+// different shards never contend, compaction pauses shrink by N, and the
+// bundle becomes a manifest plus N shard files. Search results are
+// bit-identical for every N.
 //
 // Endpoints (JSON): POST /v1/search, POST /v1/search/batch,
 // POST /v1/objects, DELETE /v1/objects/{id}, GET /v1/stats, GET /healthz.
@@ -47,6 +55,7 @@ func main() {
 		bundle    = flag.String("bundle", "qse.bundle", "bundle file: opened if it exists, built and written otherwise")
 		buildOnly = flag.Bool("build-only", false, "build the bundle and exit without serving")
 		dataset   = flag.String("dataset", "series", "dataset for first-time bundle builds (only series has a JSON query encoding)")
+		shards    = flag.Int("shards", 1, "shard count for first-time bundle builds: hash-partition the store into this many independently locked and compacted shards (reopened bundles keep the count they were built with; results are identical for any count)")
 		dbSize    = flag.Int("db", 400, "database size for first-time builds")
 		dataseed  = flag.Int64("dataseed", 7, "dataset generation seed for first-time builds")
 		modelPath = flag.String("model", "", "model gob from qse-train to reuse (empty = train a fresh model)")
@@ -84,6 +93,7 @@ func main() {
 	codec := store.Gob[dtw.Series]()
 
 	st, err := openOrBuild(*bundle, dist, codec, buildConfig{
+		shards: *shards,
 		dbSize: *dbSize, dataseed: *dataseed, modelPath: *modelPath,
 		rounds: *rounds, triples: *triples, cands: *cands, pool: *pool, k1: *k1, seed: *seed,
 	})
@@ -95,7 +105,7 @@ func main() {
 		MinDead: *compactMinDead, DeadFrac: *compactDeadFrac,
 	})
 	stats := st.Stats()
-	log.Printf("store ready: %d objects, %d dims, generation %d", stats.Size, stats.Dims, stats.Generation)
+	log.Printf("store ready: %d objects, %d dims, %d shards, generation %d", stats.Size, stats.Dims, stats.Shards, stats.Generation)
 	if *buildOnly {
 		return
 	}
@@ -217,6 +227,7 @@ func main() {
 }
 
 type buildConfig struct {
+	shards                           int
 	dbSize                           int
 	dataseed                         int64
 	modelPath                        string
@@ -224,14 +235,15 @@ type buildConfig struct {
 	seed                             int64
 }
 
-// openOrBuild opens an existing bundle, or builds one from the synthetic
-// dataset and persists it.
-func openOrBuild(path string, dist space.Distance[dtw.Series], codec store.Codec[dtw.Series], cfg buildConfig) (*store.Store[dtw.Series], error) {
+// openOrBuild opens an existing bundle — single-file or sharded manifest,
+// the file says which — or builds one from the synthetic dataset and
+// persists it with the configured shard count.
+func openOrBuild(path string, dist space.Distance[dtw.Series], codec store.Codec[dtw.Series], cfg buildConfig) (store.Backend[dtw.Series], error) {
 	if _, err := os.Stat(path); err == nil {
 		log.Printf("opening bundle %s", path)
-		return store.Open(path, dist, codec)
+		return store.OpenAuto(path, dist, codec)
 	}
-	log.Printf("bundle %s not found; building from dataset (db=%d, seed=%d)", path, cfg.dbSize, cfg.dataseed)
+	log.Printf("bundle %s not found; building from dataset (db=%d, seed=%d, shards=%d)", path, cfg.dbSize, cfg.dataseed, cfg.shards)
 	db, _, err := datasets.Series(cfg.dbSize, cfg.dataseed)
 	if err != nil {
 		return nil, fmt.Errorf("building dataset: %w", err)
@@ -265,7 +277,12 @@ func openOrBuild(path string, dist space.Distance[dtw.Series], codec store.Codec
 			report.Variant, time.Since(t0).Round(time.Millisecond), model.Dims(), model.EmbedCost(), report.FinalTrainingError())
 	}
 
-	st, err := store.New(model, db, dist, codec)
+	var st store.Backend[dtw.Series]
+	if cfg.shards > 1 {
+		st, err = store.NewSharded(model, db, dist, codec, cfg.shards)
+	} else {
+		st, err = store.New(model, db, dist, codec)
+	}
 	if err != nil {
 		return nil, err
 	}

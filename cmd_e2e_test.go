@@ -190,3 +190,61 @@ func TestServeTools(t *testing.T) {
 		t.Fatalf("final snapshot reopen output:\n%s", out)
 	}
 }
+
+// TestServeShardedTools covers the sharded CLI path as subprocesses:
+// qse-serve -shards builds a manifest plus per-shard bundles, qse-query
+// reads the layout with zero exact distances, and a reopen keeps the
+// shard count. (The live HTTP serving of a sharded bundle is covered by
+// scripts/e2e_serve.sh.) Skipped in -short mode.
+func TestServeShardedTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bundlePath := filepath.Join(dir, "qse.bundle")
+	bin := filepath.Join(dir, "qse-serve")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/qse-serve")
+	build.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building qse-serve: %v\n%s", err, out)
+	}
+
+	buildCmd := exec.Command(bin,
+		"-dataset", "series", "-db", "90", "-rounds", "6", "-triples", "600",
+		"-candidates", "20", "-pool", "40", "-bundle", bundlePath,
+		"-shards", "3", "-build-only")
+	out, err := buildCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("qse-serve -shards 3 -build-only: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "3 shards") {
+		t.Fatalf("sharded build output lacks shard count:\n%s", out)
+	}
+	matches, err := filepath.Glob(bundlePath + ".shard-*-of-*")
+	if err != nil || len(matches) != 3 {
+		t.Fatalf("expected 3 shard files next to the manifest, found %v (err %v)", matches, err)
+	}
+
+	queryCmd := exec.Command("go", "run", "./cmd/qse-query",
+		"-bundle", bundlePath, "-dataset", "series", "-n", "2", "-k", "2", "-p", "20")
+	queryCmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	queryOut, err := queryCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("qse-query on sharded bundle: %v\n%s", err, queryOut)
+	}
+	for _, want := range []string{"0 exact distances", "3 shard(s)", "recall"} {
+		if !strings.Contains(string(queryOut), want) {
+			t.Fatalf("qse-query sharded output lacks %q:\n%s", want, queryOut)
+		}
+	}
+
+	reopen := exec.Command(bin, "-bundle", bundlePath, "-build-only")
+	out, err = reopen.CombinedOutput()
+	if err != nil {
+		t.Fatalf("reopening sharded bundle: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "store ready: 90 objects") || !strings.Contains(string(out), "3 shards") {
+		t.Fatalf("sharded reopen output:\n%s", out)
+	}
+}

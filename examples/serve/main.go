@@ -61,7 +61,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := qse.NewStore(model, db, dist, qse.GobCodec[[]float64]())
+	// WithShards hash-partitions the store into independently locked and
+	// compacted shards — the right setting for write-heavy serving.
+	// Answers are bit-identical for any shard count (including 1, the
+	// default); the bundle below becomes a manifest plus one file per
+	// shard, and qse-serve's -shards flag is this same option as a CLI.
+	st, err := qse.NewStore(model, db, dist, qse.GobCodec[[]float64](), qse.WithShards(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,13 +79,24 @@ func main() {
 	if err := st.Save(bundle); err != nil {
 		log.Fatal(err)
 	}
-	info, _ := os.Stat(bundle)
-	fmt.Printf("bundle written: %d objects, %d dims, %d bytes\n", st.Size(), st.Dims(), info.Size())
+	// With shards the bundle path holds a small manifest; the vectors
+	// live in the per-shard files next to it.
+	layout, _ := filepath.Glob(bundle + "*")
+	var bytes64 int64
+	for _, f := range layout {
+		if info, err := os.Stat(f); err == nil {
+			bytes64 += info.Size()
+		}
+	}
+	fmt.Printf("bundle written: %d objects, %d dims, %d shards, %d files, %d bytes\n",
+		st.Size(), st.Dims(), st.Stats().Shards, len(layout), bytes64)
 
 	// ---- Serving process: reopen the bundle and put it on the network.
 	// Opening costs zero exact distance computations — the embedded
-	// vectors travel inside the bundle.
-	served, err := store.Open(bundle, dist, store.Gob[[]float64]())
+	// vectors travel inside the bundle. OpenAuto reads whatever layout
+	// the file holds (a plain v1 bundle or a sharded manifest) behind
+	// the same Backend interface the server consumes.
+	served, err := store.OpenAuto(bundle, dist, store.Gob[[]float64]())
 	if err != nil {
 		log.Fatal(err)
 	}

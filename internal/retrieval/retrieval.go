@@ -176,6 +176,30 @@ func (ix *Index[T]) Vectors() [][]float64 {
 	return out
 }
 
+// CheckKP validates the k/p contract shared by every search entry point
+// — Index, Segmented, and the sharded store's scatter-gather — so the
+// client-visible error text cannot depend on the backend layout.
+func CheckKP(k, p int) error {
+	if k <= 0 {
+		return fmt.Errorf("retrieval: k = %d, want > 0", k)
+	}
+	if p < k {
+		return fmt.Errorf("retrieval: p = %d must be >= k = %d", p, k)
+	}
+	return nil
+}
+
+// QueryDimsError is the shared wrong-query-width rejection, for the same
+// reason.
+func QueryDimsError(got, want int) error {
+	return fmt.Errorf("retrieval: query embedded to %d dims, index has %d", got, want)
+}
+
+// ObjectDimsError is the shared wrong-object-width rejection on insert.
+func ObjectDimsError(got, want int) error {
+	return fmt.Errorf("retrieval: object embedded to %d dims, index has %d", got, want)
+}
+
 // Stats reports the cost of one query, in the paper's currency.
 type Stats struct {
 	// EmbedDistances is the exact distance count of the embedding step.

@@ -132,9 +132,19 @@ func (s *Segmented[T]) Object(pos int) T {
 // Callers that publish versions concurrently must serialize Adds (they
 // append to the shared delta backing).
 func (s *Segmented[T]) Add(x T) (*Segmented[T], int, error) {
-	v := s.base.embedder.Embed(x)
+	return s.AddWithVector(x, s.base.embedder.Embed(x))
+}
+
+// AddWithVector is Add with the embedding already computed. It exists for
+// callers that must validate or route on the vector before committing to
+// an insert (the sharded store embeds outside any lock, then routes the
+// object to a shard by its assigned ID): the EmbedCost exact distances are
+// paid exactly once, not once per routing decision. v must be the
+// embedder's output for x — passing anything else silently corrupts
+// search results.
+func (s *Segmented[T]) AddWithVector(x T, v []float64) (*Segmented[T], int, error) {
 	if len(v) != s.base.dims {
-		return nil, 0, fmt.Errorf("retrieval: object embedded to %d dims, index has %d", len(v), s.base.dims)
+		return nil, 0, ObjectDimsError(len(v), s.base.dims)
 	}
 	n := *s
 	n.deltaDB = append(s.deltaDB, x)
@@ -195,15 +205,12 @@ func (s *Segmented[T]) Search(q T, k, p int) ([]space.Neighbor, Stats, error) {
 }
 
 func (s *Segmented[T]) search(q T, k, p int, parallel bool) ([]space.Neighbor, Stats, error) {
-	if k <= 0 {
-		return nil, Stats{}, fmt.Errorf("retrieval: k = %d, want > 0", k)
-	}
-	if p < k {
-		return nil, Stats{}, fmt.Errorf("retrieval: p = %d must be >= k = %d", p, k)
+	if err := CheckKP(k, p); err != nil {
+		return nil, Stats{}, err
 	}
 	qvec := s.base.embedder.Embed(q)
 	if len(qvec) != s.base.dims {
-		return nil, Stats{}, fmt.Errorf("retrieval: query embedded to %d dims, index has %d", len(qvec), s.base.dims)
+		return nil, Stats{}, QueryDimsError(len(qvec), s.base.dims)
 	}
 	var weights []float64
 	if w, ok := s.base.embedder.(Weighter); ok {
@@ -238,11 +245,8 @@ func (s *Segmented[T]) search(q T, k, p int, parallel bool) ([]space.Neighbor, S
 // SearchBatch pipelines queries across the worker pool like
 // Index.SearchBatch, with the same deterministic first-error semantics.
 func (s *Segmented[T]) SearchBatch(queries []T, k, p int) ([][]space.Neighbor, []Stats, error) {
-	if k <= 0 {
-		return nil, nil, fmt.Errorf("retrieval: k = %d, want > 0", k)
-	}
-	if p < k {
-		return nil, nil, fmt.Errorf("retrieval: p = %d must be >= k = %d", p, k)
+	if err := CheckKP(k, p); err != nil {
+		return nil, nil, err
 	}
 	results := make([][]space.Neighbor, len(queries))
 	stats := make([]Stats, len(queries))
@@ -253,6 +257,18 @@ func (s *Segmented[T]) SearchBatch(queries []T, k, p int) ([][]space.Neighbor, [
 		}
 	})
 	return firstBatchError(results, stats, errs)
+}
+
+// FilterLive runs only the filter phase, with a precomputed query
+// embedding: the p best live rows under the filter distance, in ascending
+// (distance, position) order. It is the scatter half of the sharded
+// store's scatter-gather search — the store embeds the query once, fans
+// the same qvec/weights out to every shard's FilterLive, and merges the
+// per-shard candidate lists before a single refine pass, so the exact
+// distance cost stays identical to an unsharded search. weights may be
+// nil for the unweighted L1.
+func (s *Segmented[T]) FilterLive(qvec, weights []float64, p int, parallel bool) []space.Neighbor {
+	return s.filterTopP(qvec, weights, p, parallel)
 }
 
 // filterTopP ranks the live rows of both segments under the filter
@@ -271,17 +287,29 @@ func (s *Segmented[T]) filterTopP(qvec, weights []float64, p int, parallel bool)
 		return nil
 	}
 	if !parallel || total < minParallelScan {
-		out := []space.Neighbor(s.scanRange(qvec, weights, 0, total, p))
-		space.SortNeighbors(out)
-		return out
+		return mergeTopP([]neighborMaxHeap{s.scanRange(qvec, weights, 0, total, p)}, p)
 	}
 	w := par.Workers()
 	heaps := make([]neighborMaxHeap, w)
 	shards := par.Shards(w, total, minParallelScan, func(sh, lo, hi int) {
 		heaps[sh] = s.scanRange(qvec, weights, lo, hi, p)
 	})
-	merged := make([]space.Neighbor, 0, shards*p)
-	for _, h := range heaps[:shards] {
+	return mergeTopP(heaps[:shards], p)
+}
+
+// mergeTopP flattens per-shard candidate heaps, sorts by the
+// (distance, position) total order, and truncates to the p best. The
+// total order has no duplicate keys (positions are unique), so the merged
+// top-p is a unique set in a unique order — the same for any partition of
+// the position space, which is what makes both the partitioned scan above
+// and the sharded store's cross-shard gather deterministic.
+func mergeTopP(heaps []neighborMaxHeap, p int) []space.Neighbor {
+	n := 0
+	for _, h := range heaps {
+		n += len(h)
+	}
+	merged := make([]space.Neighbor, 0, n)
+	for _, h := range heaps {
 		merged = append(merged, h...)
 	}
 	space.SortNeighbors(merged)

@@ -76,9 +76,10 @@ type metrics struct {
 	latencyNs atomic.Int64
 }
 
-// Server serves one Store over HTTP.
+// Server serves one store — plain or sharded, anything satisfying
+// store.Backend — over HTTP.
 type Server[T any] struct {
-	st     *store.Store[T]
+	st     store.Backend[T]
 	decode func(json.RawMessage) (T, error)
 	opts   Options
 	start  time.Time
@@ -91,7 +92,7 @@ type Server[T any] struct {
 // or "object" field into a domain object; it should validate and return
 // an error for objects the distance function cannot handle (the error
 // text is surfaced to the client with status 400).
-func New[T any](st *store.Store[T], decode func(json.RawMessage) (T, error), opts Options) *Server[T] {
+func New[T any](st store.Backend[T], decode func(json.RawMessage) (T, error), opts Options) *Server[T] {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBody
 	}
@@ -425,6 +426,21 @@ type storeStatsJSON struct {
 	// Segment layout: how much of the store sits in the immutable base,
 	// how much in the append-only delta, and how many rows are tombstoned
 	// awaiting compaction. size = base_size + delta_size - tombstones.
+	// For a sharded store these are sums over the shards.
+	BaseSize    int    `json:"base_size"`
+	DeltaSize   int    `json:"delta_size"`
+	Tombstones  int    `json:"tombstones"`
+	Compactions uint64 `json:"compactions"`
+	// Shards is the shard count (1 for an unsharded store).
+	Shards int `json:"shards"`
+}
+
+// shardStatsJSON is one shard's row in the sharded detail: the segment
+// layout and mutation counters that differ per shard. What is global
+// (dims, the ID allocator) stays on the aggregate row only.
+type shardStatsJSON struct {
+	Size        int    `json:"size"`
+	Generation  uint64 `json:"generation"`
 	BaseSize    int    `json:"base_size"`
 	DeltaSize   int    `json:"delta_size"`
 	Tombstones  int    `json:"tombstones"`
@@ -432,7 +448,10 @@ type storeStatsJSON struct {
 }
 
 type statsResponse struct {
-	Store         storeStatsJSON               `json:"store"`
+	Store storeStatsJSON `json:"store"`
+	// ShardDetail is present only for sharded stores: one row per shard,
+	// in shard order.
+	ShardDetail   []shardStatsJSON             `json:"shard_detail,omitempty"`
 	UptimeSeconds float64                      `json:"uptime_seconds"`
 	Endpoints     map[string]endpointStatsJSON `json:"endpoints"`
 }
@@ -453,6 +472,17 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		eps[endpointNames[ep]] = row
 	}
+	var detail []shardStatsJSON
+	for _, sh := range s.st.ShardStats() {
+		detail = append(detail, shardStatsJSON{
+			Size:        sh.Size,
+			Generation:  sh.Generation,
+			BaseSize:    sh.BaseSize,
+			DeltaSize:   sh.DeltaSize,
+			Tombstones:  sh.Tombstones,
+			Compactions: sh.Compactions,
+		})
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Store: storeStatsJSON{
 			Size:        st.Size,
@@ -463,7 +493,9 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 			DeltaSize:   st.DeltaSize,
 			Tombstones:  st.Tombstones,
 			Compactions: st.Compactions,
+			Shards:      st.Shards,
 		},
+		ShardDetail:   detail,
 		UptimeSeconds: uptime,
 		Endpoints:     eps,
 	})

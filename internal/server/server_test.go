@@ -36,7 +36,7 @@ func decodeVec(raw json.RawMessage) ([]float64, error) {
 	return v, nil
 }
 
-func testStore(t *testing.T) *store.Store[[]float64] {
+func testStore(t testing.TB) *store.Store[[]float64] {
 	t.Helper()
 	rng := rand.New(rand.NewSource(42))
 	db := make([][]float64, 70)
@@ -343,6 +343,94 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 	if se.QPS <= 0 {
 		t.Fatalf("QPS %v, want > 0", se.QPS)
+	}
+}
+
+// testShardedStore mirrors testStore over a hash-sharded backend.
+func testShardedStore(t testing.TB, shards int) *store.Sharded[[]float64] {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	db := make([][]float64, 70)
+	for i := range db {
+		c := float64(i % 7)
+		db[i] = []float64{c + rng.NormFloat64()*0.2, -c + rng.NormFloat64()*0.2, rng.NormFloat64()}
+	}
+	opts := core.DefaultOptions()
+	opts.Rounds = 8
+	opts.NumCandidates = 20
+	opts.NumTraining = 40
+	opts.NumTriples = 400
+	opts.K1 = 3
+	opts.Seed = 1
+	model, _, err := core.Train(db, l1, opts)
+	if err != nil {
+		t.Fatalf("training fixture: %v", err)
+	}
+	st, err := store.NewSharded(model, db, l1, store.Gob[[]float64](), shards)
+	if err != nil {
+		t.Fatalf("store.NewSharded: %v", err)
+	}
+	return st
+}
+
+// TestShardedBackend serves a sharded store through the full HTTP
+// surface: searches, mutations, and the per-shard detail rows /v1/stats
+// grows when the backend is sharded (and omits when it is not).
+func TestShardedBackend(t *testing.T) {
+	srv := New[[]float64](testShardedStore(t, 4), decodeVec, Options{})
+	h := srv.Handler()
+
+	if rec := do(h, "POST", "/v1/search", `{"query":[3,-3,0],"k":3}`); rec.Code != http.StatusOK {
+		t.Fatalf("sharded search: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(h, "POST", "/v1/search", `{"id":12,"k":2}`); rec.Code != http.StatusOK {
+		t.Fatalf("sharded search by id: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(h, "POST", "/v1/objects", `{"object":[1,-1,0]}`); rec.Code != http.StatusCreated {
+		t.Fatalf("sharded add: %d %s", rec.Code, rec.Body)
+	} else if !strings.Contains(rec.Body.String(), `"id":70`) {
+		t.Fatalf("sharded add body: %s", rec.Body)
+	}
+	if rec := do(h, "DELETE", "/v1/objects/3", ""); rec.Code != http.StatusOK {
+		t.Fatalf("sharded remove: %d %s", rec.Code, rec.Body)
+	}
+
+	rec := do(h, "GET", "/v1/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", rec.Code, rec.Body)
+	}
+	var stats statsResponse
+	decodeInto(t, rec, &stats)
+	if stats.Store.Shards != 4 {
+		t.Fatalf("shards = %d, want 4", stats.Store.Shards)
+	}
+	if stats.Store.Size != 70 || stats.Store.Generation != 2 {
+		t.Fatalf("aggregate stats %+v, want size 70 generation 2", stats.Store)
+	}
+	if len(stats.ShardDetail) != 4 {
+		t.Fatalf("shard detail has %d rows, want 4: %+v", len(stats.ShardDetail), stats.ShardDetail)
+	}
+	var size, base, delta, tomb int
+	var gen uint64
+	for _, row := range stats.ShardDetail {
+		size += row.Size
+		base += row.BaseSize
+		delta += row.DeltaSize
+		tomb += row.Tombstones
+		gen += row.Generation
+	}
+	if size != stats.Store.Size || base != stats.Store.BaseSize || delta != stats.Store.DeltaSize ||
+		tomb != stats.Store.Tombstones || gen != stats.Store.Generation {
+		t.Fatalf("shard detail does not sum to aggregate:\n rows %+v\n agg %+v", stats.ShardDetail, stats.Store)
+	}
+
+	// An unsharded backend reports shards=1 and no detail rows.
+	_, plain := newTestServer(t, Options{})
+	rec = do(plain, "GET", "/v1/stats", "")
+	var pstats statsResponse
+	decodeInto(t, rec, &pstats)
+	if pstats.Store.Shards != 1 || pstats.ShardDetail != nil {
+		t.Fatalf("plain store stats: shards %d, detail %v; want 1 and none", pstats.Store.Shards, pstats.ShardDetail)
 	}
 }
 

@@ -57,6 +57,50 @@ func BenchmarkStoreAdd(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedStoreAdd measures one mutation through the sharded
+// front (embed outside the locks, allocation-ordered shard insert) —
+// the per-op cost should match the unsharded BenchmarkStoreAdd, since
+// sharding buys contention, not single-threaded speed.
+func BenchmarkShardedStoreAdd(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			model, db := benchFixture(b, 20000)
+			s, err := NewSharded(model, db, l1, Gob[[]float64](), shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Add([]float64{rng.Float64() * 7, -rng.Float64() * 7, rng.NormFloat64()}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSearch measures the scatter-gather read path against
+// the single-store baseline at the same p budget.
+func BenchmarkShardedSearch(b *testing.B) {
+	model, db := benchFixture(b, 20000)
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := NewSharded(model, db, l1, Gob[[]float64](), shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := []float64{3.5, -3.5, 0}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Search(q, 10, 200); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStoreRemove measures tombstoning throughput (the store is
 // refilled outside the timed sections whenever it drains).
 func BenchmarkStoreRemove(b *testing.B) {

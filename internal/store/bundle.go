@@ -68,15 +68,24 @@ func (gobCodec[T]) Decode(data []byte) (T, error) {
 // Bundle file layout (all integers little-endian):
 //
 //	[0:6]    magic "QSEBDL"
-//	[6:8]    format version (currently 1)
+//	[6:8]    format version
 //	[8:16]   gob body length n
-//	[16:16+n] gob-encoded bundleBody
+//	[16:16+n] gob-encoded body
 //	[16+n:20+n] CRC-32C over bytes [0, 16+n)
+//
+// Two format versions share the envelope. Version 1 is a self-contained
+// single-store bundle (bundleBody). Version 2 is a sharded manifest
+// (manifestBody): a small file that names S version-1 shard bundles
+// sitting next to it plus the global ID-allocator state — the sharded
+// layout is "a directory of v1 bundles plus a v2 table of contents", so
+// the v1 reader, writer, and integrity checks are reused per shard
+// unchanged.
 const (
-	bundleMagic   = "QSEBDL"
-	bundleVersion = 1
-	headerLen     = 16
-	crcLen        = 4
+	bundleMagic     = "QSEBDL"
+	bundleVersion   = 1
+	manifestVersion = 2
+	headerLen       = 16
+	crcLen          = 4
 )
 
 // Sentinel errors let callers distinguish "not ours" from "ours but
@@ -107,18 +116,23 @@ type bundleBody struct {
 	NextID     uint64
 }
 
-// writeBundle atomically writes body to path: the bytes land in a
-// temporary file in the same directory, are synced, and are renamed over
-// path, so a crash mid-write can never leave a half-written bundle where
-// readers look.
-func writeBundle(path string, body *bundleBody) (err error) {
+// writeBundle atomically writes a version-1 bundle body to path.
+func writeBundle(path string, body *bundleBody) error {
+	return writeEnvelope(path, bundleVersion, body)
+}
+
+// writeEnvelope atomically writes a sealed envelope (magic, version,
+// length, gob body, CRC) to path: the bytes land in a temporary file in
+// the same directory, are synced, and are renamed over path, so a crash
+// mid-write can never leave a half-written file where readers look.
+func writeEnvelope(path string, version uint16, body any) (err error) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(body); err != nil {
 		return fmt.Errorf("store: encoding bundle: %w", err)
 	}
 	buf := make([]byte, 0, headerLen+payload.Len()+crcLen)
 	buf = append(buf, bundleMagic...)
-	buf = binary.LittleEndian.AppendUint16(buf, bundleVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(payload.Len()))
 	buf = append(buf, payload.Bytes()...)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
@@ -152,22 +166,23 @@ func writeBundle(path string, body *bundleBody) (err error) {
 	return nil
 }
 
-// readBundle reads and verifies a bundle file: magic, version, declared
-// length, and CRC must all check out before the gob decoder sees a byte.
-func readBundle(path string) (*bundleBody, error) {
+// readEnvelope reads and verifies an envelope file: magic, declared
+// length, and CRC must all check out before any decoder sees a byte. It
+// returns the format version and the sealed gob payload.
+func readEnvelope(path string) (uint16, []byte, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("store: reading bundle: %w", err)
+		return 0, nil, fmt.Errorf("store: reading bundle: %w", err)
 	}
 	if len(data) < len(bundleMagic) || string(data[:len(bundleMagic)]) != bundleMagic {
-		return nil, fmt.Errorf("%w: %s", ErrNotBundle, path)
+		return 0, nil, fmt.Errorf("%w: %s", ErrNotBundle, path)
 	}
 	if len(data) < headerLen+crcLen {
-		return nil, fmt.Errorf("%w: %s: truncated header (%d bytes)", ErrCorrupt, path, len(data))
+		return 0, nil, fmt.Errorf("%w: %s: truncated header (%d bytes)", ErrCorrupt, path, len(data))
 	}
 	n := binary.LittleEndian.Uint64(data[8:16])
 	if n != uint64(len(data)-headerLen-crcLen) {
-		return nil, fmt.Errorf("%w: %s: body length %d, file holds %d", ErrCorrupt, path, n, len(data)-headerLen-crcLen)
+		return 0, nil, fmt.Errorf("%w: %s: body length %d, file holds %d", ErrCorrupt, path, n, len(data)-headerLen-crcLen)
 	}
 	// CRC before the version field is interpreted: the checksum covers the
 	// whole header, so a bit-flipped version byte reports as corruption,
@@ -175,13 +190,25 @@ func readBundle(path string) (*bundleBody, error) {
 	// reports as version skew.
 	sum := binary.LittleEndian.Uint32(data[len(data)-crcLen:])
 	if got := crc32.Checksum(data[:len(data)-crcLen], crcTable); got != sum {
-		return nil, fmt.Errorf("%w: %s: checksum %08x, want %08x", ErrCorrupt, path, got, sum)
+		return 0, nil, fmt.Errorf("%w: %s: checksum %08x, want %08x", ErrCorrupt, path, got, sum)
 	}
-	if v := binary.LittleEndian.Uint16(data[6:8]); v != bundleVersion {
-		return nil, fmt.Errorf("%w: %s has version %d, this build reads %d", ErrVersion, path, v, bundleVersion)
+	return binary.LittleEndian.Uint16(data[6:8]), data[headerLen : len(data)-crcLen], nil
+}
+
+// readBundle reads and verifies a version-1 single-store bundle.
+func readBundle(path string) (*bundleBody, error) {
+	version, payload, err := readEnvelope(path)
+	if err != nil {
+		return nil, err
+	}
+	if version == manifestVersion {
+		return nil, fmt.Errorf("%w: %s is a sharded manifest (version %d); open it with OpenSharded", ErrVersion, path, version)
+	}
+	if version != bundleVersion {
+		return nil, fmt.Errorf("%w: %s has version %d, this build reads %d", ErrVersion, path, version, bundleVersion)
 	}
 	var body bundleBody
-	if err := gob.NewDecoder(bytes.NewReader(data[headerLen : len(data)-crcLen])).Decode(&body); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&body); err != nil {
 		return nil, fmt.Errorf("%w: %s: decoding body: %v", ErrCorrupt, path, err)
 	}
 	if len(body.IDs) != len(body.Objects) {
@@ -193,6 +220,65 @@ func readBundle(path string) (*bundleBody, error) {
 	if len(body.Flat) != len(body.Objects)*body.Dims {
 		return nil, fmt.Errorf("%w: %s: flat block has %d values for %d objects x %d dims",
 			ErrCorrupt, path, len(body.Flat), len(body.Objects), body.Dims)
+	}
+	return &body, nil
+}
+
+// shardHashName names the ID→shard routing function a sharded layout was
+// written under. The manifest records it and OpenSharded refuses anything
+// else, so a future change of hash surfaces as explicit version skew
+// instead of silently routing objects to the wrong shards.
+const shardHashName = "splitmix64"
+
+// manifestBody is the gob payload of a version-2 sharded manifest. Files
+// are relative to the manifest's directory, one version-1 shard bundle
+// per shard in shard order. NextID is the global allocator at save time;
+// because per-shard snapshots are written before the manifest and each
+// shard bundle also carries its own allocator state, OpenSharded restores
+// the allocator as the maximum over all of them — a manifest left stale
+// by a crash mid-snapshot can therefore never cause an ID to be issued
+// twice.
+type manifestBody struct {
+	Shards int
+	Hash   string
+	NextID uint64
+	Files  []string
+}
+
+// writeManifest atomically writes a sharded manifest.
+func writeManifest(path string, body *manifestBody) error {
+	return writeEnvelope(path, manifestVersion, body)
+}
+
+// readManifest reads and verifies a version-2 manifest: envelope
+// integrity, version, hash scheme, and the shard-count/file-list
+// consistency — every structural property the shard-opening loop indexes
+// on is checked here, before any shard file is touched.
+func readManifest(path string) (*manifestBody, error) {
+	version, payload, err := readEnvelope(path)
+	if err != nil {
+		return nil, err
+	}
+	if version != manifestVersion {
+		return nil, fmt.Errorf("%w: %s has version %d, want manifest version %d", ErrVersion, path, version, manifestVersion)
+	}
+	var body manifestBody
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("%w: %s: decoding manifest: %v", ErrCorrupt, path, err)
+	}
+	if body.Shards < 1 {
+		return nil, fmt.Errorf("%w: %s: manifest declares %d shards", ErrCorrupt, path, body.Shards)
+	}
+	if len(body.Files) != body.Shards {
+		return nil, fmt.Errorf("%w: %s: manifest lists %d files for %d shards", ErrCorrupt, path, len(body.Files), body.Shards)
+	}
+	if body.Hash != shardHashName {
+		return nil, fmt.Errorf("%w: %s routes shards with %q, this build uses %q", ErrVersion, path, body.Hash, shardHashName)
+	}
+	for i, f := range body.Files {
+		if f == "" || f != filepath.Base(f) {
+			return nil, fmt.Errorf("%w: %s: shard file %d has non-local name %q", ErrCorrupt, path, i, f)
+		}
 	}
 	return &body, nil
 }

@@ -1,0 +1,103 @@
+package store
+
+// Corpus generator for the fuzz targets. The fuzz bodies must stay cheap
+// — training a model inside FuzzXxx setup makes every instrumented
+// worker restart pay seconds before its first exec — so the "expensive"
+// seeds (real bundles, real manifests, a real serving fixture) are built
+// here once and committed under testdata. Regenerate after a format
+// change with:
+//
+//	QSE_GEN_CORPUS=1 go test ./internal/store -run TestGenerateFuzzCorpus
+//
+// The generator also refreshes internal/server's committed fixture
+// bundle and seed corpus, so both packages' fuzz inputs come from one
+// place and cannot drift apart.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeCorpusEntry writes one seed in the native Go fuzzing corpus
+// encoding (a "go test fuzz v1" header plus one Go-syntax argument line
+// per fuzz parameter).
+func writeCorpusEntry(t *testing.T, dir, name string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("QSE_GEN_CORPUS") == "" {
+		t.Skip("corpus generator; run with QSE_GEN_CORPUS=1 after format changes")
+	}
+	model, db := fixture(t, 40)
+	dir := t.TempDir()
+
+	st, err := New(model, db, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1Path := filepath.Join(dir, "v1.bundle")
+	if err := st.Save(v1Path); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := os.ReadFile(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shd, err := NewSharded(model, db, l1, Gob[[]float64](), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(dir, "man.bundle")
+	if err := shd.Save(manPath); err != nil {
+		t.Fatal(err)
+	}
+	man, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard0, err := os.ReadFile(filepath.Join(dir, shardFiles(manPath, 3)[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corpus := filepath.Join("testdata", "fuzz", "FuzzBundleOpen")
+	writeCorpusEntry(t, corpus, "valid-v1-bundle", v1)
+	writeCorpusEntry(t, corpus, "valid-manifest", man)
+	writeCorpusEntry(t, corpus, "valid-shard-bundle", shard0)
+	writeCorpusEntry(t, corpus, "truncated-v1", v1[:len(v1)/2])
+	flipped := append([]byte(nil), v1...)
+	flipped[headerLen+40] ^= 0xff
+	writeCorpusEntry(t, corpus, "bitflipped-v1", flipped)
+
+	// The serving layer's fixture: a *sharded* layout (manifest + shard
+	// bundles) over the same 3-dim vector space internal/server's
+	// decodeVec validates against, opened by FuzzSearchBody instead of
+	// training a model per fuzz worker — sharded so that adversarial
+	// HTTP bodies genuinely drive the scatter-gather path.
+	serverData := filepath.Join("..", "server", "testdata")
+	if err := os.MkdirAll(serverData, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	serverBundle := filepath.Join(serverData, "fuzz-store.bundle")
+	if err := shd.Save(serverBundle); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenSharded(serverBundle, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatalf("reopening the generated server fixture: %v", err)
+	}
+	if len(r.shards) != 3 {
+		t.Fatalf("server fixture reopened with %d shards, want 3", len(r.shards))
+	}
+}

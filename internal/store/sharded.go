@@ -1,0 +1,645 @@
+// Sharded store: S independent segmented stores behind one Store-shaped
+// front, so mutations to different shards never contend and a compaction
+// pause is 1/S the size of the store-wide one. Objects are routed by a
+// fixed hash of their stable ID — an object never migrates between
+// shards — and every shard is a complete, self-sufficient Store with its
+// own mutex, copy-on-write snapshot chain, segmented index, and
+// compaction schedule.
+//
+// Search is scatter-gather, and the gather is constructed to be
+// bit-identical to an unsharded search over the same contents (DESIGN.md
+// §8 gives the full argument; the equivalence harness in
+// equivalence_test.go checks it operation by operation):
+//
+//   - The query is embedded once; the same qvec/weights go to every
+//     shard, so filter distances are computed by the same kernels on the
+//     same float64 inputs as in one big store.
+//   - Each shard returns its p best live rows under the filter distance.
+//     Any member of the global top-p lies in its own shard's top-p, so
+//     the union covers the global candidate set.
+//   - Within a store, position order equals stable-ID order (bases keep
+//     ascending IDs through compaction, deltas append ascending IDs), so
+//     the per-shard (distance, position) rankings translate to the global
+//     (distance, ID) total order losslessly; merging on it and truncating
+//     to p reproduces the unsharded candidate set exactly — same set,
+//     same order, same size, so the refine phase pays the same number of
+//     exact distances and ranks identically.
+//
+// Persistence is a version-2 manifest naming S version-1 shard bundles
+// (see bundle.go); a plain version-1 bundle opens as S = 1, and an S = 1
+// Sharded saves back to plain version 1, so single-shard deployments
+// round-trip through the original format unchanged.
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"path/filepath"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"qse/internal/core"
+	"qse/internal/par"
+	"qse/internal/retrieval"
+	"qse/internal/space"
+)
+
+// Backend is the store surface the serving layer and CLIs program
+// against, satisfied by both Store (one shard, one mutex) and Sharded.
+type Backend[T any] interface {
+	Search(q T, k, p int) ([]Result, retrieval.Stats, error)
+	SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.Stats, error)
+	Add(x T) (uint64, error)
+	Remove(id uint64) error
+	Get(id uint64) (T, bool)
+	First() (T, bool)
+	Size() int
+	Dims() int
+	Generation() uint64
+	Stats() Stats
+	ShardStats() []Stats
+	Save(path string) error
+	Compact() bool
+	SetCompactionPolicy(CompactionPolicy)
+}
+
+var (
+	_ Backend[int] = (*Store[int])(nil)
+	_ Backend[int] = (*Sharded[int])(nil)
+)
+
+// maxShards bounds the shard count: beyond this the per-query merge and
+// the per-snapshot file fan-out dominate any lock-contention win.
+const maxShards = 1024
+
+// minParallelRefine mirrors the retrieval package's refine threshold: the
+// refine loop calls the (typically expensive) exact distance oracle, so
+// even small candidate sets amortize a fork-join.
+const minParallelRefine = 32
+
+// shardOf routes a stable ID to its shard: the splitmix64 finalizer over
+// the ID, reduced mod S. IDs are assigned sequentially, so a plain mod
+// would balance too — the mixer additionally decorrelates shard load from
+// any structure in the workload's remove pattern (e.g. "delete every
+// even-numbered object"), and costs five integer ops. The manifest
+// records the routing function by name (shardHashName) so a layout
+// written under one hash can never be silently read under another.
+func shardOf(id uint64, shards int) int {
+	if shards == 1 {
+		return 0
+	}
+	x := id
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// Sharded is a hash-sharded store: the same contract as Store (lock-free
+// snapshot reads, serialized mutations, stable IDs, durable bundles),
+// with mutations to different shards proceeding in parallel and search
+// results bit-identical to a single Store holding the same objects.
+//
+// Consistency is per shard: one Search observes one immutable snapshot
+// per shard, and a batch observes one snapshot set for all its queries,
+// but two shards' snapshots may straddle a concurrent mutation — exactly
+// the guarantee independent stores can give, and the same one a reader
+// racing a mutator gets from a single store across two requests.
+type Sharded[T any] struct {
+	model  *core.Model[T]
+	dist   space.Distance[T]
+	codec  Codec[T]
+	dims   int
+	shards []*Store[T]
+
+	// allocMu orders ID allocation: Add draws the next ID and its shard
+	// ticket under it, then releases it before touching the shard — the
+	// critical section is a few instructions, and never waits on a shard
+	// mutex (a shard stalled in compaction must not convoy Adds bound for
+	// other shards through the allocator). Per-shard FIFO is restored by
+	// the ticket gate below.
+	allocMu sync.Mutex
+	// nextID is written under allocMu; atomic so Stats stays lock-free.
+	nextID atomic.Uint64
+	// gates[i] sequences inserts into shard i in allocation order: Add
+	// takes a ticket (under allocMu, so ticket order == ID order) and
+	// waits, under the shard mutex, for its turn. Within every shard
+	// insertion order therefore equals ID order — the ascending-delta-IDs
+	// invariant the snapshot's binary-searched ID table and the
+	// position↔ID order isomorphism both stand on — while adds to
+	// different shards proceed fully independently.
+	gates []shardGate
+}
+
+// shardGate is a ticket turnstile for one shard. tickets is drawn under
+// the Sharded allocMu; serving is guarded by the shard's own mutex, and
+// cond uses that mutex as its Locker.
+type shardGate struct {
+	tickets uint64
+	serving uint64
+	cond    *sync.Cond
+}
+
+// NewSharded builds a store over db hash-partitioned into the given
+// number of shards. Objects receive stable IDs 0..len(db)-1 exactly like
+// New, and the database is embedded once (len(db) × EmbedCost exact
+// distances) regardless of the shard count.
+func NewSharded[T any](model *core.Model[T], db []T, dist space.Distance[T], codec Codec[T], shards int) (*Sharded[T], error) {
+	if model == nil {
+		return nil, fmt.Errorf("store: nil model")
+	}
+	if codec == nil {
+		return nil, fmt.Errorf("store: nil codec")
+	}
+	if shards < 1 || shards > maxShards {
+		return nil, fmt.Errorf("store: shard count %d, want 1..%d", shards, maxShards)
+	}
+	if len(db) == 0 {
+		return nil, fmt.Errorf("store: empty database")
+	}
+	subDB := make([][]T, shards)
+	subIDs := make([][]uint64, shards)
+	for i, x := range db {
+		sh := shardOf(uint64(i), shards)
+		subDB[sh] = append(subDB[sh], x)
+		subIDs[sh] = append(subIDs[sh], uint64(i))
+	}
+	next := uint64(len(db))
+	ss := make([]*Store[T], shards)
+	for i := range ss {
+		st, err := newWithIDs(model, subDB[i], subIDs[i], next, dist, codec)
+		if err != nil {
+			return nil, fmt.Errorf("store: building shard %d: %w", i, err)
+		}
+		ss[i] = st
+	}
+	return newShardedFront(model, dist, codec, ss, next), nil
+}
+
+// newShardedFront assembles the Sharded façade over already-built
+// shards: the ticket gates are bound to each shard's mutex and the
+// global allocator seeded. Every constructor funnels through here so a
+// Sharded can never exist with uninitialized gates.
+func newShardedFront[T any](model *core.Model[T], dist space.Distance[T], codec Codec[T], shards []*Store[T], next uint64) *Sharded[T] {
+	s := &Sharded[T]{
+		model: model, dist: dist, codec: codec,
+		dims: shards[0].Dims(), shards: shards,
+		gates: make([]shardGate, len(shards)),
+	}
+	for i := range s.gates {
+		s.gates[i].cond = sync.NewCond(&shards[i].mu)
+	}
+	s.nextID.Store(next)
+	return s
+}
+
+// fromSingle wraps an already-open Store as a one-shard Sharded.
+func fromSingle[T any](st *Store[T]) *Sharded[T] {
+	return newShardedFront(st.model, st.dist, st.codec, []*Store[T]{st}, st.nextID.Load())
+}
+
+// OpenSharded restores a sharded store from path: a version-2 manifest
+// opens all its shard bundles (in parallel), and a plain version-1 bundle
+// opens as a single shard — every pre-sharding bundle remains readable.
+// Like Open, no exact distances are computed and search answers are
+// bit-identical to the store that saved the layout.
+func OpenSharded[T any](path string, dist space.Distance[T], codec Codec[T]) (*Sharded[T], error) {
+	version, _, err := readEnvelope(path)
+	if err != nil {
+		return nil, err
+	}
+	if version != manifestVersion {
+		st, err := Open(path, dist, codec) // rejects versions other than 1 itself
+		if err != nil {
+			return nil, err
+		}
+		return fromSingle(st), nil
+	}
+	man, err := readManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	if man.Shards > maxShards {
+		return nil, fmt.Errorf("%w: %s: manifest declares %d shards, this build caps at %d", ErrCorrupt, path, man.Shards, maxShards)
+	}
+	dir := filepath.Dir(path)
+	shards := make([]*Store[T], man.Shards)
+	errs := make([]error, man.Shards)
+	par.For(man.Shards, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			shards[i], errs[i] = Open(filepath.Join(dir, man.Files[i]), dist, codec)
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("store: opening shard %d of %s: %w", i, path, err)
+		}
+	}
+	// Cross-file consistency: every shard must carry the same model (a
+	// same-index shard file restored from a *different* deployment's
+	// layout would otherwise serve vectors embedded under another model —
+	// individually intact, silently wrong answers), agree on the
+	// embedding width, and hold only IDs that route to it — a renamed or
+	// mixed-up shard file would otherwise make its objects unreachable
+	// (Get/Remove route by hash) while still serving them in search
+	// results.
+	fp0, err := modelFingerprint(shards[0].model, codec)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: fingerprinting shard 0 model: %w", path, err)
+	}
+	next := man.NextID
+	for i, sh := range shards {
+		if i > 0 {
+			fp, err := modelFingerprint(sh.model, codec)
+			if err != nil {
+				return nil, fmt.Errorf("store: %s: fingerprinting shard %d model: %w", path, i, err)
+			}
+			if !bytes.Equal(fp, fp0) {
+				return nil, fmt.Errorf("%w: %s: shard %d was written under a different model than shard 0", ErrCorrupt, path, i)
+			}
+		}
+		if sh.Dims() != shards[0].Dims() {
+			return nil, fmt.Errorf("%w: %s: shard %d embeds to %d dims, shard 0 to %d", ErrCorrupt, path, i, sh.Dims(), shards[0].Dims())
+		}
+		for _, id := range sh.cur.Load().liveIDs() {
+			if got := shardOf(id, man.Shards); got != i {
+				return nil, fmt.Errorf("%w: %s: object id %d found in shard %d but routes to shard %d", ErrCorrupt, path, id, i, got)
+			}
+		}
+		// The allocator resumes past every shard's view of it, so a
+		// manifest left stale by a crash between shard snapshots can
+		// never cause an ID to be issued twice.
+		if n := sh.nextID.Load(); n > next {
+			next = n
+		}
+	}
+	return newShardedFront(shards[0].model, dist, codec, shards, next), nil
+}
+
+// modelFingerprint serializes what makes a model answer the way it does
+// — the rule snapshot and the candidate objects, through the same codec
+// the bundles use — so two shard files written under different models
+// can be told apart byte for byte, even when their dimensionalities
+// coincide.
+func modelFingerprint[T any](m *core.Model[T], codec Codec[T]) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(m.SelfSnapshot()); err != nil {
+		return nil, err
+	}
+	for _, c := range m.Candidates() {
+		raw, err := codec.Encode(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := enc.Encode(raw); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// OpenAuto opens whatever layout lives at path — a version-1 single
+// bundle as a plain Store, a version-2 manifest as a Sharded — so callers
+// that only speak Backend (the serving CLI) need not know how a bundle
+// was built.
+func OpenAuto[T any](path string, dist space.Distance[T], codec Codec[T]) (Backend[T], error) {
+	version, _, err := readEnvelope(path)
+	if err != nil {
+		return nil, err
+	}
+	if version == manifestVersion {
+		return OpenSharded(path, dist, codec)
+	}
+	return Open(path, dist, codec)
+}
+
+// shardFiles names the per-shard bundle files for a manifest at path,
+// relative to its directory. The shard count is part of the name, so
+// layouts saved with different counts at the same path never collide.
+func shardFiles(path string, shards int) []string {
+	base := filepath.Base(path)
+	files := make([]string, shards)
+	for i := range files {
+		files[i] = fmt.Sprintf("%s.shard-%03d-of-%03d", base, i, shards)
+	}
+	return files
+}
+
+// Save writes the store as a sharded layout: every shard bundle first (in
+// parallel, each atomically), the manifest last — so the manifest on disk
+// only ever names fully-written shard files. A single-shard store writes
+// a plain version-1 bundle instead, byte-compatible with Store.Save, so
+// S = 1 round-trips through the original format. Like Store.Save it runs
+// against immutable snapshots and never blocks searches or mutations; a
+// save racing mutations captures, per shard, either the before or the
+// after.
+func (s *Sharded[T]) Save(path string) error {
+	if len(s.shards) == 1 {
+		return s.shards[0].Save(path)
+	}
+	files := shardFiles(path, len(s.shards))
+	dir := filepath.Dir(path)
+	errs := make([]error, len(s.shards))
+	par.For(len(s.shards), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = s.shards[i].Save(filepath.Join(dir, files[i]))
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("store: shard %d snapshot: %w", i, err)
+		}
+	}
+	// Read the allocator after the shard snapshots: it only grows, so the
+	// manifest value is >= every ID visible in the files it names.
+	return writeManifest(path, &manifestBody{
+		Shards: len(s.shards),
+		Hash:   shardHashName,
+		NextID: s.nextID.Load(),
+		Files:  files,
+	})
+}
+
+// load captures one immutable snapshot per shard — the consistent view a
+// whole search (or a whole batch) runs against.
+func (s *Sharded[T]) load() []*snapshot[T] {
+	snaps := make([]*snapshot[T], len(s.shards))
+	for i, sh := range s.shards {
+		snaps[i] = sh.cur.Load()
+	}
+	return snaps
+}
+
+// Search scatters the filter phase across all shards in parallel, merges
+// the per-shard candidates on the (filter distance, ID) total order, and
+// refines the surviving p exactly once — the same exact-distance budget,
+// the same results, and the same stats as an unsharded store holding the
+// same objects.
+func (s *Sharded[T]) Search(q T, k, p int) ([]Result, retrieval.Stats, error) {
+	return s.search(s.load(), q, k, p, true)
+}
+
+// SearchBatch pipelines a query batch across the worker pool. The whole
+// batch runs against one snapshot set, so every query sees the same store
+// version; like the unsharded batch, the error of the lowest-indexed
+// failing query fails the batch deterministically.
+func (s *Sharded[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.Stats, error) {
+	if err := retrieval.CheckKP(k, p); err != nil {
+		return nil, nil, err
+	}
+	snaps := s.load()
+	results := make([][]Result, len(queries))
+	stats := make([]retrieval.Stats, len(queries))
+	errs := make([]error, len(queries))
+	par.For(len(queries), 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i], stats[i], errs[i] = s.search(snaps, queries[i], k, p, false)
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return results, stats, nil
+}
+
+func (s *Sharded[T]) search(snaps []*snapshot[T], q T, k, p int, parallel bool) ([]Result, retrieval.Stats, error) {
+	// Validation errors are the retrieval package's own, byte for byte:
+	// the client-visible error contract must not depend on the layout.
+	if err := retrieval.CheckKP(k, p); err != nil {
+		return nil, retrieval.Stats{}, err
+	}
+	qvec := s.model.Embed(q)
+	if len(qvec) != s.dims {
+		return nil, retrieval.Stats{}, retrieval.QueryDimsError(len(qvec), s.dims)
+	}
+	var weights []float64
+	if w, ok := any(s.model).(retrieval.Weighter); ok {
+		weights = w.QueryWeights(qvec)
+	}
+
+	// Scatter: every shard filters with the same qvec/weights against its
+	// own captured snapshot. One goroutine per shard; large shards fan
+	// out further inside FilterLive.
+	lists := make([][]cand[T], len(snaps))
+	scatter := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lists[i] = snaps[i].filterLive(qvec, weights, p, parallel)
+		}
+	}
+	if parallel {
+		par.For(len(snaps), 2, scatter)
+	} else {
+		scatter(0, len(snaps))
+	}
+
+	// Gather: merge on the (filter distance, ID) total order — no
+	// duplicate keys, so the top-p is a unique set in a unique order for
+	// any shard count — and truncate to what one big store would refine.
+	live, n := 0, 0
+	for i, sn := range snaps {
+		live += sn.seg.Live()
+		n += len(lists[i])
+	}
+	merged := make([]cand[T], 0, n)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	slices.SortFunc(merged, func(a, b cand[T]) int {
+		switch {
+		case a.fdist < b.fdist:
+			return -1
+		case a.fdist > b.fdist:
+			return 1
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	if p > live {
+		p = live
+	}
+	if len(merged) > p {
+		merged = merged[:p]
+	}
+
+	// Refine: one exact distance per surviving candidate, ranked on the
+	// (exact distance, ID) total order — the unsharded (distance,
+	// position) order under the position↔ID isomorphism.
+	refined := make([]Result, len(merged))
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			refined[i] = Result{ID: merged[i].id, Distance: s.dist(q, merged[i].obj)}
+		}
+	}
+	if parallel {
+		par.For(len(merged), minParallelRefine, fill)
+	} else {
+		fill(0, len(merged))
+	}
+	slices.SortFunc(refined, func(a, b Result) int {
+		switch {
+		case a.Distance < b.Distance:
+			return -1
+		case a.Distance > b.Distance:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	if k > len(refined) {
+		k = len(refined)
+	}
+	return refined[:k], retrieval.Stats{
+		EmbedDistances:  s.model.EmbedCost(),
+		RefineDistances: len(merged),
+	}, nil
+}
+
+// Add embeds x (outside every lock — concurrent Adds embed in parallel),
+// draws the next stable ID, and inserts into the owning shard in
+// allocation order (see shardGate). Only Adds landing on the same shard
+// serialize for the insert; a shard paused in compaction delays its own
+// Adds and nobody else's.
+func (s *Sharded[T]) Add(x T) (uint64, error) {
+	v := s.model.Embed(x)
+	if len(v) != s.dims {
+		// Validated before an ID is drawn, so a rejected object burns
+		// nothing and the allocator stays in lockstep with an unsharded
+		// store fed the same operations.
+		return 0, retrieval.ObjectDimsError(len(v), s.dims)
+	}
+	s.allocMu.Lock()
+	id := s.nextID.Load()
+	si := shardOf(id, len(s.shards))
+	ticket := s.gates[si].tickets
+	s.gates[si].tickets++
+	s.nextID.Store(id + 1)
+	s.allocMu.Unlock()
+
+	sh, g := s.shards[si], &s.gates[si]
+	sh.mu.Lock()
+	for g.serving != ticket {
+		g.cond.Wait()
+	}
+	err := sh.addAssignedLocked(x, v, id)
+	g.serving++
+	g.cond.Broadcast()
+	sh.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Remove tombstones the object with the given stable ID in its shard.
+func (s *Sharded[T]) Remove(id uint64) error {
+	return s.shards[shardOf(id, len(s.shards))].Remove(id)
+}
+
+// Get returns the object with the given stable ID.
+func (s *Sharded[T]) Get(id uint64) (T, bool) {
+	return s.shards[shardOf(id, len(s.shards))].Get(id)
+}
+
+// First returns the live stored object with the lowest stable ID — the
+// same object an unsharded store's First would return — in O(shards).
+func (s *Sharded[T]) First() (T, bool) {
+	var best T
+	var bestID uint64
+	found := false
+	for _, sh := range s.shards {
+		if x, id, ok := sh.firstLive(); ok && (!found || id < bestID) {
+			best, bestID, found = x, id, true
+		}
+	}
+	return best, found
+}
+
+// Size returns the number of live stored objects across all shards.
+func (s *Sharded[T]) Size() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Size()
+	}
+	return n
+}
+
+// Dims returns the embedding dimensionality.
+func (s *Sharded[T]) Dims() int { return s.dims }
+
+// Generation returns the total mutation count: the sum of the shard
+// generations. Each shard's counter is monotone, so the sum is monotone
+// too, and it equals the generation of an unsharded store fed the same
+// operations.
+func (s *Sharded[T]) Generation() uint64 {
+	var g uint64
+	for _, sh := range s.shards {
+		g += sh.Generation()
+	}
+	return g
+}
+
+// Compact folds every shard's delta and tombstones into its base,
+// reporting whether any shard had something to fold. Shards compact
+// independently — searches keep running throughout, and each shard's
+// pause is 1/S of a store-wide compaction.
+func (s *Sharded[T]) Compact() bool {
+	any := false
+	for _, sh := range s.shards {
+		if sh.Compact() {
+			any = true
+		}
+	}
+	return any
+}
+
+// SetCompactionPolicy replaces every shard's compaction thresholds. The
+// thresholds see per-shard sizes: a fraction-of-base trigger fires on the
+// shard's own base, which is what keeps each shard's mutation cost O(1)
+// amortized independently of its siblings.
+func (s *Sharded[T]) SetCompactionPolicy(p CompactionPolicy) {
+	for _, sh := range s.shards {
+		sh.SetCompactionPolicy(p)
+	}
+}
+
+// Stats aggregates the shard statistics: sizes, segment layouts, and
+// compaction counts are summed, Generation is the total mutation count,
+// and NextID is the global allocator. The per-shard rows behind the sums
+// are available from ShardStats.
+func (s *Sharded[T]) Stats() Stats {
+	agg := Stats{Dims: s.dims, NextID: s.nextID.Load(), Shards: len(s.shards)}
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		agg.Size += st.Size
+		agg.Generation += st.Generation
+		agg.BaseSize += st.BaseSize
+		agg.DeltaSize += st.DeltaSize
+		agg.Tombstones += st.Tombstones
+		agg.Compactions += st.Compactions
+	}
+	return agg
+}
+
+// ShardStats returns each shard's own statistics, in shard order. Each
+// row is a consistent point-in-time view of its shard; rows of different
+// shards may straddle concurrent mutations.
+func (s *Sharded[T]) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}

@@ -44,6 +44,10 @@ type Stats struct {
 	// Compactions counts delta/tombstone fold-ins since the store was
 	// created or opened (threshold-triggered and explicit alike).
 	Compactions uint64
+	// Shards is the number of independent stores behind this one: 1 for a
+	// plain Store, S for a Sharded. In an aggregate Stats the segment
+	// fields above are sums over the shards.
+	Shards int
 }
 
 // CompactionPolicy decides when the mutation path folds the delta segment
@@ -89,6 +93,13 @@ type snapshot[T any] struct {
 	// generation are always observed together: equal generations really
 	// do mean identical contents.
 	gen uint64
+	// firstLive is the lowest live global position, or seg.Total() when
+	// every row is tombstoned. It is maintained incrementally — Add never
+	// lowers it, Remove only advances it when the first live row itself
+	// dies — so First costs O(1) instead of rescanning an arbitrarily
+	// tombstoned prefix on every call; the advance scans are paid at most
+	// once per row across a snapshot chain (amortized O(1) per Remove).
+	firstLive int
 }
 
 // idAt returns the stable ID of the row at global position pos.
@@ -187,6 +198,48 @@ func New[T any](model *core.Model[T], db []T, dist space.Distance[T], codec Code
 	return s, nil
 }
 
+// newWithIDs builds a store whose objects carry caller-assigned stable
+// IDs, with the ID allocator starting at nextID. ids must be strictly
+// ascending and below nextID — the position↔ID order isomorphism every
+// layer's determinism argument leans on (see DESIGN.md §8) is established
+// here and preserved by every mutation. Unlike New, an empty db is
+// accepted (a hash-partitioned shard may simply have no objects yet), in
+// which case the index is assembled around the model's dimensionality
+// without embedding anything.
+func newWithIDs[T any](model *core.Model[T], db []T, ids []uint64, nextID uint64, dist space.Distance[T], codec Codec[T]) (*Store[T], error) {
+	if model == nil {
+		return nil, fmt.Errorf("store: nil model")
+	}
+	if codec == nil {
+		return nil, fmt.Errorf("store: nil codec")
+	}
+	if len(ids) != len(db) {
+		return nil, fmt.Errorf("store: %d ids for %d objects", len(ids), len(db))
+	}
+	for i, id := range ids {
+		if i > 0 && ids[i-1] >= id {
+			return nil, fmt.Errorf("store: object ids not strictly ascending at %d", i)
+		}
+		if id >= nextID {
+			return nil, fmt.Errorf("store: object id %d >= next id %d", id, nextID)
+		}
+	}
+	var ix *retrieval.Index[T]
+	var err error
+	if len(db) == 0 {
+		ix, err = retrieval.FromParts(nil, nil, model.Dims(), dist, model)
+	} else {
+		ix, err = retrieval.BuildIndex(db, dist, model)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy()}
+	s.nextID.Store(nextID)
+	s.cur.Store(newBaseSnapshot(ix, ids, 0))
+	return s, nil
+}
+
 // Open restores a store from a bundle written by Save. No exact distances
 // are computed: the embedded vectors travel in the bundle, so opening
 // costs only decode time, and search answers are bit-identical to the
@@ -239,7 +292,9 @@ func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T]
 	return s, nil
 }
 
-// newBaseSnapshot wraps a single-segment index as a snapshot.
+// newBaseSnapshot wraps a single-segment index as a snapshot. Every row
+// of a fresh base is live, so firstLive is 0 — which also covers the
+// empty store, where 0 == Total().
 func newBaseSnapshot[T any](ix *retrieval.Index[T], ids []uint64, gen uint64) *snapshot[T] {
 	pos := make(map[uint64]int, len(ids))
 	for i, id := range ids {
@@ -328,18 +383,50 @@ func toResults[T any](snap *snapshot[T], ns []space.Neighbor) []Result {
 	return out
 }
 
-// First returns an arbitrary live stored object (the lowest-position one
-// in the current snapshot), for callers that need a representative
-// sample — the serving CLI derives the expected query shape from it.
+// cand is one surviving filter-phase candidate of a scatter-gather
+// search: the stable ID (the cross-shard tie-break), the filter distance
+// (the cross-shard merge key), and the object itself, captured from the
+// same snapshot the filter scan ran on — so the gather phase never has to
+// touch the shard again and cannot observe a different store version.
+type cand[T any] struct {
+	id    uint64
+	fdist float64
+	obj   T
+}
+
+// filterLive runs the filter phase of one shard against this immutable
+// snapshot: the p best live rows in ascending (filter distance, stable
+// ID) order. Positions order rows exactly like IDs do (see DESIGN.md §8),
+// so mapping the segmented scan's (distance, position) ranking to
+// (distance, ID) preserves it bit for bit.
+func (sn *snapshot[T]) filterLive(qvec, weights []float64, p int, parallel bool) []cand[T] {
+	ns := sn.seg.FilterLive(qvec, weights, p, parallel)
+	out := make([]cand[T], len(ns))
+	for i, n := range ns {
+		out[i] = cand[T]{id: sn.idAt(n.Index), fdist: n.Distance, obj: sn.seg.Object(n.Index)}
+	}
+	return out
+}
+
+// First returns the live stored object with the lowest stable ID, for
+// callers that need a representative sample — the serving CLI derives the
+// expected query shape from it. It is O(1): the snapshot tracks its
+// lowest live position incrementally instead of rescanning a possibly
+// heavily tombstoned prefix (position order is ID order, so the lowest
+// live position is the lowest live ID).
 func (s *Store[T]) First() (T, bool) {
+	x, _, ok := s.firstLive()
+	return x, ok
+}
+
+// firstLive returns the lowest-ID live object together with its ID.
+func (s *Store[T]) firstLive() (T, uint64, bool) {
 	snap := s.cur.Load()
-	for pos, total := 0, snap.seg.Total(); pos < total; pos++ {
-		if snap.seg.Alive(pos) {
-			return snap.seg.Object(pos), true
-		}
+	if fl := snap.firstLive; fl < snap.seg.Total() {
+		return snap.seg.Object(fl), snap.idAt(fl), true
 	}
 	var zero T
-	return zero, false
+	return zero, 0, false
 }
 
 // Get returns the object with the given stable ID.
@@ -367,16 +454,46 @@ func (s *Store[T]) Add(x T) (uint64, error) {
 		return 0, err
 	}
 	id := s.nextID.Add(1) - 1
+	s.publishAdd(old, seg, id)
+	return id, nil
+}
+
+// addAssignedLocked inserts x — already embedded as v, already validated
+// against the store's dimensionality — under a caller-chosen stable ID.
+// The caller must hold s.mu and must assign IDs in strictly ascending
+// order per store (the Sharded allocator guarantees both: it hands out
+// globally ascending IDs and acquires the owning shard's mutex before
+// releasing the allocation lock, so insertion order equals allocation
+// order within every shard).
+func (s *Store[T]) addAssignedLocked(x T, v []float64, id uint64) error {
+	if id < s.nextID.Load() {
+		return fmt.Errorf("store: assigned id %d below allocator %d", id, s.nextID.Load())
+	}
+	old := s.cur.Load()
+	seg, _, err := old.seg.AddWithVector(x, v)
+	if err != nil {
+		return err
+	}
+	s.nextID.Store(id + 1)
+	s.publishAdd(old, seg, id)
+	return nil
+}
+
+// publishAdd publishes the snapshot for one append. Callers hold mu.
+// firstLive carries over unchanged: an append never precedes the lowest
+// live row, and on an empty store old.firstLive == old Total, which is
+// exactly the new row's position.
+func (s *Store[T]) publishAdd(old *snapshot[T], seg *retrieval.Segmented[T], id uint64) {
 	s.cur.Store(s.maybeCompact(&snapshot[T]{
 		seg:     seg,
 		baseIDs: old.baseIDs, basePos: old.basePos,
 		// Appending to the shared backing is safe: every published
 		// snapshot's deltaIDs prefix ends before this slot, and mu
 		// serializes the writers.
-		deltaIDs: append(old.deltaIDs, id),
-		gen:      old.gen + 1,
+		deltaIDs:  append(old.deltaIDs, id),
+		gen:       old.gen + 1,
+		firstLive: old.firstLive,
 	}))
-	return id, nil
 }
 
 // Remove deletes the object with the given stable ID by tombstoning its
@@ -395,11 +512,21 @@ func (s *Store[T]) Remove(id uint64) error {
 	if err != nil {
 		return err
 	}
+	// A removed row can only move firstLive when it was the first live row
+	// itself (pos is alive, so pos >= old.firstLive always); the advance
+	// scans each position at most once across the whole snapshot chain, so
+	// Remove stays O(1) amortized and First O(1) worst-case.
+	fl := old.firstLive
+	if pos == fl {
+		for fl++; fl < seg.Total() && !seg.Alive(fl); fl++ {
+		}
+	}
 	s.cur.Store(s.maybeCompact(&snapshot[T]{
 		seg:     seg,
 		baseIDs: old.baseIDs, basePos: old.basePos,
-		deltaIDs: old.deltaIDs,
-		gen:      old.gen + 1,
+		deltaIDs:  old.deltaIDs,
+		gen:       old.gen + 1,
+		firstLive: fl,
 	}))
 	return nil
 }
@@ -474,5 +601,11 @@ func (s *Store[T]) Stats() Stats {
 		DeltaSize:   snap.seg.DeltaLen(),
 		Tombstones:  snap.seg.Tombstones(),
 		Compactions: s.compactions.Load(),
+		Shards:      1,
 	}
 }
+
+// ShardStats returns per-shard statistics. A plain Store has no shard
+// structure to report, so it returns nil; Sharded returns one entry per
+// shard. (Part of the Backend interface.)
+func (s *Store[T]) ShardStats() []Stats { return nil }

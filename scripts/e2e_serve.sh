@@ -79,4 +79,58 @@ wait "$pid"
 pid=""
 expect "store ready: 120 objects" "$workdir/qse-serve" -bundle "$bundle" -build-only
 
+# ---- sharded layout: build S=4, serve, mutate, drain, reopen ----
+
+saddr=127.0.0.1:18093
+sbundle="$workdir/qse-sharded.bundle"
+
+echo "== building a sharded bundle (S=4)"
+"$workdir/qse-serve" -dataset series -db 120 -rounds 6 -triples 600 \
+  -candidates 20 -pool 40 -bundle "$sbundle" -shards 4 -build-only
+test -s "$sbundle"
+shardfiles=$(ls "$sbundle".shard-*-of-* | wc -l)
+if [ "$shardfiles" -ne 4 ]; then
+  echo "FAIL: expected 4 shard files next to the manifest, found $shardfiles" >&2
+  exit 1
+fi
+
+echo "== qse-query reads the sharded layout with zero exact distances"
+expect "0 exact distances" \
+  go run ./cmd/qse-query -bundle "$sbundle" -dataset series -n 2 -k 2 -p 20
+expect "4 shard(s)" \
+  go run ./cmd/qse-query -bundle "$sbundle" -dataset series -n 1 -k 1 -p 10
+
+echo "== serving the sharded bundle"
+"$workdir/qse-serve" -bundle "$sbundle" -addr "$saddr" &
+pid=$!
+
+for i in $(seq 1 100); do
+  curl -fsS "http://$saddr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+echo "== scatter-gather search over the shards"
+expect '"results"' curl -fsS -X POST "http://$saddr/v1/search" \
+  -d '{"id":0,"k":3,"p":24}'
+expect '"results"' curl -fsS -X POST "http://$saddr/v1/search" \
+  -d '{"query":[[0.1,0.2],[0.3,0.4],[0.5,0.6]],"k":2}'
+
+echo "== mutations route to their shards"
+expect '"id":120' curl -fsS -X POST "http://$saddr/v1/objects" \
+  -d '{"object":[[0.1,0.2],[0.3,0.4]]}'
+expect '"removed":120' curl -fsS -X DELETE "http://$saddr/v1/objects/120"
+
+echo "== /v1/stats exposes the shard layout and per-shard detail"
+expect '"shards":4' curl -fsS "http://$saddr/v1/stats"
+expect '"shard_detail"' curl -fsS "http://$saddr/v1/stats"
+expect '"generation":2' curl -fsS "http://$saddr/v1/stats"
+expect '"size":120' curl -fsS "http://$saddr/v1/stats"
+
+echo "== graceful shutdown snapshots the sharded layout"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+expect "store ready: 120 objects" "$workdir/qse-serve" -bundle "$sbundle" -build-only
+expect "4 shards" "$workdir/qse-serve" -bundle "$sbundle" -build-only
+
 echo "e2e serve: OK"

@@ -40,11 +40,35 @@ type StoreStats struct {
 	// BaseSize and DeltaSize are the row counts of the immutable base and
 	// append-only delta segments (including tombstoned rows); Tombstones
 	// counts dead rows awaiting compaction; Compactions counts fold-ins
-	// since the store was created or opened.
+	// since the store was created or opened. For a sharded store these
+	// are sums over the shards.
 	BaseSize    int
 	DeltaSize   int
 	Tombstones  int
 	Compactions uint64
+	// Shards is the number of independent shards behind the store: 1
+	// unless the store was built with WithShards (or opened from a
+	// sharded bundle layout).
+	Shards int
+}
+
+// StoreOption configures NewStore.
+type StoreOption func(*storeConfig)
+
+type storeConfig struct {
+	shards int
+}
+
+// WithShards hash-partitions the store into n independent shards, each
+// with its own mutex, segmented index, and compaction schedule: mutations
+// to different shards never contend and a compaction pause touches 1/n of
+// the data. Search results are bit-identical to an unsharded store
+// holding the same objects — sharding changes tail latency under mutation
+// load, never answers. Save writes a manifest plus one bundle per shard
+// (n = 1 keeps the original single-file format); OpenStore reads either
+// layout transparently.
+func WithShards(n int) StoreOption {
+	return func(c *storeConfig) { c.shards = n }
 }
 
 // Store is an Index made durable and safe for concurrent mutation. It
@@ -66,29 +90,47 @@ type StoreStats struct {
 //
 // It is the storage engine behind internal/server and cmd/qse-serve.
 type Store[T any] struct {
-	inner *store.Store[T]
+	inner store.Backend[T]
 }
 
 // NewStore embeds db (len(db) × EmbedCost exact distances, as NewIndex)
 // and wraps it for serving. Objects receive stable IDs 0..len(db)-1.
-func NewStore[T any](model *Model[T], db []T, dist Distance[T], codec Codec[T]) (*Store[T], error) {
+// Options: WithShards partitions the store for heavily concurrent
+// mutation loads; the default is one shard.
+func NewStore[T any](model *Model[T], db []T, dist Distance[T], codec Codec[T], opts ...StoreOption) (*Store[T], error) {
 	if model == nil {
 		return nil, fmt.Errorf("qse: nil model")
 	}
-	inner, err := store.New(model.inner, db, space.Distance[T](dist), codec)
+	cfg := storeConfig{shards: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var inner store.Backend[T]
+	var err error
+	switch {
+	case cfg.shards == 1:
+		inner, err = store.New(model.inner, db, space.Distance[T](dist), codec)
+	default:
+		// NewSharded validates the count (rejecting < 1 and absurd
+		// values) so WithShards(0) is a loud error, not a silent
+		// fallback to an unsharded store.
+		inner, err = store.NewSharded(model.inner, db, space.Distance[T](dist), codec, cfg.shards)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &Store[T]{inner: inner}, nil
 }
 
-// OpenStore reopens a bundle written by Save. No exact distances are
-// computed: the embedded vectors travel inside the bundle. dist and codec
-// must match the ones the bundle was saved under (neither can be
-// serialized). The file's magic, version, and checksum are verified
-// before anything is decoded.
+// OpenStore reopens a bundle written by Save — either layout: a
+// single-file bundle or a sharded manifest with its per-shard bundles
+// (the file itself says which; the shard count is not a caller choice
+// here). No exact distances are computed: the embedded vectors travel
+// inside the bundle. dist and codec must match the ones the bundle was
+// saved under (neither can be serialized). Magic, version, and checksum
+// of every file are verified before anything is decoded.
 func OpenStore[T any](path string, dist Distance[T], codec Codec[T]) (*Store[T], error) {
-	inner, err := store.Open(path, space.Distance[T](dist), codec)
+	inner, err := store.OpenAuto(path, space.Distance[T](dist), codec)
 	if err != nil {
 		return nil, err
 	}
@@ -164,12 +206,30 @@ func (s *Store[T]) Size() int { return s.inner.Size() }
 // Dims returns the embedding dimensionality.
 func (s *Store[T]) Dims() int { return s.inner.Dims() }
 
-// Stats returns a point-in-time summary.
+// Stats returns a point-in-time summary. For a sharded store the segment
+// fields are sums over the shards; ShardStats has the per-shard rows.
 func (s *Store[T]) Stats() StoreStats {
-	st := s.inner.Stats()
+	return toStoreStats(s.inner.Stats())
+}
+
+// ShardStats returns per-shard statistics in shard order, or nil for an
+// unsharded store.
+func (s *Store[T]) ShardStats() []StoreStats {
+	shards := s.inner.ShardStats()
+	if shards == nil {
+		return nil
+	}
+	out := make([]StoreStats, len(shards))
+	for i, st := range shards {
+		out[i] = toStoreStats(st)
+	}
+	return out
+}
+
+func toStoreStats(st store.Stats) StoreStats {
 	return StoreStats{
 		Size: st.Size, Dims: st.Dims, Generation: st.Generation, NextID: st.NextID,
 		BaseSize: st.BaseSize, DeltaSize: st.DeltaSize, Tombstones: st.Tombstones,
-		Compactions: st.Compactions,
+		Compactions: st.Compactions, Shards: st.Shards,
 	}
 }

@@ -103,6 +103,91 @@ func TestPublicStoreRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPublicShardedStore drives the WithShards option through the public
+// API: identical answers to the unsharded store, per-shard stats, and a
+// sharded-layout bundle that OpenStore reads back transparently.
+func TestPublicShardedStore(t *testing.T) {
+	db := testDB(5, 130)
+	model, err := Train(db, l2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewStore(model, db, l2, GobCodec[[]float64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewStore(model, db, l2, GobCodec[[]float64](), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(model, db, l2, GobCodec[[]float64](), WithShards(0)); err == nil {
+		t.Fatal("WithShards(0) must error, not silently build an unsharded store")
+	}
+	if _, err := NewStore(model, db, l2, GobCodec[[]float64](), WithShards(-2)); err == nil {
+		t.Fatal("WithShards(-2) must error")
+	}
+	if got := sharded.Stats().Shards; got != 4 {
+		t.Fatalf("Stats().Shards = %d, want 4", got)
+	}
+	if detail := sharded.ShardStats(); len(detail) != 4 {
+		t.Fatalf("ShardStats has %d rows, want 4", len(detail))
+	} else if plain.ShardStats() != nil {
+		t.Fatal("unsharded store should report no shard detail")
+	}
+
+	queries := testDB(11, 10)
+	for qi, q := range queries {
+		want, wst, err := plain.Search(q, 4, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gst, err := sharded.Search(q, 4, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) || gst != wst {
+			t.Fatalf("query %d: sharded %v %+v != plain %v %+v", qi, got, gst, want, wst)
+		}
+	}
+
+	// Mutate, persist the sharded layout, reopen through the same
+	// OpenStore call an unsharded bundle uses.
+	id, err := sharded.Add([]float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 130 {
+		t.Fatalf("Add assigned ID %d, want 130", id)
+	}
+	if err := sharded.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sharded.bundle")
+	if err := sharded.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenStore(path, l2, GobCodec[[]float64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reopened.Stats().Shards; got != 4 {
+		t.Fatalf("reopened Shards = %d, want 4", got)
+	}
+	for qi, q := range queries {
+		want, _, _ := sharded.Search(q, 4, 20)
+		got, _, err := reopened.Search(q, 4, 20)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: reopened sharded store differs (err %v)", qi, err)
+		}
+	}
+	if _, ok := reopened.Get(7); ok {
+		t.Fatal("removed ID 7 resurfaced after sharded reopen")
+	}
+	if next, err := reopened.Add([]float64{0.1, 0.9}); err != nil || next != 131 {
+		t.Fatalf("post-reopen Add: id %d err %v, want 131", next, err)
+	}
+}
+
 // TestIndexRemove covers the newly exposed Index.Remove: order-preserving
 // shift, size accounting, and range errors.
 func TestIndexRemove(t *testing.T) {
