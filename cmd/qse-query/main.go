@@ -4,12 +4,13 @@
 //
 //   - -model: a model gob from qse-train. The database is regenerated
 //     from -db/-dataseed (which must match training) and re-embedded.
-//   - -bundle: a self-contained bundle from qse-serve (or Store.Save).
-//     Nothing is regenerated or re-embedded; -db/-dataseed are ignored
-//     and the dataset flag only picks the query generator and distance.
-//     Sharded layouts (a manifest written by qse-serve -shards N) open
-//     transparently; answers are identical to an unsharded bundle of the
-//     same data, so no flag is needed here.
+//   - -bundle: a durable layout from qse-serve (or Store.Save). Nothing
+//     is regenerated or re-embedded; -db/-dataseed are ignored and the
+//     dataset flag only picks the query generator and distance. Every
+//     layout era opens transparently — a legacy v1 single-file bundle, a
+//     v2 manifest, or the current v3 base/delta layout, sharded or not;
+//     answers are identical across layouts of the same data, so no flag
+//     is needed here.
 //
 // Usage:
 //

@@ -19,11 +19,17 @@
 // With -shards N (first build only; a reopened bundle keeps its layout)
 // the store is hash-partitioned into N independent shards: mutations to
 // different shards never contend, compaction pauses shrink by N, and the
-// bundle becomes a manifest plus N shard files. Search results are
-// bit-identical for every N.
+// bundle becomes a manifest (holding the model once) plus a base section
+// and an append-only delta log per shard. Background snapshots are
+// incremental — only dirty shards' delta logs are appended to — and the
+// background compactor folds a shard when the measured delta-scan share
+// of its query traffic crosses -compact-share. Search results are
+// bit-identical for every N. Bundles from earlier releases (v1 single
+// file, v2 manifest) reopen transparently and save forward as v3.
 //
 // Endpoints (JSON): POST /v1/search, POST /v1/search/batch,
-// POST /v1/objects, DELETE /v1/objects/{id}, GET /v1/stats, GET /healthz.
+// POST /v1/objects, PUT /v1/objects/{id}, DELETE /v1/objects/{id},
+// GET /v1/stats, GET /healthz.
 // A query/object for the series dataset is a [time][dim] array, e.g.
 // {"query": [[0.1,0.2],[0.3,0.4]], "k": 5, "p": 100}; {"id": 7, "k": 5}
 // searches with a stored object as the query.
@@ -37,7 +43,6 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -65,18 +70,20 @@ func main() {
 		pool      = flag.Int("pool", 120, "training pool |Xtr| when training")
 		k1        = flag.Int("k1", 5, "selective-sampling radius when training")
 		seed      = flag.Int64("seed", 1, "training seed")
-		snapEvery = flag.Duration("snapshot-every", 0, "periodic background snapshot interval (0 disables)")
+		snapEvery = flag.Duration("snapshot-every", 0, "periodic background snapshot interval (0 disables the periodic loop; a final snapshot is always written on shutdown)")
 		maxBody   = flag.Int64("max-body", server.DefaultMaxBody, "maximum request body bytes")
-		dims      = flag.Int("series-dims", 0, "sample dimensionality queries must have (0 = derive from the stored data)")
+		dims      = flag.Int("series-dims", 0, "sample dimensionality queries must have (0 = derive from the stored data or the bundled model)")
 
 		// Compaction: the mutation path folds the append-only delta segment
 		// and the tombstones back into the base when either threshold pair
-		// is crossed, and an optional background compactor folds them during
-		// quiet periods so scans stay clean and snapshots cheap. Flag
-		// defaults come from the library's policy so the CLI and an
+		// is crossed, and the store's own background compactor folds them
+		// whenever the measured delta-scan share of real query traffic
+		// crosses -compact-share, so scans stay clean and snapshots cheap.
+		// Flag defaults come from the library's policy so the CLI and an
 		// embedded store can never silently diverge.
 		defPol           = store.DefaultCompactionPolicy()
-		compactEvery     = flag.Duration("compact-every", 0, "background compaction interval (0 disables the background compactor)")
+		compactEvery     = flag.Duration("compact-every", store.DefaultCompactInterval, "how often the background compactor evaluates the measured delta-scan share (0 disables it)")
+		compactShare     = flag.Float64("compact-share", store.DefaultCompactShare, "delta-scan share of query traffic above which the background compactor folds a shard (0 means the library default; use a small positive value to fold on any degradation)")
 		compactMinDelta  = flag.Int("compact-min-delta", defPol.MinDelta, "compact when the delta segment holds at least this many objects and -compact-delta-frac of the base")
 		compactDeltaFrac = flag.Float64("compact-delta-frac", defPol.DeltaFrac, "delta-to-base ratio that (with -compact-min-delta) triggers compaction")
 		compactMinDead   = flag.Int("compact-min-dead", defPol.MinDead, "compact when at least this many rows are tombstoned and -compact-dead-frac of the store")
@@ -112,15 +119,19 @@ func main() {
 
 	// DTW panics on sample-dimensionality mismatch, so the decoder must
 	// reject queries whose shape differs from the stored data. The shape
-	// is derived from the data itself, not trusted from a flag, unless
-	// the operator overrides it explicitly.
+	// is derived from the store itself — the first stored object, or a
+	// bundled model candidate when the store has been drained empty — so
+	// any bundle serves without an operator-supplied flag; -series-dims
+	// remains as an explicit override.
 	wantDims := *dims
 	if wantDims == 0 {
-		first, ok := st.First()
+		sample, ok := st.Sample()
 		if !ok {
-			log.Fatal("store is empty and -series-dims is unset; cannot infer the query shape")
+			// Unreachable for any store this binary can build or open (a
+			// trained model always carries candidate objects).
+			log.Fatal("store has no sample object; set -series-dims")
 		}
-		wantDims = first.Dims()
+		wantDims = sample.Dims()
 	}
 	decode := func(raw json.RawMessage) (dtw.Series, error) {
 		var s dtw.Series
@@ -137,58 +148,27 @@ func main() {
 	}
 	srv := server.New(st, decode, server.Options{MaxBodyBytes: *maxBody})
 
-	// Periodic background snapshots: only write when the store actually
-	// changed since the bundle on disk. savedGen tracks the generation the
-	// on-disk bundle holds; the just-opened (or just-built) bundle matches
-	// the store's current generation.
-	var savedGen atomic.Uint64
-	savedGen.Store(st.Stats().Generation)
-	snapDone := make(chan struct{})
-	if *snapEvery > 0 {
-		go func() {
-			defer close(snapDone)
-			ticker := time.NewTicker(*snapEvery)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-snapDone:
-					return
-				case <-ticker.C:
-					if gen := st.Stats().Generation; gen != savedGen.Load() {
-						if err := st.Save(*bundle); err != nil {
-							log.Printf("background snapshot: %v", err)
-							continue
-						}
-						savedGen.Store(gen)
-						log.Printf("background snapshot written (generation %d)", gen)
-					}
-				}
-			}
-		}()
+	// The background lifecycle — incremental snapshots of dirty shards
+	// and compaction scheduled on the measured delta-scan share — is
+	// owned by the store itself (store.Start/Close), not by this binary:
+	// every embedder of the store gets the same machinery. The periodic
+	// snapshot loop is optional; Close always writes a final snapshot so
+	// mutations taken over HTTP survive the restart.
+	lc := store.Lifecycle{
+		SnapshotPath:     *bundle,
+		SnapshotInterval: *snapEvery,
+		CompactInterval:  *compactEvery,
+		CompactShare:     *compactShare,
+		Logf:             log.Printf,
 	}
-
-	// Background compactor: folds the delta segment and tombstones into the
-	// base during quiet periods, ahead of the mutation-path thresholds.
-	// Compaction publishes a new snapshot atomically, so searches are never
-	// blocked by it.
-	compactDone := make(chan struct{})
-	if *compactEvery > 0 {
-		go func() {
-			defer close(compactDone)
-			ticker := time.NewTicker(*compactEvery)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-compactDone:
-					return
-				case <-ticker.C:
-					if st.Compact() {
-						cs := st.Stats()
-						log.Printf("background compaction folded store to %d objects (generation %d)", cs.Size, cs.Generation)
-					}
-				}
-			}
-		}()
+	if *snapEvery == 0 {
+		lc.SnapshotInterval = -1 // periodic loop off; final snapshot stays
+	}
+	if *compactEvery == 0 {
+		lc.CompactInterval = -1
+	}
+	if err := st.Start(lc); err != nil {
+		log.Fatalf("starting store lifecycle: %v", err)
 	}
 
 	errc := make(chan error, 1)
@@ -209,21 +189,12 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	if *snapEvery > 0 {
-		snapDone <- struct{}{}
+	// Close stops the background loops and writes the final snapshot
+	// (only what is dirty: clean shards cost nothing).
+	if err := st.Close(); err != nil {
+		log.Printf("closing store: %v", err)
 	}
-	if *compactEvery > 0 {
-		compactDone <- struct{}{}
-	}
-	// Final snapshot so mutations taken over HTTP survive the restart —
-	// skipped when the bundle on disk already matches the store.
-	if gen := st.Stats().Generation; gen == savedGen.Load() {
-		log.Printf("no mutations since last snapshot; bundle %s is current", *bundle)
-	} else if err := st.Save(*bundle); err != nil {
-		log.Printf("final snapshot: %v", err)
-	} else {
-		log.Printf("final snapshot written to %s (generation %d)", *bundle, gen)
-	}
+	log.Printf("store closed (generation %d)", st.Stats().Generation)
 }
 
 type buildConfig struct {

@@ -221,9 +221,13 @@ func TestServeShardedTools(t *testing.T) {
 	if !strings.Contains(string(out), "3 shards") {
 		t.Fatalf("sharded build output lacks shard count:\n%s", out)
 	}
-	matches, err := filepath.Glob(bundlePath + ".shard-*-of-*")
-	if err != nil || len(matches) != 3 {
-		t.Fatalf("expected 3 shard files next to the manifest, found %v (err %v)", matches, err)
+	// The v3 layout keeps one base section and one delta log per shard
+	// next to the manifest.
+	for _, sect := range []string{"base", "delta"} {
+		matches, err := filepath.Glob(bundlePath + ".shard-*-of-*." + sect)
+		if err != nil || len(matches) != 3 {
+			t.Fatalf("expected 3 %s sections next to the manifest, found %v (err %v)", sect, matches, err)
+		}
 	}
 
 	queryCmd := exec.Command("go", "run", "./cmd/qse-query",

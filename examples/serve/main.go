@@ -100,6 +100,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The store owns its background services: incremental snapshots of
+	// dirty shards back to the bundle, and compaction scheduled on the
+	// measured delta-scan share of query traffic. Close (below) stops
+	// them and writes a final snapshot, so mutations taken over HTTP
+	// survive a restart.
+	if err := served.Start(store.Lifecycle{SnapshotPath: bundle}); err != nil {
+		log.Fatal(err)
+	}
 	decode := func(raw json.RawMessage) ([]float64, error) {
 		var v []float64
 		if err := json.Unmarshal(raw, &v); err != nil {
@@ -146,6 +154,9 @@ func main() {
 	fmt.Printf("GET /v1/stats:\n  %s\n", stats.String())
 
 	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := served.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("drained and stopped.")

@@ -35,6 +35,7 @@ package retrieval
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 
 	"qse/internal/metrics"
 	"qse/internal/par"
@@ -49,6 +50,31 @@ type bitmap []uint64
 func (b bitmap) get(i int) bool {
 	w := i >> 6
 	return w < len(b) && b[w]>>(uint(i)&63)&1 != 0
+}
+
+// popcount returns the number of set bits.
+func (b bitmap) popcount() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// validFor reports whether the bitmap is a legal tombstone set for a
+// segment of the given row count: no backing words past the last possible
+// row, and no bits set beyond the rows that exist. Serialized bitmaps
+// pass through here before a reassembled segment trusts them.
+func (b bitmap) validFor(rows int) bool {
+	if len(b) > (rows+63)/64 {
+		return false
+	}
+	if rem := rows & 63; rem != 0 && len(b) == (rows+63)/64 {
+		if b[len(b)-1]>>uint(rem) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // withSet returns a copy of b with bit i set, grown as needed.
@@ -124,6 +150,88 @@ func (s *Segmented[T]) Object(pos int) T {
 		return s.deltaDB[pos-bn]
 	}
 	return s.base.db[pos]
+}
+
+// Vector returns the embedded vector of the row at global position pos —
+// a view into the segment's flat storage, not a copy. Callers must not
+// modify it.
+func (s *Segmented[T]) Vector(pos int) []float64 {
+	d := s.base.dims
+	if bn := s.base.Size(); pos >= bn {
+		off := (pos - bn) * d
+		return s.deltaFlat[off : off+d]
+	}
+	return s.base.flat[pos*d : (pos+1)*d]
+}
+
+// DeltaSegment returns this version's view of the delta segment: the
+// objects and their row-major flat vector block, in append order. The
+// slices are views of the (immutable-prefix) shared backing, not copies —
+// exactly what a serializer needs to write the delta section of a bundle
+// without compacting first. Callers must not modify them.
+func (s *Segmented[T]) DeltaSegment() ([]T, []float64) {
+	return s.deltaDB, s.deltaFlat
+}
+
+// Tombstoned returns the tombstone bitmaps over base positions and delta
+// offsets, as raw uint64 words (bit i of word w marks row w*64+i dead;
+// words beyond the slice are all-alive). The slices are the snapshot's
+// own immutable storage; callers must not modify them.
+func (s *Segmented[T]) Tombstoned() ([]uint64, []uint64) {
+	return s.baseDead, s.deltaDead
+}
+
+// Gather builds a fresh single-segment Index holding the rows at the
+// given global positions, in the given order, sharing no mutable storage
+// with the receiver. It is the reordering counterpart of Compact: the
+// store layer uses it to fold segments back into stable-ID order after
+// upserts have decoupled position order from ID order. Positions must be
+// in range; liveness is the caller's business (the store gathers exactly
+// its live set).
+func (s *Segmented[T]) Gather(positions []int) (*Index[T], error) {
+	d := s.base.dims
+	db := make([]T, 0, len(positions))
+	flat := make([]float64, 0, len(positions)*d)
+	total := s.Total()
+	for _, pos := range positions {
+		if pos < 0 || pos >= total {
+			return nil, fmt.Errorf("retrieval: gather position %d out of range [0,%d)", pos, total)
+		}
+		db = append(db, s.Object(pos))
+		flat = append(flat, s.Vector(pos)...)
+	}
+	return &Index[T]{db: db, flat: flat, dims: d, embedder: s.base.embedder, dist: s.base.dist}, nil
+}
+
+// NewSegmentedFromParts reassembles a Segmented from serialized parts: a
+// base index plus a delta segment (objects, row-major vectors) and the
+// two tombstone bitmaps, without re-embedding anything. It is the
+// deserialization counterpart of DeltaSegment/Tombstoned, used to reopen
+// a base+delta bundle section as the exact in-memory segment layout that
+// was saved. Lengths and bitmap shapes are validated; the vectors are
+// trusted to be the embedder's output for the objects, like
+// AddWithVector.
+func NewSegmentedFromParts[T any](base *Index[T], deltaDB []T, deltaFlat []float64, baseDead, deltaDead []uint64) (*Segmented[T], error) {
+	d := base.dims
+	if len(deltaFlat) != len(deltaDB)*d {
+		return nil, fmt.Errorf("retrieval: delta flat block has %d values for %d objects x %d dims",
+			len(deltaFlat), len(deltaDB), d)
+	}
+	bd, dd := bitmap(baseDead), bitmap(deltaDead)
+	if !bd.validFor(base.Size()) {
+		return nil, fmt.Errorf("retrieval: base tombstone bitmap shaped for more than %d rows", base.Size())
+	}
+	if !dd.validFor(len(deltaDB)) {
+		return nil, fmt.Errorf("retrieval: delta tombstone bitmap shaped for more than %d rows", len(deltaDB))
+	}
+	return &Segmented[T]{
+		base:      base,
+		deltaDB:   deltaDB,
+		deltaFlat: deltaFlat,
+		baseDead:  bd,
+		deltaDead: dd,
+		dead:      bd.popcount() + dd.popcount(),
+	}, nil
 }
 
 // Add embeds x and returns a new version with x appended to the delta

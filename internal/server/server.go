@@ -6,6 +6,7 @@
 //	POST   /v1/search        one k-NN query (by inline object or stored ID)
 //	POST   /v1/search/batch  many queries, pipelined through SearchBatch
 //	POST   /v1/objects       add an object, returns its stable ID
+//	PUT    /v1/objects/{id}  atomically replace an object, keeping its ID
 //	DELETE /v1/objects/{id}  remove by stable ID
 //	GET    /v1/stats         store + per-endpoint traffic statistics
 //	GET    /healthz          liveness probe
@@ -58,6 +59,7 @@ const (
 	epSearch endpoint = iota
 	epSearchBatch
 	epAdd
+	epUpsert
 	epRemove
 	epStats
 	epHealth
@@ -65,7 +67,7 @@ const (
 )
 
 var endpointNames = [numEndpoints]string{
-	"search", "search_batch", "add", "remove", "stats", "healthz",
+	"search", "search_batch", "add", "upsert", "remove", "stats", "healthz",
 }
 
 // metrics is one endpoint's traffic counters. All fields are atomics so
@@ -114,6 +116,7 @@ func (s *Server[T]) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/search", s.instrument(epSearch, s.handleSearch))
 	mux.HandleFunc("POST /v1/search/batch", s.instrument(epSearchBatch, s.handleSearchBatch))
 	mux.HandleFunc("POST /v1/objects", s.instrument(epAdd, s.handleAdd))
+	mux.HandleFunc("PUT /v1/objects/{id}", s.instrument(epUpsert, s.handleUpsert))
 	mux.HandleFunc("DELETE /v1/objects/{id}", s.instrument(epRemove, s.handleRemove))
 	mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
 	mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
@@ -393,6 +396,45 @@ func (s *Server[T]) handleAdd(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, addResponse{ID: id})
 }
 
+// handleUpsert serves PUT /v1/objects/{id}: atomically replace the
+// object with the given stable ID (tombstone + delta append under one
+// generation bump; the ID is preserved). The body is the same shape as
+// POST /v1/objects. Unknown IDs are 404 — PUT replaces, it does not
+// create, because IDs are allocator-issued and a client-chosen ID would
+// desync the allocator.
+func (s *Server[T]) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid object id %q", r.PathValue("id"))
+		return
+	}
+	var req addRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if req.Object == nil {
+		writeErr(w, http.StatusBadRequest, "missing object")
+		return
+	}
+	x, err := s.decode(req.Object)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid object: %v", err)
+		return
+	}
+	if err := s.st.Upsert(id, x); err != nil {
+		if errors.Is(err, store.ErrUnknownID) {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		// Anything else the store rejects (e.g. wrong embedding width
+		// behind the decoder's back) is the client's object, not a server
+		// failure.
+		writeErr(w, http.StatusBadRequest, "invalid object: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, addResponse{ID: id})
+}
+
 func (s *Server[T]) handleRemove(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
@@ -433,18 +475,30 @@ type storeStatsJSON struct {
 	Compactions uint64 `json:"compactions"`
 	// Shards is the shard count (1 for an unsharded store).
 	Shards int `json:"shards"`
+	// Persistence/compaction depth: duration of the most recent
+	// compaction (the worst shard pause for a sharded store), duration
+	// and bytes of the most recent snapshot (incremental saves write
+	// bytes proportional to the dirty delta, not the store), and the
+	// measured share of filter-scan work spent on delta rows and
+	// tombstones — the signal the background compactor schedules on.
+	LastCompactionUs float64 `json:"last_compaction_us"`
+	LastSnapshotUs   float64 `json:"last_snapshot_us"`
+	LastSnapshotB    int64   `json:"last_snapshot_bytes"`
+	DeltaScanShare   float64 `json:"delta_scan_share"`
 }
 
 // shardStatsJSON is one shard's row in the sharded detail: the segment
 // layout and mutation counters that differ per shard. What is global
 // (dims, the ID allocator) stays on the aggregate row only.
 type shardStatsJSON struct {
-	Size        int    `json:"size"`
-	Generation  uint64 `json:"generation"`
-	BaseSize    int    `json:"base_size"`
-	DeltaSize   int    `json:"delta_size"`
-	Tombstones  int    `json:"tombstones"`
-	Compactions uint64 `json:"compactions"`
+	Size             int     `json:"size"`
+	Generation       uint64  `json:"generation"`
+	BaseSize         int     `json:"base_size"`
+	DeltaSize        int     `json:"delta_size"`
+	Tombstones       int     `json:"tombstones"`
+	Compactions      uint64  `json:"compactions"`
+	LastCompactionUs float64 `json:"last_compaction_us"`
+	DeltaScanShare   float64 `json:"delta_scan_share"`
 }
 
 type statsResponse struct {
@@ -475,25 +529,31 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 	var detail []shardStatsJSON
 	for _, sh := range s.st.ShardStats() {
 		detail = append(detail, shardStatsJSON{
-			Size:        sh.Size,
-			Generation:  sh.Generation,
-			BaseSize:    sh.BaseSize,
-			DeltaSize:   sh.DeltaSize,
-			Tombstones:  sh.Tombstones,
-			Compactions: sh.Compactions,
+			Size:             sh.Size,
+			Generation:       sh.Generation,
+			BaseSize:         sh.BaseSize,
+			DeltaSize:        sh.DeltaSize,
+			Tombstones:       sh.Tombstones,
+			Compactions:      sh.Compactions,
+			LastCompactionUs: float64(sh.LastCompactionNanos) / 1e3,
+			DeltaScanShare:   sh.DeltaScanShare,
 		})
 	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Store: storeStatsJSON{
-			Size:        st.Size,
-			Dims:        st.Dims,
-			Generation:  st.Generation,
-			NextID:      st.NextID,
-			BaseSize:    st.BaseSize,
-			DeltaSize:   st.DeltaSize,
-			Tombstones:  st.Tombstones,
-			Compactions: st.Compactions,
-			Shards:      st.Shards,
+			Size:             st.Size,
+			Dims:             st.Dims,
+			Generation:       st.Generation,
+			NextID:           st.NextID,
+			BaseSize:         st.BaseSize,
+			DeltaSize:        st.DeltaSize,
+			Tombstones:       st.Tombstones,
+			Compactions:      st.Compactions,
+			Shards:           st.Shards,
+			LastCompactionUs: float64(st.LastCompactionNanos) / 1e3,
+			LastSnapshotUs:   float64(st.LastSnapshotNanos) / 1e3,
+			LastSnapshotB:    st.LastSnapshotBytes,
+			DeltaScanShare:   st.DeltaScanShare,
 		},
 		ShardDetail:   detail,
 		UptimeSeconds: uptime,

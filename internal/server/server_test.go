@@ -237,6 +237,66 @@ func TestAddAndRemoveEndpoints(t *testing.T) {
 	}
 }
 
+// TestUpsertEndpoint covers PUT /v1/objects/{id}: a replace keeps the
+// ID and is immediately searchable, exactly one generation is spent,
+// and the validation/404 contract matches the other object endpoints.
+func TestUpsertEndpoint(t *testing.T) {
+	srv, h := newTestServer(t, Options{})
+
+	genBefore := srv.st.Generation()
+	rec := do(h, "PUT", "/v1/objects/12", `{"object":[9.5,-9.5,0.25]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("upsert: %d %s", rec.Code, rec.Body)
+	}
+	var resp addResponse
+	decodeInto(t, rec, &resp)
+	if resp.ID != 12 {
+		t.Fatalf("upsert returned ID %d, want 12 (the ID must be preserved)", resp.ID)
+	}
+	if g := srv.st.Generation(); g != genBefore+1 {
+		t.Fatalf("upsert spent %d generations, want exactly 1", g-genBefore)
+	}
+
+	// The replacement is what ID 12 now resolves to: a self-search by ID
+	// must return 12 first at distance 0, and the object itself must be
+	// the new one.
+	var sr searchResponse
+	decodeInto(t, do(h, "POST", "/v1/search", `{"id":12,"k":1}`), &sr)
+	if len(sr.Results) != 1 || sr.Results[0].ID != 12 || sr.Results[0].Distance != 0 {
+		t.Fatalf("post-upsert self-search: %v", sr.Results)
+	}
+	if x, ok := srv.st.Get(12); !ok || x[0] != 9.5 {
+		t.Fatalf("Get(12) after upsert: %v %v, want the replacement", x, ok)
+	}
+
+	for name, tc := range map[string]struct {
+		path, body string
+		code       int
+	}{
+		"unknown id":     {"/v1/objects/424242", `{"object":[1,2,3]}`, http.StatusNotFound},
+		"bad id":         {"/v1/objects/not-a-number", `{"object":[1,2,3]}`, http.StatusBadRequest},
+		"missing object": {"/v1/objects/12", `{}`, http.StatusBadRequest},
+		"invalid object": {"/v1/objects/12", `{"object":[1]}`, http.StatusBadRequest},
+		"malformed":      {"/v1/objects/12", `{"object":`, http.StatusBadRequest},
+	} {
+		if rec := do(h, "PUT", tc.path, tc.body); rec.Code != tc.code {
+			t.Errorf("upsert %s: got %d (%s), want %d", name, rec.Code, rec.Body, tc.code)
+		}
+	}
+	// Validation failures must not have mutated anything.
+	if x, ok := srv.st.Get(12); !ok || x[0] != 9.5 {
+		t.Fatalf("failed upserts disturbed ID 12: %v %v", x, ok)
+	}
+
+	// A removed ID cannot be upserted back into existence.
+	if rec := do(h, "DELETE", "/v1/objects/12", ""); rec.Code != http.StatusOK {
+		t.Fatalf("remove: %d", rec.Code)
+	}
+	if rec := do(h, "PUT", "/v1/objects/12", `{"object":[1,2,3]}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("upsert of removed id: %d, want 404", rec.Code)
+	}
+}
+
 // TestDrainedStoreKeepsServing pins the empty-store contract at the HTTP
 // layer: deleting every object must leave a server that answers
 // /v1/search with 200 and empty results — never a 500 — and accepts new

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"qse/internal/core"
@@ -99,6 +100,63 @@ func BenchmarkShardedSearch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSaveDirty measures the incremental snapshot path the v3
+// layout exists for: an S=8 store with exactly one dirty shard (one add
+// since the previous save) against the worst case of a fresh full
+// layout write. The dirty save appends one delta frame to one file —
+// cost proportional to the delta, not to n·S — so the gap between the
+// two sub-benchmarks is the point of the format.
+func BenchmarkSaveDirty(b *testing.B) {
+	model, db := benchFixture(b, 20000)
+	s, err := NewSharded(model, db, l1, Gob[[]float64](), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetCompactionPolicy(CompactionPolicy{MinDelta: 1 << 30, DeltaFrac: 1, MinDead: 1 << 30, DeadFrac: 1})
+	rng := rand.New(rand.NewSource(9))
+
+	b.Run("full-first-save", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			// A fresh path each iteration forces the full layout write.
+			if err := s.Save(filepath.Join(dir, fmt.Sprintf("full-%d.bundle", i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("one-dirty-shard", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "inc.bundle")
+		if err := s.Save(path); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if _, err := s.Add([]float64{rng.Float64() * 7, -rng.Float64() * 7, rng.NormFloat64()}); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := s.Save(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("clean", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "clean.bundle")
+		if err := s.Save(path); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Save(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkStoreRemove measures tombstoning throughput (the store is

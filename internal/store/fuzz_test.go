@@ -49,27 +49,55 @@ func seal(version uint16, payload []byte) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
 }
 
+// v3Fixture loads the committed intact single-shard v3 layout (see
+// gen_corpus_test.go): manifest, base section, delta log. Reading three
+// small files per worker restart is cheap, unlike training a model.
+func v3Fixture(f *testing.F) (manifest, base, delta []byte) {
+	f.Helper()
+	read := func(name string) []byte {
+		data, err := os.ReadFile(filepath.Join("testdata", "v3fixture", name))
+		if err != nil {
+			f.Fatalf("reading v3 fixture %s (regenerate with QSE_GEN_CORPUS=1): %v", name, err)
+		}
+		return data
+	}
+	return read("manifest"), read("base"), read("delta")
+}
+
 func FuzzBundleOpen(f *testing.F) {
-	// Real artifacts (a saved v1 bundle, a sharded manifest, one of its
-	// shard files, and damaged variants of each) live in the committed
-	// corpus under testdata/fuzz/FuzzBundleOpen — see gen_corpus_test.go.
-	// The setup here stays cheap on purpose: every instrumented fuzz
-	// worker re-runs it, so training a model here would stall the exec
-	// rate to nothing. These inline seeds cover the structural envelope
-	// space the committed artifacts don't.
-	f.Add(seal(bundleVersion, []byte("gob?"))) // valid envelope, junk payload
-	f.Add(seal(manifestVersion, []byte{0}))    // valid envelope, junk manifest
-	f.Add(seal(7, nil))                        // future version
-	f.Add([]byte(bundleMagic))                 // magic only
-	f.Add([]byte{})                            // empty file
+	// Real artifacts (saved bundles of every format era — v1 single
+	// file, v2 manifest and shard bundle, v3 manifest/base/delta — and
+	// damaged variants of each) live in the committed corpus under
+	// testdata/fuzz/FuzzBundleOpen — see gen_corpus_test.go. The setup
+	// here stays cheap on purpose: every instrumented fuzz worker
+	// re-runs it, so training a model here would stall the exec rate to
+	// nothing. These inline seeds cover the structural envelope space
+	// the committed artifacts don't.
+	f.Add(seal(bundleVersion, []byte("gob?")))      // valid envelope, junk payload
+	f.Add(seal(manifestVersion, []byte{0}))         // valid envelope, junk manifest
+	f.Add(seal(manifestV3Version, []byte{1, 2}))    // valid envelope, junk v3 manifest
+	f.Add(seal(baseSectionVersion, []byte("base"))) // valid envelope, junk base section
+	f.Add(seal(7, nil))                             // future version
+	f.Add([]byte(bundleMagic))                      // magic only
+	f.Add([]byte(deltaMagic))                       // delta-log magic only
+	f.Add([]byte{})                                 // empty file
+
+	fixMan, fixBase, fixDelta := v3Fixture(f)
+	f.Add(fixDelta) // the intact delta log itself, ready for mutation
 
 	codec := Gob[[]float64]()
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tdir := t.TempDir()
-		// Attack three surfaces: the bytes as a whole file, and the bytes
-		// as the payload of each envelope version (CRC fixed up, so the
-		// decoder and the validators behind it run every time).
-		cases := [][]byte{data, seal(bundleVersion, data), seal(manifestVersion, data)}
+		// Attack the whole-file surfaces: the bytes as the layout file
+		// itself, and as the payload of each envelope version (CRC fixed
+		// up, so the decoder and the validators behind it run every
+		// time).
+		cases := [][]byte{
+			data,
+			seal(bundleVersion, data),
+			seal(manifestVersion, data),
+			seal(manifestV3Version, data),
+		}
 		for ci, raw := range cases {
 			path := filepath.Join(tdir, "fuzz.bundle")
 			if err := os.WriteFile(path, raw, 0o644); err != nil {
@@ -86,6 +114,30 @@ func FuzzBundleOpen(f *testing.F) {
 			if b, err := OpenAuto(path, fuzzDist, codec); err == nil {
 				exercise(t, ci, b)
 			}
+		}
+
+		// Attack the delta-log recovery path: an intact v3 manifest and
+		// base section with the fuzzed bytes standing in for the delta
+		// log. Opening must recover to some durable prefix (and serve
+		// from it) or reject loudly — never panic, never loop.
+		path := filepath.Join(tdir, "fix.bundle")
+		bases, deltas := shardSectionFiles(path, 1)
+		for name, content := range map[string][]byte{
+			path:                           fixMan,
+			filepath.Join(tdir, bases[0]):  fixBase,
+			filepath.Join(tdir, deltas[0]): data,
+		} {
+			if err := os.WriteFile(name, content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st, err := Open(path, fuzzDist, codec); err == nil {
+			if st.Size() < 40 {
+				// The committed base holds 40 objects; recovery may drop
+				// delta rows but can never lose base rows.
+				t.Fatalf("fuzzed delta log shrank the store below its base: %d", st.Size())
+			}
+			exercise(t, 4, st)
 		}
 	})
 }

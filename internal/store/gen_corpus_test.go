@@ -3,15 +3,21 @@ package store
 // Corpus generator for the fuzz targets. The fuzz bodies must stay cheap
 // — training a model inside FuzzXxx setup makes every instrumented
 // worker restart pay seconds before its first exec — so the "expensive"
-// seeds (real bundles, real manifests, a real serving fixture) are built
-// here once and committed under testdata. Regenerate after a format
-// change with:
+// seeds (real bundles across every format era, a real serving fixture)
+// are built here once and committed under testdata. Regenerate after a
+// format change with:
 //
 //	QSE_GEN_CORPUS=1 go test ./internal/store -run TestGenerateFuzzCorpus
 //
-// The generator also refreshes internal/server's committed fixture
-// bundle and seed corpus, so both packages' fuzz inputs come from one
-// place and cannot drift apart.
+// Legacy v1/v2 artifacts are produced through the retained legacy
+// writers (saveV1/saveV2), so the committed read-compatibility seeds
+// keep existing even though production saves write v3. The generator
+// also commits a small intact v3 layout under testdata/v3fixture — the
+// fuzz body copies its manifest and base section next to fuzzed delta
+// bytes, driving the mutator straight into the delta-log recovery path —
+// and refreshes internal/server's fixture (v2 on purpose: the server
+// fuzz target doubles as a legacy-read regression) and seed corpus, so
+// both packages' fuzz inputs come from one place and cannot drift apart.
 
 import (
 	"fmt"
@@ -46,7 +52,7 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	v1Path := filepath.Join(dir, "v1.bundle")
-	if err := st.Save(v1Path); err != nil {
+	if err := st.saveV1(v1Path); err != nil {
 		t.Fatal(err)
 	}
 	v1, err := os.ReadFile(v1Path)
@@ -59,7 +65,7 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	manPath := filepath.Join(dir, "man.bundle")
-	if err := shd.Save(manPath); err != nil {
+	if err := shd.saveV2(manPath); err != nil {
 		t.Fatal(err)
 	}
 	man, err := os.ReadFile(manPath)
@@ -67,6 +73,39 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	shard0, err := os.ReadFile(filepath.Join(dir, shardFiles(manPath, 3)[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A v3 layout with real delta frames: save, mutate (add + remove +
+	// upsert), save again — the delta log then holds two frames and the
+	// tombstone bitmaps are non-trivial.
+	v3Path := filepath.Join(dir, "v3.bundle")
+	if err := shd.Save(v3Path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shd.Add([]float64{9, -9, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := shd.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := shd.Upsert(2, []float64{8, -8, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := shd.Save(v3Path); err != nil {
+		t.Fatal(err)
+	}
+	v3Man, err := os.ReadFile(v3Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3Bases, v3Deltas := shardSectionFiles(v3Path, 3)
+	v3Base0, err := os.ReadFile(filepath.Join(dir, v3Bases[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3Delta0, err := os.ReadFile(filepath.Join(dir, v3Deltas[0]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,18 +118,60 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 	flipped := append([]byte(nil), v1...)
 	flipped[headerLen+40] ^= 0xff
 	writeCorpusEntry(t, corpus, "bitflipped-v1", flipped)
+	writeCorpusEntry(t, corpus, "valid-v3-manifest", v3Man)
+	writeCorpusEntry(t, corpus, "valid-v3-base", v3Base0)
+	writeCorpusEntry(t, corpus, "valid-v3-delta", v3Delta0)
+	writeCorpusEntry(t, corpus, "truncated-v3-delta", v3Delta0[:len(v3Delta0)*2/3])
 
-	// The serving layer's fixture: a *sharded* layout (manifest + shard
-	// bundles) over the same 3-dim vector space internal/server's
-	// decodeVec validates against, opened by FuzzSearchBody instead of
-	// training a model per fuzz worker — sharded so that adversarial
-	// HTTP bodies genuinely drive the scatter-gather path.
+	// The intact single-shard v3 fixture the fuzz body rebuilds layouts
+	// from: manifest + base + delta committed as raw files (not corpus
+	// entries). Built from a fresh store so the fixture is single-shard —
+	// the fuzzed file stands in for the one delta log.
+	single, err := New(model, db, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixPath := filepath.Join(dir, "fix.bundle")
+	if err := single.Save(fixPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.Add([]float64{7, -7, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Save(fixPath); err != nil {
+		t.Fatal(err)
+	}
+	fixDir := filepath.Join("testdata", "v3fixture")
+	if err := os.MkdirAll(fixDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fixBases, fixDeltas := shardSectionFiles(fixPath, 1)
+	for _, f := range []struct{ src, dst string }{
+		{fixPath, "manifest"},
+		{filepath.Join(dir, fixBases[0]), "base"},
+		{filepath.Join(dir, fixDeltas[0]), "delta"},
+	} {
+		data, err := os.ReadFile(f.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(fixDir, f.dst), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The serving layer's fixture: a *sharded* layout over the same
+	// 3-dim vector space internal/server's decodeVec validates against,
+	// opened by FuzzSearchBody instead of training a model per fuzz
+	// worker — sharded so that adversarial HTTP bodies genuinely drive
+	// the scatter-gather path, and written as v2 on purpose so the
+	// server fuzz target doubles as a legacy-format read regression.
 	serverData := filepath.Join("..", "server", "testdata")
 	if err := os.MkdirAll(serverData, 0o755); err != nil {
 		t.Fatal(err)
 	}
 	serverBundle := filepath.Join(serverData, "fuzz-store.bundle")
-	if err := shd.Save(serverBundle); err != nil {
+	if err := shd.saveV2(serverBundle); err != nil {
 		t.Fatal(err)
 	}
 	r, err := OpenSharded(serverBundle, l1, Gob[[]float64]())

@@ -36,7 +36,6 @@ import (
 	"encoding/gob"
 	"fmt"
 	"path/filepath"
-	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -52,9 +51,11 @@ type Backend[T any] interface {
 	Search(q T, k, p int) ([]Result, retrieval.Stats, error)
 	SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.Stats, error)
 	Add(x T) (uint64, error)
+	Upsert(id uint64, x T) error
 	Remove(id uint64) error
 	Get(id uint64) (T, bool)
 	First() (T, bool)
+	Sample() (T, bool)
 	Size() int
 	Dims() int
 	Generation() uint64
@@ -63,6 +64,8 @@ type Backend[T any] interface {
 	Save(path string) error
 	Compact() bool
 	SetCompactionPolicy(CompactionPolicy)
+	Start(Lifecycle) error
+	Close() error
 }
 
 var (
@@ -131,8 +134,19 @@ type Sharded[T any] struct {
 	// insertion order therefore equals ID order — the ascending-delta-IDs
 	// invariant the snapshot's binary-searched ID table and the
 	// position↔ID order isomorphism both stand on — while adds to
-	// different shards proceed fully independently.
+	// different shards proceed fully independently. (Upsert bypasses the
+	// gate: it draws no new ID and serializes on the shard mutex alone.)
 	gates []shardGate
+
+	// mark tracks the manifest this store last wrote; lastSnapNanos and
+	// lastSnapBytes describe the most recent whole-layout Save.
+	mark          layoutMark
+	lastSnapNanos atomic.Int64
+	lastSnapBytes atomic.Int64
+
+	// lcMu guards the background lifecycle started by Start.
+	lcMu sync.Mutex
+	lc   *lifecycle
 }
 
 // shardGate is a ticket turnstile for one shard. tickets is drawn under
@@ -202,15 +216,31 @@ func fromSingle[T any](st *Store[T]) *Sharded[T] {
 	return newShardedFront(st.model, st.dist, st.codec, []*Store[T]{st}, st.nextID.Load())
 }
 
-// OpenSharded restores a sharded store from path: a version-2 manifest
-// opens all its shard bundles (in parallel), and a plain version-1 bundle
-// opens as a single shard — every pre-sharding bundle remains readable.
-// Like Open, no exact distances are computed and search answers are
-// bit-identical to the store that saved the layout.
+// OpenSharded restores a sharded store from path, whatever its era: a
+// version-3 layout restores one shared model instance plus base+delta
+// sections per shard (in parallel); a legacy version-2 manifest opens
+// all its v1 shard bundles; a plain version-1 bundle opens as a single
+// shard — every pre-v3 bundle remains readable, and the next Save
+// writes the layout forward as v3. Like Open, no exact distances are
+// computed and search answers are bit-identical to the store that saved
+// the layout.
 func OpenSharded[T any](path string, dist space.Distance[T], codec Codec[T]) (*Sharded[T], error) {
-	version, _, err := readEnvelope(path)
+	version, payload, err := readEnvelope(path)
 	if err != nil {
 		return nil, err
+	}
+	if version == manifestV3Version {
+		model, shards, next, err := openLayoutV3(path, payload, dist, codec)
+		if err != nil {
+			return nil, err
+		}
+		s := newShardedFront(model, dist, codec, shards, next)
+		// The manifest just read is the one a save to this path would
+		// write (its NextID staleness is handled by the open-time resume
+		// rule), so seed the mark: the first post-reopen save stays
+		// delta-only instead of rewriting the model payload.
+		s.mark.path = path
+		return s, nil
 	}
 	if version != manifestVersion {
 		st, err := Open(path, dist, codec) // rejects versions other than 1 itself
@@ -304,16 +334,31 @@ func modelFingerprint[T any](m *core.Model[T], codec Codec[T]) ([]byte, error) {
 }
 
 // OpenAuto opens whatever layout lives at path — a version-1 single
-// bundle as a plain Store, a version-2 manifest as a Sharded — so callers
-// that only speak Backend (the serving CLI) need not know how a bundle
-// was built.
+// bundle (or a single-shard v3 layout) as a plain Store, any multi-shard
+// manifest as a Sharded — so callers that only speak Backend (the
+// serving CLI) need not know how a bundle was built.
 func OpenAuto[T any](path string, dist space.Distance[T], codec Codec[T]) (Backend[T], error) {
-	version, _, err := readEnvelope(path)
+	version, payload, err := readEnvelope(path)
 	if err != nil {
 		return nil, err
 	}
-	if version == manifestVersion {
+	switch version {
+	case manifestVersion:
 		return OpenSharded(path, dist, codec)
+	case manifestV3Version:
+		model, shards, next, err := openLayoutV3(path, payload, dist, codec)
+		if err != nil {
+			return nil, err
+		}
+		if len(shards) == 1 {
+			st := shards[0]
+			st.nextID.Store(next)
+			st.mark.path = path
+			return st, nil
+		}
+		s := newShardedFront(model, dist, codec, shards, next)
+		s.mark.path = path
+		return s, nil
 	}
 	return Open(path, dist, codec)
 }
@@ -330,24 +375,46 @@ func shardFiles(path string, shards int) []string {
 	return files
 }
 
-// Save writes the store as a sharded layout: every shard bundle first (in
-// parallel, each atomically), the manifest last — so the manifest on disk
-// only ever names fully-written shard files. A single-shard store writes
-// a plain version-1 bundle instead, byte-compatible with Store.Save, so
-// S = 1 round-trips through the original format. Like Store.Save it runs
-// against immutable snapshots and never blocks searches or mutations; a
-// save racing mutations captures, per shard, either the before or the
-// after.
+// Save writes the store as a v3 layout: the base and delta sections of
+// every dirty shard first (in parallel, each shard incrementally — a
+// clean shard's files are not touched at all, and a dirty shard whose
+// base is unchanged only appends a delta frame), the manifest once per
+// path. Snapshot cost therefore scales with how much actually changed,
+// not with n·S. Like Store.Save it runs against immutable snapshots and
+// never blocks searches or mutations; a save racing mutations captures,
+// per shard, either the before or the after. saveV2 in this file
+// preserves the legacy v2 writer for the compatibility fixtures.
 func (s *Sharded[T]) Save(path string) error {
-	if len(s.shards) == 1 {
-		return s.shards[0].Save(path)
+	_, err := s.snapshotTo(path)
+	return err
+}
+
+// snapshotTo is Save plus a "did anything get written" report for the
+// background snapshot loop, recording the duration/bytes metrics.
+func (s *Sharded[T]) snapshotTo(path string) (bool, error) {
+	t0 := nowNanos()
+	written, wrote, err := saveLayoutV3(path, s.model, s.codec, s.shards, &s.nextID, &s.mark)
+	if err != nil {
+		return false, err
 	}
+	if wrote {
+		s.lastSnapNanos.Store(nowNanos() - t0)
+		s.lastSnapBytes.Store(written)
+	}
+	return wrote, nil
+}
+
+// saveV2 writes the store as a legacy version-2 layout (manifest naming
+// one self-contained v1 bundle per shard). Retained for the
+// read-compatibility tests and the fuzz-corpus generator; production
+// saves write the v3 layout.
+func (s *Sharded[T]) saveV2(path string) error {
 	files := shardFiles(path, len(s.shards))
 	dir := filepath.Dir(path)
 	errs := make([]error, len(s.shards))
 	par.For(len(s.shards), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			errs[i] = s.shards[i].Save(filepath.Join(dir, files[i]))
+			errs[i] = s.shards[i].saveV1(filepath.Join(dir, files[i]))
 		}
 	})
 	for i, err := range errs {
@@ -410,101 +477,17 @@ func (s *Sharded[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval
 }
 
 func (s *Sharded[T]) search(snaps []*snapshot[T], q T, k, p int, parallel bool) ([]Result, retrieval.Stats, error) {
-	// Validation errors are the retrieval package's own, byte for byte:
-	// the client-visible error contract must not depend on the layout.
-	if err := retrieval.CheckKP(k, p); err != nil {
+	// One engine for both layouts: searchSnapshots (store.go) embeds the
+	// query once, scatters the same qvec/weights to every shard's filter,
+	// merges on the (filter distance, ID) total order, and refines once.
+	res, st, err := searchSnapshots(s.model, s.dist, s.dims, snaps, q, k, p, parallel)
+	if err != nil {
 		return nil, retrieval.Stats{}, err
 	}
-	qvec := s.model.Embed(q)
-	if len(qvec) != s.dims {
-		return nil, retrieval.Stats{}, retrieval.QueryDimsError(len(qvec), s.dims)
+	for i, sh := range s.shards {
+		sh.noteScan(snaps[i])
 	}
-	var weights []float64
-	if w, ok := any(s.model).(retrieval.Weighter); ok {
-		weights = w.QueryWeights(qvec)
-	}
-
-	// Scatter: every shard filters with the same qvec/weights against its
-	// own captured snapshot. One goroutine per shard; large shards fan
-	// out further inside FilterLive.
-	lists := make([][]cand[T], len(snaps))
-	scatter := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			lists[i] = snaps[i].filterLive(qvec, weights, p, parallel)
-		}
-	}
-	if parallel {
-		par.For(len(snaps), 2, scatter)
-	} else {
-		scatter(0, len(snaps))
-	}
-
-	// Gather: merge on the (filter distance, ID) total order — no
-	// duplicate keys, so the top-p is a unique set in a unique order for
-	// any shard count — and truncate to what one big store would refine.
-	live, n := 0, 0
-	for i, sn := range snaps {
-		live += sn.seg.Live()
-		n += len(lists[i])
-	}
-	merged := make([]cand[T], 0, n)
-	for _, l := range lists {
-		merged = append(merged, l...)
-	}
-	slices.SortFunc(merged, func(a, b cand[T]) int {
-		switch {
-		case a.fdist < b.fdist:
-			return -1
-		case a.fdist > b.fdist:
-			return 1
-		case a.id < b.id:
-			return -1
-		case a.id > b.id:
-			return 1
-		}
-		return 0
-	})
-	if p > live {
-		p = live
-	}
-	if len(merged) > p {
-		merged = merged[:p]
-	}
-
-	// Refine: one exact distance per surviving candidate, ranked on the
-	// (exact distance, ID) total order — the unsharded (distance,
-	// position) order under the position↔ID isomorphism.
-	refined := make([]Result, len(merged))
-	fill := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			refined[i] = Result{ID: merged[i].id, Distance: s.dist(q, merged[i].obj)}
-		}
-	}
-	if parallel {
-		par.For(len(merged), minParallelRefine, fill)
-	} else {
-		fill(0, len(merged))
-	}
-	slices.SortFunc(refined, func(a, b Result) int {
-		switch {
-		case a.Distance < b.Distance:
-			return -1
-		case a.Distance > b.Distance:
-			return 1
-		case a.ID < b.ID:
-			return -1
-		case a.ID > b.ID:
-			return 1
-		}
-		return 0
-	})
-	if k > len(refined) {
-		k = len(refined)
-	}
-	return refined[:k], retrieval.Stats{
-		EmbedDistances:  s.model.EmbedCost(),
-		RefineDistances: len(merged),
-	}, nil
+	return res, st, nil
 }
 
 // Add embeds x (outside every lock — concurrent Adds embed in parallel),
@@ -543,6 +526,19 @@ func (s *Sharded[T]) Add(x T) (uint64, error) {
 	return id, nil
 }
 
+// Upsert atomically replaces the object with the given stable ID in its
+// shard: tombstone plus delta append under one generation bump, keeping
+// the ID (so the replacement routes to the same shard the old object
+// lived in). The embedding is computed outside every lock; a
+// wrong-width object is rejected before anything is tombstoned.
+func (s *Sharded[T]) Upsert(id uint64, x T) error {
+	v := s.model.Embed(x)
+	if len(v) != s.dims {
+		return retrieval.ObjectDimsError(len(v), s.dims)
+	}
+	return s.shards[shardOf(id, len(s.shards))].upsertEmbedded(id, x, v)
+}
+
 // Remove tombstones the object with the given stable ID in its shard.
 func (s *Sharded[T]) Remove(id uint64) error {
 	return s.shards[shardOf(id, len(s.shards))].Remove(id)
@@ -565,6 +561,21 @@ func (s *Sharded[T]) First() (T, bool) {
 		}
 	}
 	return best, found
+}
+
+// Sample returns a representative object of the store's domain: First
+// when any object is live, otherwise one of the shared model's candidate
+// objects — so even a fully drained layout can tell a serving process
+// what its queries look like.
+func (s *Sharded[T]) Sample() (T, bool) {
+	if x, ok := s.First(); ok {
+		return x, true
+	}
+	if cands := s.model.Candidates(); len(cands) > 0 {
+		return cands[0], true
+	}
+	var zero T
+	return zero, false
 }
 
 // Size returns the number of live stored objects across all shards.
@@ -617,10 +628,17 @@ func (s *Sharded[T]) SetCompactionPolicy(p CompactionPolicy) {
 
 // Stats aggregates the shard statistics: sizes, segment layouts, and
 // compaction counts are summed, Generation is the total mutation count,
-// and NextID is the global allocator. The per-shard rows behind the sums
-// are available from ShardStats.
+// NextID is the global allocator, LastCompactionNanos the worst recent
+// shard pause, LastSnapshot* the most recent whole-layout save, and
+// DeltaScanShare the measured share over every shard's scan counters.
+// The per-shard rows behind the sums are available from ShardStats.
 func (s *Sharded[T]) Stats() Stats {
-	agg := Stats{Dims: s.dims, NextID: s.nextID.Load(), Shards: len(s.shards)}
+	agg := Stats{
+		Dims: s.dims, NextID: s.nextID.Load(), Shards: len(s.shards),
+		LastSnapshotNanos: s.lastSnapNanos.Load(),
+		LastSnapshotBytes: s.lastSnapBytes.Load(),
+	}
+	var rows, waste uint64
 	for _, sh := range s.shards {
 		st := sh.Stats()
 		agg.Size += st.Size
@@ -629,6 +647,15 @@ func (s *Sharded[T]) Stats() Stats {
 		agg.DeltaSize += st.DeltaSize
 		agg.Tombstones += st.Tombstones
 		agg.Compactions += st.Compactions
+		if st.LastCompactionNanos > agg.LastCompactionNanos {
+			agg.LastCompactionNanos = st.LastCompactionNanos
+		}
+		r, w := sh.scanCounters()
+		rows += r
+		waste += w
+	}
+	if rows > 0 {
+		agg.DeltaScanShare = float64(waste) / float64(rows)
 	}
 	return agg
 }

@@ -71,10 +71,12 @@ func TestNewShardedValidation(t *testing.T) {
 	}
 }
 
-// TestShardedSaveOpenRoundTrip checks the v2 layout: Save writes a
-// manifest plus one v1 bundle per shard, OpenSharded restores a store
-// with bit-identical answers, OpenAuto picks the right type, and the
-// legacy single-bundle reader refuses the manifest with version skew.
+// TestShardedSaveOpenRoundTrip checks the v3 layout: Save writes a
+// manifest (model once) plus base and delta section files per shard,
+// OpenSharded restores a store with bit-identical answers and one
+// shared model instance across all shards, OpenAuto picks the right
+// type, and the single-store reader refuses the multi-shard manifest
+// with version skew.
 func TestShardedSaveOpenRoundTrip(t *testing.T) {
 	s := newSharded(t, 60, 4)
 	// Mutate so the saved state is not just the build output.
@@ -89,14 +91,15 @@ func TestShardedSaveOpenRoundTrip(t *testing.T) {
 	if err := s.Save(path); err != nil {
 		t.Fatalf("Save: %v", err)
 	}
-	for _, f := range shardFiles(path, 4) {
+	bases, deltas := shardSectionFiles(path, 4)
+	for _, f := range append(append([]string{}, bases...), deltas...) {
 		if fi, err := os.Stat(filepath.Join(dir, f)); err != nil || fi.Size() == 0 {
-			t.Fatalf("shard file %s missing or empty: %v", f, err)
+			t.Fatalf("section file %s missing or empty: %v", f, err)
 		}
 	}
 
 	if _, err := Open(path, l1, Gob[[]float64]()); !errors.Is(err, ErrVersion) {
-		t.Fatalf("legacy Open on a manifest: err %v, want ErrVersion", err)
+		t.Fatalf("single-store Open on a 4-shard manifest: err %v, want ErrVersion", err)
 	}
 
 	r, err := OpenSharded(path, l1, Gob[[]float64]())
@@ -105,6 +108,13 @@ func TestShardedSaveOpenRoundTrip(t *testing.T) {
 	}
 	if len(r.shards) != 4 {
 		t.Fatalf("reopened %d shards, want 4", len(r.shards))
+	}
+	// The manifest stores the model once; every shard must share the one
+	// restored instance (v2 kept S copies alive).
+	for i, sh := range r.shards {
+		if sh.model != r.shards[0].model {
+			t.Fatalf("shard %d restored its own model instance; v3 must share one", i)
+		}
 	}
 	if r.Size() != s.Size() || r.Stats().NextID != s.Stats().NextID {
 		t.Fatalf("reopened store %+v, want %+v", r.Stats(), s.Stats())
@@ -132,11 +142,13 @@ func TestShardedSaveOpenRoundTrip(t *testing.T) {
 	}
 }
 
-// TestSingleShardSavesV1 pins the format compatibility contract in both
-// directions: an S=1 Sharded saves to the original single-file format,
-// and a v1 bundle (from a plain Store) opens as a one-shard Sharded with
-// unchanged answers.
-func TestSingleShardSavesV1(t *testing.T) {
+// TestSingleShardAndV1Compat pins the format compatibility contract:
+// an S=1 layout (from either a plain Store or a one-shard Sharded)
+// opens through Open, OpenSharded, and OpenAuto alike, and a legacy v1
+// bundle — written by the retained v1 writer, exactly what pre-v3
+// deployments have on disk — still opens everywhere with unchanged
+// answers and saves forward as v3.
+func TestSingleShardAndV1Compat(t *testing.T) {
 	model, db := fixture(t, 40)
 	plain, err := New(model, db, l1, Gob[[]float64]())
 	if err != nil {
@@ -152,14 +164,17 @@ func TestSingleShardSavesV1(t *testing.T) {
 	if err := one.Save(onePath); err != nil {
 		t.Fatal(err)
 	}
-	// The S=1 layout is a plain v1 bundle: the legacy reader accepts it.
+	// The S=1 layout opens as a plain single store.
 	if _, err := Open(onePath, l1, Gob[[]float64]()); err != nil {
-		t.Fatalf("legacy Open on S=1 save: %v", err)
+		t.Fatalf("Open on S=1 save: %v", err)
 	}
 
 	v1Path := filepath.Join(dir, "v1.bundle")
-	if err := plain.Save(v1Path); err != nil {
+	if err := plain.saveV1(v1Path); err != nil {
 		t.Fatal(err)
+	}
+	if _, err := Open(v1Path, l1, Gob[[]float64]()); err != nil {
+		t.Fatalf("Open on v1 bundle: %v", err)
 	}
 	r, err := OpenSharded(v1Path, l1, Gob[[]float64]())
 	if err != nil {
@@ -186,17 +201,40 @@ func TestSingleShardSavesV1(t *testing.T) {
 			t.Fatalf("query %d: v1-as-sharded differs:\n got %v\nwant %v", qi, got, want)
 		}
 	}
+
+	// Forward migration: the store opened from v1 saves as v3, which
+	// reopens with the same answers.
+	fwdPath := filepath.Join(dir, "fwd.bundle")
+	if err := r.Save(fwdPath); err != nil {
+		t.Fatalf("saving v1-opened store forward: %v", err)
+	}
+	if version, _, err := readEnvelope(fwdPath); err != nil || version != manifestV3Version {
+		t.Fatalf("forward save wrote version %d (err %v), want %d", version, err, manifestV3Version)
+	}
+	fwd, err := OpenAuto(fwdPath, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatalf("reopening forward save: %v", err)
+	}
+	for qi, q := range queries(10, 5) {
+		want, _, _ := plain.Search(q, 4, 16)
+		got, _, err := fwd.Search(q, 4, 16)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: migrated answers differ (err %v):\n got %v\nwant %v", qi, err, got, want)
+		}
+	}
 }
 
-// TestManifestErrorPaths covers damage to the sharded layout: corrupt
-// manifests, missing shard files, and shard files swapped on disk (which
-// the ID-routing check must catch — objects would otherwise be
-// unreachable by Get/Remove while still appearing in searches).
+// TestManifestErrorPaths covers damage to the legacy v2 sharded layout
+// (which must stay readable): corrupt manifests, missing shard files,
+// and shard files swapped on disk (which the ID-routing check must
+// catch — objects would otherwise be unreachable by Get/Remove while
+// still appearing in searches). The v3 counterparts live in
+// TestV3LayoutErrorPaths.
 func TestManifestErrorPaths(t *testing.T) {
 	s := newSharded(t, 60, 3)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ix.bundle")
-	if err := s.Save(path); err != nil {
+	if err := s.saveV2(path); err != nil {
 		t.Fatal(err)
 	}
 
@@ -273,7 +311,7 @@ func TestShardedForeignModelShardFile(t *testing.T) {
 			t.Fatal(err)
 		}
 		path := filepath.Join(dir, name)
-		if err := s.Save(path); err != nil {
+		if err := s.saveV2(path); err != nil {
 			t.Fatal(err)
 		}
 		return path
@@ -296,15 +334,22 @@ func TestShardedForeignModelShardFile(t *testing.T) {
 	}
 }
 
-// TestShardedStaleManifestAllocator pins the crash-consistency guard: a
-// manifest whose NextID is stale (older than the shard files next to it,
-// as a crash between shard snapshots and the manifest write can leave)
-// must not cause the allocator to re-issue an ID a shard already holds.
+// TestShardedStaleManifestAllocator pins the crash-consistency guard on
+// both manifest eras: a manifest whose NextID is stale (v2: a crash
+// between shard snapshots and the manifest write; v3: the normal state,
+// since delta-only saves never rewrite the manifest) must not cause the
+// allocator to re-issue an ID a shard already holds.
 func TestShardedStaleManifestAllocator(t *testing.T) {
 	s := newSharded(t, 40, 3)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ix.bundle")
-	if err := s.Save(path); err != nil {
+	if err := s.saveV2(path); err != nil {
+		t.Fatal(err)
+	}
+	// v3 path: the manifest is written once; later incremental saves
+	// advance only the sections.
+	v3Path := filepath.Join(dir, "v3.bundle")
+	if err := s.Save(v3Path); err != nil {
 		t.Fatal(err)
 	}
 	// Re-save only the shard files after more adds — the manifest at
@@ -319,7 +364,7 @@ func TestShardedStaleManifestAllocator(t *testing.T) {
 		lastID = id
 	}
 	path2 := filepath.Join(dir, "ix2.bundle")
-	if err := s.Save(path2); err != nil {
+	if err := s.saveV2(path2); err != nil {
 		t.Fatal(err)
 	}
 	newFiles := shardFiles(path2, 3)
@@ -332,19 +377,26 @@ func TestShardedStaleManifestAllocator(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	r, err := OpenSharded(path, l1, Gob[[]float64]())
-	if err != nil {
-		t.Fatalf("stale-manifest layout must open: %v", err)
-	}
-	if next := r.Stats().NextID; next != lastID+1 {
-		t.Fatalf("allocator resumed at %d, want %d (max over shard files)", next, lastID+1)
-	}
-	id, err := r.Add([]float64{9, 9, 9})
-	if err != nil {
+	// The v3 layout gets the same adds through its own incremental save:
+	// the manifest at v3Path keeps its original (now stale) NextID.
+	if err := s.Save(v3Path); err != nil {
 		t.Fatal(err)
 	}
-	if id != lastID+1 {
-		t.Fatalf("post-reopen Add issued %d, want %d", id, lastID+1)
+	for _, p := range []string{path, v3Path} {
+		r, err := OpenSharded(p, l1, Gob[[]float64]())
+		if err != nil {
+			t.Fatalf("%s: stale-manifest layout must open: %v", p, err)
+		}
+		if next := r.Stats().NextID; next != lastID+1 {
+			t.Fatalf("%s: allocator resumed at %d, want %d (max over shard files)", p, next, lastID+1)
+		}
+		id, err := r.Add([]float64{9, 9, 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != lastID+1 {
+			t.Fatalf("%s: post-reopen Add issued %d, want %d", p, id, lastID+1)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"qse/internal/core"
+	"qse/internal/par"
 	"qse/internal/retrieval"
 	"qse/internal/space"
 )
@@ -48,6 +49,23 @@ type Stats struct {
 	// plain Store, S for a Sharded. In an aggregate Stats the segment
 	// fields above are sums over the shards.
 	Shards int
+	// LastCompactionNanos is the wall-clock duration of the most recent
+	// compaction (0 until one has run). In an aggregate Stats it is the
+	// maximum over the shards — the worst pause a query could have raced.
+	LastCompactionNanos int64
+	// LastSnapshotNanos and LastSnapshotBytes describe the most recent
+	// Save: how long it took and how many bytes it actually wrote. An
+	// incremental save of a lightly dirty store writes only the dirty
+	// shards' delta frames, so bytes track the delta size, not the store
+	// size.
+	LastSnapshotNanos int64
+	LastSnapshotBytes int64
+	// DeltaScanShare is the measured fraction of filter-scan row visits
+	// spent on delta rows and tombstones since the last compaction (or
+	// open) — the scan degradation the background compactor schedules on.
+	// Zero when no searches have run. In an aggregate Stats the shares
+	// are combined over all shards' scan counters.
+	DeltaScanShare float64
 }
 
 // CompactionPolicy decides when the mutation path folds the delta segment
@@ -85,14 +103,28 @@ type snapshot[T any] struct {
 	// Both are immutable and rebuilt only by compaction.
 	baseIDs []uint64
 	basePos map[uint64]int
-	// deltaIDs maps delta offset -> stable ID. Add assigns ascending IDs,
-	// so it is sorted and lookups binary-search it.
-	deltaIDs []uint64
+	// deltaIDs maps delta offset -> stable ID. Add assigns ascending IDs;
+	// Upsert re-appends an existing ID, so the slice is sorted only while
+	// deltaSorted holds — lookups binary-search it when they can and fall
+	// back to a linear scan of the (small, compaction-bounded) delta when
+	// they cannot.
+	deltaIDs    []uint64
+	deltaSorted bool
 	// gen is the mutation count that produced this snapshot. It lives
 	// inside the snapshot — not in a separate atomic — so contents and
 	// generation are always observed together: equal generations really
 	// do mean identical contents.
 	gen uint64
+	// baseVer identifies the base segment: it is replaced exactly when
+	// compaction replaces the base, so the incremental saver can tell "the
+	// on-disk base section still matches, append a delta frame" from "the
+	// base changed, rewrite both sections". Tags are drawn at random (see
+	// newBaseTag) rather than counted, so a delta log left stale by a
+	// crash between section writes can never collide with a different
+	// base that happens to share a counter value. For an opened store the
+	// tag resumes from the base section on disk, which is what lets
+	// background snapshots stay incremental across process restarts.
+	baseVer uint64
 	// firstLive is the lowest live global position, or seg.Total() when
 	// every row is tombstoned. It is maintained incrementally — Add never
 	// lowers it, Remove only advances it when the first live row itself
@@ -110,20 +142,41 @@ func (sn *snapshot[T]) idAt(pos int) uint64 {
 	return sn.baseIDs[pos]
 }
 
-// lookup resolves a stable ID to a live global position.
+// lookup resolves a stable ID to a live global position. An ID may occur
+// more than once across the segments after an Upsert (the old row
+// tombstoned, the replacement appended to the delta under the same ID);
+// lookup returns the live occurrence if one exists.
 func (sn *snapshot[T]) lookup(id uint64) (int, bool) {
-	if i, ok := sn.basePos[id]; ok {
-		return i, sn.seg.Alive(i)
+	if i, ok := sn.basePos[id]; ok && sn.seg.Alive(i) {
+		return i, true
 	}
-	if j, ok := slices.BinarySearch(sn.deltaIDs, id); ok {
-		pos := len(sn.baseIDs) + j
-		return pos, sn.seg.Alive(pos)
+	bn := len(sn.baseIDs)
+	if sn.deltaSorted {
+		// A sorted delta holds each ID at most once (a second occurrence
+		// of the same ID would have broken the strict ascent).
+		if j, ok := slices.BinarySearch(sn.deltaIDs, id); ok {
+			pos := bn + j
+			return pos, sn.seg.Alive(pos)
+		}
+		return 0, false
+	}
+	// Upserts made the delta unsorted: scan newest-first so the live
+	// replacement shadows its tombstoned predecessors. The delta is
+	// bounded by the compaction policy, so this stays small.
+	for j := len(sn.deltaIDs) - 1; j >= 0; j-- {
+		if sn.deltaIDs[j] == id {
+			if pos := bn + j; sn.seg.Alive(pos) {
+				return pos, true
+			}
+		}
 	}
 	return 0, false
 }
 
 // liveIDs returns the stable IDs of the live rows in position order —
-// the ID table of the compacted equivalent of this snapshot.
+// ascending while the position↔ID order isomorphism holds, but possibly
+// unsorted after Upserts (which keep an old ID at a new position) until
+// the next compaction restores the order.
 func (sn *snapshot[T]) liveIDs() []uint64 {
 	out := make([]uint64, 0, sn.seg.Live())
 	for pos, total := 0, sn.seg.Total(); pos < total; pos++ {
@@ -134,15 +187,62 @@ func (sn *snapshot[T]) liveIDs() []uint64 {
 	return out
 }
 
+// idOrdered reports whether position order equals stable-ID order for
+// this snapshot's live rows: the base is always ID-sorted (compaction
+// restores the order, see compacted), so the whole snapshot is ordered
+// iff the delta is internally sorted and starts past the base's last ID.
+// Only Upsert can break this, and only until the next compaction.
+func (sn *snapshot[T]) idOrdered() bool {
+	return sn.deltaSorted &&
+		(len(sn.deltaIDs) == 0 || len(sn.baseIDs) == 0 || sn.deltaIDs[0] > sn.baseIDs[len(sn.baseIDs)-1])
+}
+
 // compacted returns the snapshot's contents as a single-segment index
 // plus its ID table, reusing the base directly when there is nothing to
-// fold. It only reads immutable state, so any holder of a snapshot may
-// call it without the store lock (Save does).
+// fold. The result is always in ascending-ID order: when Upserts have
+// decoupled position order from ID order, the live rows are gathered in
+// ID order — re-establishing the isomorphism every fresh base (and every
+// saved base section) is built on. It only reads immutable state, so any
+// holder of a snapshot may call it without the store lock (Save does).
 func (sn *snapshot[T]) compacted() (*retrieval.Index[T], []uint64) {
 	if sn.seg.DeltaLen() == 0 && sn.seg.Tombstones() == 0 {
 		return sn.seg.Base(), sn.baseIDs
 	}
-	return sn.seg.Compact(), sn.liveIDs()
+	if sn.idOrdered() {
+		return sn.seg.Compact(), sn.liveIDs()
+	}
+	type rowRef struct {
+		id  uint64
+		pos int
+	}
+	refs := make([]rowRef, 0, sn.seg.Live())
+	for pos, total := 0, sn.seg.Total(); pos < total; pos++ {
+		if sn.seg.Alive(pos) {
+			refs = append(refs, rowRef{sn.idAt(pos), pos})
+		}
+	}
+	slices.SortFunc(refs, func(a, b rowRef) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	positions := make([]int, len(refs))
+	ids := make([]uint64, len(refs))
+	for i, r := range refs {
+		positions[i] = r.pos
+		ids[i] = r.id
+	}
+	ix, err := sn.seg.Gather(positions)
+	if err != nil {
+		// Positions come from the snapshot's own live scan; out-of-range
+		// is impossible.
+		panic("store: internal: " + err.Error())
+	}
+	return ix, ids
 }
 
 // Store serves a retrieval index under a copy-on-write discipline:
@@ -170,6 +270,33 @@ type Store[T any] struct {
 	policy CompactionPolicy
 	// compactions counts fold-ins; atomic so Stats stays lock-free.
 	compactions atomic.Uint64
+
+	// scanRows/scanWaste measure filter-scan work since the last
+	// compaction (or open): total rows visible to scans and the subset
+	// that is delta rows or tombstones — the extra work a compaction
+	// would remove. Two atomic adds per query per shard; the background
+	// compactor schedules on their ratio instead of wall clock.
+	scanRows  atomic.Uint64
+	scanWaste atomic.Uint64
+	// lastCompactNanos/lastSnapNanos/lastSnapBytes back the Stats metrics.
+	lastCompactNanos atomic.Int64
+	lastSnapNanos    atomic.Int64
+	lastSnapBytes    atomic.Int64
+
+	// saveMu serializes saves (mutations and searches are never blocked:
+	// they use mu and no lock respectively) and guards the incremental
+	// bookkeeping below: which base/delta section files describe this
+	// store on disk, through which generation, and where the delta log's
+	// last durable frame ends.
+	saveMu sync.Mutex
+	saved  savedShardState
+	// mark tracks the manifest this store last wrote (plain stores write
+	// a single-shard v3 layout).
+	mark layoutMark
+
+	// lcMu guards the background lifecycle started by Start.
+	lcMu sync.Mutex
+	lc   *lifecycle
 }
 
 // New builds a store over db: the database is embedded (len(db) ×
@@ -194,7 +321,7 @@ func New[T any](model *core.Model[T], db []T, dist space.Distance[T], codec Code
 	}
 	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy()}
 	s.nextID.Store(uint64(len(db)))
-	s.cur.Store(newBaseSnapshot(ix, ids, 0))
+	s.cur.Store(newBaseSnapshot(ix, ids, 0, newBaseTag()))
 	return s, nil
 }
 
@@ -236,22 +363,48 @@ func newWithIDs[T any](model *core.Model[T], db []T, ids []uint64, nextID uint64
 	}
 	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy()}
 	s.nextID.Store(nextID)
-	s.cur.Store(newBaseSnapshot(ix, ids, 0))
+	s.cur.Store(newBaseSnapshot(ix, ids, 0, newBaseTag()))
 	return s, nil
 }
 
-// Open restores a store from a bundle written by Save. No exact distances
-// are computed: the embedded vectors travel in the bundle, so opening
-// costs only decode time, and search answers are bit-identical to the
-// store that saved it. dist and codec must match the ones the bundle was
-// saved under (neither is serializable). Bundles are always written
-// compacted, so an opened store starts with an empty delta and no
-// tombstones.
+// Open restores a single store from path: a current v3 layout with one
+// shard (manifest + base section + delta log) or a legacy v1 bundle. No
+// exact distances are computed: the embedded vectors travel in the
+// files, so opening costs only decode time, and search answers are
+// bit-identical to the store that saved it. dist and codec must match
+// the ones the layout was saved under (neither is serializable). A v3
+// store reopens with its saved base and delta segments intact — no
+// compaction happened on the way out — and subsequent Saves to the same
+// path continue incrementally.
 func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T], error) {
 	if codec == nil {
 		return nil, fmt.Errorf("store: nil codec")
 	}
-	body, err := readBundle(path)
+	version, payload, err := readEnvelope(path)
+	if err != nil {
+		return nil, err
+	}
+	switch version {
+	case bundleVersion:
+		// Fall through to the v1 decode below.
+	case manifestV3Version:
+		_, shards, next, err := openLayoutV3(path, payload, dist, codec)
+		if err != nil {
+			return nil, err
+		}
+		if len(shards) != 1 {
+			return nil, fmt.Errorf("%w: %s is a %d-shard layout; open it with OpenSharded", ErrVersion, path, len(shards))
+		}
+		st := shards[0]
+		st.nextID.Store(next)
+		st.mark.path = path
+		return st, nil
+	case manifestVersion:
+		return nil, fmt.Errorf("%w: %s is a sharded manifest (version %d); open it with OpenSharded", ErrVersion, path, version)
+	default:
+		return nil, fmt.Errorf("%w: %s has version %d, this build reads %d", ErrVersion, path, version, bundleVersion)
+	}
+	body, err := decodeBundle(path, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -288,29 +441,41 @@ func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T]
 	}
 	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy()}
 	s.nextID.Store(body.NextID)
-	s.cur.Store(newBaseSnapshot(ix, body.IDs, 0))
+	s.cur.Store(newBaseSnapshot(ix, body.IDs, 0, newBaseTag()))
 	return s, nil
 }
 
 // newBaseSnapshot wraps a single-segment index as a snapshot. Every row
 // of a fresh base is live, so firstLive is 0 — which also covers the
-// empty store, where 0 == Total().
-func newBaseSnapshot[T any](ix *retrieval.Index[T], ids []uint64, gen uint64) *snapshot[T] {
+// empty store, where 0 == Total(). ids must be ascending (every caller
+// constructs or compacts into ID order), so the fresh delta is sorted.
+func newBaseSnapshot[T any](ix *retrieval.Index[T], ids []uint64, gen, baseVer uint64) *snapshot[T] {
 	pos := make(map[uint64]int, len(ids))
 	for i, id := range ids {
 		pos[id] = i
 	}
-	return &snapshot[T]{seg: retrieval.NewSegmented(ix), baseIDs: ids, basePos: pos, gen: gen}
+	return &snapshot[T]{seg: retrieval.NewSegmented(ix), baseIDs: ids, basePos: pos, deltaSorted: true, gen: gen, baseVer: baseVer}
 }
 
-// Save writes the store's current state to path as a self-contained
-// bundle, atomically. It runs against one immutable snapshot, so it never
-// blocks searches or mutations and never observes a torn state — a Save
-// racing an Add simply captures either the before or the after. The
-// snapshot is compacted on the way out (without publishing anything), so
-// bundles always hold a single clean segment regardless of how much delta
-// and tombstone state is live in memory.
+// Save writes the store's current state to path as a v3 layout (manifest
+// + base section + delta log), incrementally: when path was saved before
+// by this store and the base segment has not been replaced by a
+// compaction since, only a delta frame holding the rows and tombstones
+// added since the last save is appended — O(dirty delta), not O(n). It
+// runs against one immutable snapshot, never blocks searches or
+// mutations, and never observes a torn state — a Save racing an Add
+// simply captures either the before or the after. Concurrent Saves
+// serialize among themselves. saveV1 in bundle.go preserves the legacy
+// single-file writer for the compatibility fixtures.
 func (s *Store[T]) Save(path string) error {
+	_, err := s.snapshotTo(path)
+	return err
+}
+
+// saveV1 writes the store's compacted state as a legacy version-1
+// single-file bundle. Retained for the read-compatibility tests and the
+// fuzz-corpus generator; production saves write the v3 layout.
+func (s *Store[T]) saveV1(path string) error {
 	// Load the snapshot first: nextID only grows, and Add advances it
 	// before publishing the snapshot that uses the new ID, so the pair
 	// (snapshot, nextID-read-after) can never under-count.
@@ -345,42 +510,61 @@ func (s *Store[T]) Save(path string) error {
 	})
 }
 
-// Search runs a filter-and-refine query against the current snapshot.
+// Search runs a filter-and-refine query against the current snapshot,
+// through the same candidate-merge engine the sharded store uses (a
+// plain store is the one-snapshot case), so the two layouts rank on the
+// same (distance, stable ID) total order and cannot drift apart.
 // Results carry stable IDs. A store smaller than k — including one
 // drained empty by removals — answers with what it has (possibly zero
 // results); that is not an error.
 func (s *Store[T]) Search(q T, k, p int) ([]Result, retrieval.Stats, error) {
 	snap := s.cur.Load()
-	ns, st, err := snap.seg.Search(q, k, p)
+	res, st, err := searchSnapshots(s.model, s.dist, snap.seg.Dims(), []*snapshot[T]{snap}, q, k, p, true)
 	if err != nil {
 		return nil, retrieval.Stats{}, err
 	}
-	return toResults(snap, ns), st, nil
+	s.noteScan(snap)
+	return res, st, nil
 }
 
-// SearchBatch pipelines a whole query batch across the worker pool (see
-// retrieval.SearchBatch). The entire batch runs against one snapshot, so
-// every query in it sees the same store version even under concurrent
-// mutation.
+// SearchBatch pipelines a whole query batch across the worker pool. The
+// entire batch runs against one snapshot, so every query in it sees the
+// same store version even under concurrent mutation; the error of the
+// lowest-indexed failing query fails the batch deterministically.
 func (s *Store[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.Stats, error) {
-	snap := s.cur.Load()
-	ns, st, err := snap.seg.SearchBatch(queries, k, p)
-	if err != nil {
+	if err := retrieval.CheckKP(k, p); err != nil {
 		return nil, nil, err
 	}
-	out := make([][]Result, len(ns))
-	for i := range ns {
-		out[i] = toResults(snap, ns[i])
+	snap := s.cur.Load()
+	snaps := []*snapshot[T]{snap}
+	results := make([][]Result, len(queries))
+	stats := make([]retrieval.Stats, len(queries))
+	errs := make([]error, len(queries))
+	par.For(len(queries), 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i], stats[i], errs[i] = searchSnapshots(s.model, s.dist, snap.seg.Dims(), snaps, queries[i], k, p, false)
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		s.noteScan(snap)
 	}
-	return out, st, nil
+	return results, stats, nil
 }
 
-func toResults[T any](snap *snapshot[T], ns []space.Neighbor) []Result {
-	out := make([]Result, len(ns))
-	for i, n := range ns {
-		out[i] = Result{ID: snap.idAt(n.Index), Distance: n.Distance}
-	}
-	return out
+// noteScan accounts one filter scan over the given snapshot toward the
+// measured delta-scan share (see Stats.DeltaScanShare).
+func (s *Store[T]) noteScan(sn *snapshot[T]) {
+	s.scanRows.Add(uint64(sn.seg.Total()))
+	s.scanWaste.Add(uint64(sn.seg.DeltaLen() + sn.seg.Tombstones()))
+}
+
+// scanCounters returns the cumulative scan-work counters (rows visited,
+// rows of it wasted on delta/tombstones) since the last compaction.
+func (s *Store[T]) scanCounters() (rows, waste uint64) {
+	return s.scanRows.Load(), s.scanWaste.Load()
 }
 
 // cand is one surviving filter-phase candidate of a scatter-gather
@@ -396,9 +580,12 @@ type cand[T any] struct {
 
 // filterLive runs the filter phase of one shard against this immutable
 // snapshot: the p best live rows in ascending (filter distance, stable
-// ID) order. Positions order rows exactly like IDs do (see DESIGN.md §8),
-// so mapping the segmented scan's (distance, position) ranking to
-// (distance, ID) preserves it bit for bit.
+// ID) order. Positions order rows exactly like IDs do (see DESIGN.md §8)
+// except between an Upsert and the next compaction, so mapping the
+// segmented scan's (distance, position) ranking to (distance, ID)
+// preserves it bit for bit whenever filter distances are distinct —
+// exact float64 ties across distinct rows are the only case where the
+// two orders could disagree, and only for upserted rows.
 func (sn *snapshot[T]) filterLive(qvec, weights []float64, p int, parallel bool) []cand[T] {
 	ns := sn.seg.FilterLive(qvec, weights, p, parallel)
 	out := make([]cand[T], len(ns))
@@ -408,12 +595,118 @@ func (sn *snapshot[T]) filterLive(qvec, weights []float64, p int, parallel bool)
 	return out
 }
 
+// searchSnapshots is the one store-layer search engine: it scatters the
+// filter phase across the given snapshots (one for a plain store, one
+// per shard for a sharded one), merges the per-snapshot candidates on
+// the (filter distance, stable ID) total order, and refines the
+// surviving p exactly once on the (exact distance, stable ID) order.
+// Both layouts answer through this function, so their results, stats,
+// and error contract cannot drift apart.
+func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims int, snaps []*snapshot[T], q T, k, p int, parallel bool) ([]Result, retrieval.Stats, error) {
+	// Validation errors are the retrieval package's own, byte for byte:
+	// the client-visible error contract must not depend on the layout.
+	if err := retrieval.CheckKP(k, p); err != nil {
+		return nil, retrieval.Stats{}, err
+	}
+	qvec := model.Embed(q)
+	if len(qvec) != dims {
+		return nil, retrieval.Stats{}, retrieval.QueryDimsError(len(qvec), dims)
+	}
+	var weights []float64
+	if w, ok := any(model).(retrieval.Weighter); ok {
+		weights = w.QueryWeights(qvec)
+	}
+
+	// Scatter: every snapshot filters with the same qvec/weights. One
+	// goroutine per shard; large shards fan out further inside
+	// FilterLive.
+	lists := make([][]cand[T], len(snaps))
+	scatter := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lists[i] = snaps[i].filterLive(qvec, weights, p, parallel)
+		}
+	}
+	if parallel && len(snaps) > 1 {
+		par.For(len(snaps), 2, scatter)
+	} else {
+		scatter(0, len(snaps))
+	}
+
+	// Gather: merge on the (filter distance, ID) total order — no
+	// duplicate keys, so the top-p is a unique set in a unique order for
+	// any shard count — and truncate to what one big store would refine.
+	live, n := 0, 0
+	for i, sn := range snaps {
+		live += sn.seg.Live()
+		n += len(lists[i])
+	}
+	merged := make([]cand[T], 0, n)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	slices.SortFunc(merged, func(a, b cand[T]) int {
+		switch {
+		case a.fdist < b.fdist:
+			return -1
+		case a.fdist > b.fdist:
+			return 1
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	if p > live {
+		p = live
+	}
+	if len(merged) > p {
+		merged = merged[:p]
+	}
+
+	// Refine: one exact distance per surviving candidate, ranked on the
+	// (exact distance, ID) total order.
+	refined := make([]Result, len(merged))
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			refined[i] = Result{ID: merged[i].id, Distance: dist(q, merged[i].obj)}
+		}
+	}
+	if parallel {
+		par.For(len(merged), minParallelRefine, fill)
+	} else {
+		fill(0, len(merged))
+	}
+	slices.SortFunc(refined, func(a, b Result) int {
+		switch {
+		case a.Distance < b.Distance:
+			return -1
+		case a.Distance > b.Distance:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	if k > len(refined) {
+		k = len(refined)
+	}
+	return refined[:k], retrieval.Stats{
+		EmbedDistances:  model.EmbedCost(),
+		RefineDistances: len(merged),
+	}, nil
+}
+
 // First returns the live stored object with the lowest stable ID, for
 // callers that need a representative sample — the serving CLI derives the
-// expected query shape from it. It is O(1): the snapshot tracks its
-// lowest live position incrementally instead of rescanning a possibly
-// heavily tombstoned prefix (position order is ID order, so the lowest
-// live position is the lowest live ID).
+// expected query shape from it. It is O(1) while the position↔ID order
+// isomorphism holds: the snapshot tracks its lowest live position
+// incrementally instead of rescanning a possibly heavily tombstoned
+// prefix. After an Upsert (which keeps an old ID at a new position) the
+// lowest live position may not hold the lowest live ID, so First scans —
+// O(n) only between an upsert and the next compaction.
 func (s *Store[T]) First() (T, bool) {
 	x, _, ok := s.firstLive()
 	return x, ok
@@ -422,11 +715,44 @@ func (s *Store[T]) First() (T, bool) {
 // firstLive returns the lowest-ID live object together with its ID.
 func (s *Store[T]) firstLive() (T, uint64, bool) {
 	snap := s.cur.Load()
-	if fl := snap.firstLive; fl < snap.seg.Total() {
-		return snap.seg.Object(fl), snap.idAt(fl), true
+	if snap.idOrdered() {
+		if fl := snap.firstLive; fl < snap.seg.Total() {
+			return snap.seg.Object(fl), snap.idAt(fl), true
+		}
+		var zero T
+		return zero, 0, false
+	}
+	best, bestPos, found := uint64(0), 0, false
+	for pos, total := 0, snap.seg.Total(); pos < total; pos++ {
+		if snap.seg.Alive(pos) {
+			if id := snap.idAt(pos); !found || id < best {
+				best, bestPos, found = id, pos, true
+			}
+		}
+	}
+	if !found {
+		var zero T
+		return zero, 0, false
+	}
+	return snap.seg.Object(bestPos), best, true
+}
+
+// Sample returns a representative object of the store's domain: the
+// lowest-ID live object when one exists, and otherwise one of the
+// model's candidate objects — which were drawn from the training
+// database and therefore share the stored objects' shape. Unlike First
+// it succeeds even on a store drained empty by removals, which is what
+// lets a serving process derive the expected query shape from any
+// bundle without an operator-supplied flag.
+func (s *Store[T]) Sample() (T, bool) {
+	if x, _, ok := s.firstLive(); ok {
+		return x, true
+	}
+	if cands := s.model.Candidates(); len(cands) > 0 {
+		return cands[0], true
 	}
 	var zero T
-	return zero, 0, false
+	return zero, false
 }
 
 // Get returns the object with the given stable ID.
@@ -490,10 +816,67 @@ func (s *Store[T]) publishAdd(old *snapshot[T], seg *retrieval.Segmented[T], id 
 		// Appending to the shared backing is safe: every published
 		// snapshot's deltaIDs prefix ends before this slot, and mu
 		// serializes the writers.
-		deltaIDs:  append(old.deltaIDs, id),
-		gen:       old.gen + 1,
-		firstLive: old.firstLive,
+		deltaIDs:    append(old.deltaIDs, id),
+		deltaSorted: old.deltaSorted && (len(old.deltaIDs) == 0 || id > old.deltaIDs[len(old.deltaIDs)-1]),
+		gen:         old.gen + 1,
+		firstLive:   old.firstLive,
+		baseVer:     old.baseVer,
 	}))
+}
+
+// Upsert atomically replaces the object with the given stable ID: the
+// old row is tombstoned and x is appended to the delta under the same
+// ID, in one published snapshot and one generation bump — a reader
+// observes either the old object or the new one, never neither nor
+// both. The ID is preserved (this is what a mutating workload's PUT
+// wants); because the replacement lands at the end of the delta, the
+// position↔ID order isomorphism is suspended until the next compaction
+// folds the rows back into ID order (see compacted). An unknown ID is
+// ErrUnknownID; an object embedding to the wrong width is rejected
+// before anything is tombstoned, leaving the store unchanged.
+func (s *Store[T]) Upsert(id uint64, x T) error {
+	v := s.model.Embed(x)
+	return s.upsertEmbedded(id, x, v)
+}
+
+// upsertEmbedded is Upsert with the embedding already computed (the
+// sharded store embeds outside every lock, then routes by ID).
+func (s *Store[T]) upsertEmbedded(id uint64, x T, v []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cur.Load()
+	if len(v) != old.seg.Dims() {
+		return retrieval.ObjectDimsError(len(v), old.seg.Dims())
+	}
+	pos, ok := old.lookup(id)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	seg, err := old.seg.Remove(pos)
+	if err != nil {
+		return err
+	}
+	seg, _, err = seg.AddWithVector(x, v)
+	if err != nil {
+		return err
+	}
+	// The replaced row may have been the first live one; the appended
+	// replacement is live at the very end, so the advance always stops.
+	fl := old.firstLive
+	if pos == fl {
+		for fl++; fl < seg.Total() && !seg.Alive(fl); fl++ {
+		}
+	}
+	s.cur.Store(s.maybeCompact(&snapshot[T]{
+		seg:     seg,
+		baseIDs: old.baseIDs, basePos: old.basePos,
+		deltaIDs:    append(old.deltaIDs, id),
+		deltaSorted: old.deltaSorted && (len(old.deltaIDs) == 0 || id > old.deltaIDs[len(old.deltaIDs)-1]),
+		gen:         old.gen + 1,
+		firstLive:   fl,
+		baseVer:     old.baseVer,
+	}))
+	return nil
 }
 
 // Remove deletes the object with the given stable ID by tombstoning its
@@ -524,9 +907,11 @@ func (s *Store[T]) Remove(id uint64) error {
 	s.cur.Store(s.maybeCompact(&snapshot[T]{
 		seg:     seg,
 		baseIDs: old.baseIDs, basePos: old.basePos,
-		deltaIDs:  old.deltaIDs,
-		gen:       old.gen + 1,
-		firstLive: fl,
+		deltaIDs:    old.deltaIDs,
+		deltaSorted: old.deltaSorted,
+		gen:         old.gen + 1,
+		firstLive:   fl,
+		baseVer:     old.baseVer,
 	}))
 	return nil
 }
@@ -543,9 +928,10 @@ func (s *Store[T]) SetCompactionPolicy(p CompactionPolicy) {
 // Compact folds the delta segment and the tombstones into a fresh base
 // immediately, regardless of thresholds, and reports whether there was
 // anything to fold. Searches are never blocked: they keep hitting the
-// old snapshot until the compacted one is published. A background
-// compactor (cmd/qse-serve runs one) calls this during quiet periods so
-// scans stay clean and Save stays cheap.
+// old snapshot until the compacted one is published. The store's own
+// background compactor (see Start) calls this when the measured
+// delta-scan share crosses its threshold, so scans stay clean and Save
+// stays cheap.
 func (s *Store[T]) Compact() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -553,8 +939,7 @@ func (s *Store[T]) Compact() bool {
 	if snap.seg.DeltaLen() == 0 && snap.seg.Tombstones() == 0 {
 		return false
 	}
-	s.compactions.Add(1)
-	s.cur.Store(compactSnapshot(snap))
+	s.cur.Store(s.runCompaction(snap))
 	return true
 }
 
@@ -567,15 +952,29 @@ func (s *Store[T]) maybeCompact(sn *snapshot[T]) *snapshot[T] {
 	if !deltaTrig && !deadTrig {
 		return sn
 	}
+	return s.runCompaction(sn)
+}
+
+// runCompaction compacts sn, accounting the duration and resetting the
+// scan-degradation counters (the new base has nothing to degrade).
+// Callers hold mu.
+func (s *Store[T]) runCompaction(sn *snapshot[T]) *snapshot[T] {
+	t0 := nowNanos()
+	out := compactSnapshot(sn)
 	s.compactions.Add(1)
-	return compactSnapshot(sn)
+	s.lastCompactNanos.Store(nowNanos() - t0)
+	s.scanRows.Store(0)
+	s.scanWaste.Store(0)
+	return out
 }
 
 // compactSnapshot returns the compacted equivalent of sn: same live
-// contents, same generation, single segment, fresh ID tables.
+// contents, same generation, single segment, fresh (ID-ordered) tables,
+// and a fresh base tag so the incremental saver knows the on-disk base
+// section no longer matches.
 func compactSnapshot[T any](sn *snapshot[T]) *snapshot[T] {
 	ix, ids := sn.compacted()
-	return newBaseSnapshot(ix, ids, sn.gen)
+	return newBaseSnapshot(ix, ids, sn.gen, newBaseTag())
 }
 
 // Size returns the number of live stored objects.
@@ -592,16 +991,25 @@ func (s *Store[T]) Generation() uint64 { return s.cur.Load().gen }
 // snapshot load, so they are mutually consistent.
 func (s *Store[T]) Stats() Stats {
 	snap := s.cur.Load()
+	rows, waste := s.scanCounters()
+	var share float64
+	if rows > 0 {
+		share = float64(waste) / float64(rows)
+	}
 	return Stats{
-		Size:        snap.seg.Live(),
-		Dims:        snap.seg.Dims(),
-		Generation:  snap.gen,
-		NextID:      s.nextID.Load(),
-		BaseSize:    snap.seg.BaseSize(),
-		DeltaSize:   snap.seg.DeltaLen(),
-		Tombstones:  snap.seg.Tombstones(),
-		Compactions: s.compactions.Load(),
-		Shards:      1,
+		Size:                snap.seg.Live(),
+		Dims:                snap.seg.Dims(),
+		Generation:          snap.gen,
+		NextID:              s.nextID.Load(),
+		BaseSize:            snap.seg.BaseSize(),
+		DeltaSize:           snap.seg.DeltaLen(),
+		Tombstones:          snap.seg.Tombstones(),
+		Compactions:         s.compactions.Load(),
+		Shards:              1,
+		LastCompactionNanos: s.lastCompactNanos.Load(),
+		LastSnapshotNanos:   s.lastSnapNanos.Load(),
+		LastSnapshotBytes:   s.lastSnapBytes.Load(),
+		DeltaScanShare:      share,
 	}
 }
 

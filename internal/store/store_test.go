@@ -225,23 +225,42 @@ func TestBundleErrorPaths(t *testing.T) {
 	}
 }
 
-// TestAtomicSaveLeavesNoTemp checks Save publishes via rename and cleans up.
+// TestAtomicSaveLeavesNoTemp checks Save publishes via rename and cleans
+// up: after a save the directory holds exactly the layout's files —
+// manifest, base section, delta log — and no temporaries, even after an
+// incremental re-save.
 func TestAtomicSaveLeavesNoTemp(t *testing.T) {
 	s := newStore(t, 40)
 	dir := t.TempDir()
 	if err := s.Save(filepath.Join(dir, "ix.bundle")); err != nil {
 		t.Fatalf("Save: %v", err)
 	}
+	if _, err := s.Add([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(filepath.Join(dir, "ix.bundle")); err != nil {
+		t.Fatalf("incremental Save: %v", err)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != "ix.bundle" {
-		names := []string{}
-		for _, e := range entries {
-			names = append(names, e.Name())
+	want := map[string]bool{
+		"ix.bundle":                        true,
+		"ix.bundle.shard-000-of-001.base":  true,
+		"ix.bundle.shard-000-of-001.delta": true,
+	}
+	names := []string{}
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("directory holds %v, want exactly the three layout files", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected file %s in %v", n, names)
 		}
-		t.Fatalf("directory holds %v, want exactly ix.bundle", names)
 	}
 }
 

@@ -35,6 +35,9 @@ echo "== building bundle from the synthetic dataset"
 "$workdir/qse-serve" -dataset series -db 120 -rounds 6 -triples 600 \
   -candidates 20 -pool 40 -bundle "$bundle" -build-only
 test -s "$bundle"
+# The v3 layout: manifest + base section + delta log, even unsharded.
+test -s "$bundle.shard-000-of-001.base"
+test -s "$bundle.shard-000-of-001.delta"
 
 echo "== qse-query serves from the bundle without dataset regeneration"
 expect "0 exact distances" \
@@ -65,13 +68,27 @@ expect '"id":120' curl -fsS -X POST "http://$addr/v1/objects" \
   -d '{"object":[[0.1,0.2],[0.3,0.4]]}'
 expect '"removed":120' curl -fsS -X DELETE "http://$addr/v1/objects/120"
 
+echo "== PUT /v1/objects/{id} upsert round-trip: replace, keep the ID"
+expect '"id":3' curl -fsS -X PUT "http://$addr/v1/objects/3" \
+  -d '{"object":[[0.9,0.8],[0.7,0.6]]}'
+expect '"results"' curl -fsS -X POST "http://$addr/v1/search" \
+  -d '{"id":3,"k":1}'
+expect 'unknown' curl -sS -X PUT "http://$addr/v1/objects/424242" \
+  -d '{"object":[[0.9,0.8],[0.7,0.6]]}'
+
 echo "== GET /v1/stats reflects the traffic and the segment layout"
-expect '"generation":2' curl -fsS "http://$addr/v1/stats"
+expect '"generation":3' curl -fsS "http://$addr/v1/stats"
 expect '"search"' curl -fsS "http://$addr/v1/stats"
-# The add landed in the delta segment and the remove tombstoned it.
-expect '"delta_size":1' curl -fsS "http://$addr/v1/stats"
-expect '"tombstones":1' curl -fsS "http://$addr/v1/stats"
+expect '"upsert"' curl -fsS "http://$addr/v1/stats"
+# The add landed in the delta segment and the remove tombstoned it; the
+# upsert added one more delta row and one more tombstone.
+expect '"delta_size":2' curl -fsS "http://$addr/v1/stats"
+expect '"tombstones":2' curl -fsS "http://$addr/v1/stats"
 expect '"size":120' curl -fsS "http://$addr/v1/stats"
+# Metrics depth: the scheduling signals the v3 lifecycle exposes.
+expect '"delta_scan_share"' curl -fsS "http://$addr/v1/stats"
+expect '"last_snapshot_bytes"' curl -fsS "http://$addr/v1/stats"
+expect '"last_compaction_us"' curl -fsS "http://$addr/v1/stats"
 
 echo "== graceful shutdown writes a final snapshot"
 kill -TERM "$pid"
@@ -88,11 +105,13 @@ echo "== building a sharded bundle (S=4)"
 "$workdir/qse-serve" -dataset series -db 120 -rounds 6 -triples 600 \
   -candidates 20 -pool 40 -bundle "$sbundle" -shards 4 -build-only
 test -s "$sbundle"
-shardfiles=$(ls "$sbundle".shard-*-of-* | wc -l)
-if [ "$shardfiles" -ne 4 ]; then
-  echo "FAIL: expected 4 shard files next to the manifest, found $shardfiles" >&2
-  exit 1
-fi
+for sect in base delta; do
+  shardfiles=$(ls "$sbundle".shard-*-of-*."$sect" | wc -l)
+  if [ "$shardfiles" -ne 4 ]; then
+    echo "FAIL: expected 4 $sect sections next to the manifest, found $shardfiles" >&2
+    exit 1
+  fi
+done
 
 echo "== qse-query reads the sharded layout with zero exact distances"
 expect "0 exact distances" \
@@ -132,5 +151,48 @@ wait "$pid"
 pid=""
 expect "store ready: 120 objects" "$workdir/qse-serve" -bundle "$sbundle" -build-only
 expect "4 shards" "$workdir/qse-serve" -bundle "$sbundle" -build-only
+
+# ---- incremental snapshots: one dirty shard touches one delta file ----
+
+echo "== serving again; a single upsert dirties exactly one shard"
+cksum "$sbundle" "$sbundle".shard-*-of-*.base "$sbundle".shard-*-of-*.delta \
+  > "$workdir/before.cksum"
+
+"$workdir/qse-serve" -bundle "$sbundle" -addr "$saddr" &
+pid=$!
+for i in $(seq 1 100); do
+  curl -fsS "http://$saddr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+expect '"id":0' curl -fsS -X PUT "http://$saddr/v1/objects/0" \
+  -d '{"object":[[0.45,0.35],[0.25,0.15]]}'
+expect '"results"' curl -fsS -X POST "http://$saddr/v1/search" \
+  -d '{"id":0,"k":2}'
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+
+cksum "$sbundle" "$sbundle".shard-*-of-*.base "$sbundle".shard-*-of-*.delta \
+  > "$workdir/after.cksum"
+changed=$(diff "$workdir/before.cksum" "$workdir/after.cksum" | grep '^>' | awk '{print $NF}' || true)
+count=$(echo "$changed" | grep -c . || true)
+if [ "$count" -ne 1 ]; then
+  echo "FAIL: incremental snapshot changed $count files, want exactly 1 delta log:" >&2
+  echo "$changed" >&2
+  exit 1
+fi
+case "$changed" in
+  *.delta) ;;
+  *)
+    echo "FAIL: incremental snapshot rewrote a non-delta file: $changed" >&2
+    exit 1
+    ;;
+esac
+echo "   one dirty shard -> only $(basename "$changed") changed"
+
+echo "== the upsert survives the incremental snapshot"
+expect "store ready: 120 objects" "$workdir/qse-serve" -bundle "$sbundle" -build-only
 
 echo "e2e serve: OK"

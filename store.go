@@ -2,6 +2,7 @@ package qse
 
 import (
 	"fmt"
+	"time"
 
 	"qse/internal/space"
 	"qse/internal/store"
@@ -50,6 +51,33 @@ type StoreStats struct {
 	// unless the store was built with WithShards (or opened from a
 	// sharded bundle layout).
 	Shards int
+	// LastCompactionNanos is the duration of the most recent compaction
+	// (the worst shard's, for a sharded store); LastSnapshotNanos and
+	// LastSnapshotBytes describe the most recent Save — incremental
+	// saves write bytes proportional to the dirty delta, not the store.
+	LastCompactionNanos int64
+	LastSnapshotNanos   int64
+	LastSnapshotBytes   int64
+	// DeltaScanShare is the measured fraction of filter-scan work spent
+	// on delta rows and tombstones since the last compaction — the
+	// signal the background compactor (see Store.Start) schedules on.
+	DeltaScanShare float64
+}
+
+// StoreLifecycle configures the background services a store owns
+// between Start and Close: periodic incremental snapshots of dirty
+// shards to SnapshotPath, and per-shard compaction scheduled on the
+// measured delta-scan share of real query traffic (compact a shard when
+// more than CompactShare of its scanned rows are delta or tombstones).
+// Zero values take the library defaults; a negative interval disables
+// that loop. Close always writes a final snapshot when SnapshotPath is
+// set, so mutations survive a restart even without the periodic loop.
+type StoreLifecycle struct {
+	SnapshotPath     string
+	SnapshotInterval time.Duration
+	CompactInterval  time.Duration
+	CompactShare     float64
+	Logf             func(format string, args ...any)
 }
 
 // StoreOption configures NewStore.
@@ -137,10 +165,15 @@ func OpenStore[T any](path string, dist Distance[T], codec Codec[T]) (*Store[T],
 	return &Store[T]{inner: inner}, nil
 }
 
-// Save atomically writes the store's current state to path as a
-// self-contained bundle (temp file + rename; a crash cannot leave a torn
-// file at path). It runs against one immutable snapshot and never blocks
-// concurrent searches or mutations.
+// Save writes the store's current state to path as a v3 layout: a
+// manifest holding the model once, plus a base section and an
+// append-only delta log per shard. Saves are incremental — a clean
+// shard's files are untouched, a dirty shard whose base is unchanged
+// only appends a delta frame — so background snapshot cost scales with
+// what changed, not with the store. Section rewrites are atomic (temp
+// file + rename) and delta appends are fsynced frames that reopen at
+// the last durable prefix after a crash. Save runs against immutable
+// snapshots and never blocks concurrent searches or mutations.
 func (s *Store[T]) Save(path string) error { return s.inner.Save(path) }
 
 // Search returns the k approximate nearest neighbors of q (see
@@ -187,6 +220,14 @@ func toStoreResults(rs []store.Result) []StoreResult {
 // error and the store is unchanged.
 func (s *Store[T]) Add(x T) (uint64, error) { return s.inner.Add(x) }
 
+// Upsert atomically replaces the object with the given stable ID —
+// tombstone plus delta append under a single generation bump, keeping
+// the ID — which is what a mutating workload's update actually wants:
+// clients holding the ID keep a valid handle to the (new) object. An
+// unknown ID is an error; a wrong-dimensionality object is rejected
+// before anything is tombstoned.
+func (s *Store[T]) Upsert(id uint64, x T) error { return s.inner.Upsert(id, x) }
+
 // Remove deletes the object with the given stable ID by tombstoning it;
 // the storage is reclaimed by a later compaction. Other objects keep
 // their IDs.
@@ -199,6 +240,32 @@ func (s *Store[T]) Compact() bool { return s.inner.Compact() }
 
 // Get returns the object with the given stable ID.
 func (s *Store[T]) Get(id uint64) (T, bool) { return s.inner.Get(id) }
+
+// Sample returns a representative object of the store's domain: the
+// lowest-ID live object, or — when the store has been drained empty —
+// one of the model's candidate objects, which share the stored objects'
+// shape. A serving process can therefore always derive the expected
+// query shape from the store itself.
+func (s *Store[T]) Sample() (T, bool) { return s.inner.Sample() }
+
+// Start launches the store's background lifecycle: incremental
+// snapshots of dirty shards and compaction scheduled on measured scan
+// degradation (see StoreLifecycle). At most one lifecycle runs per
+// store; call Close to stop it (and write the final snapshot).
+func (s *Store[T]) Start(lc StoreLifecycle) error {
+	return s.inner.Start(store.Lifecycle{
+		SnapshotPath:     lc.SnapshotPath,
+		SnapshotInterval: lc.SnapshotInterval,
+		CompactInterval:  lc.CompactInterval,
+		CompactShare:     lc.CompactShare,
+		Logf:             lc.Logf,
+	})
+}
+
+// Close stops the background lifecycle and writes a final snapshot when
+// a snapshot path was configured. A store that was never started closes
+// as a no-op; Close is idempotent.
+func (s *Store[T]) Close() error { return s.inner.Close() }
 
 // Size returns the number of stored objects.
 func (s *Store[T]) Size() int { return s.inner.Size() }
@@ -231,5 +298,9 @@ func toStoreStats(st store.Stats) StoreStats {
 		Size: st.Size, Dims: st.Dims, Generation: st.Generation, NextID: st.NextID,
 		BaseSize: st.BaseSize, DeltaSize: st.DeltaSize, Tombstones: st.Tombstones,
 		Compactions: st.Compactions, Shards: st.Shards,
+		LastCompactionNanos: st.LastCompactionNanos,
+		LastSnapshotNanos:   st.LastSnapshotNanos,
+		LastSnapshotBytes:   st.LastSnapshotBytes,
+		DeltaScanShare:      st.DeltaScanShare,
 	}
 }
