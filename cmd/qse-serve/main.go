@@ -29,7 +29,8 @@
 //
 // Endpoints (JSON): POST /v1/search, POST /v1/search/batch,
 // POST /v1/objects, PUT /v1/objects/{id}, DELETE /v1/objects/{id},
-// GET /v1/stats, GET /healthz.
+// GET /v1/stats, GET /healthz (liveness), GET /readyz (readiness:
+// 503 under degraded persistence or a saturated in-flight gate).
 // A query/object for the series dataset is a [time][dim] array, e.g.
 // {"query": [[0.1,0.2],[0.3,0.4]], "k": 5, "p": 100}; {"id": 7, "k": 5}
 // searches with a stored object as the query.
@@ -71,7 +72,10 @@ func main() {
 		k1        = flag.Int("k1", 5, "selective-sampling radius when training")
 		seed      = flag.Int64("seed", 1, "training seed")
 		snapEvery = flag.Duration("snapshot-every", 0, "periodic background snapshot interval (0 disables the periodic loop; a final snapshot is always written on shutdown)")
+		snapRetry = flag.Int("snapshot-retries", store.DefaultSnapshotRetries, "backoff retries after a failed snapshot attempt (0 = fail immediately); repeated failure flips /readyz to 503 while serving continues")
 		maxBody   = flag.Int64("max-body", server.DefaultMaxBody, "maximum request body bytes")
+		inflight  = flag.Int("max-inflight", 256, "maximum concurrently executing work requests before excess load is shed with 429 (0 = unbounded)")
+		searchTO  = flag.Duration("search-timeout", 30*time.Second, "deadline for one search or batch computation; exceeding it answers 504 (0 = none)")
 		dims      = flag.Int("series-dims", 0, "sample dimensionality queries must have (0 = derive from the stored data or the bundled model)")
 
 		// Compaction: the mutation path folds the append-only delta segment
@@ -146,7 +150,11 @@ func main() {
 		}
 		return s, nil
 	}
-	srv := server.New(st, decode, server.Options{MaxBodyBytes: *maxBody})
+	srv := server.New(st, decode, server.Options{
+		MaxBodyBytes:  *maxBody,
+		MaxInFlight:   *inflight,
+		SearchTimeout: *searchTO,
+	})
 
 	// The background lifecycle — incremental snapshots of dirty shards
 	// and compaction scheduled on the measured delta-scan share — is
@@ -159,10 +167,14 @@ func main() {
 		SnapshotInterval: *snapEvery,
 		CompactInterval:  *compactEvery,
 		CompactShare:     *compactShare,
+		SnapshotRetries:  *snapRetry,
 		Logf:             log.Printf,
 	}
 	if *snapEvery == 0 {
 		lc.SnapshotInterval = -1 // periodic loop off; final snapshot stays
+	}
+	if *snapRetry <= 0 {
+		lc.SnapshotRetries = -1 // the CLI's 0 means "no retries", not "default"
 	}
 	if *compactEvery == 0 {
 		lc.CompactInterval = -1
@@ -190,9 +202,11 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	// Close stops the background loops and writes the final snapshot
-	// (only what is dirty: clean shards cost nothing).
+	// (only what is dirty: clean shards cost nothing). A failed final
+	// snapshot means mutations taken over HTTP did NOT survive to disk —
+	// that must fail the process visibly, not scroll by in a log line.
 	if err := st.Close(); err != nil {
-		log.Printf("closing store: %v", err)
+		log.Fatalf("closing store: final snapshot failed, recent mutations may be lost: %v", err)
 	}
 	log.Printf("store closed (generation %d)", st.Stats().Generation)
 }

@@ -1,0 +1,245 @@
+package fsio
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+)
+
+// ErrCrashed is the error every operation returns after an injected
+// crash point: from the store's perspective the process is gone, so no
+// further I/O can succeed (and, unlike a clean failure, no cleanup code
+// gets to run against the real filesystem either).
+var ErrCrashed = errors.New("fsio: injected crash")
+
+// Op describes one filesystem operation as FaultFS observed it: its
+// 1-based ordinal since construction (or the last Reset), the kind of
+// syscall, and the path it targeted. The fault-matrix tests first run a
+// save with no injection to count the ops, then replay it once per
+// (ordinal, failure mode) pair.
+type Op struct {
+	N    int
+	Kind string // "create-temp", "open", "read", "write", "write-at", "sync", "truncate", "chmod", "close", "stat", "rename", "remove"
+	Name string
+}
+
+// FaultFS wraps an FS and injects failures at chosen operations. The
+// zero configuration injects nothing and is transparent; exactly one of
+// the Fail/Short/Crash plans (or a Hook) is active at a time — setting
+// one replaces the previous. All methods are safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	n       int
+	hook    func(Op) error
+	failAt  int
+	failErr error
+	short   bool
+	crash   bool
+	crashed bool
+}
+
+// NewFault wraps inner in a FaultFS with no injection configured.
+func NewFault(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// FailOp makes operation n fail with err, performing nothing; later
+// operations proceed normally (a transient fault the caller may retry).
+func (f *FaultFS) FailOp(n int, err error) { f.plan(n, err, false, false) }
+
+// ShortWriteOp makes operation n — expected to be a write — persist
+// only half its bytes and then fail with err; later operations proceed
+// normally. On a non-write operation it behaves like FailOp.
+func (f *FaultFS) ShortWriteOp(n int, err error) { f.plan(n, err, true, false) }
+
+// CrashAt makes operation n and every operation after it fail with
+// ErrCrashed, with nothing of operation n performed — the process died
+// just before it. CrashAt(k+1) therefore models "crashed immediately
+// after operation k completed" (crash-after-rename and friends).
+func (f *FaultFS) CrashAt(n int) { f.plan(n, ErrCrashed, false, true) }
+
+// TornCrashAt is CrashAt with half of operation n's bytes persisted
+// first: the torn-write case of a power loss mid-append.
+func (f *FaultFS) TornCrashAt(n int) { f.plan(n, ErrCrashed, true, true) }
+
+func (f *FaultFS) plan(n int, err error, short, crash bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hook = nil
+	f.failAt, f.failErr, f.short, f.crash, f.crashed = n, err, short, crash, false
+}
+
+// Hook installs an arbitrary per-operation decision: return a non-nil
+// error to inject it (nothing is performed), nil to let the operation
+// through. Used by the stress tests for intermittent, probabilistic
+// failure; replaces any Fail/Crash plan.
+func (f *FaultFS) Hook(h func(Op) error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hook = h
+	f.failAt, f.failErr, f.short, f.crash, f.crashed = 0, nil, false, false, false
+}
+
+// Heal clears every injection — including a tripped crash state — so
+// subsequent operations succeed. The op counter keeps running.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hook = nil
+	f.failAt, f.failErr, f.short, f.crash, f.crashed = 0, nil, false, false, false
+}
+
+// Reset is Heal plus zeroing the op counter, so a counted replay starts
+// from ordinal 1 again.
+func (f *FaultFS) Reset() {
+	f.Heal()
+	f.mu.Lock()
+	f.n = 0
+	f.mu.Unlock()
+}
+
+// Ops returns how many operations have been observed since construction
+// or the last Reset.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// decide accounts one operation and reports whether to inject: a nil
+// error lets the operation through; short asks a failing write to
+// persist half its bytes first.
+func (f *FaultFS) decide(kind, name string) (short bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	if f.hook != nil {
+		return false, f.hook(Op{N: f.n, Kind: kind, Name: name})
+	}
+	if f.failAt != 0 && f.n == f.failAt {
+		if f.crash {
+			f.crashed = true
+		}
+		return f.short, f.failErr
+	}
+	return false, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if _, err := f.decide("create-temp", dir); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if _, err := f.decide("open", name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if _, err := f.decide("read", name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.decide("rename", newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.decide("remove", name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// faultFile threads every file operation back through its FaultFS's
+// decision point, so faults land inside open files (writes, fsyncs,
+// truncates) as readily as on the namespace operations.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (w *faultFile) Name() string { return w.inner.Name() }
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	short, err := w.fs.decide("write", w.inner.Name())
+	if err != nil {
+		if short && len(p) > 0 {
+			n, _ := w.inner.Write(p[:len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	short, err := w.fs.decide("write-at", w.inner.Name())
+	if err != nil {
+		if short && len(p) > 0 {
+			n, _ := w.inner.WriteAt(p[:len(p)/2], off)
+			return n, err
+		}
+		return 0, err
+	}
+	return w.inner.WriteAt(p, off)
+}
+
+func (w *faultFile) Sync() error {
+	if _, err := w.fs.decide("sync", w.inner.Name()); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Truncate(size int64) error {
+	if _, err := w.fs.decide("truncate", w.inner.Name()); err != nil {
+		return err
+	}
+	return w.inner.Truncate(size)
+}
+
+func (w *faultFile) Chmod(mode fs.FileMode) error {
+	if _, err := w.fs.decide("chmod", w.inner.Name()); err != nil {
+		return err
+	}
+	return w.inner.Chmod(mode)
+}
+
+func (w *faultFile) Stat() (fs.FileInfo, error) {
+	if _, err := w.fs.decide("stat", w.inner.Name()); err != nil {
+		return nil, err
+	}
+	return w.inner.Stat()
+}
+
+func (w *faultFile) Close() error {
+	if _, err := w.fs.decide("close", w.inner.Name()); err != nil {
+		// The underlying descriptor must not leak just because the
+		// injected plan says Close "failed": real kernels release the
+		// descriptor even when close(2) reports an error.
+		w.inner.Close()
+		return err
+	}
+	return w.inner.Close()
+}

@@ -1,0 +1,228 @@
+package fsio
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// writeOut performs the canonical temp-write-sync-rename sequence the
+// bundle writer uses, through the seam: 6 ops total (create-temp,
+// write, sync, chmod, close, rename).
+func writeOut(fsys FS, path string, data []byte) error {
+	f, err := fsys.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(name)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(name)
+		return err
+	}
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		fsys.Remove(name)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(name)
+		return err
+	}
+	if err := fsys.Rename(name, path); err != nil {
+		fsys.Remove(name)
+		return err
+	}
+	return nil
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	if err := writeOut(OS(), path, []byte("hello seam")); err != nil {
+		t.Fatalf("writeOut: %v", err)
+	}
+	got, err := OS().ReadFile(path)
+	if err != nil || string(got) != "hello seam" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	f, err := OS().OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("HELLO"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	st, err := f.Stat()
+	if err != nil || st.Size() != 5 {
+		t.Fatalf("Stat = %v, %v, want size 5", st, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got, _ := OS().ReadFile(path); string(got) != "HELLO" {
+		t.Fatalf("after WriteAt+Truncate: %q", got)
+	}
+	if err := OS().Remove(path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := OS().ReadFile(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadFile after Remove: %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestFaultCountsAndFailsNthOp(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(OS())
+	path := filepath.Join(dir, "blob")
+
+	if err := writeOut(ff, path, []byte("clean pass")); err != nil {
+		t.Fatalf("clean pass: %v", err)
+	}
+	total := ff.Ops()
+	if total != 6 {
+		t.Fatalf("clean writeOut performed %d ops, want 6", total)
+	}
+
+	// Fail each op in turn; every run must surface exactly the injected
+	// error and leave no temp files behind.
+	for n := 1; n <= total; n++ {
+		ff.Reset()
+		ff.FailOp(n, syscall.ENOSPC)
+		err := writeOut(ff, filepath.Join(dir, "fail"), []byte("doomed"))
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("op %d: err = %v, want ENOSPC", n, err)
+		}
+		if ff.Ops() < n {
+			t.Fatalf("op %d: only %d ops observed", n, ff.Ops())
+		}
+		tmps, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+		if len(tmps) != 0 {
+			t.Fatalf("op %d: stray temp files %v", n, tmps)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "fail")); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("op %d: target exists after failed save", n)
+		}
+	}
+
+	// After the plan fires (or is healed) the FS is transparent again.
+	ff.Reset()
+	if err := writeOut(ff, path, []byte("recovered")); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "recovered" {
+		t.Fatalf("after reset: %q", got)
+	}
+}
+
+func TestFaultShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(OS())
+	path := filepath.Join(dir, "short")
+
+	f, err := ff.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	ff.ShortWriteOp(ff.Ops()+1, syscall.EIO)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("short write err = %v, want EIO", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write persisted %d bytes, want 5", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "01234" {
+		t.Fatalf("on disk after short write: %q", got)
+	}
+}
+
+func TestFaultCrashIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(OS())
+	ff.CrashAt(2)
+
+	// Op 1 succeeds, op 2 "crashes", and everything after — including
+	// cleanup attempts — keeps failing until Heal.
+	f, err := ff.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op 2: %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op 3: %v, want ErrCrashed", err)
+	}
+	if err := ff.Remove(f.Name()); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("remove during crash: %v, want ErrCrashed", err)
+	}
+
+	ff.Heal()
+	if err := ff.Remove(f.Name()); err != nil {
+		t.Fatalf("remove after heal: %v", err)
+	}
+}
+
+func TestFaultTornCrashPersistsHalf(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(OS())
+	path := filepath.Join(dir, "torn")
+
+	f, err := ff.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	ff.TornCrashAt(ff.Ops() + 1)
+	if _, err := f.WriteAt([]byte("abcdefgh"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write err = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v, want ErrCrashed", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "abcd" {
+		t.Fatalf("on disk after torn crash: %q, want half the payload", got)
+	}
+}
+
+func TestFaultHook(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(OS())
+	boom := errors.New("intermittent")
+	ff.Hook(func(op Op) error {
+		if op.Kind == "sync" {
+			return boom
+		}
+		return nil
+	})
+
+	f, err := ff.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync = %v, want hook error", err)
+	}
+	ff.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync after heal: %v", err)
+	}
+	f.Close()
+}

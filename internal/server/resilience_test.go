@@ -1,0 +1,249 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qse/internal/retrieval"
+	"qse/internal/store"
+)
+
+// sentinelDecode builds a query decoder with a trapdoor: a query whose
+// first coordinate is the sentinel runs hook before decoding (block,
+// sleep, panic — whatever the test needs); everything else decodes
+// normally.
+func sentinelDecode(sentinel float64, hook func()) func(json.RawMessage) ([]float64, error) {
+	return func(raw json.RawMessage) ([]float64, error) {
+		var v []float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		if len(v) == 3 && v[0] == sentinel {
+			hook()
+			v[0] = 0 // decode to a harmless in-range query
+		}
+		if len(v) != 3 {
+			return nil, fmt.Errorf("want 3 dims, got %d", len(v))
+		}
+		return v, nil
+	}
+}
+
+// TestPanicRecovery: a panic inside a handler must come back as a JSON
+// 500 over a live connection — not a killed connection — be counted in
+// the resilience stats, and leave the server serving.
+func TestPanicRecovery(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		timeout time.Duration // exercises both the inline and the deadline-goroutine path
+	}{
+		{"inline", 0},
+		{"deadline-goroutine", time.Minute},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dec := sentinelDecode(999, func() { panic("decoder exploded") })
+			srv := New(testStore(t), dec, Options{SearchTimeout: tc.timeout})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			// The panicking request: a real HTTP round-trip so a dropped
+			// connection would surface as a client error, not a status.
+			resp, err := http.Post(ts.URL+"/v1/search", "application/json",
+				strings.NewReader(`{"query":[999,0,0],"k":3,"p":16}`))
+			if err != nil {
+				t.Fatalf("round-trip during panic: %v (connection dropped?)", err)
+			}
+			var body errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("500 body not JSON: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusInternalServerError {
+				t.Fatalf("panicking request: status %d, want 500", resp.StatusCode)
+			}
+			if body.Error == "" {
+				t.Fatal("500 carried no error message")
+			}
+			if got := srv.resilience().Panics; got != 1 {
+				t.Fatalf("panics counter = %d, want 1", got)
+			}
+
+			// The server is still up and the panic left nothing wedged.
+			resp, err = http.Post(ts.URL+"/v1/search", "application/json",
+				strings.NewReader(`{"query":[3,-3,0],"k":3,"p":16}`))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("request after panic: %v, status %v, want 200", err, resp)
+			}
+			resp.Body.Close()
+		})
+	}
+}
+
+// TestLoadShedding: with MaxInFlight=1 and one request parked inside a
+// handler, the next gated request must be shed with 429 + Retry-After,
+// /readyz must report saturation, ungated endpoints must keep working,
+// and the gate must fully recover once the parked request finishes.
+func TestLoadShedding(t *testing.T) {
+	block := make(chan struct{})
+	dec := sentinelDecode(999, func() { <-block })
+	srv := New(testStore(t), dec, Options{MaxInFlight: 1})
+	h := srv.Handler()
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- do(h, "POST", "/v1/search", `{"query":[999,0,0],"k":3,"p":16}`) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.resilience().InFlight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocking request never occupied the gate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := do(h, "POST", "/v1/search", `{"query":[1,1,1],"k":3,"p":16}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if got := srv.resilience().ShedTotal; got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+
+	// Saturation is a readiness problem, not a liveness problem.
+	rec = do(h, "GET", "/readyz", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while saturated: status %d, want 503", rec.Code)
+	}
+	var ready readyResponse
+	decodeInto(t, rec, &ready)
+	if ready.Ready || !ready.Saturated {
+		t.Fatalf("/readyz body = %+v, want saturated and not ready", ready)
+	}
+	if rec := do(h, "GET", "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz while saturated: status %d, want 200 (liveness)", rec.Code)
+	}
+	if rec := do(h, "GET", "/v1/stats", ""); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/stats while saturated: status %d, want 200 (ungated)", rec.Code)
+	}
+
+	close(block)
+	if rec := <-first; rec.Code != http.StatusOK {
+		t.Fatalf("parked request: status %d, want 200", rec.Code)
+	}
+	if rec := do(h, "POST", "/v1/search", `{"query":[1,1,1],"k":3,"p":16}`); rec.Code != http.StatusOK {
+		t.Fatalf("request after gate drained: status %d, want 200", rec.Code)
+	}
+	if rec := do(h, "GET", "/readyz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz after recovery: status %d, want 200", rec.Code)
+	}
+}
+
+// slowBackend delays every Search by the current value of delay,
+// putting real work under the deadline (the deadline covers search
+// compute, not request parsing).
+type slowBackend struct {
+	store.Backend[[]float64]
+	delay *atomic.Int64 // nanoseconds
+}
+
+func (b slowBackend) Search(q []float64, k, p int) ([]store.Result, retrieval.Stats, error) {
+	time.Sleep(time.Duration(b.delay.Load()))
+	return b.Backend.Search(q, k, p)
+}
+
+// TestSearchTimeout: a search that outlives SearchTimeout must answer
+// 504 and count a timeout, and the server must keep serving afterward.
+func TestSearchTimeout(t *testing.T) {
+	var delay atomic.Int64
+	delay.Store(int64(300 * time.Millisecond))
+	srv := New[[]float64](slowBackend{testStore(t), &delay}, decodeVec,
+		Options{SearchTimeout: 20 * time.Millisecond})
+	h := srv.Handler()
+
+	rec := do(h, "POST", "/v1/search", `{"query":[3,-3,0],"k":3,"p":16}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("slow search: status %d, want 504", rec.Code)
+	}
+	if got := srv.resilience().Timeouts; got != 1 {
+		t.Fatalf("timeouts counter = %d, want 1", got)
+	}
+	delay.Store(0)
+	if rec := do(h, "POST", "/v1/search", `{"query":[3,-3,0],"k":3,"p":16}`); rec.Code != http.StatusOK {
+		t.Fatalf("fast search after a timeout: status %d, want 200", rec.Code)
+	}
+}
+
+// TestReadyzDegradedPersistence: sustained snapshot failure must flip
+// /readyz to 503 and surface the error in /v1/stats while /v1/search
+// keeps answering; healing the filesystem must bring readiness back.
+func TestReadyzDegradedPersistence(t *testing.T) {
+	st := testStore(t)
+	dir := t.TempDir()
+	snapDir := filepath.Join(dir, "missing") // does not exist: every snapshot fails
+	err := st.Start(store.Lifecycle{
+		SnapshotPath:     filepath.Join(snapDir, "s.bundle"),
+		SnapshotInterval: 5 * time.Millisecond,
+		CompactInterval:  -1,
+		SnapshotRetries:  -1,
+		DegradeAfter:     1,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	srv := New(st, decodeVec, Options{})
+	h := srv.Handler()
+
+	waitReady := func(wantCode int, what string) *httptest.ResponseRecorder {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			rec := do(h, "GET", "/readyz", "")
+			if rec.Code == wantCode {
+				return rec
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s; /readyz = %d %s", what, rec.Code, rec.Body)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	rec := waitReady(http.StatusServiceUnavailable, "degraded readiness")
+	var ready readyResponse
+	decodeInto(t, rec, &ready)
+	if !ready.DegradedPersistence || ready.LastSnapshotError == "" {
+		t.Fatalf("/readyz body = %+v, want degraded persistence with an error", ready)
+	}
+
+	// Degraded ≠ down: search answers, liveness holds, stats tell the truth.
+	if rec := do(h, "POST", "/v1/search", `{"query":[3,-3,0],"k":3,"p":16}`); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/search while degraded: status %d, want 200", rec.Code)
+	}
+	if rec := do(h, "GET", "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz while degraded: status %d, want 200", rec.Code)
+	}
+	rec = do(h, "GET", "/v1/stats", "")
+	var stats statsResponse
+	decodeInto(t, rec, &stats)
+	if !stats.Store.DegradedPersistence || stats.Store.SnapshotFailures == 0 || stats.Store.LastSnapshotError == "" {
+		t.Fatalf("/v1/stats store section = %+v, want degraded persistence surfaced", stats.Store)
+	}
+
+	// Heal the filesystem; the next successful snapshot restores readiness.
+	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	waitReady(http.StatusOK, "readiness restored")
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -10,6 +10,7 @@
 //	DELETE /v1/objects/{id}  remove by stable ID
 //	GET    /v1/stats         store + per-endpoint traffic statistics
 //	GET    /healthz          liveness probe
+//	GET    /readyz           readiness probe (degraded persistence, shedding)
 //
 // Because the store's reads are lock-free copy-on-write, the handlers
 // never hold a lock across a search: any number of /v1/search requests
@@ -17,7 +18,18 @@
 // one consistent store version. Request bodies are size-bounded, every
 // endpoint validates before touching the store, and per-endpoint
 // request/error/latency counters are maintained with atomics (visible
-// under /v1/stats). Queries arrive as raw JSON and are turned into domain
+// under /v1/stats).
+//
+// The server degrades loudly, never silently: a handler panic is caught
+// by the instrumentation middleware and answered with a 500 (and
+// counted) instead of killing the connection; work endpoints pass
+// through a bounded in-flight semaphore that sheds excess load with 429
+// + Retry-After rather than queueing without bound; searches run under a
+// configurable deadline and answer 504 when they exceed it; and /readyz
+// (distinct from the pure-liveness /healthz) reports the store's
+// degraded-persistence state and the shedding gate, flipping to 503 when
+// the process should be rotated out of a load balancer while /v1/search
+// keeps answering. Queries arrive as raw JSON and are turned into domain
 // objects by a caller-supplied decode function — the HTTP layer stays as
 // generic over T as everything else in the repository.
 package server
@@ -50,6 +62,14 @@ type Options struct {
 	MaxBodyBytes int64
 	// BatchLimit caps queries per /v1/search/batch request.
 	BatchLimit int
+	// MaxInFlight bounds concurrently executing work requests (search,
+	// batch, mutations; probes and stats are never gated). Excess load is
+	// shed immediately with 429 + Retry-After. Zero or negative means
+	// unbounded.
+	MaxInFlight int
+	// SearchTimeout bounds one search or batch computation; a request
+	// over it is answered 504. Zero or negative means no deadline.
+	SearchTimeout time.Duration
 }
 
 // endpoint indexes the per-endpoint metric slots.
@@ -63,11 +83,12 @@ const (
 	epRemove
 	epStats
 	epHealth
+	epReady
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
-	"search", "search_batch", "add", "upsert", "remove", "stats", "healthz",
+	"search", "search_batch", "add", "upsert", "remove", "stats", "healthz", "readyz",
 }
 
 // metrics is one endpoint's traffic counters. All fields are atomics so
@@ -87,6 +108,14 @@ type Server[T any] struct {
 	start  time.Time
 	eps    [numEndpoints]metrics
 
+	// sem is the in-flight gate for work endpoints (nil = unbounded);
+	// panics/shed/timeouts count the resilience middleware's
+	// interventions, surfaced under /v1/stats and /readyz.
+	sem      chan struct{}
+	panics   atomic.Uint64
+	shed     atomic.Uint64
+	timeouts atomic.Uint64
+
 	httpSrv *http.Server
 }
 
@@ -102,6 +131,9 @@ func New[T any](st store.Backend[T], decode func(json.RawMessage) (T, error), op
 		opts.BatchLimit = DefaultBatchLimit
 	}
 	s := &Server[T]{st: st, decode: decode, opts: opts, start: time.Now()}
+	if opts.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, opts.MaxInFlight)
+	}
 	// The http.Server is created here, not lazily in Serve, so Shutdown
 	// is race-free against a Serve running on another goroutine (and so
 	// one Shutdown stops every listener handed to Serve).
@@ -113,13 +145,14 @@ func New[T any](st store.Backend[T], decode func(json.RawMessage) (T, error), op
 // listeners at once.
 func (s *Server[T]) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/search", s.instrument(epSearch, s.handleSearch))
-	mux.HandleFunc("POST /v1/search/batch", s.instrument(epSearchBatch, s.handleSearchBatch))
-	mux.HandleFunc("POST /v1/objects", s.instrument(epAdd, s.handleAdd))
-	mux.HandleFunc("PUT /v1/objects/{id}", s.instrument(epUpsert, s.handleUpsert))
-	mux.HandleFunc("DELETE /v1/objects/{id}", s.instrument(epRemove, s.handleRemove))
-	mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
-	mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
+	mux.HandleFunc("POST /v1/search", s.instrument(epSearch, gated, s.handleSearch))
+	mux.HandleFunc("POST /v1/search/batch", s.instrument(epSearchBatch, gated, s.handleSearchBatch))
+	mux.HandleFunc("POST /v1/objects", s.instrument(epAdd, gated, s.handleAdd))
+	mux.HandleFunc("PUT /v1/objects/{id}", s.instrument(epUpsert, gated, s.handleUpsert))
+	mux.HandleFunc("DELETE /v1/objects/{id}", s.instrument(epRemove, gated, s.handleRemove))
+	mux.HandleFunc("GET /v1/stats", s.instrument(epStats, ungated, s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument(epHealth, ungated, s.handleHealth))
+	mux.HandleFunc("GET /readyz", s.instrument(epReady, ungated, s.handleReady))
 	return mux
 }
 
@@ -144,32 +177,110 @@ func (s *Server[T]) Shutdown(ctx context.Context) error {
 	return s.httpSrv.Shutdown(ctx)
 }
 
-// statusRecorder captures the response status for error accounting.
+// statusRecorder captures the response status for error accounting, and
+// whether anything reached the wire — the panic handler may only write a
+// clean 500 while the response is still unstarted.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with body bounding and traffic accounting.
-func (s *Server[T]) instrument(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}
+
+// Whether an endpoint passes through the in-flight gate. Probes and
+// stats never do: an operator must be able to observe a saturated
+// server, and a load balancer must get its readiness answer precisely
+// when the server is busiest.
+const (
+	gated   = true
+	ungated = false
+)
+
+// instrument wraps a handler with body bounding, traffic accounting,
+// load shedding, and panic recovery. A panicking handler is answered
+// with a 500 (when the response has not started; a mid-stream panic can
+// only be aborted) and counted — one bad request must never kill the
+// connection, let alone the process.
+func (s *Server[T]) instrument(ep endpoint, gate bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
+		m := &s.eps[ep]
+		if gate && s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusTooManyRequests, "server at max in-flight requests (%d)", s.opts.MaxInFlight)
+				m.requests.Add(1)
+				m.errors.Add(1)
+				m.latencyNs.Add(time.Since(t0).Nanoseconds())
+				return
+			}
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				if !rec.wrote {
+					writeErr(rec, http.StatusInternalServerError, "internal error")
+				}
+				rec.status = http.StatusInternalServerError
+			}
+			m.requests.Add(1)
+			if rec.status >= 400 {
+				m.errors.Add(1)
+			}
+			m.latencyNs.Add(time.Since(t0).Nanoseconds())
+		}()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 		}
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
-		m := &s.eps[ep]
-		m.requests.Add(1)
-		if rec.status >= 400 {
-			m.errors.Add(1)
+	}
+}
+
+// runDeadline runs compute under the server's search deadline. compute
+// must only fill captured variables and never touch the ResponseWriter:
+// on timeout the request goroutine answers 504 and moves on while the
+// computation is abandoned (it finishes into thin air; store reads are
+// lock-free, so it holds nothing anyone waits for). A panic inside
+// compute is re-raised on the request goroutine so the recovery
+// middleware counts it; a panic raised after abandonment has no request
+// to fail and is dropped with the result.
+func (s *Server[T]) runDeadline(w http.ResponseWriter, compute func()) bool {
+	if s.opts.SearchTimeout <= 0 {
+		compute()
+		return true
+	}
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		compute()
+	}()
+	t := time.NewTimer(s.opts.SearchTimeout)
+	defer t.Stop()
+	select {
+	case p := <-done:
+		if p != nil {
+			panic(p)
 		}
-		m.latencyNs.Add(time.Since(t0).Nanoseconds())
+		return true
+	case <-t.C:
+		s.timeouts.Add(1)
+		writeErr(w, http.StatusGatewayTimeout, "search exceeded the %v deadline", s.opts.SearchTimeout)
+		return false
 	}
 }
 
@@ -303,7 +414,14 @@ func (s *Server[T]) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, st, err := s.st.Search(q, req.K, p)
+	var (
+		res []store.Result
+		st  retrieval.Stats
+		err error
+	)
+	if !s.runDeadline(w, func() { res, st, err = s.st.Search(q, req.K, p) }) {
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -349,7 +467,14 @@ func (s *Server[T]) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = q
 	}
-	res, sts, err := s.st.SearchBatch(queries, req.K, p)
+	var (
+		res [][]store.Result
+		sts []retrieval.Stats
+		err error
+	)
+	if !s.runDeadline(w, func() { res, sts, err = s.st.SearchBatch(queries, req.K, p) }) {
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -485,6 +610,24 @@ type storeStatsJSON struct {
 	LastSnapshotUs   float64 `json:"last_snapshot_us"`
 	LastSnapshotB    int64   `json:"last_snapshot_bytes"`
 	DeltaScanShare   float64 `json:"delta_scan_share"`
+	// Durability health: failed snapshot attempts, the most recent
+	// failure ("" after a success), the Unix time of the last successful
+	// snapshot, and the lifecycle's degraded-persistence flag (see
+	// store.Stats).
+	SnapshotFailures    uint64 `json:"snapshot_failures"`
+	LastSnapshotError   string `json:"last_snapshot_error,omitempty"`
+	LastSnapshotOKUnix  int64  `json:"last_snapshot_ok_unix"`
+	DegradedPersistence bool   `json:"degraded_persistence"`
+}
+
+// resilienceJSON is the serving-resilience section of /v1/stats: the
+// middleware's interventions and the state of the in-flight gate.
+type resilienceJSON struct {
+	Panics      uint64 `json:"panics"`
+	ShedTotal   uint64 `json:"shed_total"`
+	Timeouts    uint64 `json:"timeouts"`
+	InFlight    int    `json:"in_flight"`
+	MaxInFlight int    `json:"max_in_flight"`
 }
 
 // shardStatsJSON is one shard's row in the sharded detail: the segment
@@ -506,8 +649,20 @@ type statsResponse struct {
 	// ShardDetail is present only for sharded stores: one row per shard,
 	// in shard order.
 	ShardDetail   []shardStatsJSON             `json:"shard_detail,omitempty"`
+	Resilience    resilienceJSON               `json:"resilience"`
 	UptimeSeconds float64                      `json:"uptime_seconds"`
 	Endpoints     map[string]endpointStatsJSON `json:"endpoints"`
+}
+
+// resilience snapshots the middleware counters and gate occupancy.
+func (s *Server[T]) resilience() resilienceJSON {
+	return resilienceJSON{
+		Panics:      s.panics.Load(),
+		ShedTotal:   s.shed.Load(),
+		Timeouts:    s.timeouts.Load(),
+		InFlight:    len(s.sem),
+		MaxInFlight: s.opts.MaxInFlight,
+	}
 }
 
 func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -552,15 +707,62 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shards:           st.Shards,
 			LastCompactionUs: float64(st.LastCompactionNanos) / 1e3,
 			LastSnapshotUs:   float64(st.LastSnapshotNanos) / 1e3,
-			LastSnapshotB:    st.LastSnapshotBytes,
-			DeltaScanShare:   st.DeltaScanShare,
+			LastSnapshotB:       st.LastSnapshotBytes,
+			DeltaScanShare:      st.DeltaScanShare,
+			SnapshotFailures:    st.SnapshotFailures,
+			LastSnapshotError:   st.LastSnapshotError,
+			LastSnapshotOKUnix:  st.LastSnapshotOKUnix,
+			DegradedPersistence: st.DegradedPersistence,
 		},
 		ShardDetail:   detail,
+		Resilience:    s.resilience(),
 		UptimeSeconds: uptime,
 		Endpoints:     eps,
 	})
 }
 
+// handleHealth is pure liveness: the process is up and can answer. It
+// stays 200 through degraded persistence and saturation — restarting
+// the process would fix neither.
 func (s *Server[T]) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "size": s.st.Size()})
+}
+
+// readyResponse is the body of /readyz.
+type readyResponse struct {
+	Ready               bool   `json:"ready"`
+	DegradedPersistence bool   `json:"degraded_persistence"`
+	Saturated           bool   `json:"saturated"`
+	SnapshotFailures    uint64 `json:"snapshot_failures"`
+	LastSnapshotError   string `json:"last_snapshot_error,omitempty"`
+	InFlight            int    `json:"in_flight"`
+	MaxInFlight         int    `json:"max_in_flight"`
+	ShedTotal           uint64 `json:"shed_total"`
+}
+
+// handleReady is readiness, distinct from liveness: 503 tells a load
+// balancer to rotate this instance out — because persistence is
+// degraded (snapshots keep failing; the data here is at risk the moment
+// the process dies) or because the in-flight gate is saturated at probe
+// time — while the process itself keeps serving what it can (/v1/search
+// still answers; degraded durability does not corrupt reads).
+func (s *Server[T]) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := s.st.Stats()
+	res := s.resilience()
+	saturated := s.sem != nil && res.InFlight >= res.MaxInFlight
+	resp := readyResponse{
+		Ready:               !st.DegradedPersistence && !saturated,
+		DegradedPersistence: st.DegradedPersistence,
+		Saturated:           saturated,
+		SnapshotFailures:    st.SnapshotFailures,
+		LastSnapshotError:   st.LastSnapshotError,
+		InFlight:            res.InFlight,
+		MaxInFlight:         res.MaxInFlight,
+		ShedTotal:           res.ShedTotal,
+	}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }

@@ -42,6 +42,7 @@ import (
 	"path/filepath"
 
 	"qse/internal/core"
+	"qse/internal/fsio"
 )
 
 // Codec translates domain objects to and from bytes for bundle storage.
@@ -132,8 +133,8 @@ type bundleBody struct {
 }
 
 // writeBundle atomically writes a version-1 bundle body to path.
-func writeBundle(path string, body *bundleBody) error {
-	_, err := writeEnvelope(path, bundleVersion, body)
+func writeBundle(fsys fsio.FS, path string, body *bundleBody) error {
+	_, err := writeEnvelope(fsys, path, bundleVersion, body)
 	return err
 }
 
@@ -141,7 +142,7 @@ func writeBundle(path string, body *bundleBody) error {
 // length, gob body, CRC) to path: the bytes land in a temporary file in
 // the same directory, are synced, and are renamed over path, so a crash
 // mid-write can never leave a half-written file where readers look.
-func writeEnvelope(path string, version uint16, body any) (int64, error) {
+func writeEnvelope(fsys fsio.FS, path string, version uint16, body any) (int64, error) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(body); err != nil {
 		return 0, fmt.Errorf("store: encoding bundle: %w", err)
@@ -152,7 +153,7 @@ func writeEnvelope(path string, version uint16, body any) (int64, error) {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(payload.Len()))
 	buf = append(buf, payload.Bytes()...)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
-	if err := writeRaw(path, buf); err != nil {
+	if err := writeRaw(fsys, path, buf); err != nil {
 		return 0, err
 	}
 	return int64(len(buf)), nil
@@ -161,8 +162,8 @@ func writeEnvelope(path string, version uint16, body any) (int64, error) {
 // readEnvelope reads and verifies an envelope file: magic, declared
 // length, and CRC must all check out before any decoder sees a byte. It
 // returns the format version and the sealed gob payload.
-func readEnvelope(path string) (uint16, []byte, error) {
-	data, err := os.ReadFile(path)
+func readEnvelope(fsys fsio.FS, path string) (uint16, []byte, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, nil, fmt.Errorf("store: reading bundle: %w", err)
 	}
@@ -230,8 +231,8 @@ type manifestBody struct {
 }
 
 // writeManifest atomically writes a legacy v2 sharded manifest.
-func writeManifest(path string, body *manifestBody) error {
-	_, err := writeEnvelope(path, manifestVersion, body)
+func writeManifest(fsys fsio.FS, path string, body *manifestBody) error {
+	_, err := writeEnvelope(fsys, path, manifestVersion, body)
 	return err
 }
 
@@ -239,8 +240,8 @@ func writeManifest(path string, body *manifestBody) error {
 // integrity, version, hash scheme, and the shard-count/file-list
 // consistency — every structural property the shard-opening loop indexes
 // on is checked here, before any shard file is touched.
-func readManifest(path string) (*manifestBody, error) {
-	version, payload, err := readEnvelope(path)
+func readManifest(fsys fsio.FS, path string) (*manifestBody, error) {
+	version, payload, err := readEnvelope(fsys, path)
 	if err != nil {
 		return nil, err
 	}
@@ -312,8 +313,8 @@ type manifestV3Body struct {
 
 // writeManifestV3 atomically writes a version-3 manifest, returning the
 // bytes written.
-func writeManifestV3(path string, body *manifestV3Body) (int64, error) {
-	return writeEnvelope(path, manifestV3Version, body)
+func writeManifestV3(fsys fsio.FS, path string, body *manifestV3Body) (int64, error) {
+	return writeEnvelope(fsys, path, manifestV3Version, body)
 }
 
 // decodeManifestV3 decodes and verifies a version-3 manifest from an
@@ -367,13 +368,13 @@ type baseSectionBody struct {
 
 // writeBaseSection atomically writes a shard base section, returning
 // the bytes written.
-func writeBaseSection(path string, body *baseSectionBody) (int64, error) {
-	return writeEnvelope(path, baseSectionVersion, body)
+func writeBaseSection(fsys fsio.FS, path string, body *baseSectionBody) (int64, error) {
+	return writeEnvelope(fsys, path, baseSectionVersion, body)
 }
 
 // readBaseSection reads and verifies a shard base section.
-func readBaseSection(path string) (*baseSectionBody, error) {
-	version, payload, err := readEnvelope(path)
+func readBaseSection(fsys fsio.FS, path string) (*baseSectionBody, error) {
+	version, payload, err := readEnvelope(fsys, path)
 	if err != nil {
 		return nil, err
 	}
@@ -479,8 +480,8 @@ func encodeFrame(f *deltaFrame) ([]byte, error) {
 // every intact frame. Only a frame that passes its CRC yet fails to
 // decode is reported as corruption: that is a format violation, not an
 // interrupted write.
-func readDeltaLog(path string, wantTag uint64) ([]*deltaFrame, int64, bool, error) {
-	data, err := os.ReadFile(path)
+func readDeltaLog(fsys fsio.FS, path string, wantTag uint64) ([]*deltaFrame, int64, bool, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil, 0, false, nil
@@ -531,7 +532,7 @@ func readDeltaLog(path string, wantTag uint64) ([]*deltaFrame, int64, bool, erro
 // frames) to path, replacing whatever was there. Used when the base was
 // rewritten (the old log describes the old base) and as the fallback when
 // an append cannot trust the file on disk. Returns the end offset.
-func writeDeltaLog(path string, tag uint64, frames ...*deltaFrame) (int64, error) {
+func writeDeltaLog(fsys fsio.FS, path string, tag uint64, frames ...*deltaFrame) (int64, error) {
 	buf := deltaLogHeader(tag)
 	for _, f := range frames {
 		fb, err := encodeFrame(f)
@@ -540,7 +541,7 @@ func writeDeltaLog(path string, tag uint64, frames ...*deltaFrame) (int64, error
 		}
 		buf = append(buf, fb...)
 	}
-	if err := writeRaw(path, buf); err != nil {
+	if err := writeRaw(fsys, path, buf); err != nil {
 		return 0, err
 	}
 	return int64(len(buf)), nil
@@ -552,16 +553,21 @@ func writeDeltaLog(path string, tag uint64, frames ...*deltaFrame) (int64, error
 // ErrUnexpectedEOF so the caller can fall back to a full section rewrite;
 // if longer (a previous append failed partway), the stale tail is
 // overwritten and then truncated away. Returns the new end offset.
-func appendDeltaFrame(path string, off int64, f *deltaFrame) (int64, error) {
+func appendDeltaFrame(fsys fsio.FS, path string, off int64, f *deltaFrame) (int64, error) {
 	fb, err := encodeFrame(f)
 	if err != nil {
 		return 0, err
 	}
-	file, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	file, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return 0, err
 	}
-	defer file.Close()
+	closed := false
+	defer func() {
+		if !closed {
+			file.Close()
+		}
+	}()
 	fi, err := file.Stat()
 	if err != nil {
 		return 0, err
@@ -579,6 +585,7 @@ func appendDeltaFrame(path string, off int64, f *deltaFrame) (int64, error) {
 	if err := file.Sync(); err != nil {
 		return 0, fmt.Errorf("store: syncing delta log: %w", err)
 	}
+	closed = true
 	if err := file.Close(); err != nil {
 		return 0, fmt.Errorf("store: closing delta log: %w", err)
 	}
@@ -588,16 +595,16 @@ func appendDeltaFrame(path string, off int64, f *deltaFrame) (int64, error) {
 // writeRaw atomically publishes raw bytes at path (temp file in the same
 // directory, sync, rename) — the same discipline as writeEnvelope, for
 // content that is not a sealed gob envelope.
-func writeRaw(path string, data []byte) (err error) {
+func writeRaw(fsys fsio.FS, path string, data []byte) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".bundle-*")
+	tmp, err := fsys.CreateTemp(dir, ".bundle-*")
 	if err != nil {
 		return fmt.Errorf("store: creating temp file: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 	if _, err = tmp.Write(data); err != nil {
@@ -612,7 +619,7 @@ func writeRaw(path string, data []byte) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("store: closing %s: %w", filepath.Base(path), err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: publishing %s: %w", filepath.Base(path), err)
 	}
 	return nil

@@ -22,6 +22,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"qse/internal/fsio"
 )
 
 // fuzzDist tolerates objects of any decoded length: a mutated bundle may
@@ -176,5 +178,5 @@ func readEnvelopeBytes(t *testing.T, data []byte) (uint16, []byte, error) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	return readEnvelope(path)
+	return readEnvelope(fsio.OS(), path)
 }

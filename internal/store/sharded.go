@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"qse/internal/core"
+	"qse/internal/fsio"
 	"qse/internal/par"
 	"qse/internal/retrieval"
 	"qse/internal/space"
@@ -147,6 +148,33 @@ type Sharded[T any] struct {
 	// lcMu guards the background lifecycle started by Start.
 	lcMu sync.Mutex
 	lc   *lifecycle
+
+	// fsys is the filesystem the save path writes through; nil means the
+	// real one (fsio.OS()). Tests swap in a fsio.FaultFS via setFS.
+	fsys fsio.FS
+
+	// health tracks background-snapshot outcomes for the whole layout
+	// (snapshots are whole-layout operations, so health is front-level,
+	// not per-shard).
+	health snapHealth
+}
+
+// fs returns the filesystem the store persists through.
+func (s *Sharded[T]) fs() fsio.FS {
+	if s.fsys == nil {
+		return fsio.OS()
+	}
+	return s.fsys
+}
+
+// setFS swaps the filesystem under the save path, for the whole layout
+// and every shard. Test hook; call before any Save/Start, never
+// concurrently with one.
+func (s *Sharded[T]) setFS(fsys fsio.FS) {
+	s.fsys = fsys
+	for _, sh := range s.shards {
+		sh.setFS(fsys)
+	}
 }
 
 // shardGate is a ticket turnstile for one shard. tickets is drawn under
@@ -225,7 +253,7 @@ func fromSingle[T any](st *Store[T]) *Sharded[T] {
 // computed and search answers are bit-identical to the store that saved
 // the layout.
 func OpenSharded[T any](path string, dist space.Distance[T], codec Codec[T]) (*Sharded[T], error) {
-	version, payload, err := readEnvelope(path)
+	version, payload, err := readEnvelope(fsio.OS(), path)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +277,7 @@ func OpenSharded[T any](path string, dist space.Distance[T], codec Codec[T]) (*S
 		}
 		return fromSingle(st), nil
 	}
-	man, err := readManifest(path)
+	man, err := readManifest(fsio.OS(), path)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +366,7 @@ func modelFingerprint[T any](m *core.Model[T], codec Codec[T]) ([]byte, error) {
 // manifest as a Sharded — so callers that only speak Backend (the
 // serving CLI) need not know how a bundle was built.
 func OpenAuto[T any](path string, dist space.Distance[T], codec Codec[T]) (Backend[T], error) {
-	version, payload, err := readEnvelope(path)
+	version, payload, err := readEnvelope(fsio.OS(), path)
 	if err != nil {
 		return nil, err
 	}
@@ -393,7 +421,7 @@ func (s *Sharded[T]) Save(path string) error {
 // background snapshot loop, recording the duration/bytes metrics.
 func (s *Sharded[T]) snapshotTo(path string) (bool, error) {
 	t0 := nowNanos()
-	written, wrote, err := saveLayoutV3(path, s.model, s.codec, s.shards, &s.nextID, &s.mark)
+	written, wrote, err := saveLayoutV3(s.fs(), path, s.model, s.codec, s.shards, &s.nextID, &s.mark)
 	if err != nil {
 		return false, err
 	}
@@ -424,7 +452,7 @@ func (s *Sharded[T]) saveV2(path string) error {
 	}
 	// Read the allocator after the shard snapshots: it only grows, so the
 	// manifest value is >= every ID visible in the files it names.
-	return writeManifest(path, &manifestBody{
+	return writeManifest(s.fs(), path, &manifestBody{
 		Shards: len(s.shards),
 		Hash:   shardHashName,
 		NextID: s.nextID.Load(),
@@ -657,6 +685,7 @@ func (s *Sharded[T]) Stats() Stats {
 	if rows > 0 {
 		agg.DeltaScanShare = float64(waste) / float64(rows)
 	}
+	s.health.fill(&agg)
 	return agg
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"qse/internal/core"
+	"qse/internal/fsio"
 )
 
 func newSharded(t testing.TB, n, shards int) *Sharded[[]float64] {
@@ -208,7 +209,7 @@ func TestSingleShardAndV1Compat(t *testing.T) {
 	if err := r.Save(fwdPath); err != nil {
 		t.Fatalf("saving v1-opened store forward: %v", err)
 	}
-	if version, _, err := readEnvelope(fwdPath); err != nil || version != manifestV3Version {
+	if version, _, err := readEnvelope(fsio.OS(), fwdPath); err != nil || version != manifestV3Version {
 		t.Fatalf("forward save wrote version %d (err %v), want %d", version, err, manifestV3Version)
 	}
 	fwd, err := OpenAuto(fwdPath, l1, Gob[[]float64]())

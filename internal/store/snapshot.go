@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"math/rand/v2"
 	"path/filepath"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"qse/internal/core"
+	"qse/internal/fsio"
 	"qse/internal/par"
 	"qse/internal/retrieval"
 	"qse/internal/space"
@@ -55,6 +57,9 @@ type savedShardState struct {
 	gen                 uint64
 	deltaRows           int
 	deltaOff            int64
+	// frames counts the delta log's durable frames, for the
+	// MaxLogFrames/MaxLogBytes rewrite trigger (see CompactionPolicy).
+	frames int
 }
 
 // layoutMark remembers the manifest a store last wrote, so delta-only
@@ -69,7 +74,7 @@ type layoutMark struct {
 // background snapshot loop, recording the duration/bytes metrics.
 func (s *Store[T]) snapshotTo(path string) (bool, error) {
 	t0 := nowNanos()
-	written, wrote, err := saveLayoutV3(path, s.model, s.codec, []*Store[T]{s}, &s.nextID, &s.mark)
+	written, wrote, err := saveLayoutV3(s.fs(), path, s.model, s.codec, []*Store[T]{s}, &s.nextID, &s.mark)
 	if err != nil {
 		return false, err
 	}
@@ -86,7 +91,7 @@ func (s *Store[T]) snapshotTo(path string) (bool, error) {
 // written before, so the manifest on disk only ever names fully-written
 // section files and delta-only snapshots touch nothing else. Returns
 // the bytes written and whether anything was written at all.
-func saveLayoutV3[T any](path string, model *core.Model[T], codec Codec[T], shards []*Store[T], nextID *atomic.Uint64, mark *layoutMark) (int64, bool, error) {
+func saveLayoutV3[T any](fsys fsio.FS, path string, model *core.Model[T], codec Codec[T], shards []*Store[T], nextID *atomic.Uint64, mark *layoutMark) (int64, bool, error) {
 	baseFiles, deltaFiles := shardSectionFiles(path, len(shards))
 	dir := filepath.Dir(path)
 	written := make([]int64, len(shards))
@@ -118,7 +123,7 @@ func saveLayoutV3[T any](path string, model *core.Model[T], codec Codec[T], shar
 		}
 		// Read the allocator after the shard snapshots: it only grows, so
 		// the manifest value is >= every ID visible in the files it names.
-		n, err := writeManifestV3(path, &manifestV3Body{
+		n, err := writeManifestV3(fsys, path, &manifestV3Body{
 			Shards:     len(shards),
 			Hash:       shardHashName,
 			NextID:     nextID.Load(),
@@ -167,6 +172,20 @@ func (s *Store[T]) saveShard(basePath, deltaPath string) (int64, error) {
 		return 0, nil
 	}
 
+	// Log-bound trigger: when the on-disk delta log has already reached
+	// its frame or byte bound, an incremental append would push the
+	// worst-case reopen/replay cost past what the policy allows. Fold the
+	// in-memory layout first — the fresh base tag forces the full-rewrite
+	// path below, which replaces the log with an empty one. (Compact takes
+	// mu; no path takes mu and then saveMu, so this cannot deadlock.)
+	if samePaths && snap.baseVer == s.saved.tag {
+		if limF, limB := s.policyView().logBounds(); s.saved.frames >= limF || s.saved.deltaOff >= limB {
+			s.Compact()
+			snap = s.cur.Load()
+			nextID = s.nextID.Load()
+		}
+	}
+
 	if !samePaths || snap.baseVer != s.saved.tag {
 		// Full section rewrite: base first, fresh delta log second.
 		base := snap.seg.Base()
@@ -180,7 +199,7 @@ func (s *Store[T]) saveShard(basePath, deltaPath string) (int64, error) {
 			encoded[i] = raw
 		}
 		flat, dims := base.Flat()
-		baseBytes, err := writeBaseSection(basePath, &baseSectionBody{
+		baseBytes, err := writeBaseSection(s.fs(), basePath, &baseSectionBody{
 			Tag:     snap.baseVer,
 			Dims:    dims,
 			NextID:  nextID,
@@ -195,7 +214,7 @@ func (s *Store[T]) saveShard(basePath, deltaPath string) (int64, error) {
 		if err != nil {
 			return 0, err
 		}
-		end, err := writeDeltaLog(deltaPath, snap.baseVer, frame)
+		end, err := writeDeltaLog(s.fs(), deltaPath, snap.baseVer, frame)
 		if err != nil {
 			return 0, err
 		}
@@ -203,6 +222,7 @@ func (s *Store[T]) saveShard(basePath, deltaPath string) (int64, error) {
 			basePath: basePath, deltaPath: deltaPath,
 			tag: snap.baseVer, gen: snap.gen,
 			deltaRows: snap.seg.DeltaLen(), deltaOff: end,
+			frames: 1,
 		}
 		return baseBytes + end, nil
 	}
@@ -213,18 +233,18 @@ func (s *Store[T]) saveShard(basePath, deltaPath string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	end, err := appendDeltaFrame(deltaPath, s.saved.deltaOff, frame)
-	if errors.Is(err, io.ErrUnexpectedEOF) {
+	end, err := appendDeltaFrame(s.fs(), deltaPath, s.saved.deltaOff, frame)
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, fs.ErrNotExist) {
 		// The log vanished or shrank behind our back; rebuild it whole.
 		full, ferr := s.frameFor(snap, 0, nextID)
 		if ferr != nil {
 			return 0, ferr
 		}
-		end, err = writeDeltaLog(deltaPath, snap.baseVer, full)
+		end, err = writeDeltaLog(s.fs(), deltaPath, snap.baseVer, full)
 		if err != nil {
 			return 0, err
 		}
-		s.saved.gen, s.saved.deltaRows, s.saved.deltaOff = snap.gen, snap.seg.DeltaLen(), end
+		s.saved.gen, s.saved.deltaRows, s.saved.deltaOff, s.saved.frames = snap.gen, snap.seg.DeltaLen(), end, 1
 		return end, nil
 	}
 	if err != nil {
@@ -232,6 +252,7 @@ func (s *Store[T]) saveShard(basePath, deltaPath string) (int64, error) {
 	}
 	written := end - s.saved.deltaOff
 	s.saved.gen, s.saved.deltaRows, s.saved.deltaOff = snap.gen, snap.seg.DeltaLen(), end
+	s.saved.frames++
 	return written, nil
 }
 
@@ -333,7 +354,7 @@ func openLayoutV3[T any](path string, payload []byte, dist space.Distance[T], co
 func openShardV3[T any](dir, baseFile, deltaFile string, model *core.Model[T], dist space.Distance[T], codec Codec[T]) (*Store[T], error) {
 	basePath := filepath.Join(dir, baseFile)
 	deltaPath := filepath.Join(dir, deltaFile)
-	b, err := readBaseSection(basePath)
+	b, err := readBaseSection(fsio.OS(), basePath)
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +372,7 @@ func openShardV3[T any](dir, baseFile, deltaFile string, model *core.Model[T], d
 		return nil, fmt.Errorf("store: %s: %w", basePath, err)
 	}
 
-	frames, logEnd, logOK, err := readDeltaLog(deltaPath, b.Tag)
+	frames, logEnd, logOK, err := readDeltaLog(fsio.OS(), deltaPath, b.Tag)
 	if err != nil {
 		return nil, err
 	}
@@ -444,6 +465,7 @@ func openShardV3[T any](dir, baseFile, deltaFile string, model *core.Model[T], d
 			basePath: basePath, deltaPath: deltaPath,
 			tag: b.Tag, gen: 0,
 			deltaRows: len(deltaIDs), deltaOff: logEnd,
+			frames: len(frames),
 		}
 	}
 	// An unusable log leaves saved zero: the next save rewrites both
@@ -464,6 +486,64 @@ const (
 	DefaultCompactShare     = 0.25
 )
 
+// Default snapshot-failure handling: how many backoff retries follow a
+// failed attempt within one snapshot cycle, the first backoff step (it
+// doubles per retry), and how many consecutive failed attempts flip the
+// store into the degraded-persistence state.
+const (
+	DefaultSnapshotRetries = 2
+	DefaultRetryBackoff    = 100 * time.Millisecond
+	DefaultDegradeAfter    = 3
+)
+
+// snapHealth is the store's view of its own durability: every snapshot
+// attempt reports here, and the readiness probe reads the summary out of
+// Stats(). The store never stops serving or accepting writes on
+// failure — degraded is a loud flag, not a circuit breaker.
+type snapHealth struct {
+	failures    atomic.Uint64 // failed attempts, lifetime
+	consecutive atomic.Uint64 // failed attempts since the last success
+	degraded    atomic.Bool
+	lastOKUnix  atomic.Int64
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+func (h *snapHealth) ok() {
+	h.consecutive.Store(0)
+	h.degraded.Store(false)
+	h.lastOKUnix.Store(time.Now().Unix())
+	h.mu.Lock()
+	h.lastErr = ""
+	h.mu.Unlock()
+}
+
+func (h *snapHealth) fail(err error, degradeAfter int) {
+	h.failures.Add(1)
+	c := h.consecutive.Add(1)
+	if degradeAfter > 0 && c >= uint64(degradeAfter) {
+		h.degraded.Store(true)
+	}
+	h.mu.Lock()
+	h.lastErr = err.Error()
+	h.mu.Unlock()
+}
+
+func (h *snapHealth) lastError() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastErr
+}
+
+// fill copies the health summary into a Stats.
+func (h *snapHealth) fill(st *Stats) {
+	st.SnapshotFailures = h.failures.Load()
+	st.LastSnapshotError = h.lastError()
+	st.LastSnapshotOKUnix = h.lastOKUnix.Load()
+	st.DegradedPersistence = h.degraded.Load()
+}
+
 // Lifecycle configures the background services a store owns between
 // Start and Close:
 //
@@ -473,6 +553,13 @@ const (
 //     a lightly dirty one appends small delta frames. Close always
 //     writes a final snapshot to SnapshotPath (when set), so mutations
 //     survive a restart even with the periodic loop disabled.
+//   - Snapshot-failure handling: a failed snapshot attempt is retried
+//     SnapshotRetries times with exponential backoff starting at
+//     RetryBackoff, and every failed attempt feeds a consecutive-failure
+//     counter; at DegradeAfter consecutive failures the store flips into
+//     the degraded-persistence state reported by Stats() (and through it
+//     /v1/stats and /readyz) — still serving, still accepting writes,
+//     loudly unhealthy. The first success clears the state.
 //   - Background compaction: every CompactInterval, each shard's
 //     measured delta-scan share over the window (the fraction of filter
 //     rows spent on delta rows and tombstones — real query traffic, not
@@ -491,14 +578,56 @@ type Lifecycle struct {
 	SnapshotInterval time.Duration
 	CompactInterval  time.Duration
 	CompactShare     float64
-	Logf             func(format string, args ...any)
+	// SnapshotRetries is the number of backoff retries after a failed
+	// snapshot attempt (0 = DefaultSnapshotRetries, negative = none).
+	// RetryBackoff is the first retry's delay, doubling per retry
+	// (0 = DefaultRetryBackoff). DegradeAfter is the consecutive failed
+	// attempts at which the store declares degraded persistence
+	// (0 = DefaultDegradeAfter, negative = never).
+	SnapshotRetries int
+	RetryBackoff    time.Duration
+	DegradeAfter    int
+	Logf            func(format string, args ...any)
 }
 
 // lifecycle is one running pair of background loops.
 type lifecycle struct {
-	cfg  Lifecycle
-	stop chan struct{}
-	wg   sync.WaitGroup
+	cfg    Lifecycle
+	health *snapHealth
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// snapshotWithRetry runs one snapshot cycle: an attempt plus up to
+// SnapshotRetries backoff retries, reporting every outcome into health.
+// When interruptible, a close of l.stop cuts the backoff short (the
+// final Close-time snapshot is not interruptible — stop is already
+// closed by then).
+func (l *lifecycle) snapshotWithRetry(snapshot func(string) (bool, error), interruptible bool) (bool, error) {
+	var wrote bool
+	var err error
+	for attempt := 0; ; attempt++ {
+		wrote, err = snapshot(l.cfg.SnapshotPath)
+		if err == nil {
+			l.health.ok()
+			return wrote, nil
+		}
+		l.health.fail(err, l.cfg.DegradeAfter)
+		if attempt >= l.cfg.SnapshotRetries {
+			return false, err
+		}
+		d := l.cfg.RetryBackoff << attempt
+		l.logf("snapshot attempt %d failed, retrying in %v: %v", attempt+1, d, err)
+		if interruptible {
+			select {
+			case <-l.stop:
+				return false, err
+			case <-time.After(d):
+			}
+		} else {
+			time.Sleep(d)
+		}
+	}
 }
 
 func (l *lifecycle) logf(format string, args ...any) {
@@ -513,7 +642,7 @@ type scanMark struct{ rows, waste uint64 }
 
 // startLifecycle launches the loops over closure-shaped owners, so one
 // implementation serves Store and Sharded.
-func startLifecycle(cfg Lifecycle, snapshot func(path string) (bool, error), compactDegraded func(threshold float64, marks []scanMark) int, shardCount int) *lifecycle {
+func startLifecycle(cfg Lifecycle, snapshot func(path string) (bool, error), compactDegraded func(threshold float64, marks []scanMark) int, shardCount int, health *snapHealth) *lifecycle {
 	if cfg.SnapshotInterval == 0 {
 		cfg.SnapshotInterval = DefaultSnapshotInterval
 	}
@@ -523,7 +652,18 @@ func startLifecycle(cfg Lifecycle, snapshot func(path string) (bool, error), com
 	if cfg.CompactShare == 0 {
 		cfg.CompactShare = DefaultCompactShare
 	}
-	l := &lifecycle{cfg: cfg, stop: make(chan struct{})}
+	if cfg.SnapshotRetries == 0 {
+		cfg.SnapshotRetries = DefaultSnapshotRetries
+	} else if cfg.SnapshotRetries < 0 {
+		cfg.SnapshotRetries = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.DegradeAfter == 0 {
+		cfg.DegradeAfter = DefaultDegradeAfter
+	}
+	l := &lifecycle{cfg: cfg, health: health, stop: make(chan struct{})}
 
 	if cfg.SnapshotPath != "" && cfg.SnapshotInterval > 0 {
 		l.wg.Add(1)
@@ -536,9 +676,10 @@ func startLifecycle(cfg Lifecycle, snapshot func(path string) (bool, error), com
 				case <-l.stop:
 					return
 				case <-ticker.C:
-					wrote, err := snapshot(cfg.SnapshotPath)
+					wrote, err := l.snapshotWithRetry(snapshot, true)
 					if err != nil {
-						l.logf("background snapshot: %v", err)
+						l.logf("background snapshot failed (%d consecutive failures, degraded=%v): %v",
+							l.health.consecutive.Load(), l.health.degraded.Load(), err)
 					} else if wrote {
 						l.logf("background snapshot written to %s", cfg.SnapshotPath)
 					}
@@ -599,7 +740,7 @@ func (s *Store[T]) Start(cfg Lifecycle) error {
 			return 1
 		}
 		return 0
-	}, 1)
+	}, 1, &s.health)
 	return nil
 }
 
@@ -636,7 +777,7 @@ func (s *Sharded[T]) Start(cfg Lifecycle) error {
 			}
 		}
 		return n
-	}, len(s.shards))
+	}, len(s.shards), &s.health)
 	return nil
 }
 
@@ -661,7 +802,7 @@ func finalSnapshot(lc *lifecycle, snapshot func(string) (bool, error)) error {
 	if lc.cfg.SnapshotPath == "" {
 		return nil
 	}
-	wrote, err := snapshot(lc.cfg.SnapshotPath)
+	wrote, err := lc.snapshotWithRetry(snapshot, false)
 	switch {
 	case err != nil:
 		lc.logf("final snapshot: %v", err)

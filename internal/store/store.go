@@ -3,11 +3,13 @@ package store
 import (
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 	"sync"
 	"sync/atomic"
 
 	"qse/internal/core"
+	"qse/internal/fsio"
 	"qse/internal/par"
 	"qse/internal/retrieval"
 	"qse/internal/space"
@@ -66,6 +68,18 @@ type Stats struct {
 	// Zero when no searches have run. In an aggregate Stats the shares
 	// are combined over all shards' scan counters.
 	DeltaScanShare float64
+	// SnapshotFailures counts failed snapshot attempts over the store's
+	// lifetime; LastSnapshotError is the most recent failure ("" after a
+	// success), LastSnapshotOKUnix the Unix time of the last successful
+	// snapshot (0 until one succeeds). DegradedPersistence reports the
+	// lifecycle's degraded durability state — enough consecutive failures
+	// that the configured DegradeAfter threshold tripped. A degraded
+	// store keeps serving and accepting writes; the flag is what
+	// readiness probes surface.
+	SnapshotFailures    uint64
+	LastSnapshotError   string
+	LastSnapshotOKUnix  int64
+	DegradedPersistence bool
 }
 
 // CompactionPolicy decides when the mutation path folds the delta segment
@@ -81,12 +95,54 @@ type CompactionPolicy struct {
 	DeltaFrac float64
 	MinDead   int
 	DeadFrac  float64
+	// MaxLogFrames and MaxLogBytes bound the on-disk delta log rather
+	// than the in-memory layout: when an incremental save finds the log
+	// already at either bound, it folds the shard and rewrites a fresh
+	// base + empty log instead of appending forever — bounding the
+	// worst-case reopen/replay cost of a shard mutated forever below the
+	// in-memory thresholds. Zero means the defaults (512 frames, 256
+	// MiB); negative means unbounded.
+	MaxLogFrames int
+	MaxLogBytes  int64
+}
+
+// Default on-disk delta-log bounds (see CompactionPolicy).
+const (
+	DefaultMaxLogFrames = 512
+	DefaultMaxLogBytes  = 256 << 20
+)
+
+// logBounds resolves the effective frame and byte bounds.
+func (p CompactionPolicy) logBounds() (frames int, bytes int64) {
+	frames, bytes = p.MaxLogFrames, p.MaxLogBytes
+	if frames == 0 {
+		frames = DefaultMaxLogFrames
+	} else if frames < 0 {
+		frames = math.MaxInt
+	}
+	if bytes == 0 {
+		bytes = DefaultMaxLogBytes
+	} else if bytes < 0 {
+		bytes = math.MaxInt64
+	}
+	return frames, bytes
 }
 
 // DefaultCompactionPolicy compacts when the delta reaches 1024 rows and
 // 1/8 of the base, or when 1024 rows and 1/4 of the store are tombstones.
 func DefaultCompactionPolicy() CompactionPolicy {
-	return CompactionPolicy{MinDelta: 1024, DeltaFrac: 0.125, MinDead: 1024, DeadFrac: 0.25}
+	return CompactionPolicy{
+		MinDelta: 1024, DeltaFrac: 0.125, MinDead: 1024, DeadFrac: 0.25,
+		MaxLogFrames: DefaultMaxLogFrames, MaxLogBytes: DefaultMaxLogBytes,
+	}
+}
+
+// policyView reads the current compaction policy under the mutation
+// lock, for callers (the incremental saver) that hold only saveMu.
+func (s *Store[T]) policyView() CompactionPolicy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy
 }
 
 // snapshot is one immutable version of the store's state. Readers operate
@@ -297,7 +353,29 @@ type Store[T any] struct {
 	// lcMu guards the background lifecycle started by Start.
 	lcMu sync.Mutex
 	lc   *lifecycle
+
+	// fsys is the filesystem the save path writes through; nil means the
+	// real one (fsio.OS()). Tests swap in a fsio.FaultFS via setFS to
+	// prove every I/O call site is safe to fail.
+	fsys fsio.FS
+
+	// health tracks background-snapshot outcomes: consecutive failures,
+	// the last error, the last success time, and the degraded flag the
+	// readiness probe reports.
+	health snapHealth
 }
+
+// fs returns the filesystem the store persists through.
+func (s *Store[T]) fs() fsio.FS {
+	if s.fsys == nil {
+		return fsio.OS()
+	}
+	return s.fsys
+}
+
+// setFS swaps the filesystem under the save path. Test hook; call before
+// any Save/Start, never concurrently with one.
+func (s *Store[T]) setFS(fsys fsio.FS) { s.fsys = fsys }
 
 // New builds a store over db: the database is embedded (len(db) ×
 // EmbedCost exact distances, the usual index-build price) and objects are
@@ -380,7 +458,7 @@ func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T]
 	if codec == nil {
 		return nil, fmt.Errorf("store: nil codec")
 	}
-	version, payload, err := readEnvelope(path)
+	version, payload, err := readEnvelope(fsio.OS(), path)
 	if err != nil {
 		return nil, err
 	}
@@ -499,7 +577,7 @@ func (s *Store[T]) saveV1(path string) error {
 		}
 	}
 	flat, dims := ix.Flat()
-	return writeBundle(path, &bundleBody{
+	return writeBundle(s.fs(), path, &bundleBody{
 		Model:      *s.model.SelfSnapshot(),
 		Candidates: candidates,
 		Dims:       dims,
@@ -996,7 +1074,7 @@ func (s *Store[T]) Stats() Stats {
 	if rows > 0 {
 		share = float64(waste) / float64(rows)
 	}
-	return Stats{
+	st := Stats{
 		Size:                snap.seg.Live(),
 		Dims:                snap.seg.Dims(),
 		Generation:          snap.gen,
@@ -1011,6 +1089,8 @@ func (s *Store[T]) Stats() Stats {
 		LastSnapshotBytes:   s.lastSnapBytes.Load(),
 		DeltaScanShare:      share,
 	}
+	s.health.fill(&st)
+	return st
 }
 
 // ShardStats returns per-shard statistics. A plain Store has no shard

@@ -195,4 +195,124 @@ echo "   one dirty shard -> only $(basename "$changed") changed"
 echo "== the upsert survives the incremental snapshot"
 expect "store ready: 120 objects" "$workdir/qse-serve" -bundle "$sbundle" -build-only
 
+# ---- resilience: readiness, load shedding, degraded persistence, exit codes ----
+
+raddr=127.0.0.1:18094
+delta="$bundle.shard-000-of-001.delta"
+
+echo "== serving with a tight in-flight gate and fast snapshots"
+"$workdir/qse-serve" -bundle "$bundle" -addr "$raddr" \
+  -max-inflight 1 -snapshot-every 100ms -snapshot-retries 0 &
+pid=$!
+for i in $(seq 1 100); do
+  curl -fsS "http://$raddr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+echo "== GET /readyz reports ready (distinct from /healthz)"
+expect '"ready":true' curl -fsS "http://$raddr/readyz"
+
+echo "== driving past -max-inflight 1 sheds excess load with 429"
+batch='{"queries":['
+for i in $(seq 1 64); do batch+='[[0.1,0.2],[0.3,0.4],[0.5,0.6]],'; done
+batch="${batch%,}],\"k\":3,\"p\":40}"
+shed=0
+for round in 1 2 3 4 5; do
+  : > "$workdir/codes"
+  curlpids=()
+  for i in $(seq 1 32); do
+    curl -s -o /dev/null -w '%{http_code}\n' -X POST \
+      "http://$raddr/v1/search/batch" -d "$batch" >> "$workdir/codes" &
+    curlpids+=($!)
+  done
+  wait "${curlpids[@]}"
+  if grep -q '^429$' "$workdir/codes" && grep -q '^200$' "$workdir/codes"; then
+    shed=1
+    break
+  fi
+done
+if [ "$shed" -ne 1 ]; then
+  echo "FAIL: no 429 (or no 200) observed across 5 rounds of 32 concurrent batches:" >&2
+  sort "$workdir/codes" | uniq -c >&2
+  exit 1
+fi
+echo "   saw both 200 and 429 under concurrent load"
+
+echo "== after the stampede the gate drains and the server recovers"
+expect '"results"' curl -fsS -X POST "http://$raddr/v1/search" -d '{"id":0,"k":2}'
+expect '"ready":true' curl -fsS "http://$raddr/readyz"
+
+echo "== degraded persistence: snapshots fail loudly, serving continues"
+# Make the delta log unwritable by replacing it with a directory, then
+# dirty the store so every snapshot tick has something to write (order
+# matters: a clean store snapshots nothing, and a tick landing between
+# the add and the breakage would persist the frame early).
+mv "$delta" "$delta.bak"
+mkdir "$delta"
+expect '"id":121' curl -fsS -X POST "http://$raddr/v1/objects" \
+  -d '{"object":[[0.1,0.2],[0.3,0.4]]}'
+code=""
+for i in $(seq 1 100); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "http://$raddr/readyz")
+  [ "$code" = "503" ] && break
+  sleep 0.1
+done
+if [ "$code" != "503" ]; then
+  echo "FAIL: /readyz stayed $code under sustained snapshot failure, want 503" >&2
+  exit 1
+fi
+expect '"degraded_persistence":true' curl -fsS "http://$raddr/v1/stats"
+expect '"last_snapshot_error"' curl -fsS "http://$raddr/v1/stats"
+expect '"results"' curl -fsS -X POST "http://$raddr/v1/search" -d '{"id":0,"k":2}'
+expect '"status":"ok"' curl -fsS "http://$raddr/healthz"
+echo "   /readyz 503 + stats degraded while /v1/search keeps answering"
+
+echo "== healing the filesystem restores readiness"
+rmdir "$delta"
+mv "$delta.bak" "$delta"
+code=""
+for i in $(seq 1 100); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "http://$raddr/readyz")
+  [ "$code" = "200" ] && break
+  sleep 0.1
+done
+if [ "$code" != "200" ]; then
+  echo "FAIL: /readyz stayed $code after the fault healed, want 200" >&2
+  exit 1
+fi
+expect '"degraded_persistence":false' curl -fsS "http://$raddr/v1/stats"
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+expect "store ready: 121 objects" "$workdir/qse-serve" -bundle "$bundle" -build-only
+
+echo "== a failed final snapshot makes qse-serve exit non-zero"
+"$workdir/qse-serve" -bundle "$bundle" -addr "$raddr" -snapshot-retries 0 &
+pid=$!
+for i in $(seq 1 100); do
+  curl -fsS "http://$raddr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+expect '"id":122' curl -fsS -X POST "http://$raddr/v1/objects" \
+  -d '{"object":[[0.2,0.1],[0.4,0.3]]}'
+mv "$delta" "$delta.bak"
+mkdir "$delta"
+kill -TERM "$pid"
+set +e
+wait "$pid"
+code=$?
+set -e
+pid=""
+if [ "$code" -eq 0 ]; then
+  echo "FAIL: qse-serve exited 0 although the final snapshot failed" >&2
+  exit 1
+fi
+echo "   exit code $code after failed final snapshot"
+rmdir "$delta"
+mv "$delta.bak" "$delta"
+# The lineage on disk is the last durable state: the 121 objects from
+# before the broken final snapshot, not the lost 122nd.
+expect "store ready: 121 objects" "$workdir/qse-serve" -bundle "$bundle" -build-only
+
 echo "e2e serve: OK"
