@@ -29,8 +29,11 @@
 //
 // Endpoints (JSON): POST /v1/search, POST /v1/search/batch,
 // POST /v1/objects, PUT /v1/objects/{id}, DELETE /v1/objects/{id},
-// GET /v1/stats, GET /healthz (liveness), GET /readyz (readiness:
-// 503 under degraded persistence or a saturated in-flight gate).
+// GET /v1/stats, GET /v1/debug/slow (slowest queries with stage
+// breakdowns), GET /metrics (Prometheus text format), GET /healthz
+// (liveness), GET /readyz (readiness: 503 under degraded persistence or
+// a saturated in-flight gate). With -pprof-addr, net/http/pprof serves
+// on a separate listener so profiles stay reachable under load.
 // A query/object for the series dataset is a [time][dim] array, e.g.
 // {"query": [[0.1,0.2],[0.3,0.4]], "k": 5, "p": 100}; {"id": 7, "k": 5}
 // searches with a stored object as the query.
@@ -42,6 +45,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -76,6 +81,8 @@ func main() {
 		maxBody   = flag.Int64("max-body", server.DefaultMaxBody, "maximum request body bytes")
 		inflight  = flag.Int("max-inflight", 256, "maximum concurrently executing work requests before excess load is shed with 429 (0 = unbounded)")
 		searchTO  = flag.Duration("search-timeout", 30*time.Second, "deadline for one search or batch computation; exceeding it answers 504 (0 = none)")
+		slowLog   = flag.Int("slow-log", server.DefaultSlowLogSize, "how many of the slowest queries to retain for GET /v1/debug/slow")
+		pprofAddr = flag.String("pprof-addr", "", "listen address for net/http/pprof on a side listener (empty = disabled); keep it loopback-only or firewalled")
 		dims      = flag.Int("series-dims", 0, "sample dimensionality queries must have (0 = derive from the stored data or the bundled model)")
 
 		// Compaction: the mutation path folds the append-only delta segment
@@ -154,7 +161,29 @@ func main() {
 		MaxBodyBytes:  *maxBody,
 		MaxInFlight:   *inflight,
 		SearchTimeout: *searchTO,
+		SlowLogSize:   *slowLog,
 	})
+
+	// pprof rides a side listener, never the serving mux: profiles must
+	// stay reachable when the API is saturated, and must not be exposed
+	// on the public address by accident. The handlers are wired
+	// explicitly instead of importing net/http/pprof for its
+	// DefaultServeMux side effect.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.ListenAndServe(); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+	}
 
 	// The background lifecycle — incremental snapshots of dirty shards
 	// and compaction scheduled on the measured delta-scan share — is

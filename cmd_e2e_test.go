@@ -106,9 +106,12 @@ func TestServeTools(t *testing.T) {
 		t.Fatalf("qse-query -bundle output unexpected:\n%s", queryOut)
 	}
 
-	// Second run: reopen the bundle and serve HTTP.
+	// Second run: reopen the bundle and serve HTTP, with the pprof side
+	// listener on its own loopback port.
 	const addr = "127.0.0.1:18091"
-	serve := exec.Command(bin, "-bundle", bundlePath, "-addr", addr)
+	const pprofAddr = "127.0.0.1:18095"
+	serve := exec.Command(bin, "-bundle", bundlePath, "-addr", addr,
+		"-pprof-addr", pprofAddr)
 	serve.Stdout, serve.Stderr = os.Stderr, os.Stderr
 	if err := serve.Start(); err != nil {
 		t.Fatalf("starting qse-serve: %v", err)
@@ -127,6 +130,30 @@ func TestServeTools(t *testing.T) {
 	}
 	if !up {
 		t.Fatal("server never became healthy")
+	}
+
+	// The pprof side listener serves the profile index, isolated from the
+	// API mux so the profiling surface is never on the public port.
+	var pprofUp bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/"); err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			pprofUp = resp.StatusCode == http.StatusOK && strings.Contains(string(b), "goroutine")
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !pprofUp {
+		t.Fatal("pprof side listener never served /debug/pprof/")
+	}
+	if resp, err := http.Get(base + "/debug/pprof/"); err != nil {
+		t.Fatalf("probing API port for pprof: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("pprof index leaked onto the public API port")
+		}
 	}
 
 	post := func(path, body string) (int, string) {

@@ -153,6 +153,42 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("GET /v1/stats:\n  %s\n", stats.String())
 
+	// ---- Observability: where did the time go? ----
+	// "debug":true returns the per-stage breakdown (embed, filter over
+	// base/delta segments, merge, refine) inline with the results.
+	fmt.Printf("POST /v1/search with debug timing:\n  %s\n",
+		post("/v1/search", fmt.Sprintf(`{"query":[%g,%g],"k":3,"p":60,"debug":true}`, q[0], q[1])))
+
+	// The same stage timings aggregate into Prometheus histograms on
+	// GET /metrics, next to per-endpoint latency series and store gauges
+	// — point a scraper at this path in production.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var scrape bytes.Buffer
+	scrape.ReadFrom(resp.Body)
+	resp.Body.Close()
+	fmt.Println("GET /metrics (excerpt):")
+	for _, line := range bytes.Split(scrape.Bytes(), []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("qse_http_requests_total")) ||
+			bytes.HasPrefix(line, []byte("qse_search_stage_duration_seconds_count")) ||
+			bytes.HasPrefix(line, []byte("qse_store_size")) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	// The slow log keeps the N slowest queries with their request shape
+	// and stage breakdown — the first stop when p99 moves.
+	resp, err = http.Get(base + "/v1/debug/slow")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var slow bytes.Buffer
+	slow.ReadFrom(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("\nGET /v1/debug/slow:\n  %s\n", slow.String())
+
 	if err := srv.Shutdown(context.Background()); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,424 @@
+// Package obs is the observability kernel: a dependency-free metrics
+// registry — atomic counters, gauges, and log-bucketed histograms —
+// that renders the Prometheus text exposition format (version 0.0.4),
+// so every layer of the store can publish live signals without pulling
+// a client library into the module.
+//
+// The design is built around one rule: recording a metric on a hot
+// path costs atomics only — no locks, no allocation, no formatting.
+// A Counter.Add is one atomic add; a Histogram.Observe is a bounded
+// binary search over a fixed bucket table plus two atomic adds. All
+// formatting, label rendering, and bucket accumulation happens at
+// scrape time, on the scraper's goroutine. Registration (done once at
+// startup) takes a mutex; after that the registry is read-only and
+// scrapes run concurrently with recording.
+//
+// Histograms store int64 observations (the natural unit is
+// nanoseconds) in exponentially spaced buckets and render through a
+// scale factor, so a latency histogram observes nanoseconds internally
+// and exposes seconds, the Prometheus base unit. Quantiles (p50/p90/
+// p99 for /v1/stats) are estimated from the same buckets by linear
+// interpolation, exactly like PromQL's histogram_quantile.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down (sizes, shares,
+// durations-of-last-X). The zero value is ready to use and reads 0.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// ExpBuckets returns n exponentially spaced histogram bucket bounds
+// starting at first: first, first*factor, first*factor², … — the
+// log-bucket layout every histogram in this repository uses. factor
+// must be > 1 and first > 0.
+func ExpBuckets(first int64, factor float64, n int) []int64 {
+	if first <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExpBuckets wants first > 0, factor > 1, n > 0")
+	}
+	out := make([]int64, n)
+	f := float64(first)
+	for i := range out {
+		out[i] = int64(math.Round(f))
+		f *= factor
+	}
+	return out
+}
+
+// Histogram counts int64 observations into fixed log-spaced buckets.
+// bounds are inclusive upper bounds in ascending order; observations
+// above the last bound land in an implicit +Inf bucket. Observe is
+// wait-free: a binary search over the bound table (read-only after
+// construction) and two atomic adds.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Int64
+	// scale converts stored units to exposition units at render time
+	// (1e-9 turns nanoseconds into Prometheus-convention seconds).
+	scale float64
+}
+
+// NewHistogram builds a histogram over the given ascending bounds.
+// scale multiplies bounds and sums at render/quantile time; pass 1 for
+// dimensionless observations.
+func NewHistogram(bounds []int64, scale float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	if scale <= 0 {
+		panic("obs: histogram scale must be > 0")
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1), scale: scale}
+}
+
+// Observe records one value: the bucket whose bound is the first one
+// >= v gains a count (the +Inf bucket when v exceeds every bound).
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is one consistent-enough read of a histogram: the
+// per-bucket counts are each read once (so cumulative totals computed
+// from them are monotone by construction), Count is their exact total,
+// and Sum is read separately — under concurrent traffic it may lead or
+// trail the counts by the handful of observations in flight.
+type HistSnapshot struct {
+	Bounds []int64
+	Counts []uint64 // per-bucket (not cumulative); last is +Inf
+	Sum    int64
+	Count  uint64
+	Scale  float64
+}
+
+// Snapshot reads the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Bounds: h.bounds, Counts: make([]uint64, len(h.counts)), Scale: h.scale, Sum: h.sum.Load()}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations, in stored units.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 < q < 1) in stored units by
+// linear interpolation inside the bucket the quantile falls in — the
+// same estimate PromQL's histogram_quantile gives. Observations in the
+// +Inf bucket are attributed to the last finite bound (there is nothing
+// to interpolate against). Returns 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(s.Counts)-1 {
+			// +Inf bucket: clamp to the largest finite bound.
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(s.Bounds[i-1])
+		}
+		hi := float64(s.Bounds[i])
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
+// Label is one name="value" pair on a series.
+type Label struct{ Name, Value string }
+
+// series is one labeled instance inside a family.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// family groups every series sharing a metric name under one
+// HELP/TYPE header, as the exposition format requires.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds registered metrics and renders them. Registration is
+// mutex-guarded and meant for startup; recording and scraping are
+// lock-free afterwards (scrapes take the mutex only to walk the family
+// list, never blocking a recording hot path, which touches atomics
+// only).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+	onScrape []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// OnScrape registers a hook run at the start of every render — the
+// place to refresh a block of related gauges from one consistent
+// source (e.g. one store.Stats() call) instead of registering a
+// callback per gauge.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onScrape = append(r.onScrape, fn)
+}
+
+// register adds a series to the named family, creating the family on
+// first use and enforcing that one name keeps one type and help text.
+func (r *Registry) register(name, help, typ string, s *series) {
+	if !validName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range s.labels {
+		if !validName(l.Name) {
+			panic("obs: invalid label name " + strconv.Quote(l.Name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic("obs: metric " + name + " registered as both " + f.typ + " and " + typ)
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", &series{labels: labels, counter: c})
+	return c
+}
+
+// Gauge registers and returns a settable gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", &series{labels: labels, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", &series{labels: labels, gaugeFn: fn})
+}
+
+// Histogram registers and returns a histogram series (see NewHistogram
+// for bounds and scale).
+func (r *Registry) Histogram(name, help string, bounds []int64, scale float64, labels ...Label) *Histogram {
+	h := NewHistogram(bounds, scale)
+	r.register(name, help, "histogram", &series{labels: labels, hist: h})
+	return h
+}
+
+// validName checks the Prometheus metric/label name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// formatValue renders a sample value the way Prometheus expects. The
+// 12-significant-digit cap hides the float artifacts of scaling int64
+// bounds (1000ns × 1e-9 is not exactly 1e-6 in float64) so bucket le
+// values render as the clean numbers the buckets were designed with.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', 12, 64)
+}
+
+// writeLabels renders {a="x",b="y"}, with extra appended last (the
+// histogram's le), escaping label values per the exposition format.
+func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
+	all := len(labels) + len(extra)
+	if all == 0 {
+		return
+	}
+	b.WriteByte('{')
+	n := 0
+	write := func(l Label) {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		for _, c := range l.Value {
+			switch c {
+			case '\\':
+				b.WriteString(`\\`)
+			case '"':
+				b.WriteString(`\"`)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteRune(c)
+			}
+		}
+		b.WriteByte('"')
+	}
+	for _, l := range labels {
+		write(l)
+	}
+	for _, l := range extra {
+		write(l)
+	}
+	b.WriteByte('}')
+}
+
+// WriteTo renders every registered metric in the text exposition
+// format. Scrape hooks run first; the byte count and any writer error
+// are returned (io.WriterTo).
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	hooks := r.onScrape
+	fams := r.families
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				b.WriteString(f.name)
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(s.counter.Value(), 10))
+				b.WriteByte('\n')
+			case s.gauge != nil || s.gaugeFn != nil:
+				v := 0.0
+				if s.gauge != nil {
+					v = s.gauge.Value()
+				} else {
+					v = s.gaugeFn()
+				}
+				b.WriteString(f.name)
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(formatValue(v))
+				b.WriteByte('\n')
+			case s.hist != nil:
+				snap := s.hist.Snapshot()
+				var cum uint64
+				for i, c := range snap.Counts {
+					cum += c
+					le := "+Inf"
+					if i < len(snap.Bounds) {
+						le = formatValue(float64(snap.Bounds[i]) * snap.Scale)
+					}
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabels(&b, s.labels, Label{"le", le})
+					b.WriteByte(' ')
+					b.WriteString(strconv.FormatUint(cum, 10))
+					b.WriteByte('\n')
+				}
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(formatValue(float64(snap.Sum) * snap.Scale))
+				b.WriteByte('\n')
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(snap.Count, 10))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// ServeHTTP makes the registry a /metrics handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WriteTo(w)
+}

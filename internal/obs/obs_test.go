@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("qse_test_ops_total", "ops", Label{"kind", "read"})
+	c2 := r.Counter("qse_test_ops_total", "ops", Label{"kind", "write"})
+	g := r.Gauge("qse_test_size", "live objects")
+	r.GaugeFunc("qse_test_uptime_seconds", "uptime", func() float64 { return 2.5 })
+	c.Add(3)
+	c2.Inc()
+	g.Set(120)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP qse_test_ops_total ops
+# TYPE qse_test_ops_total counter
+qse_test_ops_total{kind="read"} 3
+qse_test_ops_total{kind="write"} 1
+# HELP qse_test_size live objects
+# TYPE qse_test_size gauge
+qse_test_size 120
+# HELP qse_test_uptime_seconds uptime
+# TYPE qse_test_uptime_seconds gauge
+qse_test_uptime_seconds 2.5
+`
+	if b.String() != want {
+		t.Fatalf("render mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramRenderExact(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("qse_test_latency_seconds", "latency", []int64{1000, 2000, 4000}, 1e-9, Label{"endpoint", "search"})
+	for _, v := range []int64{500, 1000, 1500, 3000, 9000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WriteTo(&b)
+	want := `# HELP qse_test_latency_seconds latency
+# TYPE qse_test_latency_seconds histogram
+qse_test_latency_seconds_bucket{endpoint="search",le="1e-06"} 2
+qse_test_latency_seconds_bucket{endpoint="search",le="2e-06"} 3
+qse_test_latency_seconds_bucket{endpoint="search",le="4e-06"} 4
+qse_test_latency_seconds_bucket{endpoint="search",le="+Inf"} 5
+qse_test_latency_seconds_sum{endpoint="search"} 1.5e-05
+qse_test_latency_seconds_count{endpoint="search"} 5
+`
+	if b.String() != want {
+		t.Fatalf("render mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestOnScrapeRefreshesGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("qse_test_refresh", "refreshed at scrape")
+	n := 0
+	r.OnScrape(func() { n++; g.Set(float64(n * 10)) })
+	var b strings.Builder
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), "qse_test_refresh 10") {
+		t.Fatalf("first scrape: %s", b.String())
+	}
+	b.Reset()
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), "qse_test_refresh 20") {
+		t.Fatalf("second scrape: %s", b.String())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1000, 2, 4)
+	want := []int64{1000, 2000, 4000, 8000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram([]int64{100, 200, 400, 800}, 1)
+	// 100 observations uniform in (0, 100]: p50 should interpolate to
+	// ~50 inside the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); math.Abs(q-50) > 1 {
+		t.Fatalf("p50 = %v, want ~50", q)
+	}
+	if q := s.Quantile(0.99); math.Abs(q-99) > 1 {
+		t.Fatalf("p99 = %v, want ~99", q)
+	}
+	// An observation beyond every bound clamps to the last finite bound.
+	h2 := NewHistogram([]int64{100}, 1)
+	h2.Observe(1_000_000)
+	if q := h2.Snapshot().Quantile(0.5); q != 100 {
+		t.Fatalf("overflow quantile = %v, want 100", q)
+	}
+	var empty HistSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+// parseExposition parses text exposition output into per-series values,
+// failing the test on any malformed line. It returns sample name+labels
+// -> value.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	helped := make(map[string]bool)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition output", ln+1)
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			helped[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found || (typ != "counter" && typ != "gauge" && typ != "histogram") {
+				t.Fatalf("line %d: bad TYPE line: %q", ln+1, line)
+			}
+			if !helped[name] {
+				t.Fatalf("line %d: TYPE before HELP for %s", ln+1, name)
+			}
+			typed[name] = typ
+			continue
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator: %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		var val float64
+		switch valStr {
+		case "+Inf":
+			val = math.Inf(1)
+		default:
+			var err error
+			if val, err = strconv.ParseFloat(valStr, 64); err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			name = key[:i]
+			body := key[i+1 : len(key)-1]
+			for _, pair := range strings.Split(body, ",") {
+				lname, lval, found := strings.Cut(pair, "=")
+				if !found || !strings.HasPrefix(lval, `"`) || !strings.HasSuffix(lval, `"`) {
+					t.Fatalf("line %d: bad label pair %q", ln+1, pair)
+				}
+				if lname == "" {
+					t.Fatalf("line %d: empty label name in %q", ln+1, pair)
+				}
+			}
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && typed[b] == "histogram" {
+				base = b
+				break
+			}
+		}
+		if typed[base] == "" {
+			t.Fatalf("line %d: sample %s has no TYPE header", ln+1, name)
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("line %d: duplicate series %q", ln+1, key)
+		}
+		samples[key] = val
+	}
+	return samples
+}
+
+// TestExpositionUnderConcurrentTraffic hammers counters and histograms
+// from many goroutines while scraping repeatedly, asserting on every
+// scrape that the output parses and the histogram invariants hold:
+// buckets are cumulative and monotone, _count equals the +Inf bucket,
+// and _sum is consistent with the observed value range. Run under
+// -race this also proves the registry's concurrency contract.
+func TestExpositionUnderConcurrentTraffic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("qse_t_reqs_total", "requests")
+	bounds := ExpBuckets(10, 2, 8) // 10..1280
+	var hists []*Histogram
+	for _, ep := range []string{"search", "add", "stats"} {
+		hists = append(hists, r.Histogram("qse_t_latency", "lat", bounds, 1, Label{"endpoint", ep}))
+	}
+
+	const writers = 8
+	const perWriter = 5000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				hists[i%len(hists)].Observe(int64(1 + (i*w)%2000))
+			}
+		}(w)
+	}
+	scrapes := 0
+	go func() { wg.Wait(); close(stop) }()
+	for {
+		var b strings.Builder
+		if _, err := r.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		scrapes++
+		samples := parseExposition(t, b.String())
+		for _, ep := range []string{"search", "add", "stats"} {
+			sel := fmt.Sprintf(`qse_t_latency_bucket{endpoint=%q,le=`, ep)
+			prev := -1.0
+			var last float64
+			n := 0
+			for _, bd := range bounds {
+				key := sel + `"` + formatValue(float64(bd)) + `"}`
+				v, ok := samples[key]
+				if !ok {
+					t.Fatalf("scrape %d: missing bucket %s", scrapes, key)
+				}
+				if v < prev {
+					t.Fatalf("scrape %d: bucket %s not cumulative: %v < %v", scrapes, key, v, prev)
+				}
+				prev, last, n = v, v, n+1
+			}
+			inf, ok := samples[sel+`"+Inf"}`]
+			if !ok || inf < last {
+				t.Fatalf("scrape %d: +Inf bucket missing or below last finite (%v < %v)", scrapes, inf, last)
+			}
+			count := samples[fmt.Sprintf(`qse_t_latency_count{endpoint=%q}`, ep)]
+			if count != inf {
+				t.Fatalf("scrape %d: _count %v != +Inf bucket %v", scrapes, count, inf)
+			}
+			sum := samples[fmt.Sprintf(`qse_t_latency_sum{endpoint=%q}`, ep)]
+			// Every observation is in [1, 2000], so sum is bounded by
+			// count(+in-flight slack) * 2000 and >= (count - slack) * 1.
+			slack := float64(writers)
+			if sum < 0 || sum > (count+slack)*2000 {
+				t.Fatalf("scrape %d: _sum %v inconsistent with _count %v", scrapes, sum, count)
+			}
+		}
+		select {
+		case <-stop:
+			// One final quiescent scrape with exact totals.
+			var fb strings.Builder
+			r.WriteTo(&fb)
+			final := parseExposition(t, fb.String())
+			if got := final["qse_t_reqs_total"]; got != writers*perWriter {
+				t.Fatalf("final counter %v, want %d", got, writers*perWriter)
+			}
+			var total float64
+			for _, ep := range []string{"search", "add", "stats"} {
+				total += final[fmt.Sprintf(`qse_t_latency_count{endpoint=%q}`, ep)]
+			}
+			if total != writers*perWriter {
+				t.Fatalf("final histogram counts sum to %v, want %d", total, writers*perWriter)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestSlowLogRetainsSlowest(t *testing.T) {
+	l := NewSlowLog(3)
+	for _, d := range []int64{50, 10, 80, 20, 90, 30, 70} {
+		if l.WouldRecord(d) {
+			l.Record(SlowEntry{DurationNanos: d, Payload: d})
+		}
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	for i, want := range []int64{90, 80, 70} {
+		if got[i].DurationNanos != want {
+			t.Fatalf("slot %d = %d, want %d (snapshot %v)", i, got[i].DurationNanos, want, got)
+		}
+	}
+	// Fast path: something below the floor must not be admitted.
+	if l.WouldRecord(60) {
+		t.Fatal("WouldRecord(60) true with floor 70")
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 2000; i++ {
+				d := int64(w*2000 + i)
+				if l.WouldRecord(d) {
+					l.Record(SlowEntry{DurationNanos: d})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := l.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("retained %d, want 8", len(got))
+	}
+	// The global slowest (16000) must have survived, and the log must be
+	// sorted descending.
+	if got[0].DurationNanos != 16000 {
+		t.Fatalf("slowest retained %d, want 16000", got[0].DurationNanos)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].DurationNanos > got[i-1].DurationNanos {
+			t.Fatalf("snapshot not sorted: %v", got)
+		}
+	}
+}

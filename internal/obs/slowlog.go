@@ -1,0 +1,104 @@
+// Slow-query log: a fixed-capacity record of the N slowest operations
+// seen since startup, each with a caller-supplied payload (stage
+// breakdown, distance budget, request shape). The fast path — the
+// overwhelmingly common case of a query that is NOT among the slowest
+// ever seen — is one atomic load: the log publishes its admission
+// threshold (the duration of its fastest retained entry once full), and
+// callers only build a payload and take the mutex when they beat it.
+// The lock is therefore contended at most N times plus once per
+// new-slowest-query event, never per request.
+
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SlowEntry is one retained slow operation. Payload is whatever the
+// caller wants surfaced for it (it ends up JSON-encoded by the debug
+// endpoint), built only after admission, so the hot path never
+// allocates for fast queries.
+type SlowEntry struct {
+	UnixNano      int64
+	DurationNanos int64
+	Payload       any
+}
+
+// SlowLog retains the n slowest entries ever recorded.
+type SlowLog struct {
+	// threshold is the admission bar: an entry must exceed it to have a
+	// chance of being retained. It is 0 until the log fills, then the
+	// smallest retained duration.
+	threshold atomic.Int64
+
+	mu      sync.Mutex
+	entries []SlowEntry // unordered; min tracked via threshold
+	cap     int
+}
+
+// NewSlowLog returns a log retaining the n slowest entries (n >= 1).
+func NewSlowLog(n int) *SlowLog {
+	if n < 1 {
+		panic("obs: slow log capacity must be >= 1")
+	}
+	return &SlowLog{cap: n}
+}
+
+// WouldRecord reports whether an operation of the given duration beats
+// the current admission threshold — the one-atomic-load fast path
+// callers use to skip payload construction entirely for fast queries.
+func (l *SlowLog) WouldRecord(durationNanos int64) bool {
+	return durationNanos > l.threshold.Load()
+}
+
+// Record offers an entry. It re-checks admission under the lock (two
+// racing recorders may both pass WouldRecord; the slower one wins the
+// slot) and evicts the fastest retained entry when full.
+func (l *SlowLog) Record(e SlowEntry) {
+	if !l.WouldRecord(e.DurationNanos) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		if len(l.entries) == l.cap {
+			l.threshold.Store(l.minLocked())
+		}
+		return
+	}
+	minI := 0
+	for i := 1; i < len(l.entries); i++ {
+		if l.entries[i].DurationNanos < l.entries[minI].DurationNanos {
+			minI = i
+		}
+	}
+	if e.DurationNanos <= l.entries[minI].DurationNanos {
+		return // lost the race to an even slower entry
+	}
+	l.entries[minI] = e
+	l.threshold.Store(l.minLocked())
+}
+
+// minLocked returns the smallest retained duration. Caller holds mu.
+func (l *SlowLog) minLocked() int64 {
+	m := l.entries[0].DurationNanos
+	for _, e := range l.entries[1:] {
+		if e.DurationNanos < m {
+			m = e.DurationNanos
+		}
+	}
+	return m
+}
+
+// Snapshot returns the retained entries, slowest first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	l.mu.Lock()
+	out := make([]SlowEntry, len(l.entries))
+	copy(out, l.entries)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurationNanos > out[j].DurationNanos })
+	return out
+}

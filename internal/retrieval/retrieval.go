@@ -200,16 +200,102 @@ func ObjectDimsError(got, want int) error {
 	return fmt.Errorf("retrieval: object embedded to %d dims, index has %d", got, want)
 }
 
-// Stats reports the cost of one query, in the paper's currency.
+// Stats reports the cost of one query, in the paper's currency, plus
+// wall-clock per-stage timing for observability.
 type Stats struct {
 	// EmbedDistances is the exact distance count of the embedding step.
 	EmbedDistances int
 	// RefineDistances is the exact distance count of the refine step (p).
 	RefineDistances int
+	// Timing is the per-stage duration breakdown of this query. Unlike
+	// the distance counts it is nondeterministic; it is excluded from
+	// the bit-identity guarantee (compare via WithoutTiming) and never
+	// influences which results a query returns.
+	Timing Timing
 }
 
 // Total returns the total exact distance computations for the query.
 func (s Stats) Total() int { return s.EmbedDistances + s.RefineDistances }
+
+// WithoutTiming returns the stats with the timing zeroed — the
+// deterministic part, which equivalence tests compare bit for bit.
+func (s Stats) WithoutTiming() Stats {
+	s.Timing = Timing{}
+	return s
+}
+
+// Timing is the per-stage duration breakdown of one query through the
+// filter-and-refine pipeline. Parallel stages accumulate per-partition
+// work time, so a fanned-out filter scan reports total CPU time spent
+// scanning, which can exceed the stage's wall time.
+type Timing struct {
+	// EmbedNanos covers embedding the query (the exact distances of the
+	// embedding step) plus computing the query-sensitive weights.
+	EmbedNanos int64
+	// FilterBaseNanos / FilterDeltaNanos split the filter scan by
+	// segment, so a scrape can see delta-scan drag directly.
+	FilterBaseNanos  int64
+	FilterDeltaNanos int64
+	// MergeNanos covers merging per-partition (and, in the sharded
+	// store, per-shard) candidate lists and truncating to top-p.
+	MergeNanos int64
+	// RefineNanos covers the exact-distance re-ranking and final sort.
+	RefineNanos int64
+}
+
+// TotalNanos returns the summed stage durations.
+func (t Timing) TotalNanos() int64 {
+	return t.EmbedNanos + t.FilterBaseNanos + t.FilterDeltaNanos + t.MergeNanos + t.RefineNanos
+}
+
+// Add accumulates another breakdown into t (used when batch callers
+// aggregate per-query timings).
+func (t *Timing) Add(o Timing) {
+	t.EmbedNanos += o.EmbedNanos
+	t.FilterBaseNanos += o.FilterBaseNanos
+	t.FilterDeltaNanos += o.FilterDeltaNanos
+	t.MergeNanos += o.MergeNanos
+	t.RefineNanos += o.RefineNanos
+}
+
+// FilterClock accumulates filter-phase durations from concurrent scan
+// partitions: scan kernels add their base/delta segment time with
+// atomics, so a parallel filter needs no lock to be timed. The zero
+// value is ready to use; a nil *FilterClock disables timing (the eval
+// harness's FilterTopP path stays untouched).
+type FilterClock struct {
+	base, delta, merge atomic.Int64
+}
+
+// AddBase/AddDelta/AddMerge accumulate nanoseconds into a stage; all
+// are no-ops on a nil clock.
+func (c *FilterClock) AddBase(ns int64) {
+	if c != nil {
+		c.base.Add(ns)
+	}
+}
+
+func (c *FilterClock) AddDelta(ns int64) {
+	if c != nil {
+		c.delta.Add(ns)
+	}
+}
+
+func (c *FilterClock) AddMerge(ns int64) {
+	if c != nil {
+		c.merge.Add(ns)
+	}
+}
+
+// AddTo folds the accumulated filter durations into a Timing.
+func (c *FilterClock) AddTo(t *Timing) {
+	if c == nil {
+		return
+	}
+	t.FilterBaseNanos += c.base.Load()
+	t.FilterDeltaNanos += c.delta.Load()
+	t.MergeNanos += c.merge.Load()
+}
 
 // Search runs filter-and-refine: keep the p best database objects under
 // the filter distance, re-rank them with the exact distance, and return
@@ -264,7 +350,7 @@ func firstBatchError(results [][]space.Neighbor, stats []Stats, errs []error) ([
 // the unweighted L1. Exposed for the evaluation harness, which needs the
 // filter ordering without paying for a refine step.
 func (ix *Index[T]) FilterTopP(qvec, weights []float64, p int) []space.Neighbor {
-	return ix.view().filterTopP(qvec, weights, p, true)
+	return ix.view().filterTopP(qvec, weights, p, true, nil)
 }
 
 // less orders neighbors like space.SortNeighbors.

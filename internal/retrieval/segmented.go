@@ -36,6 +36,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"qse/internal/metrics"
 	"qse/internal/par"
@@ -316,6 +317,8 @@ func (s *Segmented[T]) search(q T, k, p int, parallel bool) ([]space.Neighbor, S
 	if err := CheckKP(k, p); err != nil {
 		return nil, Stats{}, err
 	}
+	var t Timing
+	t0 := time.Now()
 	qvec := s.base.embedder.Embed(q)
 	if len(qvec) != s.base.dims {
 		return nil, Stats{}, QueryDimsError(len(qvec), s.base.dims)
@@ -324,9 +327,13 @@ func (s *Segmented[T]) search(q T, k, p int, parallel bool) ([]space.Neighbor, S
 	if w, ok := s.base.embedder.(Weighter); ok {
 		weights = w.QueryWeights(qvec)
 	}
+	t.EmbedNanos = time.Since(t0).Nanoseconds()
 
-	candidates := s.filterTopP(qvec, weights, p, parallel)
+	var clk FilterClock
+	candidates := s.filterTopP(qvec, weights, p, parallel, &clk)
+	clk.AddTo(&t)
 
+	t0 = time.Now()
 	refined := make([]space.Neighbor, len(candidates))
 	fill := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -340,12 +347,14 @@ func (s *Segmented[T]) search(q T, k, p int, parallel bool) ([]space.Neighbor, S
 		fill(0, len(candidates))
 	}
 	space.SortNeighbors(refined)
+	t.RefineNanos = time.Since(t0).Nanoseconds()
 	if k > len(refined) {
 		k = len(refined)
 	}
 	stats := Stats{
 		EmbedDistances:  s.base.embedder.EmbedCost(),
 		RefineDistances: len(candidates),
+		Timing:          t,
 	}
 	return refined[:k], stats, nil
 }
@@ -374,9 +383,11 @@ func (s *Segmented[T]) SearchBatch(queries []T, k, p int) ([][]space.Neighbor, [
 // the same qvec/weights out to every shard's FilterLive, and merges the
 // per-shard candidate lists before a single refine pass, so the exact
 // distance cost stays identical to an unsharded search. weights may be
-// nil for the unweighted L1.
-func (s *Segmented[T]) FilterLive(qvec, weights []float64, p int, parallel bool) []space.Neighbor {
-	return s.filterTopP(qvec, weights, p, parallel)
+// nil for the unweighted L1. clk, when non-nil, accumulates the scan's
+// per-segment and merge durations (the store feeds it into the query's
+// stage breakdown); a nil clk skips all timekeeping.
+func (s *Segmented[T]) FilterLive(qvec, weights []float64, p int, parallel bool, clk *FilterClock) []space.Neighbor {
+	return s.filterTopP(qvec, weights, p, parallel, clk)
 }
 
 // filterTopP ranks the live rows of both segments under the filter
@@ -386,7 +397,7 @@ func (s *Segmented[T]) FilterLive(qvec, weights []float64, p int, parallel bool)
 // space is partitioned exactly like Index.filterTopP partitions its rows;
 // the merged top-p is unique under the total order, so the result is
 // identical for any shard count.
-func (s *Segmented[T]) filterTopP(qvec, weights []float64, p int, parallel bool) []space.Neighbor {
+func (s *Segmented[T]) filterTopP(qvec, weights []float64, p int, parallel bool, clk *FilterClock) []space.Neighbor {
 	total := s.Total()
 	if live := s.Live(); p > live {
 		p = live
@@ -394,15 +405,24 @@ func (s *Segmented[T]) filterTopP(qvec, weights []float64, p int, parallel bool)
 	if p <= 0 {
 		return nil
 	}
+	var heaps []neighborMaxHeap
 	if !parallel || total < minParallelScan {
-		return mergeTopP([]neighborMaxHeap{s.scanRange(qvec, weights, 0, total, p)}, p)
+		heaps = []neighborMaxHeap{s.scanRange(qvec, weights, 0, total, p, clk)}
+	} else {
+		w := par.Workers()
+		all := make([]neighborMaxHeap, w)
+		shards := par.Shards(w, total, minParallelScan, func(sh, lo, hi int) {
+			all[sh] = s.scanRange(qvec, weights, lo, hi, p, clk)
+		})
+		heaps = all[:shards]
 	}
-	w := par.Workers()
-	heaps := make([]neighborMaxHeap, w)
-	shards := par.Shards(w, total, minParallelScan, func(sh, lo, hi int) {
-		heaps[sh] = s.scanRange(qvec, weights, lo, hi, p)
-	})
-	return mergeTopP(heaps[:shards], p)
+	if clk == nil {
+		return mergeTopP(heaps, p)
+	}
+	t0 := time.Now()
+	out := mergeTopP(heaps, p)
+	clk.AddMerge(time.Since(t0).Nanoseconds())
+	return out
 }
 
 // mergeTopP flattens per-shard candidate heaps, sorts by the
@@ -430,15 +450,30 @@ func mergeTopP(heaps []neighborMaxHeap, p int) []space.Neighbor {
 // scanRange scans global positions [lo, hi), splitting the range at the
 // base/delta boundary, and returns at most the p best live rows as an
 // unsorted bounded max-heap (threaded through both segment scans by
-// value, like the pre-segmentation scanShard kernel).
-func (s *Segmented[T]) scanRange(qvec, weights []float64, lo, hi, p int) neighborMaxHeap {
+// value, like the pre-segmentation scanShard kernel). clk, when
+// non-nil, gets this partition's base/delta scan durations; the scan
+// itself is untouched by timing, so results cannot depend on it.
+func (s *Segmented[T]) scanRange(qvec, weights []float64, lo, hi, p int, clk *FilterClock) neighborMaxHeap {
 	h := make(neighborMaxHeap, 0, p+1)
 	bn := s.base.Size()
+	if clk == nil {
+		if lo < bn {
+			h = scanSegment(h, s.base.flat, s.base.dims, s.baseDead, qvec, weights, lo, min(hi, bn), 0, p)
+		}
+		if hi > bn {
+			h = scanSegment(h, s.deltaFlat, s.base.dims, s.deltaDead, qvec, weights, max(lo, bn)-bn, hi-bn, bn, p)
+		}
+		return h
+	}
 	if lo < bn {
+		t0 := time.Now()
 		h = scanSegment(h, s.base.flat, s.base.dims, s.baseDead, qvec, weights, lo, min(hi, bn), 0, p)
+		clk.AddBase(time.Since(t0).Nanoseconds())
 	}
 	if hi > bn {
+		t0 := time.Now()
 		h = scanSegment(h, s.deltaFlat, s.base.dims, s.deltaDead, qvec, weights, max(lo, bn)-bn, hi-bn, bn, p)
+		clk.AddDelta(time.Since(t0).Nanoseconds())
 	}
 	return h
 }

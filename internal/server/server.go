@@ -9,6 +9,8 @@
 //	PUT    /v1/objects/{id}  atomically replace an object, keeping its ID
 //	DELETE /v1/objects/{id}  remove by stable ID
 //	GET    /v1/stats         store + per-endpoint traffic statistics
+//	GET    /v1/debug/slow    the N slowest queries, with stage breakdowns
+//	GET    /metrics          Prometheus text exposition (see internal/obs)
 //	GET    /healthz          liveness probe
 //	GET    /readyz           readiness probe (degraded persistence, shedding)
 //
@@ -43,9 +45,9 @@ import (
 	"net"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
+	"qse/internal/obs"
 	"qse/internal/retrieval"
 	"qse/internal/store"
 )
@@ -70,6 +72,9 @@ type Options struct {
 	// SearchTimeout bounds one search or batch computation; a request
 	// over it is answered 504. Zero or negative means no deadline.
 	SearchTimeout time.Duration
+	// SlowLogSize caps the slow-query log served at /v1/debug/slow.
+	// Zero means DefaultSlowLogSize.
+	SlowLogSize int
 }
 
 // endpoint indexes the per-endpoint metric slots.
@@ -84,19 +89,14 @@ const (
 	epStats
 	epHealth
 	epReady
+	epMetrics
+	epDebugSlow
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
 	"search", "search_batch", "add", "upsert", "remove", "stats", "healthz", "readyz",
-}
-
-// metrics is one endpoint's traffic counters. All fields are atomics so
-// the hot path never takes a lock to account for itself.
-type metrics struct {
-	requests  atomic.Uint64
-	errors    atomic.Uint64
-	latencyNs atomic.Int64
+	"metrics", "debug_slow",
 }
 
 // Server serves one store — plain or sharded, anything satisfying
@@ -106,15 +106,24 @@ type Server[T any] struct {
 	decode func(json.RawMessage) (T, error)
 	opts   Options
 	start  time.Time
-	eps    [numEndpoints]metrics
+
+	// Observability (built by initObs): the registry behind /metrics,
+	// per-endpoint traffic instruments, per-stage search histograms,
+	// pipeline distance counters, and the slow-query log. Recording
+	// touches atomics only.
+	reg        *obs.Registry
+	eps        [numEndpoints]metrics
+	stage      [numStages]*obs.Histogram
+	embedDist  *obs.Counter
+	refineDist *obs.Counter
+	slow       *obs.SlowLog
 
 	// sem is the in-flight gate for work endpoints (nil = unbounded);
-	// panics/shed/timeouts count the resilience middleware's
-	// interventions, surfaced under /v1/stats and /readyz.
+	// panics/timeouts count the resilience middleware's interventions,
+	// surfaced under /v1/stats, /readyz, and /metrics.
 	sem      chan struct{}
-	panics   atomic.Uint64
-	shed     atomic.Uint64
-	timeouts atomic.Uint64
+	panics   *obs.Counter
+	timeouts *obs.Counter
 
 	httpSrv *http.Server
 }
@@ -134,6 +143,7 @@ func New[T any](st store.Backend[T], decode func(json.RawMessage) (T, error), op
 	if opts.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, opts.MaxInFlight)
 	}
+	s.initObs()
 	// The http.Server is created here, not lazily in Serve, so Shutdown
 	// is race-free against a Serve running on another goroutine (and so
 	// one Shutdown stops every listener handed to Serve).
@@ -153,6 +163,8 @@ func (s *Server[T]) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.instrument(epStats, ungated, s.handleStats))
 	mux.HandleFunc("GET /healthz", s.instrument(epHealth, ungated, s.handleHealth))
 	mux.HandleFunc("GET /readyz", s.instrument(epReady, ungated, s.handleReady))
+	mux.HandleFunc("GET /metrics", s.instrument(epMetrics, ungated, s.reg.ServeHTTP))
+	mux.HandleFunc("GET /v1/debug/slow", s.instrument(epDebugSlow, ungated, s.handleDebugSlow))
 	return mux
 }
 
@@ -220,29 +232,29 @@ func (s *Server[T]) instrument(ep endpoint, gate bool, h http.HandlerFunc) http.
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
 			default:
-				s.shed.Add(1)
+				// Shed: its own counter only. A 429 takes ~0ns, so letting
+				// it into the served request/latency series would drag the
+				// average down exactly when the server is saturated.
+				m.shed.Inc()
 				w.Header().Set("Retry-After", "1")
 				writeErr(w, http.StatusTooManyRequests, "server at max in-flight requests (%d)", s.opts.MaxInFlight)
-				m.requests.Add(1)
-				m.errors.Add(1)
-				m.latencyNs.Add(time.Since(t0).Nanoseconds())
 				return
 			}
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
-				s.panics.Add(1)
+				s.panics.Inc()
 				if !rec.wrote {
 					writeErr(rec, http.StatusInternalServerError, "internal error")
 				}
 				rec.status = http.StatusInternalServerError
 			}
-			m.requests.Add(1)
+			m.requests.Inc()
 			if rec.status >= 400 {
-				m.errors.Add(1)
+				m.errors.Inc()
 			}
-			m.latencyNs.Add(time.Since(t0).Nanoseconds())
+			m.latency.Observe(time.Since(t0).Nanoseconds())
 		}()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
@@ -278,7 +290,7 @@ func (s *Server[T]) runDeadline(w http.ResponseWriter, compute func()) bool {
 		}
 		return true
 	case <-t.C:
-		s.timeouts.Add(1)
+		s.timeouts.Inc()
 		writeErr(w, http.StatusGatewayTimeout, "search exceeded the %v deadline", s.opts.SearchTimeout)
 		return false
 	}
@@ -323,12 +335,15 @@ func readBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 
 // searchRequest is the body of /v1/search. Exactly one of Query (an
 // inline object in the dataset's JSON encoding) or ID (a stored object's
-// stable ID) must be set. P defaults to 10·K.
+// stable ID) must be set. P defaults to 10·K. Debug additionally
+// returns the per-stage timing breakdown inside stats; it never changes
+// which results come back.
 type searchRequest struct {
 	Query json.RawMessage `json:"query,omitempty"`
 	ID    *uint64         `json:"id,omitempty"`
 	K     int             `json:"k"`
 	P     int             `json:"p,omitempty"`
+	Debug bool            `json:"debug,omitempty"`
 }
 
 type resultJSON struct {
@@ -339,6 +354,8 @@ type resultJSON struct {
 type statsJSON struct {
 	EmbedDistances  int `json:"embed_distances"`
 	RefineDistances int `json:"refine_distances"`
+	// Timing is present only when the request set debug.
+	Timing *timingJSON `json:"timing,omitempty"`
 }
 
 type searchResponse struct {
@@ -397,8 +414,12 @@ func toJSONResults(rs []store.Result) []resultJSON {
 	return out
 }
 
-func toJSONStats(st retrieval.Stats) statsJSON {
-	return statsJSON{EmbedDistances: st.EmbedDistances, RefineDistances: st.RefineDistances}
+func toJSONStats(st retrieval.Stats, debug bool) statsJSON {
+	out := statsJSON{EmbedDistances: st.EmbedDistances, RefineDistances: st.RefineDistances}
+	if debug {
+		out.Timing = toTimingJSON(st.Timing)
+	}
+	return out
 }
 
 func (s *Server[T]) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -426,7 +447,9 @@ func (s *Server[T]) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, searchResponse{Results: toJSONResults(res), Stats: toJSONStats(st)})
+	s.observeSearch(st)
+	s.noteSlow(epSearch, req.K, p, 0, st)
+	writeJSON(w, http.StatusOK, searchResponse{Results: toJSONResults(res), Stats: toJSONStats(st, req.Debug)})
 }
 
 // batchRequest is the body of /v1/search/batch.
@@ -434,6 +457,7 @@ type batchRequest struct {
 	Queries []json.RawMessage `json:"queries"`
 	K       int               `json:"k"`
 	P       int               `json:"p,omitempty"`
+	Debug   bool              `json:"debug,omitempty"`
 }
 
 type batchResponse struct {
@@ -480,10 +504,16 @@ func (s *Server[T]) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := batchResponse{Results: make([][]resultJSON, len(res)), Stats: make([]statsJSON, len(sts))}
+	var agg retrieval.Stats
 	for i := range res {
 		resp.Results[i] = toJSONResults(res[i])
-		resp.Stats[i] = toJSONStats(sts[i])
+		resp.Stats[i] = toJSONStats(sts[i], req.Debug)
+		s.observeSearch(sts[i])
+		agg.EmbedDistances += sts[i].EmbedDistances
+		agg.RefineDistances += sts[i].RefineDistances
+		agg.Timing.Add(sts[i].Timing)
 	}
+	s.noteSlow(epSearchBatch, req.K, p, len(queries), agg)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -577,11 +607,18 @@ func (s *Server[T]) handleRemove(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]uint64{"removed": id})
 }
 
-// endpointStatsJSON is one endpoint's row in /v1/stats.
+// endpointStatsJSON is one endpoint's row in /v1/stats. Latency fields
+// cover served requests only; sheds are counted separately and never
+// enter the latency series. The percentiles are estimated from the
+// endpoint's log-bucketed histogram (the same buckets /metrics exports).
 type endpointStatsJSON struct {
 	Requests     uint64  `json:"requests"`
 	Errors       uint64  `json:"errors"`
+	Shed         uint64  `json:"shed"`
 	AvgLatencyUs float64 `json:"avg_latency_us"`
+	P50LatencyUs float64 `json:"p50_latency_us"`
+	P90LatencyUs float64 `json:"p90_latency_us"`
+	P99LatencyUs float64 `json:"p99_latency_us"`
 	QPS          float64 `json:"qps"`
 }
 
@@ -656,10 +693,14 @@ type statsResponse struct {
 
 // resilience snapshots the middleware counters and gate occupancy.
 func (s *Server[T]) resilience() resilienceJSON {
+	var shed uint64
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		shed += s.eps[ep].shed.Value()
+	}
 	return resilienceJSON{
-		Panics:      s.panics.Load(),
-		ShedTotal:   s.shed.Load(),
-		Timeouts:    s.timeouts.Load(),
+		Panics:      s.panics.Value(),
+		ShedTotal:   shed,
+		Timeouts:    s.timeouts.Value(),
 		InFlight:    len(s.sem),
 		MaxInFlight: s.opts.MaxInFlight,
 	}
@@ -671,13 +712,20 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 	eps := make(map[string]endpointStatsJSON, numEndpoints)
 	for ep := endpoint(0); ep < numEndpoints; ep++ {
 		m := &s.eps[ep]
-		reqs := m.requests.Load()
-		row := endpointStatsJSON{Requests: reqs, Errors: m.errors.Load()}
-		if reqs > 0 {
-			row.AvgLatencyUs = float64(m.latencyNs.Load()) / float64(reqs) / 1e3
+		snap := m.latency.Snapshot()
+		row := endpointStatsJSON{
+			Requests: m.requests.Value(),
+			Errors:   m.errors.Value(),
+			Shed:     m.shed.Value(),
+		}
+		if snap.Count > 0 {
+			row.AvgLatencyUs = float64(snap.Sum) / float64(snap.Count) / 1e3
+			row.P50LatencyUs = snap.Quantile(0.50) / 1e3
+			row.P90LatencyUs = snap.Quantile(0.90) / 1e3
+			row.P99LatencyUs = snap.Quantile(0.99) / 1e3
 		}
 		if uptime > 0 {
-			row.QPS = float64(reqs) / uptime
+			row.QPS = float64(row.Requests) / uptime
 		}
 		eps[endpointNames[ep]] = row
 	}

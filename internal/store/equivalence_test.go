@@ -288,7 +288,7 @@ func assertEquivalent(t *testing.T, ref *Store[[]float64], shd *Sharded[[]float6
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("step %d: search(k=%d,p=%d) diverges:\n ref %v\n shd %v", step, k, p, want, got)
 		}
-		if gst != wst {
+		if gst.WithoutTiming() != wst.WithoutTiming() {
 			t.Fatalf("step %d: search stats diverge: ref %+v shd %+v", step, wst, gst)
 		}
 	}
@@ -297,6 +297,9 @@ func assertEquivalent(t *testing.T, ref *Store[[]float64], shd *Sharded[[]float6
 	got, gst, gerr := shd.SearchBatch(batch, 2, 9)
 	if werr != nil || gerr != nil {
 		t.Fatalf("step %d: batch errs ref=%v shd=%v", step, werr, gerr)
+	}
+	for i := range gst {
+		gst[i], wst[i] = gst[i].WithoutTiming(), wst[i].WithoutTiming()
 	}
 	if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(gst, wst) {
 		t.Fatalf("step %d: batch diverges:\n ref %v %v\n shd %v %v", step, want, wst, got, gst)

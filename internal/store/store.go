@@ -7,6 +7,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qse/internal/core"
 	"qse/internal/fsio"
@@ -664,8 +665,8 @@ type cand[T any] struct {
 // preserves it bit for bit whenever filter distances are distinct —
 // exact float64 ties across distinct rows are the only case where the
 // two orders could disagree, and only for upserted rows.
-func (sn *snapshot[T]) filterLive(qvec, weights []float64, p int, parallel bool) []cand[T] {
-	ns := sn.seg.FilterLive(qvec, weights, p, parallel)
+func (sn *snapshot[T]) filterLive(qvec, weights []float64, p int, parallel bool, clk *retrieval.FilterClock) []cand[T] {
+	ns := sn.seg.FilterLive(qvec, weights, p, parallel, clk)
 	out := make([]cand[T], len(ns))
 	for i, n := range ns {
 		out[i] = cand[T]{id: sn.idAt(n.Index), fdist: n.Distance, obj: sn.seg.Object(n.Index)}
@@ -686,6 +687,8 @@ func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims i
 	if err := retrieval.CheckKP(k, p); err != nil {
 		return nil, retrieval.Stats{}, err
 	}
+	var t retrieval.Timing
+	t0 := time.Now()
 	qvec := model.Embed(q)
 	if len(qvec) != dims {
 		return nil, retrieval.Stats{}, retrieval.QueryDimsError(len(qvec), dims)
@@ -694,14 +697,16 @@ func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims i
 	if w, ok := any(model).(retrieval.Weighter); ok {
 		weights = w.QueryWeights(qvec)
 	}
+	t.EmbedNanos = time.Since(t0).Nanoseconds()
 
 	// Scatter: every snapshot filters with the same qvec/weights. One
 	// goroutine per shard; large shards fan out further inside
-	// FilterLive.
+	// FilterLive. One clock serves every shard — its fields are atomic.
+	var clk retrieval.FilterClock
 	lists := make([][]cand[T], len(snaps))
 	scatter := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			lists[i] = snaps[i].filterLive(qvec, weights, p, parallel)
+			lists[i] = snaps[i].filterLive(qvec, weights, p, parallel, &clk)
 		}
 	}
 	if parallel && len(snaps) > 1 {
@@ -709,10 +714,12 @@ func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims i
 	} else {
 		scatter(0, len(snaps))
 	}
+	clk.AddTo(&t)
 
 	// Gather: merge on the (filter distance, ID) total order — no
 	// duplicate keys, so the top-p is a unique set in a unique order for
 	// any shard count — and truncate to what one big store would refine.
+	t0 = time.Now()
 	live, n := 0, 0
 	for i, sn := range snaps {
 		live += sn.seg.Live()
@@ -741,9 +748,11 @@ func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims i
 	if len(merged) > p {
 		merged = merged[:p]
 	}
+	t.MergeNanos += time.Since(t0).Nanoseconds()
 
 	// Refine: one exact distance per surviving candidate, ranked on the
 	// (exact distance, ID) total order.
+	t0 = time.Now()
 	refined := make([]Result, len(merged))
 	fill := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -771,9 +780,11 @@ func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims i
 	if k > len(refined) {
 		k = len(refined)
 	}
+	t.RefineNanos = time.Since(t0).Nanoseconds()
 	return refined[:k], retrieval.Stats{
 		EmbedDistances:  model.EmbedCost(),
 		RefineDistances: len(merged),
+		Timing:          t,
 	}, nil
 }
 

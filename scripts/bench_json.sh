@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench_json.sh — run the tier-1 benchmarks and emit a machine-readable
+# BENCH_<sha>.json artifact, so the perf trajectory is tracked
+# mechanically per commit instead of hand-quoted into CHANGES.md.
+#
+# Usage:
+#   scripts/bench_json.sh [output-dir]
+#
+# Environment:
+#   BENCH_PATTERN   benchmark regexp       (default: the CI smoke set + Search)
+#   BENCH_TIME      -benchtime per bench   (default: 1x — smoke; use e.g. 20x locally)
+#   BENCH_COUNT     -count per bench       (default: 1)
+#
+# The JSON shape is stable:
+#   {"sha": "...", "unix": 1700000000, "go": "go1.24", "benchtime": "1x",
+#    "benchmarks": [{"name": "BenchmarkSearch", "iterations": 20,
+#                    "ns_per_op": 1382941.0}, ...]}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-.}"
+mkdir -p "$outdir"
+pattern="${BENCH_PATTERN:-Filter|StoreAdd|SaveDirty|CalibrateP|Search}"
+benchtime="${BENCH_TIME:-1x}"
+count="${BENCH_COUNT:-1}"
+
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+out="$outdir/BENCH_${sha}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" ./... | tee "$raw"
+
+goversion="$(go env GOVERSION)"
+awk -v sha="$sha" -v unix="$(date +%s)" -v gover="$goversion" -v benchtime="$benchtime" '
+  BEGIN { n = 0 }
+  # Benchmark lines: "BenchmarkName-8   <iters>   <ns> ns/op [...]"
+  $1 ~ /^Benchmark/ && $3 == "ns/op" || ($4 == "ns/op") {
+    name = $1
+    sub(/-[0-9]+$/, "", name)      # strip the GOMAXPROCS suffix
+    iters = $2
+    ns = $3
+    rows[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, iters, ns)
+  }
+  END {
+    printf "{\n"
+    printf "  \"sha\": \"%s\",\n", sha
+    printf "  \"unix\": %s,\n", unix
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+  }
+' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"

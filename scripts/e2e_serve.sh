@@ -89,6 +89,25 @@ expect '"size":120' curl -fsS "http://$addr/v1/stats"
 expect '"delta_scan_share"' curl -fsS "http://$addr/v1/stats"
 expect '"last_snapshot_bytes"' curl -fsS "http://$addr/v1/stats"
 expect '"last_compaction_us"' curl -fsS "http://$addr/v1/stats"
+# Histogram-derived latency quantiles appear once traffic has flowed.
+expect '"p99_latency_us"' curl -fsS "http://$addr/v1/stats"
+
+echo "== GET /metrics serves the Prometheus exposition after real traffic"
+expect 'qse_http_requests_total{endpoint="search"}' \
+  curl -fsS "http://$addr/metrics"
+expect 'qse_http_request_duration_seconds_bucket{endpoint="search",le="+Inf"}' \
+  curl -fsS "http://$addr/metrics"
+expect 'qse_search_stage_duration_seconds_count{stage="filter_base"}' \
+  curl -fsS "http://$addr/metrics"
+# Store gauges refresh on scrape: the mutation phase left 120 live rows.
+expect 'qse_store_size 120' curl -fsS "http://$addr/metrics"
+expect 'qse_store_delta_rows 2' curl -fsS "http://$addr/metrics"
+expect 'qse_store_degraded_persistence 0' curl -fsS "http://$addr/metrics"
+
+echo "== GET /v1/debug/slow exposes the per-stage breakdown"
+expect '"filter_base_us"' curl -fsS "http://$addr/v1/debug/slow"
+expect '"refine_us"' curl -fsS "http://$addr/v1/debug/slow"
+expect '"endpoint":"search"' curl -fsS "http://$addr/v1/debug/slow"
 
 echo "== graceful shutdown writes a final snapshot"
 kill -TERM "$pid"
