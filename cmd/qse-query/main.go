@@ -41,18 +41,22 @@ func main() {
 		autoP     = flag.Bool("autop", false, "calibrate p automatically on a held-out sample (overrides -p)")
 		pct       = flag.Float64("pct", 95, "recall target for -autop, percent of queries capturing all k true NNs")
 		queryseed = flag.Int64("queryseed", 99, "seed for generating query objects")
+		filter    = flag.String("filter", "", `JSON metadata predicate, e.g. '{"field":"tenant","eq":"acme"}' (requires -bundle)`)
 	)
 	flag.Parse()
 
 	if *bundle != "" && *autoP {
 		fatalf("-autop needs a model and database; it is not supported with -bundle")
 	}
+	if *filter != "" && *bundle == "" {
+		fatalf("-filter needs stored metadata; it is only supported with -bundle")
+	}
 
 	switch *dataset {
 	case "digits":
-		dispatch(datasets.Digits, *bundle, *modelPath, *dbSize, *dataseed, *numQ, *queryseed, *k, *p, *autoP, *pct)
+		dispatch(datasets.Digits, *bundle, *modelPath, *dbSize, *dataseed, *numQ, *queryseed, *k, *p, *autoP, *pct, *filter)
 	case "series":
-		dispatch(datasets.Series, *bundle, *modelPath, *dbSize, *dataseed, *numQ, *queryseed, *k, *p, *autoP, *pct)
+		dispatch(datasets.Series, *bundle, *modelPath, *dbSize, *dataseed, *numQ, *queryseed, *k, *p, *autoP, *pct, *filter)
 	default:
 		fatalf("unknown dataset %q", *dataset)
 	}
@@ -63,13 +67,13 @@ func main() {
 // given, and is regenerated + re-embedded from the model otherwise.
 func dispatch[T any](gen func(int, int64) ([]T, func(a, b T) float64, error),
 	bundle, modelPath string, dbSize int, dataseed int64, numQ int, queryseed int64,
-	k, p int, autoP bool, pct float64) {
+	k, p int, autoP bool, pct float64, filter string) {
 	qs, dist, err := gen(numQ, queryseed)
 	if err != nil {
 		fatalf("generating queries: %v", err)
 	}
 	if bundle != "" {
-		runBundle(bundle, qs, dist, k, p)
+		runBundle(bundle, qs, dist, k, p, filter)
 		return
 	}
 	db, dist, err := gen(dbSize, dataseed)
@@ -83,7 +87,7 @@ func dispatch[T any](gen func(int, int64) ([]T, func(a, b T) float64, error),
 // regeneration, no re-embedding. The exact baseline is obtained by
 // searching with p = store size, which degenerates filter-and-refine to
 // an exact scan.
-func runBundle[T any](path string, queries []T, dist qse.Distance[T], k, p int) {
+func runBundle[T any](path string, queries []T, dist qse.Distance[T], k, p int, filter string) {
 	start := time.Now()
 	st, err := qse.OpenStore(path, dist, qse.GobCodec[T]())
 	if err != nil {
@@ -92,13 +96,21 @@ func runBundle[T any](path string, queries []T, dist qse.Distance[T], k, p int) 
 	fmt.Printf("bundle: %d objects, %d dims, %d shard(s), opened in %v (0 exact distances)\n\n",
 		st.Size(), st.Dims(), st.Stats().Shards, time.Since(start).Round(time.Millisecond))
 
+	var pred *qse.Filter
+	if filter != "" {
+		if pred, err = st.CompileFilter([]byte(filter)); err != nil {
+			fatalf("compiling filter: %v", err)
+		}
+		fmt.Printf("filter: %s (search restricted to matching objects)\n\n", filter)
+	}
+
 	var totalCost, hits, possible int
 	for qi, q := range queries {
-		res, stats, err := st.Search(q, k, p)
+		res, stats, err := st.SearchFiltered(q, k, p, pred)
 		if err != nil {
 			fatalf("query %d: %v", qi, err)
 		}
-		exact, _, err := st.Search(q, k, max(k, st.Size()))
+		exact, _, err := st.SearchFiltered(q, k, max(k, st.Size()), pred)
 		if err != nil {
 			fatalf("query %d exact baseline: %v", qi, err)
 		}

@@ -37,6 +37,16 @@
 // A query/object for the series dataset is a [time][dim] array, e.g.
 // {"query": [[0.1,0.2],[0.3,0.4]], "k": 5, "p": 100}; {"id": 7, "k": 5}
 // searches with a stored object as the query.
+//
+// Objects can carry typed metadata, and searches can filter on it:
+// POST /v1/objects with {"object": ..., "metadata": {"tenant": "acme",
+// "ts": 1700000000}} records the fields (each field's type is pinned at
+// first write), and /v1/search accepts {"filter": {"and": [{"field":
+// "tenant", "eq": "acme"}, {"field": "ts", "ge": 1700000000}]}} with
+// operators eq/ne/lt/le/gt/ge/in/exists. The filter restricts the
+// candidate scan itself — k applies to the matching set — and metadata
+// survives snapshots and restarts inside the bundle. PUT /v1/objects/{id}
+// replaces the whole metadata record (omitting "metadata" clears it).
 package main
 
 import (

@@ -144,6 +144,16 @@ func main() {
 	fmt.Printf("POST /v1/objects (insert while serving):\n  %s\n", post("/v1/objects", `{"object":[0.5,0.5]}`))
 	fmt.Printf("POST /v1/search by stored id:\n  %s\n", post("/v1/search", `{"id":600,"k":2,"p":40}`))
 
+	// ---- Metadata and filtered search. ----
+	// Objects carry a typed metadata record (a field's type is pinned
+	// store-wide at first write); a search "filter" is evaluated below
+	// the top-p cut, so k applies to the matching set and a selective
+	// predicate never starves the result list.
+	fmt.Printf("POST /v1/objects with metadata:\n  %s\n",
+		post("/v1/objects", `{"object":[0.52,0.48],"metadata":{"tenant":"acme","tier":1}}`))
+	fmt.Printf("POST /v1/search filtered to one tenant:\n  %s\n",
+		post("/v1/search", `{"query":[0.5,0.5],"k":3,"p":60,"filter":{"and":[{"field":"tenant","eq":"acme"},{"field":"tier","le":2}]}}`))
+
 	resp, err := http.Get(base + "/v1/stats")
 	if err != nil {
 		log.Fatal(err)
@@ -173,6 +183,7 @@ func main() {
 	for _, line := range bytes.Split(scrape.Bytes(), []byte("\n")) {
 		if bytes.HasPrefix(line, []byte("qse_http_requests_total")) ||
 			bytes.HasPrefix(line, []byte("qse_search_stage_duration_seconds_count")) ||
+			bytes.HasPrefix(line, []byte("qse_filter_field_selectivity")) ||
 			bytes.HasPrefix(line, []byte("qse_store_size")) {
 			fmt.Printf("  %s\n", line)
 		}

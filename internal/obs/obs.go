@@ -353,11 +353,17 @@ func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	r.mu.Lock()
 	hooks := r.onScrape
-	fams := r.families
 	r.mu.Unlock()
 	for _, fn := range hooks {
 		fn()
 	}
+	// The family list is snapshotted after the hooks: a hook may register
+	// a series it just discovered (e.g. a per-field gauge for a metadata
+	// field first referenced since the last scrape), and it must render on
+	// this scrape, not the next one.
+	r.mu.Lock()
+	fams := r.families
+	r.mu.Unlock()
 	var b strings.Builder
 	for _, f := range fams {
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))

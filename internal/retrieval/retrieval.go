@@ -236,6 +236,10 @@ type Timing struct {
 	// segment, so a scrape can see delta-scan drag directly.
 	FilterBaseNanos  int64
 	FilterDeltaNanos int64
+	// FilterEvalNanos covers evaluating the query's metadata predicate
+	// into per-segment match bitsets before the scan consumes them.
+	// Always zero for unfiltered queries.
+	FilterEvalNanos int64
 	// MergeNanos covers merging per-partition (and, in the sharded
 	// store, per-shard) candidate lists and truncating to top-p.
 	MergeNanos int64
@@ -245,7 +249,7 @@ type Timing struct {
 
 // TotalNanos returns the summed stage durations.
 func (t Timing) TotalNanos() int64 {
-	return t.EmbedNanos + t.FilterBaseNanos + t.FilterDeltaNanos + t.MergeNanos + t.RefineNanos
+	return t.EmbedNanos + t.FilterBaseNanos + t.FilterDeltaNanos + t.FilterEvalNanos + t.MergeNanos + t.RefineNanos
 }
 
 // Add accumulates another breakdown into t (used when batch callers
@@ -254,6 +258,7 @@ func (t *Timing) Add(o Timing) {
 	t.EmbedNanos += o.EmbedNanos
 	t.FilterBaseNanos += o.FilterBaseNanos
 	t.FilterDeltaNanos += o.FilterDeltaNanos
+	t.FilterEvalNanos += o.FilterEvalNanos
 	t.MergeNanos += o.MergeNanos
 	t.RefineNanos += o.RefineNanos
 }
@@ -264,7 +269,7 @@ func (t *Timing) Add(o Timing) {
 // value is ready to use; a nil *FilterClock disables timing (the eval
 // harness's FilterTopP path stays untouched).
 type FilterClock struct {
-	base, delta, merge atomic.Int64
+	base, delta, eval, merge atomic.Int64
 }
 
 // AddBase/AddDelta/AddMerge accumulate nanoseconds into a stage; all
@@ -287,6 +292,14 @@ func (c *FilterClock) AddMerge(ns int64) {
 	}
 }
 
+// AddEval accumulates predicate-evaluation time (the match-bitset
+// pre-pass of a filtered query).
+func (c *FilterClock) AddEval(ns int64) {
+	if c != nil {
+		c.eval.Add(ns)
+	}
+}
+
 // AddTo folds the accumulated filter durations into a Timing.
 func (c *FilterClock) AddTo(t *Timing) {
 	if c == nil {
@@ -294,6 +307,7 @@ func (c *FilterClock) AddTo(t *Timing) {
 	}
 	t.FilterBaseNanos += c.base.Load()
 	t.FilterDeltaNanos += c.delta.Load()
+	t.FilterEvalNanos += c.eval.Load()
 	t.MergeNanos += c.merge.Load()
 }
 

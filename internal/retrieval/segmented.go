@@ -38,6 +38,7 @@ import (
 	"math/bits"
 	"time"
 
+	"qse/internal/meta"
 	"qse/internal/metrics"
 	"qse/internal/par"
 	"qse/internal/space"
@@ -107,12 +108,27 @@ type Segmented[T any] struct {
 	baseDead  bitmap
 	deltaDead bitmap
 	dead      int
+	// baseMeta is the base segment's columnar metadata (nil when no base
+	// row carries metadata — the exact pre-metadata representation).
+	// deltaMeta is the delta's row-oriented metadata, aligned with
+	// deltaDB under the same shared-backing prefix discipline; it is nil
+	// until the first metadata-carrying Add, after which it stays
+	// exactly len(deltaDB) long (nil entries for metadata-less rows).
+	baseMeta  *meta.Block
+	deltaMeta []meta.Map
 }
 
 // NewSegmented wraps a single-segment index as a Segmented with an empty
-// delta and no tombstones.
+// delta, no tombstones, and no metadata.
 func NewSegmented[T any](base *Index[T]) *Segmented[T] {
 	return &Segmented[T]{base: base}
+}
+
+// NewSegmentedWithMeta is NewSegmented with the base segment's columnar
+// metadata attached. blk must be nil or shaped for exactly base.Size()
+// rows (CompactSegmented and GatherSegmented produce matched pairs).
+func NewSegmentedWithMeta[T any](base *Index[T], blk *meta.Block) *Segmented[T] {
+	return &Segmented[T]{base: base, baseMeta: blk}
 }
 
 // Base returns the immutable base segment.
@@ -182,6 +198,43 @@ func (s *Segmented[T]) Tombstoned() ([]uint64, []uint64) {
 	return s.baseDead, s.deltaDead
 }
 
+// MetaBlock returns the base segment's columnar metadata (nil when no
+// base row carries metadata).
+func (s *Segmented[T]) MetaBlock() *meta.Block { return s.baseMeta }
+
+// DeltaMeta returns this version's view of the delta metadata, aligned
+// with DeltaSegment's objects: nil when no delta row carries metadata,
+// otherwise exactly DeltaLen() entries (nil entries for metadata-less
+// rows). Same shared-backing caveats as DeltaSegment.
+func (s *Segmented[T]) DeltaMeta() []meta.Map { return s.deltaMeta }
+
+// BaseMetaRows materializes the base segment's metadata as per-row
+// records (nil when the base has none) — the persist shape of MetaBlock.
+func (s *Segmented[T]) BaseMetaRows() []meta.Map {
+	if s.baseMeta == nil {
+		return nil
+	}
+	rows := make([]meta.Map, s.base.Size())
+	for i := range rows {
+		rows[i] = s.baseMeta.Row(i)
+	}
+	return rows
+}
+
+// Metadata returns the metadata record of the row at global position
+// pos (nil for a row without metadata). Base rows materialize a fresh
+// Map; delta rows return the stored record, which callers must not
+// modify.
+func (s *Segmented[T]) Metadata(pos int) meta.Map {
+	if bn := s.base.Size(); pos >= bn {
+		if s.deltaMeta == nil {
+			return nil
+		}
+		return s.deltaMeta[pos-bn]
+	}
+	return s.baseMeta.Row(pos)
+}
+
 // Gather builds a fresh single-segment Index holding the rows at the
 // given global positions, in the given order, sharing no mutable storage
 // with the receiver. It is the reordering counterpart of Compact: the
@@ -204,15 +257,34 @@ func (s *Segmented[T]) Gather(positions []int) (*Index[T], error) {
 	return &Index[T]{db: db, flat: flat, dims: d, embedder: s.base.embedder, dist: s.base.dist}, nil
 }
 
+// GatherSegmented is Gather carrying metadata: the fresh base index
+// plus the columnar block of the gathered rows' metadata (nil when none
+// of them has any).
+func (s *Segmented[T]) GatherSegmented(positions []int) (*Index[T], *meta.Block, error) {
+	ix, err := s.Gather(positions)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.baseMeta == nil && s.deltaMeta == nil {
+		return ix, nil, nil
+	}
+	rows := make([]meta.Map, len(positions))
+	for i, pos := range positions {
+		rows[i] = s.Metadata(pos)
+	}
+	return ix, meta.NewBlock(rows), nil
+}
+
 // NewSegmentedFromParts reassembles a Segmented from serialized parts: a
-// base index plus a delta segment (objects, row-major vectors) and the
-// two tombstone bitmaps, without re-embedding anything. It is the
-// deserialization counterpart of DeltaSegment/Tombstoned, used to reopen
-// a base+delta bundle section as the exact in-memory segment layout that
-// was saved. Lengths and bitmap shapes are validated; the vectors are
-// trusted to be the embedder's output for the objects, like
-// AddWithVector.
-func NewSegmentedFromParts[T any](base *Index[T], deltaDB []T, deltaFlat []float64, baseDead, deltaDead []uint64) (*Segmented[T], error) {
+// base index plus a delta segment (objects, row-major vectors), the two
+// tombstone bitmaps, and the per-row metadata of both segments (either
+// may be nil for "no metadata"), without re-embedding anything. It is
+// the deserialization counterpart of DeltaSegment/Tombstoned/
+// BaseMetaRows/DeltaMeta, used to reopen a base+delta bundle section as
+// the exact in-memory segment layout that was saved. Lengths and bitmap
+// shapes are validated; the vectors are trusted to be the embedder's
+// output for the objects, like AddWithVector.
+func NewSegmentedFromParts[T any](base *Index[T], deltaDB []T, deltaFlat []float64, baseDead, deltaDead []uint64, baseMeta, deltaMeta []meta.Map) (*Segmented[T], error) {
 	d := base.dims
 	if len(deltaFlat) != len(deltaDB)*d {
 		return nil, fmt.Errorf("retrieval: delta flat block has %d values for %d objects x %d dims",
@@ -225,6 +297,27 @@ func NewSegmentedFromParts[T any](base *Index[T], deltaDB []T, deltaFlat []float
 	if !dd.validFor(len(deltaDB)) {
 		return nil, fmt.Errorf("retrieval: delta tombstone bitmap shaped for more than %d rows", len(deltaDB))
 	}
+	if baseMeta != nil && len(baseMeta) != base.Size() {
+		return nil, fmt.Errorf("retrieval: base metadata has %d rows for %d base rows", len(baseMeta), base.Size())
+	}
+	if deltaMeta != nil && len(deltaMeta) != len(deltaDB) {
+		return nil, fmt.Errorf("retrieval: delta metadata has %d rows for %d delta rows", len(deltaMeta), len(deltaDB))
+	}
+	dm := deltaMeta
+	if dm != nil {
+		// Normalize an all-nil row set back to the canonical nil, so a
+		// round trip through persistence cannot flip the representation.
+		any := false
+		for _, m := range dm {
+			if len(m) > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			dm = nil
+		}
+	}
 	return &Segmented[T]{
 		base:      base,
 		deltaDB:   deltaDB,
@@ -232,6 +325,8 @@ func NewSegmentedFromParts[T any](base *Index[T], deltaDB []T, deltaFlat []float
 		baseDead:  bd,
 		deltaDead: dd,
 		dead:      bd.popcount() + dd.popcount(),
+		baseMeta:  meta.NewBlock(baseMeta),
+		deltaMeta: dm,
 	}, nil
 }
 
@@ -252,12 +347,35 @@ func (s *Segmented[T]) Add(x T) (*Segmented[T], int, error) {
 // embedder's output for x — passing anything else silently corrupts
 // search results.
 func (s *Segmented[T]) AddWithVector(x T, v []float64) (*Segmented[T], int, error) {
+	return s.AddWithVectorMeta(x, v, nil)
+}
+
+// AddWithVectorMeta is AddWithVector carrying the new row's metadata
+// record (nil for a row without metadata). md must already be validated
+// against the store's field-type registry; this layer stores, it does
+// not type-check. The record is retained as-is — callers must not
+// modify it afterwards.
+func (s *Segmented[T]) AddWithVectorMeta(x T, v []float64, md meta.Map) (*Segmented[T], int, error) {
 	if len(v) != s.base.dims {
 		return nil, 0, ObjectDimsError(len(v), s.base.dims)
+	}
+	if len(md) == 0 {
+		md = nil
 	}
 	n := *s
 	n.deltaDB = append(s.deltaDB, x)
 	n.deltaFlat = append(s.deltaFlat, v...)
+	switch {
+	case md == nil && s.deltaMeta == nil:
+		// Still no delta metadata anywhere: keep the canonical nil.
+	case s.deltaMeta == nil:
+		// First metadata-carrying row: nil-pad the rows before it once,
+		// then the slice grows append-only like deltaDB.
+		dm := make([]meta.Map, len(s.deltaDB), len(s.deltaDB)+1)
+		n.deltaMeta = append(dm, md)
+	default:
+		n.deltaMeta = append(s.deltaMeta, md)
+	}
 	return &n, s.Total(), nil
 }
 
@@ -305,6 +423,34 @@ func (s *Segmented[T]) Compact() *Index[T] {
 	return &Index[T]{db: db, flat: flat, dims: d, embedder: s.base.embedder, dist: s.base.dist}
 }
 
+// CompactSegmented is Compact carrying metadata: the compacted index
+// plus the columnar block of the live rows' metadata, in the same
+// order (nil when no live row has any).
+func (s *Segmented[T]) CompactSegmented() (*Index[T], *meta.Block) {
+	ix := s.Compact()
+	if s.baseMeta == nil && s.deltaMeta == nil {
+		return ix, nil
+	}
+	rows := make([]meta.Map, 0, ix.Size())
+	for i := 0; i < s.base.Size(); i++ {
+		if s.baseDead.get(i) {
+			continue
+		}
+		rows = append(rows, s.baseMeta.Row(i))
+	}
+	for j := range s.deltaDB {
+		if s.deltaDead.get(j) {
+			continue
+		}
+		var m meta.Map
+		if s.deltaMeta != nil {
+			m = s.deltaMeta[j]
+		}
+		rows = append(rows, m)
+	}
+	return ix, meta.NewBlock(rows)
+}
+
 // Search runs filter-and-refine over both segments, skipping tombstoned
 // rows before the top-p truncation. Neighbor indices are global
 // positions; distances, ordering and the empty-index contract are exactly
@@ -314,6 +460,20 @@ func (s *Segmented[T]) Search(q T, k, p int) ([]space.Neighbor, Stats, error) {
 }
 
 func (s *Segmented[T]) search(q T, k, p int, parallel bool) ([]space.Neighbor, Stats, error) {
+	return s.searchPred(q, k, p, nil, meta.PlanInline, parallel)
+}
+
+// SearchFiltered is Search restricted to the rows matching pred: the
+// predicate is evaluated below the top-p truncation, so p candidates
+// are drawn from the matching live rows alone — a selective filter
+// never starves the result. plan picks the base-segment evaluation
+// strategy (the store's planner chooses; meta.PlanInline is always
+// correct). A nil pred is exactly Search.
+func (s *Segmented[T]) SearchFiltered(q T, k, p int, pred *meta.Predicate, plan meta.Plan) ([]space.Neighbor, Stats, error) {
+	return s.searchPred(q, k, p, pred, plan, true)
+}
+
+func (s *Segmented[T]) searchPred(q T, k, p int, pred *meta.Predicate, plan meta.Plan, parallel bool) ([]space.Neighbor, Stats, error) {
 	if err := CheckKP(k, p); err != nil {
 		return nil, Stats{}, err
 	}
@@ -330,7 +490,12 @@ func (s *Segmented[T]) search(q T, k, p int, parallel bool) ([]space.Neighbor, S
 	t.EmbedNanos = time.Since(t0).Nanoseconds()
 
 	var clk FilterClock
-	candidates := s.filterTopP(qvec, weights, p, parallel, &clk)
+	var candidates []space.Neighbor
+	if pred == nil {
+		candidates = s.filterTopP(qvec, weights, p, parallel, &clk)
+	} else {
+		candidates, _, _ = s.FilterLiveMatch(qvec, weights, p, parallel, &clk, pred, plan)
+	}
 	clk.AddTo(&t)
 
 	t0 = time.Now()
@@ -388,6 +553,76 @@ func (s *Segmented[T]) SearchBatch(queries []T, k, p int) ([][]space.Neighbor, [
 // stage breakdown); a nil clk skips all timekeeping.
 func (s *Segmented[T]) FilterLive(qvec, weights []float64, p int, parallel bool, clk *FilterClock) []space.Neighbor {
 	return s.filterTopP(qvec, weights, p, parallel, clk)
+}
+
+// FilterLiveMatch is FilterLive restricted to rows matching pred: a
+// timed pre-pass evaluates the predicate into per-segment match bitsets
+// (ANDed with liveness), p is clamped to the matching-live population,
+// and the partitioned scan walks only matching rows — the predicate is
+// below the top-p truncation. It returns the candidates, the
+// matching-live row count (the sharded store sums it across shards to
+// clamp the global truncation identically to an unsharded store), and
+// the plan actually used for the base segment (PlanBitmap falls back to
+// inline when no leaf is indexable). A nil pred is exactly FilterLive
+// with count Live(). Plan choice never changes the match set, so
+// results are bit-identical across plans and shard counts.
+func (s *Segmented[T]) FilterLiveMatch(qvec, weights []float64, p int, parallel bool, clk *FilterClock, pred *meta.Predicate, plan meta.Plan) ([]space.Neighbor, int, meta.Plan) {
+	if pred == nil {
+		return s.filterTopP(qvec, weights, p, parallel, clk), s.Live(), meta.PlanInline
+	}
+	t0 := time.Now()
+	bn, dn := s.base.Size(), len(s.deltaDB)
+	used := meta.PlanInline
+	var matchBase, matchDelta bitmap
+	if bn > 0 {
+		matchBase = make(bitmap, (bn+63)/64)
+		used = pred.EvalBlock(s.baseMeta, bn, matchBase, plan)
+		for w := range s.baseDead {
+			matchBase[w] &^= s.baseDead[w]
+		}
+	}
+	if dn > 0 {
+		matchDelta = make(bitmap, (dn+63)/64)
+		for j := 0; j < dn; j++ {
+			if s.deltaDead.get(j) {
+				continue
+			}
+			var m meta.Map
+			if s.deltaMeta != nil {
+				m = s.deltaMeta[j]
+			}
+			if pred.Match(m) {
+				matchDelta[j>>6] |= 1 << (uint(j) & 63)
+			}
+		}
+	}
+	matched := matchBase.popcount() + matchDelta.popcount()
+	clk.AddEval(time.Since(t0).Nanoseconds())
+	if p > matched {
+		p = matched
+	}
+	if p <= 0 {
+		return nil, matched, used
+	}
+	total := s.Total()
+	var heaps []neighborMaxHeap
+	if !parallel || total < minParallelScan {
+		heaps = []neighborMaxHeap{s.scanRangeMatch(qvec, weights, 0, total, p, matchBase, matchDelta, clk)}
+	} else {
+		w := par.Workers()
+		all := make([]neighborMaxHeap, w)
+		shards := par.Shards(w, total, minParallelScan, func(sh, lo, hi int) {
+			all[sh] = s.scanRangeMatch(qvec, weights, lo, hi, p, matchBase, matchDelta, clk)
+		})
+		heaps = all[:shards]
+	}
+	if clk == nil {
+		return mergeTopP(heaps, p), matched, used
+	}
+	t0 = time.Now()
+	out := mergeTopP(heaps, p)
+	clk.AddMerge(time.Since(t0).Nanoseconds())
+	return out, matched, used
 }
 
 // filterTopP ranks the live rows of both segments under the filter
@@ -474,6 +709,73 @@ func (s *Segmented[T]) scanRange(qvec, weights []float64, lo, hi, p int, clk *Fi
 		t0 := time.Now()
 		h = scanSegment(h, s.deltaFlat, s.base.dims, s.deltaDead, qvec, weights, max(lo, bn)-bn, hi-bn, bn, p)
 		clk.AddDelta(time.Since(t0).Nanoseconds())
+	}
+	return h
+}
+
+// scanRangeMatch is scanRange driven by match bitsets instead of
+// tombstones: positions [lo, hi) split at the base/delta boundary, each
+// side scanned by the word-skipping match kernel.
+func (s *Segmented[T]) scanRangeMatch(qvec, weights []float64, lo, hi, p int, matchBase, matchDelta bitmap, clk *FilterClock) neighborMaxHeap {
+	h := make(neighborMaxHeap, 0, p+1)
+	bn := s.base.Size()
+	if clk == nil {
+		if lo < bn {
+			h = scanSegmentMatch(h, s.base.flat, s.base.dims, matchBase, qvec, weights, lo, min(hi, bn), 0, p)
+		}
+		if hi > bn {
+			h = scanSegmentMatch(h, s.deltaFlat, s.base.dims, matchDelta, qvec, weights, max(lo, bn)-bn, hi-bn, bn, p)
+		}
+		return h
+	}
+	if lo < bn {
+		t0 := time.Now()
+		h = scanSegmentMatch(h, s.base.flat, s.base.dims, matchBase, qvec, weights, lo, min(hi, bn), 0, p)
+		clk.AddBase(time.Since(t0).Nanoseconds())
+	}
+	if hi > bn {
+		t0 := time.Now()
+		h = scanSegmentMatch(h, s.deltaFlat, s.base.dims, matchDelta, qvec, weights, max(lo, bn)-bn, hi-bn, bn, p)
+		clk.AddDelta(time.Since(t0).Nanoseconds())
+	}
+	return h
+}
+
+// scanSegmentMatch scans only the match-bitset rows of [lo, hi) in one
+// segment's flat block, word-skipping over non-matching runs (trailing-
+// zero iteration with edge masking at the range bounds) — for a
+// selective predicate the scan touches a fraction of the segment's
+// vectors. Match bits are already live-only; the heap discipline and
+// the (distance, position) order are exactly scanSegment's.
+func scanSegmentMatch(h neighborMaxHeap, flat []float64, dims int, match bitmap, qvec, weights []float64, lo, hi, posOff, p int) neighborMaxHeap {
+	push := func(i int, dd float64) {
+		n := space.Neighbor{Index: posOff + i, Distance: dd}
+		if len(h) < p {
+			heap.Push(&h, n)
+		} else if less(n, h[0]) {
+			h[0] = n
+			heap.Fix(&h, 0)
+		}
+	}
+	for w := lo >> 6; w < len(match) && w<<6 < hi; w++ {
+		word := match[w]
+		base := w << 6
+		if base < lo {
+			word &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if rem := hi - base; rem < 64 {
+			word &= ^uint64(0) >> uint(64-rem)
+		}
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			v := flat[i*dims : i*dims+dims]
+			if weights == nil {
+				push(i, metrics.L1(qvec, v))
+			} else {
+				push(i, metrics.WeightedL1Unchecked(weights, qvec, v))
+			}
+		}
 	}
 	return h
 }

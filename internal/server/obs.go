@@ -25,6 +25,7 @@ type stage int
 
 const (
 	stEmbed stage = iota
+	stFilterEval
 	stFilterBase
 	stFilterDelta
 	stMerge
@@ -32,7 +33,7 @@ const (
 	numStages
 )
 
-var stageNames = [numStages]string{"embed", "filter_base", "filter_delta", "merge", "refine"}
+var stageNames = [numStages]string{"embed", "filter_eval", "filter_base", "filter_delta", "merge", "refine"}
 
 // metrics is one endpoint's traffic instruments. Served requests and
 // sheds are disjoint: a shed 429 touches only the shed counter, so the
@@ -126,6 +127,33 @@ func (s *Server[T]) initObs() {
 		}
 	})
 
+	// Filter planner block: plan-choice counts and one selectivity gauge
+	// per metadata field. Fields appear as traffic references them, so
+	// their gauges are registered lazily inside the scrape hook (the
+	// registry snapshots its family list after hooks run, so a gauge born
+	// on this scrape still renders on it). The mutex serializes
+	// concurrent scrapes over the lazily-grown map.
+	r.GaugeFunc("qse_filter_plan_choices_total", "Filtered base-segment scans by chosen plan.",
+		func() float64 { return float64(s.st.FilterStats().PlanInline) }, obs.Label{Name: "plan", Value: "inline"})
+	r.GaugeFunc("qse_filter_plan_choices_total", "Filtered base-segment scans by chosen plan.",
+		func() float64 { return float64(s.st.FilterStats().PlanBitmap) }, obs.Label{Name: "plan", Value: "bitmap"})
+	s.selGauges = make(map[string]*obs.Gauge)
+	r.OnScrape(func() {
+		fs := s.st.FilterStats()
+		s.selMu.Lock()
+		defer s.selMu.Unlock()
+		for field, fst := range fs.Fields {
+			g, ok := s.selGauges[field]
+			if !ok {
+				g = r.Gauge("qse_filter_field_selectivity",
+					"Observed selectivity (matched live rows / scanned live rows) of filters referencing the field.",
+					obs.Label{Name: "field", Value: field})
+				s.selGauges[field] = g
+			}
+			g.Set(fst.Selectivity())
+		}
+	})
+
 	n := s.opts.SlowLogSize
 	if n <= 0 {
 		n = DefaultSlowLogSize
@@ -148,6 +176,11 @@ type storeGauges struct {
 func (s *Server[T]) observeSearch(st retrieval.Stats) {
 	t := st.Timing
 	s.stage[stEmbed].Observe(t.EmbedNanos)
+	// filter_eval exists only on filtered queries; the zeros of every
+	// unfiltered query would bury the stage's real distribution.
+	if t.FilterEvalNanos > 0 {
+		s.stage[stFilterEval].Observe(t.FilterEvalNanos)
+	}
 	s.stage[stFilterBase].Observe(t.FilterBaseNanos)
 	s.stage[stFilterDelta].Observe(t.FilterDeltaNanos)
 	s.stage[stMerge].Observe(t.MergeNanos)
@@ -159,7 +192,11 @@ func (s *Server[T]) observeSearch(st retrieval.Stats) {
 // timingJSON is the per-stage breakdown as served to clients (in the
 // debug section of a search response and in slow-query rows).
 type timingJSON struct {
-	EmbedUs       float64 `json:"embed_us"`
+	EmbedUs float64 `json:"embed_us"`
+	// FilterEvalUs is the predicate-evaluation pre-pass; omitted when the
+	// query carried no filter, so unfiltered responses are byte-identical
+	// to the pre-filter wire format.
+	FilterEvalUs  float64 `json:"filter_eval_us,omitempty"`
 	FilterBaseUs  float64 `json:"filter_base_us"`
 	FilterDeltaUs float64 `json:"filter_delta_us"`
 	MergeUs       float64 `json:"merge_us"`
@@ -170,6 +207,7 @@ type timingJSON struct {
 func toTimingJSON(t retrieval.Timing) *timingJSON {
 	return &timingJSON{
 		EmbedUs:       float64(t.EmbedNanos) / 1e3,
+		FilterEvalUs:  float64(t.FilterEvalNanos) / 1e3,
 		FilterBaseUs:  float64(t.FilterBaseNanos) / 1e3,
 		FilterDeltaUs: float64(t.FilterDeltaNanos) / 1e3,
 		MergeUs:       float64(t.MergeNanos) / 1e3,

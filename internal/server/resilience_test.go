@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"qse/internal/meta"
 	"qse/internal/retrieval"
 	"qse/internal/store"
 )
@@ -155,9 +156,9 @@ type slowBackend struct {
 	delay *atomic.Int64 // nanoseconds
 }
 
-func (b slowBackend) Search(q []float64, k, p int) ([]store.Result, retrieval.Stats, error) {
+func (b slowBackend) SearchFiltered(q []float64, k, p int, pred *meta.Predicate) ([]store.Result, retrieval.Stats, error) {
 	time.Sleep(time.Duration(b.delay.Load()))
-	return b.Backend.Search(q, k, p)
+	return b.Backend.SearchFiltered(q, k, p, pred)
 }
 
 // TestSearchTimeout: a search that outlives SearchTimeout must answer

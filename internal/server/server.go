@@ -45,8 +45,10 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
+	"qse/internal/meta"
 	"qse/internal/obs"
 	"qse/internal/retrieval"
 	"qse/internal/store"
@@ -117,6 +119,10 @@ type Server[T any] struct {
 	embedDist  *obs.Counter
 	refineDist *obs.Counter
 	slow       *obs.SlowLog
+	// selMu guards selGauges, the per-metadata-field selectivity gauges
+	// registered lazily from the scrape hook as traffic references fields.
+	selMu     sync.Mutex
+	selGauges map[string]*obs.Gauge
 
 	// sem is the in-flight gate for work endpoints (nil = unbounded);
 	// panics/timeouts count the resilience middleware's interventions,
@@ -343,7 +349,25 @@ type searchRequest struct {
 	ID    *uint64         `json:"id,omitempty"`
 	K     int             `json:"k"`
 	P     int             `json:"p,omitempty"`
-	Debug bool            `json:"debug,omitempty"`
+	// Filter is an optional predicate over object metadata (see
+	// meta.CompileFilter for the grammar). It restricts which objects are
+	// candidates at all — evaluated below the top-p cut, so a selective
+	// filter cannot starve the candidate set. null and absent mean
+	// unfiltered.
+	Filter json.RawMessage `json:"filter,omitempty"`
+	Debug  bool            `json:"debug,omitempty"`
+}
+
+// compileFilter turns a request's raw filter into a predicate, mapping
+// every compile failure (bad shape, unknown field, kind mismatch) to a
+// 400 — the filter is client input, never a server fault.
+func (s *Server[T]) compileFilter(w http.ResponseWriter, raw json.RawMessage) (*meta.Predicate, bool) {
+	pred, err := s.st.CompileFilter(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid filter: %v", err)
+		return nil, false
+	}
+	return pred, true
 }
 
 type resultJSON struct {
@@ -435,12 +459,16 @@ func (s *Server[T]) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	pred, ok := s.compileFilter(w, req.Filter)
+	if !ok {
+		return
+	}
 	var (
 		res []store.Result
 		st  retrieval.Stats
 		err error
 	)
-	if !s.runDeadline(w, func() { res, st, err = s.st.Search(q, req.K, p) }) {
+	if !s.runDeadline(w, func() { res, st, err = s.st.SearchFiltered(q, req.K, p, pred) }) {
 		return
 	}
 	if err != nil {
@@ -452,11 +480,13 @@ func (s *Server[T]) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, searchResponse{Results: toJSONResults(res), Stats: toJSONStats(st, req.Debug)})
 }
 
-// batchRequest is the body of /v1/search/batch.
+// batchRequest is the body of /v1/search/batch. Filter applies to every
+// query in the batch.
 type batchRequest struct {
 	Queries []json.RawMessage `json:"queries"`
 	K       int               `json:"k"`
 	P       int               `json:"p,omitempty"`
+	Filter  json.RawMessage   `json:"filter,omitempty"`
 	Debug   bool              `json:"debug,omitempty"`
 }
 
@@ -491,12 +521,16 @@ func (s *Server[T]) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = q
 	}
+	pred, ok := s.compileFilter(w, req.Filter)
+	if !ok {
+		return
+	}
 	var (
 		res [][]store.Result
 		sts []retrieval.Stats
 		err error
 	)
-	if !s.runDeadline(w, func() { res, sts, err = s.st.SearchBatch(queries, req.K, p) }) {
+	if !s.runDeadline(w, func() { res, sts, err = s.st.SearchBatchFiltered(queries, req.K, p, pred) }) {
 		return
 	}
 	if err != nil {
@@ -517,9 +551,24 @@ func (s *Server[T]) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// addRequest is the body of /v1/objects.
+// addRequest is the body of /v1/objects and PUT /v1/objects/{id}.
+// Metadata is an optional flat JSON object of field → scalar (see
+// meta.ParseMapJSON); a PUT replaces the object's whole metadata record,
+// so omitting it clears any previous metadata.
 type addRequest struct {
-	Object json.RawMessage `json:"object"`
+	Object   json.RawMessage `json:"object"`
+	Metadata json.RawMessage `json:"metadata,omitempty"`
+}
+
+// parseMetadata decodes a request's metadata object, answering 400 for
+// malformed or non-scalar records.
+func parseMetadata(w http.ResponseWriter, raw json.RawMessage) (meta.Map, bool) {
+	md, err := meta.ParseMapJSON(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid metadata: %v", err)
+		return nil, false
+	}
+	return md, true
 }
 
 type addResponse struct {
@@ -540,10 +589,15 @@ func (s *Server[T]) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid object: %v", err)
 		return
 	}
+	md, ok := parseMetadata(w, req.Metadata)
+	if !ok {
+		return
+	}
 	// The store re-validates at the embedding layer (e.g. an object that
-	// embeds to the wrong dimensionality); that is still the client's
-	// fault, so it surfaces as 400, never as a crashed request.
-	id, err := s.st.Add(x)
+	// embeds to the wrong dimensionality) and at the metadata registry (a
+	// field written with a conflicting kind); both are still the client's
+	// fault, so they surface as 400, never as a crashed request.
+	id, err := s.st.AddMeta(x, md)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid object: %v", err)
 		return
@@ -576,7 +630,11 @@ func (s *Server[T]) handleUpsert(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid object: %v", err)
 		return
 	}
-	if err := s.st.Upsert(id, x); err != nil {
+	md, ok := parseMetadata(w, req.Metadata)
+	if !ok {
+		return
+	}
+	if err := s.st.UpsertMeta(id, x, md); err != nil {
 		if errors.Is(err, store.ErrUnknownID) {
 			writeErr(w, http.StatusNotFound, "%v", err)
 			return
@@ -681,11 +739,27 @@ type shardStatsJSON struct {
 	DeltaScanShare   float64 `json:"delta_scan_share"`
 }
 
+// fieldStatJSON is one metadata field's observed selectivity row.
+type fieldStatJSON struct {
+	Matched     uint64  `json:"matched"`
+	Scanned     uint64  `json:"scanned"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// filterStatsJSON is the filter-planner section of /v1/stats: per-field
+// selectivity observations and the plans chosen per filtered base scan.
+type filterStatsJSON struct {
+	Fields     map[string]fieldStatJSON `json:"fields,omitempty"`
+	PlanInline uint64                   `json:"plan_inline"`
+	PlanBitmap uint64                   `json:"plan_bitmap"`
+}
+
 type statsResponse struct {
 	Store storeStatsJSON `json:"store"`
 	// ShardDetail is present only for sharded stores: one row per shard,
 	// in shard order.
 	ShardDetail   []shardStatsJSON             `json:"shard_detail,omitempty"`
+	Filter        filterStatsJSON              `json:"filter"`
 	Resilience    resilienceJSON               `json:"resilience"`
 	UptimeSeconds float64                      `json:"uptime_seconds"`
 	Endpoints     map[string]endpointStatsJSON `json:"endpoints"`
@@ -729,6 +803,14 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		eps[endpointNames[ep]] = row
 	}
+	fs := s.st.FilterStats()
+	filter := filterStatsJSON{PlanInline: fs.PlanInline, PlanBitmap: fs.PlanBitmap}
+	if len(fs.Fields) > 0 {
+		filter.Fields = make(map[string]fieldStatJSON, len(fs.Fields))
+		for f, fst := range fs.Fields {
+			filter.Fields[f] = fieldStatJSON{Matched: fst.Matched, Scanned: fst.Scanned, Selectivity: fst.Selectivity()}
+		}
+	}
 	var detail []shardStatsJSON
 	for _, sh := range s.st.ShardStats() {
 		detail = append(detail, shardStatsJSON{
@@ -763,6 +845,7 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 			DegradedPersistence: st.DegradedPersistence,
 		},
 		ShardDetail:   detail,
+		Filter:        filter,
 		Resilience:    s.resilience(),
 		UptimeSeconds: uptime,
 		Endpoints:     eps,

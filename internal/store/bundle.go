@@ -43,6 +43,7 @@ import (
 
 	"qse/internal/core"
 	"qse/internal/fsio"
+	"qse/internal/meta"
 )
 
 // Codec translates domain objects to and from bytes for bundle storage.
@@ -130,6 +131,13 @@ type bundleBody struct {
 	Objects    [][]byte
 	IDs        []uint64
 	NextID     uint64
+	// Meta holds per-object metadata records aligned with Objects (nil
+	// when no object carries metadata); MetaKinds is the field-type
+	// registry at save time. Both decode as zero from pre-metadata
+	// bundles — gob tolerates absent fields — so old files open with no
+	// metadata and no registered fields, exactly their original state.
+	Meta      []meta.Map
+	MetaKinds map[string]meta.Kind
 }
 
 // writeBundle atomically writes a version-1 bundle body to path.
@@ -309,6 +317,12 @@ type manifestV3Body struct {
 	Candidates [][]byte
 	BaseFiles  []string
 	DeltaFiles []string
+	// MetaKinds is the metadata field-type registry at manifest-write
+	// time. Like NextID it may lag the sections (the manifest is only
+	// rewritten when the registry grew, see saveLayoutV3), so open seeds
+	// from it first and then re-registers the kinds found in the replayed
+	// rows. Absent in pre-metadata manifests; gob decodes it as nil.
+	MetaKinds map[string]meta.Kind
 }
 
 // writeManifestV3 atomically writes a version-3 manifest, returning the
@@ -364,6 +378,9 @@ type baseSectionBody struct {
 	Objects [][]byte
 	Flat    []float64
 	IDs     []uint64
+	// Meta holds the base rows' metadata records aligned with Objects
+	// (nil when none carries metadata). Absent in pre-metadata sections.
+	Meta []meta.Map
 }
 
 // writeBaseSection atomically writes a shard base section, returning
@@ -442,6 +459,9 @@ type deltaFrame struct {
 	// the shard's allocator view, folded into the resume maximum.
 	Gen    uint64
 	NextID uint64
+	// Meta holds the frame's rows' metadata records aligned with Objects
+	// (nil when none carries metadata). Absent in pre-metadata frames.
+	Meta []meta.Map
 }
 
 // deltaLogHeader builds the sealed 20-byte log header for a base tag.

@@ -30,6 +30,7 @@ import (
 	"testing"
 
 	"qse/internal/core"
+	"qse/internal/meta"
 )
 
 // eqBaseSeed lets CI run the harness with distinct randomized schedules
@@ -93,13 +94,39 @@ func runEquivalence(t *testing.T, model *core.Model[[]float64], db [][]float64, 
 	randObj := func() []float64 {
 		return []float64{rng.Float64() * 7, -rng.Float64() * 7, rng.NormFloat64()}
 	}
+	// randMeta draws a typed metadata record from a small fixed field
+	// vocabulary (or nil): the same fields recur across rows, so the
+	// randomized predicates below actually select non-trivial subsets.
+	randMeta := func() meta.Map {
+		if rng.Float64() < 0.35 {
+			return nil
+		}
+		m := meta.Map{}
+		if rng.Float64() < 0.8 {
+			m["bucket"] = meta.IntValue(int64(rng.Intn(10)))
+		}
+		if rng.Float64() < 0.6 {
+			m["tag"] = meta.StringValue(string(rune('a' + rng.Intn(3))))
+		}
+		if rng.Float64() < 0.4 {
+			m["score"] = meta.FloatValue(rng.Float64())
+		}
+		if rng.Float64() < 0.3 {
+			m["hot"] = meta.BoolValue(rng.Intn(2) == 0)
+		}
+		if len(m) == 0 {
+			return nil
+		}
+		return m
+	}
 
 	for step := 0; step < 130; step++ {
 		switch r := rng.Float64(); {
-		case r < 0.27: // add
+		case r < 0.27: // add, usually with metadata
 			x := randObj()
-			rid, rerr := ref.Add(x)
-			sid, serr := shd.Add(x)
+			md := randMeta()
+			rid, rerr := ref.AddMeta(x, md.Clone())
+			sid, serr := shd.AddMeta(x, md.Clone())
 			if rerr != nil || serr != nil {
 				t.Fatalf("step %d: add errs ref=%v shd=%v", step, rerr, serr)
 			}
@@ -123,11 +150,13 @@ func runEquivalence(t *testing.T, model *core.Model[[]float64], db [][]float64, 
 			if !errors.Is(rerr, ErrUnknownID) || !errors.Is(serr, ErrUnknownID) {
 				t.Fatalf("step %d: unknown remove errs ref=%v shd=%v", step, rerr, serr)
 			}
-		case r < 0.54 && len(live) > 0: // upsert: replace in place, same id
+		case r < 0.54 && len(live) > 0: // upsert: replace in place, same id;
+			// the new record (often nil) atomically replaces the old one
 			id := live[rng.Intn(len(live))]
 			x := randObj()
-			rerr := ref.Upsert(id, x)
-			serr := shd.Upsert(id, x)
+			md := randMeta()
+			rerr := ref.UpsertMeta(id, x, md.Clone())
+			serr := shd.UpsertMeta(id, x, md.Clone())
 			if rerr != nil || serr != nil {
 				t.Fatalf("step %d: upsert(%d) errs ref=%v shd=%v", step, id, rerr, serr)
 			}
@@ -303,5 +332,61 @@ func assertEquivalent(t *testing.T, ref *Store[[]float64], shd *Sharded[[]float6
 	}
 	if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(gst, wst) {
 		t.Fatalf("step %d: batch diverges:\n ref %v %v\n shd %v %v", step, want, wst, got, gst)
+	}
+
+	// Per-ID metadata must agree (a few random live IDs per step).
+	for i := 0; i < 3 && len(refIDs) > 0; i++ {
+		id := refIDs[rng.Intn(len(refIDs))]
+		rm, rok := ref.Metadata(id)
+		sm, sok := shd.Metadata(id)
+		if rok != sok || !reflect.DeepEqual(rm, sm) {
+			t.Fatalf("step %d: metadata(%d) diverges: ref (%v,%v) shd (%v,%v)", step, id, rm, rok, sm, sok)
+		}
+	}
+
+	// Bit-identical filtered searches under randomized predicates. Both
+	// registries saw the same writes, so compilation must agree too —
+	// including the error for a field nothing has registered yet.
+	filters := []string{
+		fmt.Sprintf(`{"field":"bucket","eq":%d}`, rng.Intn(10)),
+		fmt.Sprintf(`{"field":"bucket","le":%d}`, rng.Intn(10)),
+		`{"field":"tag","in":["a","c"]}`,
+		fmt.Sprintf(`{"and":[{"field":"bucket","ge":%d},{"field":"tag","ne":"b"}]}`, rng.Intn(5)),
+		fmt.Sprintf(`{"field":"score","lt":%g}`, rng.Float64()),
+		`{"field":"hot","eq":true}`,
+		`{"field":"bucket","exists":false}`,
+	}
+	for i := 0; i < 2; i++ {
+		raw := filters[rng.Intn(len(filters))]
+		rpred, rerr := ref.CompileFilter([]byte(raw))
+		spred, serr := shd.CompileFilter([]byte(raw))
+		if (rerr == nil) != (serr == nil) || (rerr != nil && rerr.Error() != serr.Error()) {
+			t.Fatalf("step %d: compile(%s) diverges: ref %v shd %v", step, raw, rerr, serr)
+		}
+		if rerr != nil {
+			continue
+		}
+		k := 1 + rng.Intn(4)
+		p := k + rng.Intn(20)
+		query := q()
+		want, wst, werr := ref.SearchFiltered(query, k, p, rpred)
+		got, gst, gerr := shd.SearchFiltered(query, k, p, spred)
+		if werr != nil || gerr != nil {
+			t.Fatalf("step %d: filtered search errs ref=%v shd=%v", step, werr, gerr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: filtered search(%s,k=%d,p=%d) diverges:\n ref %v\n shd %v", step, raw, k, p, want, got)
+		}
+		if gst.WithoutTiming() != wst.WithoutTiming() {
+			t.Fatalf("step %d: filtered stats diverge: ref %+v shd %+v", step, wst, gst)
+		}
+		fwant, _, werr2 := ref.SearchBatchFiltered(batch, 2, 9, rpred)
+		fgot, _, gerr2 := shd.SearchBatchFiltered(batch, 2, 9, spred)
+		if werr2 != nil || gerr2 != nil {
+			t.Fatalf("step %d: filtered batch errs ref=%v shd=%v", step, werr2, gerr2)
+		}
+		if !reflect.DeepEqual(fgot, fwant) {
+			t.Fatalf("step %d: filtered batch diverges:\n ref %v\n shd %v", step, fwant, fgot)
+		}
 	}
 }

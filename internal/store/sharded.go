@@ -41,6 +41,7 @@ import (
 
 	"qse/internal/core"
 	"qse/internal/fsio"
+	"qse/internal/meta"
 	"qse/internal/par"
 	"qse/internal/retrieval"
 	"qse/internal/space"
@@ -51,10 +52,17 @@ import (
 type Backend[T any] interface {
 	Search(q T, k, p int) ([]Result, retrieval.Stats, error)
 	SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.Stats, error)
+	SearchFiltered(q T, k, p int, pred *meta.Predicate) ([]Result, retrieval.Stats, error)
+	SearchBatchFiltered(queries []T, k, p int, pred *meta.Predicate) ([][]Result, []retrieval.Stats, error)
+	CompileFilter(raw []byte) (*meta.Predicate, error)
+	FilterStats() meta.TrackerStats
 	Add(x T) (uint64, error)
+	AddMeta(x T, md meta.Map) (uint64, error)
 	Upsert(id uint64, x T) error
+	UpsertMeta(id uint64, x T, md meta.Map) error
 	Remove(id uint64) error
 	Get(id uint64) (T, bool)
+	Metadata(id uint64) (meta.Map, bool)
 	First() (T, bool)
 	Sample() (T, bool)
 	Size() int
@@ -157,6 +165,13 @@ type Sharded[T any] struct {
 	// (snapshots are whole-layout operations, so health is front-level,
 	// not per-shard).
 	health snapHealth
+
+	// reg and track are the layout-wide metadata type registry and filter
+	// planner, shared by pointer with every shard (see newShardedFront):
+	// a field's type is fixed across the whole layout, and selectivity
+	// estimates aggregate all shards' traffic.
+	reg   *meta.Registry
+	track *meta.Tracker
 }
 
 // fs returns the filesystem the store persists through.
@@ -223,17 +238,25 @@ func NewSharded[T any](model *core.Model[T], db []T, dist space.Distance[T], cod
 }
 
 // newShardedFront assembles the Sharded façade over already-built
-// shards: the ticket gates are bound to each shard's mutex and the
-// global allocator seeded. Every constructor funnels through here so a
-// Sharded can never exist with uninitialized gates.
+// shards: the ticket gates are bound to each shard's mutex, the global
+// allocator seeded, and one metadata registry/tracker pair shared into
+// every shard — shard 0's registry (already seeded from disk on the
+// open paths) absorbs the other shards' kinds and becomes the layout's.
+// Every constructor funnels through here so a Sharded can never exist
+// with uninitialized gates or a split registry.
 func newShardedFront[T any](model *core.Model[T], dist space.Distance[T], codec Codec[T], shards []*Store[T], next uint64) *Sharded[T] {
 	s := &Sharded[T]{
 		model: model, dist: dist, codec: codec,
 		dims: shards[0].Dims(), shards: shards,
 		gates: make([]shardGate, len(shards)),
 	}
+	s.reg, s.track = shards[0].reg, shards[0].track
 	for i := range s.gates {
 		s.gates[i].cond = sync.NewCond(&shards[i].mu)
+	}
+	for _, sh := range shards[1:] {
+		s.reg.Seed(sh.reg.Kinds())
+		sh.reg, sh.track = s.reg, s.track
 	}
 	s.nextID.Store(next)
 	return s
@@ -266,8 +289,11 @@ func OpenSharded[T any](path string, dist space.Distance[T], codec Codec[T]) (*S
 		// The manifest just read is the one a save to this path would
 		// write (its NextID staleness is handled by the open-time resume
 		// rule), so seed the mark: the first post-reopen save stays
-		// delta-only instead of rewriting the model payload.
+		// delta-only instead of rewriting the model payload. The registry
+		// version covers everything the sections just replayed, so only a
+		// genuinely new field forces a manifest rewrite.
 		s.mark.path = path
+		s.mark.regVer = s.reg.Version()
 		return s, nil
 	}
 	if version != manifestVersion {
@@ -382,10 +408,12 @@ func OpenAuto[T any](path string, dist space.Distance[T], codec Codec[T]) (Backe
 			st := shards[0]
 			st.nextID.Store(next)
 			st.mark.path = path
+			st.mark.regVer = st.reg.Version()
 			return st, nil
 		}
 		s := newShardedFront(model, dist, codec, shards, next)
 		s.mark.path = path
+		s.mark.regVer = s.reg.Version()
 		return s, nil
 	}
 	return Open(path, dist, codec)
@@ -476,7 +504,16 @@ func (s *Sharded[T]) load() []*snapshot[T] {
 // the same results, and the same stats as an unsharded store holding the
 // same objects.
 func (s *Sharded[T]) Search(q T, k, p int) ([]Result, retrieval.Stats, error) {
-	return s.search(s.load(), q, k, p, true)
+	return s.search(s.load(), q, k, p, true, nil)
+}
+
+// SearchFiltered is Search restricted to the rows matching pred: the
+// compiled predicate goes to every shard, each shard clamps nothing on
+// its own, and the global top-p clamps to the total matching-live count
+// — results are bit-identical to an unsharded store holding the same
+// contents and answering the same filtered query.
+func (s *Sharded[T]) SearchFiltered(q T, k, p int, pred *meta.Predicate) ([]Result, retrieval.Stats, error) {
+	return s.search(s.load(), q, k, p, true, pred)
 }
 
 // SearchBatch pipelines a query batch across the worker pool. The whole
@@ -484,6 +521,12 @@ func (s *Sharded[T]) Search(q T, k, p int) ([]Result, retrieval.Stats, error) {
 // version; like the unsharded batch, the error of the lowest-indexed
 // failing query fails the batch deterministically.
 func (s *Sharded[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.Stats, error) {
+	return s.SearchBatchFiltered(queries, k, p, nil)
+}
+
+// SearchBatchFiltered is SearchBatch with every query in the batch
+// restricted to the rows matching pred (nil for no restriction).
+func (s *Sharded[T]) SearchBatchFiltered(queries []T, k, p int, pred *meta.Predicate) ([][]Result, []retrieval.Stats, error) {
 	if err := retrieval.CheckKP(k, p); err != nil {
 		return nil, nil, err
 	}
@@ -493,7 +536,7 @@ func (s *Sharded[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval
 	errs := make([]error, len(queries))
 	par.For(len(queries), 2, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			results[i], stats[i], errs[i] = s.search(snaps, queries[i], k, p, false)
+			results[i], stats[i], errs[i] = s.search(snaps, queries[i], k, p, false, pred)
 		}
 	})
 	for i, err := range errs {
@@ -504,11 +547,22 @@ func (s *Sharded[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval
 	return results, stats, nil
 }
 
-func (s *Sharded[T]) search(snaps []*snapshot[T], q T, k, p int, parallel bool) ([]Result, retrieval.Stats, error) {
+// CompileFilter parses and type-checks a JSON filter tree against the
+// layout-wide field-type registry. nil/absent filters compile to nil.
+func (s *Sharded[T]) CompileFilter(raw []byte) (*meta.Predicate, error) {
+	return meta.CompileFilter(raw, s.reg.Kinds())
+}
+
+// FilterStats snapshots the shared filter planner's state.
+func (s *Sharded[T]) FilterStats() meta.TrackerStats {
+	return s.track.Snapshot()
+}
+
+func (s *Sharded[T]) search(snaps []*snapshot[T], q T, k, p int, parallel bool, pred *meta.Predicate) ([]Result, retrieval.Stats, error) {
 	// One engine for both layouts: searchSnapshots (store.go) embeds the
 	// query once, scatters the same qvec/weights to every shard's filter,
 	// merges on the (filter distance, ID) total order, and refines once.
-	res, st, err := searchSnapshots(s.model, s.dist, s.dims, snaps, q, k, p, parallel)
+	res, st, err := searchSnapshots(s.model, s.dist, s.dims, snaps, q, k, p, parallel, pred, s.track)
 	if err != nil {
 		return nil, retrieval.Stats{}, err
 	}
@@ -524,6 +578,18 @@ func (s *Sharded[T]) search(snaps []*snapshot[T], q T, k, p int, parallel bool) 
 // serialize for the insert; a shard paused in compaction delays its own
 // Adds and nobody else's.
 func (s *Sharded[T]) Add(x T) (uint64, error) {
+	return s.AddMeta(x, nil)
+}
+
+// AddMeta is Add carrying the new object's metadata record (nil for
+// none). The record is validated against the layout-wide type registry
+// before an ID is drawn, so a rejected record burns nothing and the
+// allocator stays in lockstep with an unsharded store fed the same
+// operations.
+func (s *Sharded[T]) AddMeta(x T, md meta.Map) (uint64, error) {
+	if err := s.reg.Register(md); err != nil {
+		return 0, err
+	}
 	v := s.model.Embed(x)
 	if len(v) != s.dims {
 		// Validated before an ID is drawn, so a rejected object burns
@@ -544,7 +610,7 @@ func (s *Sharded[T]) Add(x T) (uint64, error) {
 	for g.serving != ticket {
 		g.cond.Wait()
 	}
-	err := sh.addAssignedLocked(x, v, id)
+	err := sh.addAssignedLocked(x, v, id, md)
 	g.serving++
 	g.cond.Broadcast()
 	sh.mu.Unlock()
@@ -560,11 +626,22 @@ func (s *Sharded[T]) Add(x T) (uint64, error) {
 // lived in). The embedding is computed outside every lock; a
 // wrong-width object is rejected before anything is tombstoned.
 func (s *Sharded[T]) Upsert(id uint64, x T) error {
+	return s.UpsertMeta(id, x, nil)
+}
+
+// UpsertMeta is Upsert carrying the replacement's metadata record,
+// which atomically replaces the old row's whole record (nil clears it).
+// The record is validated against the layout-wide registry before
+// anything is tombstoned.
+func (s *Sharded[T]) UpsertMeta(id uint64, x T, md meta.Map) error {
+	if err := s.reg.Register(md); err != nil {
+		return err
+	}
 	v := s.model.Embed(x)
 	if len(v) != s.dims {
 		return retrieval.ObjectDimsError(len(v), s.dims)
 	}
-	return s.shards[shardOf(id, len(s.shards))].upsertEmbedded(id, x, v)
+	return s.shards[shardOf(id, len(s.shards))].upsertEmbedded(id, x, v, md)
 }
 
 // Remove tombstones the object with the given stable ID in its shard.
@@ -575,6 +652,12 @@ func (s *Sharded[T]) Remove(id uint64) error {
 // Get returns the object with the given stable ID.
 func (s *Sharded[T]) Get(id uint64) (T, bool) {
 	return s.shards[shardOf(id, len(s.shards))].Get(id)
+}
+
+// Metadata returns a copy of the metadata record of the object with the
+// given stable ID (nil when it carries none).
+func (s *Sharded[T]) Metadata(id uint64) (meta.Map, bool) {
+	return s.shards[shardOf(id, len(s.shards))].Metadata(id)
 }
 
 // First returns the live stored object with the lowest stable ID — the

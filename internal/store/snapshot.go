@@ -25,6 +25,7 @@ import (
 
 	"qse/internal/core"
 	"qse/internal/fsio"
+	"qse/internal/meta"
 	"qse/internal/par"
 	"qse/internal/retrieval"
 	"qse/internal/space"
@@ -62,12 +63,15 @@ type savedShardState struct {
 	frames int
 }
 
-// layoutMark remembers the manifest a store last wrote, so delta-only
-// saves skip the manifest entirely (its model payload never changes and
-// the allocator is resumed from the sections at open).
+// layoutMark remembers the manifest a store last wrote — path and the
+// metadata registry version it embedded — so delta-only saves skip the
+// manifest entirely (its model payload never changes and the allocator
+// is resumed from the sections at open) until the registry grows, at
+// which point one rewrite refreshes the manifest's kind table.
 type layoutMark struct {
-	mu   sync.Mutex
-	path string
+	mu     sync.Mutex
+	path   string
+	regVer uint64
 }
 
 // snapshotTo is Save plus a "did anything get written" report for the
@@ -94,6 +98,12 @@ func (s *Store[T]) snapshotTo(path string) (bool, error) {
 func saveLayoutV3[T any](fsys fsio.FS, path string, model *core.Model[T], codec Codec[T], shards []*Store[T], nextID *atomic.Uint64, mark *layoutMark) (int64, bool, error) {
 	baseFiles, deltaFiles := shardSectionFiles(path, len(shards))
 	dir := filepath.Dir(path)
+	// Read the registry version before the shard snapshots: it only
+	// grows, so any field visible in the sections written below is
+	// either in the kind table serialized under this version or bumps
+	// the version and forces a manifest rewrite on the next save.
+	reg := shards[0].reg
+	regVer := reg.Version()
 	written := make([]int64, len(shards))
 	errs := make([]error, len(shards))
 	par.For(len(shards), 1, func(lo, hi int) {
@@ -111,7 +121,7 @@ func saveLayoutV3[T any](fsys fsio.FS, path string, model *core.Model[T], codec 
 
 	mark.mu.Lock()
 	defer mark.mu.Unlock()
-	if mark.path != path {
+	if mark.path != path || mark.regVer != regVer {
 		candObjs := model.Candidates()
 		candidates := make([][]byte, len(candObjs))
 		for i, c := range candObjs {
@@ -132,12 +142,14 @@ func saveLayoutV3[T any](fsys fsio.FS, path string, model *core.Model[T], codec 
 			Candidates: candidates,
 			BaseFiles:  baseFiles,
 			DeltaFiles: deltaFiles,
+			MetaKinds:  reg.Kinds(),
 		})
 		if err != nil {
 			return 0, false, err
 		}
 		total += n
 		mark.path = path
+		mark.regVer = regVer
 	}
 	return total, total > 0, nil
 }
@@ -206,6 +218,7 @@ func (s *Store[T]) saveShard(basePath, deltaPath string) (int64, error) {
 			Objects: encoded,
 			Flat:    flat,
 			IDs:     snap.baseIDs,
+			Meta:    snap.seg.BaseMetaRows(),
 		})
 		if err != nil {
 			return 0, err
@@ -273,6 +286,13 @@ func (s *Store[T]) frameFor(snap *snapshot[T], fromRow int, nextID uint64) (*del
 		encoded[i] = raw
 	}
 	baseDead, deltaDead := snap.seg.Tombstoned()
+	// The delta metadata slice is nil until some delta row carries a
+	// record and row-aligned with the delta from then on; the frame's
+	// view follows the same convention over its own row window.
+	var frameMeta []meta.Map
+	if dm := snap.seg.DeltaMeta(); dm != nil {
+		frameMeta = dm[fromRow:len(snap.deltaIDs):len(snap.deltaIDs)]
+	}
 	return &deltaFrame{
 		Objects:   encoded,
 		Flat:      deltaFlat[fromRow*dims:],
@@ -281,6 +301,7 @@ func (s *Store[T]) frameFor(snap *snapshot[T], fromRow int, nextID uint64) (*del
 		DeltaDead: deltaDead,
 		Gen:       snap.gen,
 		NextID:    nextID,
+		Meta:      frameMeta,
 	}, nil
 }
 
@@ -324,6 +345,12 @@ func openLayoutV3[T any](path string, payload []byte, dist space.Distance[T], co
 			return nil, nil, 0, fmt.Errorf("store: opening shard %d of %s: %w", i, path, err)
 		}
 	}
+
+	// The manifest's kind table merges into shard 0's registry: shard 0's
+	// is the one newShardedFront promotes to the whole layout (and the
+	// one a single-shard open serves from), so every persisted field is
+	// typed before the first write or filter arrives.
+	shards[0].reg.Seed(man.MetaKinds)
 
 	// The allocator resumes past every durable view of it — the manifest
 	// (possibly stale: delta-only saves do not rewrite it) and every
@@ -376,12 +403,16 @@ func openShardV3[T any](dir, baseFile, deltaFile string, model *core.Model[T], d
 	if err != nil {
 		return nil, err
 	}
+	if len(b.Meta) != 0 && len(b.Meta) != len(b.Objects) {
+		return nil, fmt.Errorf("%w: %s: %d metadata records for %d objects", ErrCorrupt, basePath, len(b.Meta), len(b.Objects))
+	}
 	var (
 		deltaObjs []T
 		deltaFlat []float64
 		deltaIDs  []uint64
 		baseDead  []uint64
 		deltaDead []uint64
+		deltaMeta []meta.Map
 	)
 	nextID := b.NextID
 	for fi, f := range frames {
@@ -389,12 +420,28 @@ func openShardV3[T any](dir, baseFile, deltaFile string, model *core.Model[T], d
 			return nil, fmt.Errorf("%w: %s: frame %d has %d ids, %d values for %d objects x %d dims",
 				ErrCorrupt, deltaPath, fi, len(f.IDs), len(f.Flat), len(f.Objects), b.Dims)
 		}
+		if len(f.Meta) != 0 && len(f.Meta) != len(f.Objects) {
+			return nil, fmt.Errorf("%w: %s: frame %d has %d metadata records for %d objects",
+				ErrCorrupt, deltaPath, fi, len(f.Meta), len(f.Objects))
+		}
 		for i, raw := range f.Objects {
 			x, err := codec.Decode(raw)
 			if err != nil {
 				return nil, fmt.Errorf("%w: %s: frame %d object %d: %v", ErrCorrupt, deltaPath, fi, i, err)
 			}
 			deltaObjs = append(deltaObjs, x)
+		}
+		// Row-align the replayed metadata with the replayed delta: frames
+		// written before the first metadata-carrying row (or by an older
+		// build) contribute nil records, and the slice stays canonically
+		// nil until any frame carries one.
+		switch {
+		case len(f.Meta) > 0 && deltaMeta == nil:
+			deltaMeta = append(make([]meta.Map, len(deltaObjs)-len(f.Objects)), f.Meta...)
+		case len(f.Meta) > 0:
+			deltaMeta = append(deltaMeta, f.Meta...)
+		case deltaMeta != nil:
+			deltaMeta = append(deltaMeta, make([]meta.Map, len(f.Objects))...)
 		}
 		deltaFlat = append(deltaFlat, f.Flat...)
 		deltaIDs = append(deltaIDs, f.IDs...)
@@ -405,7 +452,16 @@ func openShardV3[T any](dir, baseFile, deltaFile string, model *core.Model[T], d
 		}
 	}
 
-	seg, err := retrieval.NewSegmentedFromParts(baseIx, deltaObjs, deltaFlat, baseDead, deltaDead)
+	// gob cannot round-trip a nil map inside a slice (it decodes as a
+	// non-nil empty map); restore the canonical nil so Metadata() reads
+	// the same record before and after a reopen.
+	for i, m := range deltaMeta {
+		if len(m) == 0 {
+			deltaMeta[i] = nil
+		}
+	}
+
+	seg, err := retrieval.NewSegmentedFromParts(baseIx, deltaObjs, deltaFlat, baseDead, deltaDead, b.Meta, deltaMeta)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, deltaPath, err)
 	}
@@ -450,7 +506,15 @@ func openShardV3[T any](dir, baseFile, deltaFile string, model *core.Model[T], d
 		firstLive++
 	}
 
-	st := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy()}
+	st := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy(), reg: meta.NewRegistry(), track: meta.NewTracker()}
+	// Re-register the kinds present in the replayed rows — the recovery
+	// path for fields that first appeared after the manifest's kind table
+	// was last rewritten (delta-only saves leave the manifest alone until
+	// the registry grows). The caller merges the manifest's own table in
+	// before this store serves anything; rows can never disagree with it
+	// because every persisted row passed the registry at write time.
+	st.reg.SeedRows(b.Meta)
+	st.reg.SeedRows(deltaMeta)
 	st.nextID.Store(nextID)
 	st.cur.Store(&snapshot[T]{
 		seg:     seg,

@@ -11,6 +11,7 @@ import (
 
 	"qse/internal/core"
 	"qse/internal/fsio"
+	"qse/internal/meta"
 	"qse/internal/par"
 	"qse/internal/retrieval"
 	"qse/internal/space"
@@ -255,18 +256,20 @@ func (sn *snapshot[T]) idOrdered() bool {
 }
 
 // compacted returns the snapshot's contents as a single-segment index
-// plus its ID table, reusing the base directly when there is nothing to
-// fold. The result is always in ascending-ID order: when Upserts have
+// plus its ID table and metadata block (nil when no row carries
+// metadata), reusing the base directly when there is nothing to fold.
+// The result is always in ascending-ID order: when Upserts have
 // decoupled position order from ID order, the live rows are gathered in
 // ID order — re-establishing the isomorphism every fresh base (and every
 // saved base section) is built on. It only reads immutable state, so any
 // holder of a snapshot may call it without the store lock (Save does).
-func (sn *snapshot[T]) compacted() (*retrieval.Index[T], []uint64) {
+func (sn *snapshot[T]) compacted() (*retrieval.Index[T], []uint64, *meta.Block) {
 	if sn.seg.DeltaLen() == 0 && sn.seg.Tombstones() == 0 {
-		return sn.seg.Base(), sn.baseIDs
+		return sn.seg.Base(), sn.baseIDs, sn.seg.MetaBlock()
 	}
 	if sn.idOrdered() {
-		return sn.seg.Compact(), sn.liveIDs()
+		ix, blk := sn.seg.CompactSegmented()
+		return ix, sn.liveIDs(), blk
 	}
 	type rowRef struct {
 		id  uint64
@@ -293,13 +296,13 @@ func (sn *snapshot[T]) compacted() (*retrieval.Index[T], []uint64) {
 		positions[i] = r.pos
 		ids[i] = r.id
 	}
-	ix, err := sn.seg.Gather(positions)
+	ix, blk, err := sn.seg.GatherSegmented(positions)
 	if err != nil {
 		// Positions come from the snapshot's own live scan; out-of-range
 		// is impossible.
 		panic("store: internal: " + err.Error())
 	}
-	return ix, ids
+	return ix, ids, blk
 }
 
 // Store serves a retrieval index under a copy-on-write discipline:
@@ -364,6 +367,14 @@ type Store[T any] struct {
 	// the last error, the last success time, and the degraded flag the
 	// readiness probe reports.
 	health snapHealth
+
+	// reg is the per-field metadata type registry and track the
+	// selectivity tracker behind the filter planner. A plain store owns
+	// both; a Sharded front replaces every shard's pair with one shared
+	// instance (see newShardedFront), so type checks and selectivity
+	// estimates reflect the whole layout.
+	reg   *meta.Registry
+	track *meta.Tracker
 }
 
 // fs returns the filesystem the store persists through.
@@ -398,9 +409,9 @@ func New[T any](model *core.Model[T], db []T, dist space.Distance[T], codec Code
 	for i := range ids {
 		ids[i] = uint64(i)
 	}
-	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy()}
+	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy(), reg: meta.NewRegistry(), track: meta.NewTracker()}
 	s.nextID.Store(uint64(len(db)))
-	s.cur.Store(newBaseSnapshot(ix, ids, 0, newBaseTag()))
+	s.cur.Store(newBaseSnapshot(ix, ids, 0, newBaseTag(), nil))
 	return s, nil
 }
 
@@ -440,9 +451,9 @@ func newWithIDs[T any](model *core.Model[T], db []T, ids []uint64, nextID uint64
 	if err != nil {
 		return nil, err
 	}
-	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy()}
+	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy(), reg: meta.NewRegistry(), track: meta.NewTracker()}
 	s.nextID.Store(nextID)
-	s.cur.Store(newBaseSnapshot(ix, ids, 0, newBaseTag()))
+	s.cur.Store(newBaseSnapshot(ix, ids, 0, newBaseTag(), nil))
 	return s, nil
 }
 
@@ -477,6 +488,7 @@ func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T]
 		st := shards[0]
 		st.nextID.Store(next)
 		st.mark.path = path
+		st.mark.regVer = st.reg.Version()
 		return st, nil
 	case manifestVersion:
 		return nil, fmt.Errorf("%w: %s is a sharded manifest (version %d); open it with OpenSharded", ErrVersion, path, version)
@@ -518,9 +530,14 @@ func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T]
 	if err != nil {
 		return nil, fmt.Errorf("store: %s: %w", path, err)
 	}
-	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy()}
+	if len(body.Meta) != 0 && len(body.Meta) != len(body.Objects) {
+		return nil, fmt.Errorf("%w: %s: %d metadata records for %d objects", ErrCorrupt, path, len(body.Meta), len(body.Objects))
+	}
+	s := &Store[T]{model: model, dist: dist, codec: codec, policy: DefaultCompactionPolicy(), reg: meta.NewRegistry(), track: meta.NewTracker()}
+	s.reg.Seed(body.MetaKinds)
+	s.reg.SeedRows(body.Meta)
 	s.nextID.Store(body.NextID)
-	s.cur.Store(newBaseSnapshot(ix, body.IDs, 0, newBaseTag()))
+	s.cur.Store(newBaseSnapshot(ix, body.IDs, 0, newBaseTag(), meta.NewBlock(body.Meta)))
 	return s, nil
 }
 
@@ -528,12 +545,14 @@ func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T]
 // of a fresh base is live, so firstLive is 0 — which also covers the
 // empty store, where 0 == Total(). ids must be ascending (every caller
 // constructs or compacts into ID order), so the fresh delta is sorted.
-func newBaseSnapshot[T any](ix *retrieval.Index[T], ids []uint64, gen, baseVer uint64) *snapshot[T] {
+// blk is the base rows' metadata column block (nil when none carries
+// metadata), row-aligned with ix.
+func newBaseSnapshot[T any](ix *retrieval.Index[T], ids []uint64, gen, baseVer uint64, blk *meta.Block) *snapshot[T] {
 	pos := make(map[uint64]int, len(ids))
 	for i, id := range ids {
 		pos[id] = i
 	}
-	return &snapshot[T]{seg: retrieval.NewSegmented(ix), baseIDs: ids, basePos: pos, deltaSorted: true, gen: gen, baseVer: baseVer}
+	return &snapshot[T]{seg: retrieval.NewSegmentedWithMeta(ix, blk), baseIDs: ids, basePos: pos, deltaSorted: true, gen: gen, baseVer: baseVer}
 }
 
 // Save writes the store's current state to path as a v3 layout (manifest
@@ -560,7 +579,7 @@ func (s *Store[T]) saveV1(path string) error {
 	// (snapshot, nextID-read-after) can never under-count.
 	snap := s.cur.Load()
 	nextID := s.nextID.Load()
-	ix, ids := snap.compacted()
+	ix, ids, blk := snap.compacted()
 
 	candObjs := s.model.Candidates()
 	candidates := make([][]byte, len(candObjs))
@@ -586,7 +605,22 @@ func (s *Store[T]) saveV1(path string) error {
 		Objects:    objects,
 		IDs:        ids,
 		NextID:     nextID,
+		Meta:       blockRows(blk),
+		MetaKinds:  s.reg.Kinds(),
 	})
+}
+
+// blockRows materializes a metadata column block back into row records
+// for serialization; nil in, nil out.
+func blockRows(blk *meta.Block) []meta.Map {
+	if blk == nil {
+		return nil
+	}
+	rows := make([]meta.Map, blk.Rows())
+	for i := range rows {
+		rows[i] = blk.Row(i)
+	}
+	return rows
 }
 
 // Search runs a filter-and-refine query against the current snapshot,
@@ -597,8 +631,18 @@ func (s *Store[T]) saveV1(path string) error {
 // drained empty by removals — answers with what it has (possibly zero
 // results); that is not an error.
 func (s *Store[T]) Search(q T, k, p int) ([]Result, retrieval.Stats, error) {
+	return s.SearchFiltered(q, k, p, nil)
+}
+
+// SearchFiltered is Search restricted to the rows matching pred, with
+// the predicate evaluated below top-p truncation: the p filter-phase
+// survivors are the p best matching live rows, so a selective filter
+// never starves the candidate set. A nil pred is exactly Search. The
+// predicate must have been compiled against this store's registry (see
+// CompileFilter).
+func (s *Store[T]) SearchFiltered(q T, k, p int, pred *meta.Predicate) ([]Result, retrieval.Stats, error) {
 	snap := s.cur.Load()
-	res, st, err := searchSnapshots(s.model, s.dist, snap.seg.Dims(), []*snapshot[T]{snap}, q, k, p, true)
+	res, st, err := searchSnapshots(s.model, s.dist, snap.seg.Dims(), []*snapshot[T]{snap}, q, k, p, true, pred, s.track)
 	if err != nil {
 		return nil, retrieval.Stats{}, err
 	}
@@ -611,6 +655,12 @@ func (s *Store[T]) Search(q T, k, p int) ([]Result, retrieval.Stats, error) {
 // same store version even under concurrent mutation; the error of the
 // lowest-indexed failing query fails the batch deterministically.
 func (s *Store[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.Stats, error) {
+	return s.SearchBatchFiltered(queries, k, p, nil)
+}
+
+// SearchBatchFiltered is SearchBatch with every query in the batch
+// restricted to the rows matching pred (nil for no restriction).
+func (s *Store[T]) SearchBatchFiltered(queries []T, k, p int, pred *meta.Predicate) ([][]Result, []retrieval.Stats, error) {
 	if err := retrieval.CheckKP(k, p); err != nil {
 		return nil, nil, err
 	}
@@ -621,7 +671,7 @@ func (s *Store[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.S
 	errs := make([]error, len(queries))
 	par.For(len(queries), 2, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			results[i], stats[i], errs[i] = searchSnapshots(s.model, s.dist, snap.seg.Dims(), snaps, queries[i], k, p, false)
+			results[i], stats[i], errs[i] = searchSnapshots(s.model, s.dist, snap.seg.Dims(), snaps, queries[i], k, p, false, pred, s.track)
 		}
 	})
 	for i, err := range errs {
@@ -631,6 +681,18 @@ func (s *Store[T]) SearchBatch(queries []T, k, p int) ([][]Result, []retrieval.S
 		s.noteScan(snap)
 	}
 	return results, stats, nil
+}
+
+// CompileFilter parses and type-checks a JSON filter tree against this
+// store's field-type registry. nil/absent filters compile to nil.
+func (s *Store[T]) CompileFilter(raw []byte) (*meta.Predicate, error) {
+	return meta.CompileFilter(raw, s.reg.Kinds())
+}
+
+// FilterStats snapshots the filter planner's state: per-field observed
+// selectivity and the inline/bitmap plan counters.
+func (s *Store[T]) FilterStats() meta.TrackerStats {
+	return s.track.Snapshot()
 }
 
 // noteScan accounts one filter scan over the given snapshot toward the
@@ -657,21 +719,23 @@ type cand[T any] struct {
 	obj   T
 }
 
-// filterLive runs the filter phase of one shard against this immutable
-// snapshot: the p best live rows in ascending (filter distance, stable
-// ID) order. Positions order rows exactly like IDs do (see DESIGN.md §8)
+// filterLiveMatch runs the filter phase of one shard against this
+// immutable snapshot: the p best live rows matching pred (nil matches
+// everything), in ascending (filter distance, stable ID) order, plus
+// the count of matching live rows and the evaluation plan actually
+// used. Positions order rows exactly like IDs do (see DESIGN.md §8)
 // except between an Upsert and the next compaction, so mapping the
 // segmented scan's (distance, position) ranking to (distance, ID)
 // preserves it bit for bit whenever filter distances are distinct —
 // exact float64 ties across distinct rows are the only case where the
 // two orders could disagree, and only for upserted rows.
-func (sn *snapshot[T]) filterLive(qvec, weights []float64, p int, parallel bool, clk *retrieval.FilterClock) []cand[T] {
-	ns := sn.seg.FilterLive(qvec, weights, p, parallel, clk)
+func (sn *snapshot[T]) filterLiveMatch(qvec, weights []float64, p int, parallel bool, clk *retrieval.FilterClock, pred *meta.Predicate, plan meta.Plan) ([]cand[T], int, meta.Plan) {
+	ns, matched, used := sn.seg.FilterLiveMatch(qvec, weights, p, parallel, clk, pred, plan)
 	out := make([]cand[T], len(ns))
 	for i, n := range ns {
 		out[i] = cand[T]{id: sn.idAt(n.Index), fdist: n.Distance, obj: sn.seg.Object(n.Index)}
 	}
-	return out
+	return out, matched, used
 }
 
 // searchSnapshots is the one store-layer search engine: it scatters the
@@ -681,7 +745,15 @@ func (sn *snapshot[T]) filterLive(qvec, weights []float64, p int, parallel bool,
 // surviving p exactly once on the (exact distance, stable ID) order.
 // Both layouts answer through this function, so their results, stats,
 // and error contract cannot drift apart.
-func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims int, snaps []*snapshot[T], q T, k, p int, parallel bool) ([]Result, retrieval.Stats, error) {
+//
+// pred, when non-nil, restricts the filter phase to matching rows: each
+// snapshot evaluates the predicate below its own top-p (under the plan
+// the tracker picks for its base segment), and the global p clamps to
+// the total matching-live count — the filtered analogue of clamping to
+// the live count, which keeps the sharded gather bit-identical to the
+// unsharded scan over the same contents. track (nil-safe) observes the
+// query's selectivity per referenced field and counts plan choices.
+func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims int, snaps []*snapshot[T], q T, k, p int, parallel bool, pred *meta.Predicate, track *meta.Tracker) ([]Result, retrieval.Stats, error) {
 	// Validation errors are the retrieval package's own, byte for byte:
 	// the client-visible error contract must not depend on the layout.
 	if err := retrieval.CheckKP(k, p); err != nil {
@@ -704,9 +776,18 @@ func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims i
 	// FilterLive. One clock serves every shard — its fields are atomic.
 	var clk retrieval.FilterClock
 	lists := make([][]cand[T], len(snaps))
+	matches := make([]int, len(snaps))
 	scatter := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			lists[i] = snaps[i].filterLive(qvec, weights, p, parallel, &clk)
+			var plan meta.Plan
+			if pred != nil {
+				plan = track.Choose(pred, snaps[i].seg.BaseSize())
+			}
+			var used meta.Plan
+			lists[i], matches[i], used = snaps[i].filterLiveMatch(qvec, weights, p, parallel, &clk, pred, plan)
+			if pred != nil {
+				track.CountPlan(used)
+			}
 		}
 	}
 	if parallel && len(snaps) > 1 {
@@ -720,9 +801,10 @@ func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims i
 	// duplicate keys, so the top-p is a unique set in a unique order for
 	// any shard count — and truncate to what one big store would refine.
 	t0 = time.Now()
-	live, n := 0, 0
+	live, matched, n := 0, 0, 0
 	for i, sn := range snaps {
 		live += sn.seg.Live()
+		matched += matches[i]
 		n += len(lists[i])
 	}
 	merged := make([]cand[T], 0, n)
@@ -742,13 +824,19 @@ func searchSnapshots[T any](model *core.Model[T], dist space.Distance[T], dims i
 		}
 		return 0
 	})
-	if p > live {
-		p = live
+	// Clamp to the matching-live count (== the live count when pred is
+	// nil): exactly the p a single store holding the same contents would
+	// refine.
+	if p > matched {
+		p = matched
 	}
 	if len(merged) > p {
 		merged = merged[:p]
 	}
 	t.MergeNanos += time.Since(t0).Nanoseconds()
+	if pred != nil && track != nil {
+		track.Observe(pred.Fields(), matched, live)
+	}
 
 	// Refine: one exact distance per surviving candidate, ranked on the
 	// (exact distance, ID) total order.
@@ -855,16 +943,40 @@ func (s *Store[T]) Get(id uint64) (T, bool) {
 	return snap.seg.Object(pos), true
 }
 
+// Metadata returns a copy of the metadata record of the object with the
+// given stable ID (nil when the object carries none); the bool reports
+// whether the ID is live.
+func (s *Store[T]) Metadata(id uint64) (meta.Map, bool) {
+	snap := s.cur.Load()
+	pos, ok := snap.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return snap.seg.Metadata(pos).Clone(), true
+}
+
 // Add embeds and inserts x (EmbedCost exact distances plus an amortized
 // O(dims) append to the delta segment) and returns its stable ID.
 // Concurrent searches keep running against the previous snapshot until
 // the new one is published. An object that embeds to the wrong
 // dimensionality is rejected with an error and the store is unchanged.
 func (s *Store[T]) Add(x T) (uint64, error) {
+	return s.AddMeta(x, nil)
+}
+
+// AddMeta is Add carrying the new object's metadata record (nil for
+// none). The record is validated against the per-field type registry
+// before anything is inserted: a kind conflict returns a *meta.TypeError
+// and leaves the store unchanged. md is retained; callers must not
+// modify it afterwards.
+func (s *Store[T]) AddMeta(x T, md meta.Map) (uint64, error) {
+	if err := s.reg.Register(md); err != nil {
+		return 0, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur.Load()
-	seg, _, err := old.seg.Add(x)
+	seg, _, err := old.seg.AddWithVectorMeta(x, s.model.Embed(x), md)
 	if err != nil {
 		return 0, err
 	}
@@ -874,18 +986,18 @@ func (s *Store[T]) Add(x T) (uint64, error) {
 }
 
 // addAssignedLocked inserts x — already embedded as v, already validated
-// against the store's dimensionality — under a caller-chosen stable ID.
-// The caller must hold s.mu and must assign IDs in strictly ascending
-// order per store (the Sharded allocator guarantees both: it hands out
-// globally ascending IDs and acquires the owning shard's mutex before
-// releasing the allocation lock, so insertion order equals allocation
-// order within every shard).
-func (s *Store[T]) addAssignedLocked(x T, v []float64, id uint64) error {
+// against the store's dimensionality and (for md) the type registry —
+// under a caller-chosen stable ID. The caller must hold s.mu and must
+// assign IDs in strictly ascending order per store (the Sharded
+// allocator guarantees both: it hands out globally ascending IDs and
+// acquires the owning shard's mutex before releasing the allocation
+// lock, so insertion order equals allocation order within every shard).
+func (s *Store[T]) addAssignedLocked(x T, v []float64, id uint64, md meta.Map) error {
 	if id < s.nextID.Load() {
 		return fmt.Errorf("store: assigned id %d below allocator %d", id, s.nextID.Load())
 	}
 	old := s.cur.Load()
-	seg, _, err := old.seg.AddWithVector(x, v)
+	seg, _, err := old.seg.AddWithVectorMeta(x, v, md)
 	if err != nil {
 		return err
 	}
@@ -924,13 +1036,26 @@ func (s *Store[T]) publishAdd(old *snapshot[T], seg *retrieval.Segmented[T], id 
 // ErrUnknownID; an object embedding to the wrong width is rejected
 // before anything is tombstoned, leaving the store unchanged.
 func (s *Store[T]) Upsert(id uint64, x T) error {
-	v := s.model.Embed(x)
-	return s.upsertEmbedded(id, x, v)
+	return s.UpsertMeta(id, x, nil)
 }
 
-// upsertEmbedded is Upsert with the embedding already computed (the
-// sharded store embeds outside every lock, then routes by ID).
-func (s *Store[T]) upsertEmbedded(id uint64, x T, v []float64) error {
+// UpsertMeta is Upsert carrying the replacement's metadata record. The
+// record atomically replaces the old row's whole record — an upsert
+// without metadata clears it; stale fields of the old record are never
+// merged in. md is validated against the type registry before anything
+// is tombstoned.
+func (s *Store[T]) UpsertMeta(id uint64, x T, md meta.Map) error {
+	if err := s.reg.Register(md); err != nil {
+		return err
+	}
+	v := s.model.Embed(x)
+	return s.upsertEmbedded(id, x, v, md)
+}
+
+// upsertEmbedded is UpsertMeta with the embedding already computed and
+// the metadata already validated (the sharded store embeds and
+// registers outside every lock, then routes by ID).
+func (s *Store[T]) upsertEmbedded(id uint64, x T, v []float64, md meta.Map) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur.Load()
@@ -945,7 +1070,7 @@ func (s *Store[T]) upsertEmbedded(id uint64, x T, v []float64) error {
 	if err != nil {
 		return err
 	}
-	seg, _, err = seg.AddWithVector(x, v)
+	seg, _, err = seg.AddWithVectorMeta(x, v, md)
 	if err != nil {
 		return err
 	}
@@ -1062,8 +1187,8 @@ func (s *Store[T]) runCompaction(sn *snapshot[T]) *snapshot[T] {
 // and a fresh base tag so the incremental saver knows the on-disk base
 // section no longer matches.
 func compactSnapshot[T any](sn *snapshot[T]) *snapshot[T] {
-	ix, ids := sn.compacted()
-	return newBaseSnapshot(ix, ids, sn.gen, newBaseTag())
+	ix, ids, blk := sn.compacted()
+	return newBaseSnapshot(ix, ids, sn.gen, newBaseTag(), blk)
 }
 
 // Size returns the number of live stored objects.

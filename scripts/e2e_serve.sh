@@ -214,6 +214,84 @@ echo "   one dirty shard -> only $(basename "$changed") changed"
 echo "== the upsert survives the incremental snapshot"
 expect "store ready: 120 objects" "$workdir/qse-serve" -bundle "$sbundle" -build-only
 
+# ---- metadata + filtered search: add, filter, snapshot, reopen, same answers ----
+
+maddr=127.0.0.1:18095
+
+echo "== serving the sharded bundle for the metadata phase"
+"$workdir/qse-serve" -bundle "$sbundle" -addr "$maddr" &
+pid=$!
+for i in $(seq 1 100); do
+  curl -fsS "http://$maddr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+echo "== POST /v1/objects with typed metadata"
+expect '"id":121' curl -fsS -X POST "http://$maddr/v1/objects" \
+  -d '{"object":[[0.11,0.21],[0.31,0.41]],"metadata":{"tenant":"acme","ts":1700000000}}'
+expect '"id":122' curl -fsS -X POST "http://$maddr/v1/objects" \
+  -d '{"object":[[0.12,0.22],[0.32,0.42]],"metadata":{"tenant":"globex","ts":1800000000}}'
+
+echo "== filtered search returns only matching objects"
+fbody='{"query":[[0.11,0.21],[0.31,0.41]],"k":5,"p":200,"filter":{"and":[{"field":"tenant","eq":"acme"},{"field":"ts","lt":1750000000}]}}'
+curl -fsS -X POST "http://$maddr/v1/search" -d "$fbody" > "$workdir/filtered.before"
+grep -q '"id":121' "$workdir/filtered.before" || {
+  echo "FAIL: filtered search missed the matching object:" >&2
+  cat "$workdir/filtered.before" >&2
+  exit 1
+}
+if grep -q '"id":122' "$workdir/filtered.before"; then
+  echo "FAIL: filtered search leaked a non-matching tenant:" >&2
+  cat "$workdir/filtered.before" >&2
+  exit 1
+fi
+
+echo "== a filter matching nothing answers 200 with empty results"
+expect '"results":\[\]' curl -fsS -X POST "http://$maddr/v1/search" \
+  -d '{"query":[[0.1,0.2],[0.3,0.4]],"k":3,"filter":{"field":"tenant","eq":"initech"}}'
+
+echo "== an unknown filter field is a 400 that names the field"
+code=$(curl -s -o "$workdir/badfilter" -w '%{http_code}' -X POST "http://$maddr/v1/search" \
+  -d '{"query":[[0.1,0.2],[0.3,0.4]],"k":3,"filter":{"field":"tennant","eq":"acme"}}')
+if [ "$code" != "400" ] || ! grep -q 'tennant' "$workdir/badfilter"; then
+  echo "FAIL: unknown filter field answered $code ($(cat "$workdir/badfilter"))" >&2
+  exit 1
+fi
+
+echo "== the filter planner surfaces in /v1/stats and /metrics"
+expect '"plan_inline"' curl -fsS "http://$maddr/v1/stats"
+expect '"tenant"' curl -fsS "http://$maddr/v1/stats"
+expect 'qse_filter_field_selectivity{field="tenant"}' curl -fsS "http://$maddr/metrics"
+expect 'qse_filter_plan_choices_total{plan="inline"}' curl -fsS "http://$maddr/metrics"
+
+echo "== graceful shutdown snapshots the metadata"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+
+echo "== reopening serves identical filtered results"
+"$workdir/qse-serve" -bundle "$sbundle" -addr "$maddr" &
+pid=$!
+for i in $(seq 1 100); do
+  curl -fsS "http://$maddr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS -X POST "http://$maddr/v1/search" -d "$fbody" > "$workdir/filtered.after"
+if ! cmp -s "$workdir/filtered.before" "$workdir/filtered.after"; then
+  echo "FAIL: filtered results changed across snapshot + reopen:" >&2
+  diff "$workdir/filtered.before" "$workdir/filtered.after" >&2 || true
+  exit 1
+fi
+echo "   filtered results byte-identical across restart"
+
+echo "== removing the metadata objects restores the pre-phase store"
+expect '"removed":121' curl -fsS -X DELETE "http://$maddr/v1/objects/121"
+expect '"removed":122' curl -fsS -X DELETE "http://$maddr/v1/objects/122"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+expect "store ready: 120 objects" "$workdir/qse-serve" -bundle "$sbundle" -build-only
+
 # ---- resilience: readiness, load shedding, degraded persistence, exit codes ----
 
 raddr=127.0.0.1:18094

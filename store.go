@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"qse/internal/meta"
 	"qse/internal/space"
 	"qse/internal/store"
 )
@@ -219,6 +220,153 @@ func toStoreResults(rs []store.Result) []StoreResult {
 // An object that embeds to the wrong dimensionality is rejected with an
 // error and the store is unchanged.
 func (s *Store[T]) Add(x T) (uint64, error) { return s.inner.Add(x) }
+
+// toMetaMap converts a public metadata record into the store's typed
+// representation. Supported value types: int/int64, float64, string,
+// bool. A field's type is pinned store-wide at its first write; later
+// writes of a different type are rejected.
+func toMetaMap(md map[string]any) (meta.Map, error) {
+	if md == nil {
+		return nil, nil
+	}
+	out := make(meta.Map, len(md))
+	for k, v := range md {
+		switch t := v.(type) {
+		case int:
+			out[k] = meta.IntValue(int64(t))
+		case int64:
+			out[k] = meta.IntValue(t)
+		case float64:
+			out[k] = meta.FloatValue(t)
+		case string:
+			out[k] = meta.StringValue(t)
+		case bool:
+			out[k] = meta.BoolValue(t)
+		default:
+			return nil, fmt.Errorf("qse: metadata field %q: unsupported type %T (want int, int64, float64, string, or bool)", k, v)
+		}
+	}
+	return out, nil
+}
+
+func fromMetaMap(md meta.Map) map[string]any {
+	if md == nil {
+		return nil
+	}
+	out := make(map[string]any, len(md))
+	for k, v := range md {
+		switch v.Kind {
+		case meta.KindInt:
+			out[k] = v.Int
+		case meta.KindFloat:
+			out[k] = v.Flt
+		case meta.KindString:
+			out[k] = v.Str
+		case meta.KindBool:
+			out[k] = v.Bool
+		}
+	}
+	return out
+}
+
+// AddWithMetadata is Add carrying a typed metadata record the object can
+// later be filtered on (see CompileFilter). Field types are pinned at
+// first write: a store that once saw {"ts": int64} rejects a later
+// {"ts": "noon"} with an error, keeping every filter comparison
+// well-typed. A nil record is exactly Add.
+func (s *Store[T]) AddWithMetadata(x T, md map[string]any) (uint64, error) {
+	m, err := toMetaMap(md)
+	if err != nil {
+		return 0, err
+	}
+	return s.inner.AddMeta(x, m)
+}
+
+// UpsertWithMetadata is Upsert carrying a metadata record. The record
+// replaces the object's previous metadata wholesale — fields absent from
+// md do not survive, and a nil md clears the record (the plain Upsert is
+// UpsertWithMetadata with nil).
+func (s *Store[T]) UpsertWithMetadata(id uint64, x T, md map[string]any) error {
+	m, err := toMetaMap(md)
+	if err != nil {
+		return err
+	}
+	return s.inner.UpsertMeta(id, x, m)
+}
+
+// Metadata returns an independent copy of the object's metadata record
+// (nil for an object without metadata; ok reports whether the ID is
+// live). Int fields come back as int64.
+func (s *Store[T]) Metadata(id uint64) (map[string]any, bool) {
+	md, ok := s.inner.Metadata(id)
+	if !ok {
+		return nil, false
+	}
+	return fromMetaMap(md), true
+}
+
+// Filter is a compiled metadata predicate, reusable across any number of
+// concurrent searches on the store that compiled it. A nil *Filter means
+// unfiltered.
+type Filter struct {
+	pred *meta.Predicate
+}
+
+// CompileFilter parses and type-checks a JSON predicate over object
+// metadata. The grammar: a leaf is {"field": name, OP: value} with OP one
+// of eq/ne/lt/le/gt/ge/in/exists, and {"and": [node, ...]} conjoins
+// nodes. Values must match the field's pinned type; referencing a field
+// no object has ever carried is an error (it would silently match
+// nothing). null input compiles to a nil (unfiltered) Filter.
+//
+//	{"and": [{"field": "tenant", "eq": "acme"}, {"field": "ts", "ge": 1700000000}]}
+//
+// Filtering happens below the candidate cut: the filter scan ranks only
+// matching objects, so a selective filter cannot starve the result set
+// (see DESIGN.md §12).
+func (s *Store[T]) CompileFilter(raw []byte) (*Filter, error) {
+	pred, err := s.inner.CompileFilter(raw)
+	if err != nil {
+		return nil, err
+	}
+	if pred == nil {
+		return nil, nil
+	}
+	return &Filter{pred: pred}, nil
+}
+
+// SearchFiltered is Search restricted to objects matching f. k applies
+// to the matching set: a store with a million objects and three matches
+// answers with (up to) those three. A nil f is exactly Search.
+func (s *Store[T]) SearchFiltered(q T, k, p int, f *Filter) ([]StoreResult, SearchStats, error) {
+	res, st, err := s.inner.SearchFiltered(q, k, p, f.predicate())
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	return toStoreResults(res), SearchStats{EmbedDistances: st.EmbedDistances, RefineDistances: st.RefineDistances}, nil
+}
+
+// SearchBatchFiltered applies one filter to every query of a batch.
+func (s *Store[T]) SearchBatchFiltered(queries []T, k, p int, f *Filter) ([][]StoreResult, []SearchStats, error) {
+	res, sts, err := s.inner.SearchBatchFiltered(queries, k, p, f.predicate())
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]StoreResult, len(res))
+	stats := make([]SearchStats, len(res))
+	for i := range res {
+		out[i] = toStoreResults(res[i])
+		stats[i] = SearchStats{EmbedDistances: sts[i].EmbedDistances, RefineDistances: sts[i].RefineDistances}
+	}
+	return out, stats, nil
+}
+
+func (f *Filter) predicate() *meta.Predicate {
+	if f == nil {
+		return nil
+	}
+	return f.pred
+}
 
 // Upsert atomically replaces the object with the given stable ID —
 // tombstone plus delta append under a single generation bump, keeping
