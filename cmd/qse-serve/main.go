@@ -109,6 +109,7 @@ func main() {
 		compactDeltaFrac = flag.Float64("compact-delta-frac", defPol.DeltaFrac, "delta-to-base ratio that (with -compact-min-delta) triggers compaction")
 		compactMinDead   = flag.Int("compact-min-dead", defPol.MinDead, "compact when at least this many rows are tombstoned and -compact-dead-frac of the store")
 		compactDeadFrac  = flag.Float64("compact-dead-frac", defPol.DeadFrac, "tombstone-to-total ratio that (with -compact-min-dead) triggers compaction")
+		quantBits        = flag.Int("quantize-bits", -1, "scalar-quantized shadow-block bit width for the filter scan, 1..8 (0 turns quantization off, -1 keeps whatever the bundle was saved with); results are bit-identical either way, quantization only changes scan cost")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -132,6 +133,11 @@ func main() {
 		MinDelta: *compactMinDelta, DeltaFrac: *compactDeltaFrac,
 		MinDead: *compactMinDead, DeadFrac: *compactDeadFrac,
 	})
+	if *quantBits >= 0 {
+		if err := st.SetQuantization(*quantBits); err != nil {
+			log.Fatalf("setting quantization: %v", err)
+		}
+	}
 	stats := st.Stats()
 	log.Printf("store ready: %d objects, %d dims, %d shards, generation %d", stats.Size, stats.Dims, stats.Shards, stats.Generation)
 	if *buildOnly {

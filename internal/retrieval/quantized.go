@@ -1,0 +1,450 @@
+// Quantized shadow block: an optional 8-bit-per-dimension companion of a
+// Segmented's float64 vectors (one byte per dimension, row-major; built
+// from the base segment at quantization/compaction time, appended
+// incrementally for the delta) plus the two-phase bound scan that
+// consumes it. Phase 1 walks the shadow bytes accumulating weighted-L1
+// lower bounds per candidate row from per-query cell tables
+// (internal/vafile) while maintaining the p-th smallest upper bound tau;
+// phase 2 evaluates the exact float64 block only for rows whose lower
+// bound is <= tau. The result is bit-identical to the exact scan by
+// construction:
+//
+//   - every row with upper bound <= tau has true distance <= tau, and at
+//     least p such candidate rows exist whenever tau is finite, so a row
+//     excluded by lb > tau has true distance strictly above the distances
+//     of >= p surviving rows — it cannot be in the top p under the
+//     (distance, position) total order;
+//   - surviving rows flow through the same exact kernels, heaps, and
+//     merge as the unquantized scan, producing identical distances in an
+//     identical order;
+//   - whenever bounds cannot be trusted — a delta row encoded outside the
+//     base's boundary range, a query or weight vector the tables reject,
+//     fewer than p bounded candidates — the affected rows (or the whole
+//     scan) fall back to exact evaluation.
+//
+// Tombstoned and predicate-excluded rows are excluded from phase 1
+// entirely: a dead row's upper bound must never tighten tau, or it could
+// evict a live row from the survivor set.
+//
+// (This file extends package retrieval; the package comment lives in
+// retrieval.go.)
+
+package retrieval
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"qse/internal/metrics"
+	"qse/internal/par"
+	"qse/internal/space"
+	"qse/internal/vafile"
+)
+
+// quantState is one version's shadow-block state. Like the delta arrays
+// it rides the persistent-data-structure discipline: Add copies the
+// struct (a few words), appends codes to the shared backing, and
+// publishes a new pointer; older versions keep reading their own
+// prefixes. A nil bounds marks the dormant state — quantization is
+// requested (bits recorded) but the base segment is empty, so there is
+// no grid to encode against and scans stay exact until a compaction
+// folds rows into a base.
+type quantState struct {
+	bits   int
+	bounds *vafile.Boundaries
+	// baseShadow is the base segment's codes: BaseSize x dims bytes,
+	// immutable like the base itself.
+	baseShadow []uint8
+	// deltaShadow holds the delta rows' codes under the same
+	// shared-backing prefix discipline as deltaFlat. deltaUnsafe is
+	// aligned with delta rows: true marks a row with a value outside the
+	// base's boundary range, whose clamped codes yield no valid bounds —
+	// the scan always evaluates such rows exactly and never lets them
+	// tighten tau.
+	deltaShadow []uint8
+	deltaUnsafe []bool
+}
+
+// Quantize returns a copy of s carrying a bits-wide shadow block:
+// equi-populated boundaries built from the base segment's flat block,
+// codes for every base and delta row. With an empty base the state is
+// dormant (recorded bits, exact scans) until compaction. The receiver is
+// unchanged.
+func (s *Segmented[T]) Quantize(bitWidth int) (*Segmented[T], error) {
+	if bitWidth < vafile.MinBits || bitWidth > vafile.MaxBits {
+		return nil, fmt.Errorf("retrieval: quantize bits = %d, want %d..%d", bitWidth, vafile.MinBits, vafile.MaxBits)
+	}
+	n := *s
+	qs := &quantState{bits: bitWidth}
+	if bn := s.base.Size(); bn > 0 {
+		b, err := vafile.BuildBoundaries(s.base.flat, bn, s.base.dims, bitWidth)
+		if err != nil {
+			return nil, err
+		}
+		qs.bounds = b
+		qs.baseShadow = b.EncodeBlock(s.base.flat, bn)
+		qs.encodeDelta(s.deltaFlat, len(s.deltaDB), s.base.dims)
+	}
+	n.quant = qs
+	return &n, nil
+}
+
+// Dequantize returns a copy of s without a shadow block; scans revert to
+// exact. The receiver is unchanged.
+func (s *Segmented[T]) Dequantize() *Segmented[T] {
+	n := *s
+	n.quant = nil
+	return &n
+}
+
+// QuantizeFromParts restores persisted quantization state — the boundary
+// grid and the base segment's shadow codes — re-encoding the delta rows
+// locally (the delta log does not carry codes; re-encoding a handful of
+// delta rows is cheap and cannot diverge from what Add would have
+// appended). An empty grid triggers a full rebuild via Quantize, so a
+// section that recorded only the bit width still opens quantized. The
+// shadow bytes are trusted to match the base vectors, like the vectors
+// are trusted to match the objects; shapes and code ranges are
+// validated.
+func (s *Segmented[T]) QuantizeFromParts(bitWidth int, boundsFlat []float64, baseShadow []uint8) (*Segmented[T], error) {
+	if bitWidth < vafile.MinBits || bitWidth > vafile.MaxBits {
+		return nil, fmt.Errorf("retrieval: quantize bits = %d, want %d..%d", bitWidth, vafile.MinBits, vafile.MaxBits)
+	}
+	bn, d := s.base.Size(), s.base.dims
+	if bn == 0 || len(boundsFlat) == 0 {
+		return s.Quantize(bitWidth)
+	}
+	b, err := vafile.FromFlat(boundsFlat, d, bitWidth)
+	if err != nil {
+		return nil, err
+	}
+	if len(baseShadow) != bn*d {
+		return nil, fmt.Errorf("retrieval: base shadow has %d codes for %d rows x %d dims", len(baseShadow), bn, d)
+	}
+	if cells := b.Cells(); cells < 256 {
+		for i, c := range baseShadow {
+			if int(c) >= cells {
+				return nil, fmt.Errorf("retrieval: base shadow code %d at offset %d, want < %d cells", c, i, cells)
+			}
+		}
+	}
+	n := *s
+	qs := &quantState{bits: bitWidth, bounds: b, baseShadow: baseShadow}
+	qs.encodeDelta(s.deltaFlat, len(s.deltaDB), d)
+	n.quant = qs
+	return &n, nil
+}
+
+// encodeDelta (re)encodes the current delta rows against qs.bounds into
+// fresh backing arrays; subsequent Adds append to them.
+func (qs *quantState) encodeDelta(deltaFlat []float64, rows, dims int) {
+	qs.deltaShadow = make([]uint8, rows*dims)
+	qs.deltaUnsafe = make([]bool, rows)
+	for j := 0; j < rows; j++ {
+		qs.deltaUnsafe[j] = !qs.bounds.Encode(deltaFlat[j*dims:(j+1)*dims], qs.deltaShadow[j*dims:(j+1)*dims])
+	}
+}
+
+// appendRow returns a copy of qs with one delta row's codes appended —
+// the shadow half of AddWithVectorMeta, same prefix discipline.
+func (qs *quantState) appendRow(v []float64, dims int) *quantState {
+	n := *qs
+	if qs.bounds == nil {
+		return &n
+	}
+	off := len(qs.deltaShadow)
+	n.deltaShadow = append(qs.deltaShadow, make([]uint8, dims)...)
+	ok := qs.bounds.Encode(v, n.deltaShadow[off:off+dims])
+	n.deltaUnsafe = append(qs.deltaUnsafe, !ok)
+	return &n
+}
+
+// QuantBits returns the shadow block's bit width (0 when quantization is
+// off).
+func (s *Segmented[T]) QuantBits() int {
+	if s.quant == nil {
+		return 0
+	}
+	return s.quant.bits
+}
+
+// QuantBounds returns the persisted shape of the boundary grid (nil when
+// quantization is off or dormant). Callers must not modify it.
+func (s *Segmented[T]) QuantBounds() []float64 {
+	if s.quant == nil || s.quant.bounds == nil {
+		return nil
+	}
+	return s.quant.bounds.Flat()
+}
+
+// BaseShadow returns the base segment's shadow codes (nil when
+// quantization is off or dormant). Callers must not modify it.
+func (s *Segmented[T]) BaseShadow() []uint8 {
+	if s.quant == nil || s.quant.bounds == nil {
+		return nil
+	}
+	return s.quant.baseShadow
+}
+
+// boundPrune is phase 1's verdict, consumed by the exact candidate
+// scan: the candidate rows (ascending global position) with their lower
+// bounds, and the pruning threshold tau (the p-th smallest candidate
+// upper bound; +Inf when fewer than p candidates had valid bounds). A
+// row missing from cands was excluded against an intermediate heap top,
+// which only ever shrinks toward tau — so the exclusion already holds
+// against tau, and phase 2 only needs the final clbs[i] > tau filter
+// for rows admitted early. Rows without valid bounds (unsafe delta
+// rows) are admitted with a zero lower bound, which never prunes.
+type boundPrune struct {
+	cands []int32
+	clbs  []float64
+	tau   float64
+}
+
+// ubHeap is a max-heap over upper bounds, retaining the p smallest seen
+// within one scan partition.
+type ubHeap []float64
+
+func (h ubHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] >= h[i] {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h ubHeap) siftDown() {
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		big := l
+		if r := l + 1; r < len(h) && h[r] > h[l] {
+			big = r
+		}
+		if h[big] <= h[i] {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// boundScan is phase 1: walk the shadow codes of every candidate row
+// (live rows, or the match bitsets when useMatch), accumulate lower
+// bounds, and derive tau. Returns nil — exact scan, no pruning — when
+// quantization is off/dormant or the query cannot support valid bounds.
+// The partition merge takes the p-th smallest of the per-partition
+// p-smallest upper bounds, which equals the global p-th smallest, so tau
+// (and the whole scan) is identical for any partitioning.
+func (s *Segmented[T]) boundScan(qvec, weights []float64, p int, parallel bool, clk *FilterClock, matchBase, matchDelta bitmap, useMatch bool) *boundPrune {
+	qs := s.quant
+	if qs == nil || qs.bounds == nil {
+		return nil
+	}
+	tbl, ok := qs.bounds.QueryTables(qvec, weights)
+	if !ok {
+		return nil
+	}
+	total := s.Total()
+	if total > math.MaxInt32 {
+		return nil
+	}
+	bn, d := s.base.Size(), s.base.dims
+	type boundPart struct {
+		ubs     ubHeap
+		cands   []int32
+		clbs    []float64
+		scanned int64
+	}
+	baseShadow, deltaShadow := qs.baseShadow, qs.deltaShadow
+	baseDead, deltaDead := s.baseDead, s.deltaDead
+	scanPart := func(pt *boundPart, lo, hi int) {
+		for pos := lo; pos < hi; pos++ {
+			var codes []uint8
+			if pos < bn {
+				if useMatch {
+					if !matchBase.get(pos) {
+						continue
+					}
+				} else if baseDead.get(pos) {
+					continue
+				}
+				codes = baseShadow[pos*d : pos*d+d]
+			} else {
+				j := pos - bn
+				if useMatch {
+					if !matchDelta.get(j) {
+						continue
+					}
+				} else if deltaDead.get(j) {
+					continue
+				}
+				if qs.deltaUnsafe[j] {
+					// No valid bounds: admit unconditionally with a zero
+					// lower bound (never pruned, always evaluated) and keep
+					// its upper bound out of tau.
+					pt.scanned++
+					pt.cands = append(pt.cands, int32(pos))
+					pt.clbs = append(pt.clbs, 0)
+					continue
+				}
+				codes = deltaShadow[j*d : j*d+d]
+			}
+			pt.scanned++
+			if len(pt.ubs) < p {
+				pt.cands = append(pt.cands, int32(pos))
+				pt.clbs = append(pt.clbs, tbl.RowLower(codes))
+				pt.ubs = append(pt.ubs, tbl.RowUpper(codes))
+				pt.ubs.siftUp(len(pt.ubs) - 1)
+				continue
+			}
+			// The heap top only shrinks toward the final tau, so a lower
+			// bound crossing it — whether the full sum or a partial sum
+			// RowLowerBounded aborts on — already crosses tau, and the row
+			// can be dropped here instead of re-filtered in phase 2. The
+			// exclusion set stays identical for any partitioning: a row
+			// surviving to phase 2 under one partitioning has full bound
+			// <= tau <= every intermediate heap top of any other, so it is
+			// admitted everywhere, and droppable rows are droppable
+			// everywhere by the same dominance. ub >= lb, so a dropped row
+			// cannot improve the heap either, skipping the second table
+			// pass.
+			lb, within := tbl.RowLowerBounded(codes, pt.ubs[0])
+			if !within {
+				continue
+			}
+			pt.cands = append(pt.cands, int32(pos))
+			pt.clbs = append(pt.clbs, lb)
+			if ub := tbl.RowUpper(codes); ub < pt.ubs[0] {
+				pt.ubs[0] = ub
+				pt.ubs.siftDown()
+			}
+		}
+	}
+	var parts []boundPart
+	if !parallel || total < minParallelScan {
+		parts = make([]boundPart, 1)
+		scanPart(&parts[0], 0, total)
+	} else {
+		w := par.Workers()
+		all := make([]boundPart, w)
+		shards := par.Shards(w, total, minParallelScan, func(sh, lo, hi int) {
+			scanPart(&all[sh], lo, hi)
+		})
+		parts = all[:shards]
+	}
+	var scanned int64
+	nc := 0
+	merged := make([]float64, 0, len(parts)*p)
+	for i := range parts {
+		scanned += parts[i].scanned
+		nc += len(parts[i].cands)
+		merged = append(merged, parts[i].ubs...)
+	}
+	clk.AddBoundRows(scanned)
+	// Partitions cover ascending position ranges, so concatenating their
+	// candidate lists in partition order keeps global positions ascending
+	// — phase 2 evaluates rows in exactly the order the exact scan would.
+	pr := &boundPrune{
+		cands: make([]int32, 0, nc),
+		clbs:  make([]float64, 0, nc),
+		tau:   math.Inf(1),
+	}
+	for i := range parts {
+		pr.cands = append(pr.cands, parts[i].cands...)
+		pr.clbs = append(pr.clbs, parts[i].clbs...)
+	}
+	if len(merged) >= p {
+		sort.Float64s(merged)
+		pr.tau = merged[p-1]
+	}
+	return pr
+}
+
+// scanCandidateChunks runs phase 2 over the full candidate list,
+// chunked across workers when it is long enough to parallelize, and
+// returns the per-chunk heaps for mergeTopP.
+func (s *Segmented[T]) scanCandidateChunks(qvec, weights []float64, p int, parallel bool, pr *boundPrune, clk *FilterClock) []neighborMaxHeap {
+	n := len(pr.cands)
+	if !parallel || n < minParallelScan {
+		return []neighborMaxHeap{s.scanCandidates(qvec, weights, p, pr, 0, n, clk)}
+	}
+	w := par.Workers()
+	all := make([]neighborMaxHeap, w)
+	shards := par.Shards(w, n, minParallelScan, func(sh, lo, hi int) {
+		all[sh] = s.scanCandidates(qvec, weights, p, pr, lo, hi, clk)
+	})
+	return all[:shards]
+}
+
+// scanCandidates is phase 2 over one chunk [lo, hi) of the candidate
+// list: each candidate still within the final tau is evaluated exactly
+// against its segment's float64 block, through the same kernels and heap
+// discipline as the unpruned scan. Candidates are ascending by global
+// position, so one binary search splits the chunk at the base/delta
+// boundary for the per-segment stage timers. Chunking the candidate
+// list is as partition-safe as chunking the position space: mergeTopP
+// is order- and partition-agnostic.
+func (s *Segmented[T]) scanCandidates(qvec, weights []float64, p int, pr *boundPrune, lo, hi int, clk *FilterClock) neighborMaxHeap {
+	h := make(neighborMaxHeap, 0, p+1)
+	bn, d := s.base.Size(), s.base.dims
+	split := lo + sort.Search(hi-lo, func(i int) bool { return int(pr.cands[lo+i]) >= bn })
+	evald := 0
+	if clk == nil {
+		h = scanCandRows(h, s.base.flat, d, 0, qvec, weights, p, pr, lo, split, &evald)
+		h = scanCandRows(h, s.deltaFlat, d, bn, qvec, weights, p, pr, split, hi, &evald)
+		return h
+	}
+	if lo < split {
+		t0 := time.Now()
+		h = scanCandRows(h, s.base.flat, d, 0, qvec, weights, p, pr, lo, split, &evald)
+		clk.AddBase(time.Since(t0).Nanoseconds())
+	}
+	if split < hi {
+		t0 := time.Now()
+		h = scanCandRows(h, s.deltaFlat, d, bn, qvec, weights, p, pr, split, hi, &evald)
+		clk.AddDelta(time.Since(t0).Nanoseconds())
+	}
+	clk.AddBoundExact(int64(evald))
+	return h
+}
+
+// scanCandRows evaluates candidates [lo, hi) — all in the one segment
+// whose flat block starts at global position posOff — against the exact
+// kernels, skipping entries whose lower bound exceeds tau. evald counts
+// rows actually evaluated.
+func scanCandRows(h neighborMaxHeap, flat []float64, dims, posOff int, qvec, weights []float64, p int, pr *boundPrune, lo, hi int, evald *int) neighborMaxHeap {
+	push := func(pos int, dd float64) {
+		n := space.Neighbor{Index: pos, Distance: dd}
+		if len(h) < p {
+			heap.Push(&h, n)
+		} else if less(n, h[0]) {
+			h[0] = n
+			heap.Fix(&h, 0)
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if pr.clbs[i] > pr.tau {
+			continue
+		}
+		pos := int(pr.cands[i])
+		r := pos - posOff
+		v := flat[r*dims : r*dims+dims]
+		*evald++
+		if weights == nil {
+			push(pos, metrics.L1(qvec, v))
+		} else {
+			push(pos, metrics.WeightedL1Unchecked(weights, qvec, v))
+		}
+	}
+	return h
+}

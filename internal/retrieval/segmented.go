@@ -116,6 +116,9 @@ type Segmented[T any] struct {
 	// exactly len(deltaDB) long (nil entries for metadata-less rows).
 	baseMeta  *meta.Block
 	deltaMeta []meta.Map
+	// quant is the optional quantized shadow block (see quantized.go);
+	// nil means exact scans only.
+	quant *quantState
 }
 
 // NewSegmented wraps a single-segment index as a Segmented with an empty
@@ -365,6 +368,9 @@ func (s *Segmented[T]) AddWithVectorMeta(x T, v []float64, md meta.Map) (*Segmen
 	n := *s
 	n.deltaDB = append(s.deltaDB, x)
 	n.deltaFlat = append(s.deltaFlat, v...)
+	if s.quant != nil {
+		n.quant = s.quant.appendRow(v, s.base.dims)
+	}
 	switch {
 	case md == nil && s.deltaMeta == nil:
 		// Still no delta metadata anywhere: keep the canonical nil.
@@ -605,8 +611,16 @@ func (s *Segmented[T]) FilterLiveMatch(qvec, weights []float64, p int, parallel 
 		return nil, matched, used
 	}
 	total := s.Total()
+	var pr *boundPrune
+	if s.quant != nil && s.quant.bounds != nil {
+		t0 = time.Now()
+		pr = s.boundScan(qvec, weights, p, parallel, clk, matchBase, matchDelta, true)
+		clk.AddBound(time.Since(t0).Nanoseconds())
+	}
 	var heaps []neighborMaxHeap
-	if !parallel || total < minParallelScan {
+	if pr != nil {
+		heaps = s.scanCandidateChunks(qvec, weights, p, parallel, pr, clk)
+	} else if !parallel || total < minParallelScan {
 		heaps = []neighborMaxHeap{s.scanRangeMatch(qvec, weights, 0, total, p, matchBase, matchDelta, clk)}
 	} else {
 		w := par.Workers()
@@ -640,8 +654,16 @@ func (s *Segmented[T]) filterTopP(qvec, weights []float64, p int, parallel bool,
 	if p <= 0 {
 		return nil
 	}
+	var pr *boundPrune
+	if s.quant != nil && s.quant.bounds != nil {
+		t0 := time.Now()
+		pr = s.boundScan(qvec, weights, p, parallel, clk, nil, nil, false)
+		clk.AddBound(time.Since(t0).Nanoseconds())
+	}
 	var heaps []neighborMaxHeap
-	if !parallel || total < minParallelScan {
+	if pr != nil {
+		heaps = s.scanCandidateChunks(qvec, weights, p, parallel, pr, clk)
+	} else if !parallel || total < minParallelScan {
 		heaps = []neighborMaxHeap{s.scanRange(qvec, weights, 0, total, p, clk)}
 	} else {
 		w := par.Workers()

@@ -26,6 +26,7 @@ type stage int
 const (
 	stEmbed stage = iota
 	stFilterEval
+	stBoundScan
 	stFilterBase
 	stFilterDelta
 	stMerge
@@ -33,7 +34,7 @@ const (
 	numStages
 )
 
-var stageNames = [numStages]string{"embed", "filter_eval", "filter_base", "filter_delta", "merge", "refine"}
+var stageNames = [numStages]string{"embed", "filter_eval", "bound_scan", "filter_base", "filter_delta", "merge", "refine"}
 
 // metrics is one endpoint's traffic instruments. Served requests and
 // sheds are disjoint: a shed 429 touches only the shed counter, so the
@@ -103,6 +104,10 @@ func (s *Server[T]) initObs() {
 		snapFailures:    r.Gauge("qse_store_snapshot_failures_total", "Failed snapshot attempts since startup."),
 		snapLastOKUnix:  r.Gauge("qse_store_last_snapshot_ok_unix", "Unix time of the last successful snapshot."),
 		degradedPersist: r.Gauge("qse_store_degraded_persistence", "1 while snapshots keep failing past the tolerance, else 0."),
+		quantBits:       r.Gauge("qse_store_quantize_bits", "Scalar-quantization bit width of the shadow block (0 = off)."),
+		boundScanned:    r.Gauge("qse_store_bound_scanned_rows_total", "Rows screened by the quantized bound scan since startup."),
+		boundExact:      r.Gauge("qse_store_bound_exact_rows_total", "Bound-screened rows that needed an exact float64 evaluation."),
+		boundPruneRate:  r.Gauge("qse_store_bound_prune_rate", "Fraction of bound-screened rows excluded without exact evaluation."),
 	}
 	r.OnScrape(func() {
 		st := s.st.Stats()
@@ -124,6 +129,14 @@ func (s *Server[T]) initObs() {
 			g.degradedPersist.Set(1)
 		} else {
 			g.degradedPersist.Set(0)
+		}
+		g.quantBits.Set(float64(st.QuantBits))
+		g.boundScanned.Set(float64(st.BoundScannedRows))
+		g.boundExact.Set(float64(st.BoundExactRows))
+		if st.BoundScannedRows > 0 {
+			g.boundPruneRate.Set(1 - float64(st.BoundExactRows)/float64(st.BoundScannedRows))
+		} else {
+			g.boundPruneRate.Set(0)
 		}
 	})
 
@@ -168,6 +181,7 @@ type storeGauges struct {
 	lastCompaction, lastSnapshot, lastSnapshotB         *obs.Gauge
 	deltaScanShare, snapFailures, snapLastOKUnix        *obs.Gauge
 	degradedPersist                                     *obs.Gauge
+	quantBits, boundScanned, boundExact, boundPruneRate *obs.Gauge
 }
 
 // observeSearch feeds one query's cost into the stage histograms and
@@ -180,6 +194,11 @@ func (s *Server[T]) observeSearch(st retrieval.Stats) {
 	// unfiltered query would bury the stage's real distribution.
 	if t.FilterEvalNanos > 0 {
 		s.stage[stFilterEval].Observe(t.FilterEvalNanos)
+	}
+	// bound_scan exists only when the store is quantized; same reasoning
+	// as filter_eval.
+	if t.BoundScanNanos > 0 {
+		s.stage[stBoundScan].Observe(t.BoundScanNanos)
 	}
 	s.stage[stFilterBase].Observe(t.FilterBaseNanos)
 	s.stage[stFilterDelta].Observe(t.FilterDeltaNanos)
@@ -196,7 +215,13 @@ type timingJSON struct {
 	// FilterEvalUs is the predicate-evaluation pre-pass; omitted when the
 	// query carried no filter, so unfiltered responses are byte-identical
 	// to the pre-filter wire format.
-	FilterEvalUs  float64 `json:"filter_eval_us,omitempty"`
+	FilterEvalUs float64 `json:"filter_eval_us,omitempty"`
+	// BoundScanUs is the quantized shadow-block screening pass; omitted
+	// (with its row counters) when the store runs unquantized, keeping
+	// the wire format unchanged for exact-only deployments.
+	BoundScanUs   float64 `json:"bound_scan_us,omitempty"`
+	BoundScanned  int64   `json:"bound_scanned_rows,omitempty"`
+	BoundExact    int64   `json:"bound_exact_rows,omitempty"`
 	FilterBaseUs  float64 `json:"filter_base_us"`
 	FilterDeltaUs float64 `json:"filter_delta_us"`
 	MergeUs       float64 `json:"merge_us"`
@@ -208,6 +233,9 @@ func toTimingJSON(t retrieval.Timing) *timingJSON {
 	return &timingJSON{
 		EmbedUs:       float64(t.EmbedNanos) / 1e3,
 		FilterEvalUs:  float64(t.FilterEvalNanos) / 1e3,
+		BoundScanUs:   float64(t.BoundScanNanos) / 1e3,
+		BoundScanned:  t.BoundScannedRows,
+		BoundExact:    t.BoundExactRows,
 		FilterBaseUs:  float64(t.FilterBaseNanos) / 1e3,
 		FilterDeltaUs: float64(t.FilterDeltaNanos) / 1e3,
 		MergeUs:       float64(t.MergeNanos) / 1e3,

@@ -713,6 +713,14 @@ type storeStatsJSON struct {
 	LastSnapshotError   string `json:"last_snapshot_error,omitempty"`
 	LastSnapshotOKUnix  int64  `json:"last_snapshot_ok_unix"`
 	DegradedPersistence bool   `json:"degraded_persistence"`
+	// Quantized-scan health: the shadow block's bit width (0 = off),
+	// cumulative rows screened by the bound scan, the subset that needed
+	// an exact evaluation, and the resulting prune rate
+	// (1 - exact/scanned; 0 before any quantized scan runs).
+	QuantBits        int     `json:"quantize_bits"`
+	BoundScannedRows uint64  `json:"bound_scanned_rows"`
+	BoundExactRows   uint64  `json:"bound_exact_rows"`
+	BoundPruneRate   float64 `json:"bound_prune_rate"`
 }
 
 // resilienceJSON is the serving-resilience section of /v1/stats: the
@@ -763,6 +771,15 @@ type statsResponse struct {
 	Resilience    resilienceJSON               `json:"resilience"`
 	UptimeSeconds float64                      `json:"uptime_seconds"`
 	Endpoints     map[string]endpointStatsJSON `json:"endpoints"`
+}
+
+// pruneRate is the fraction of bound-screened rows excluded without an
+// exact evaluation; 0 before any quantized scan has run.
+func pruneRate(scanned, exact uint64) float64 {
+	if scanned == 0 {
+		return 0
+	}
+	return 1 - float64(exact)/float64(scanned)
 }
 
 // resilience snapshots the middleware counters and gate occupancy.
@@ -843,6 +860,10 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 			LastSnapshotError:   st.LastSnapshotError,
 			LastSnapshotOKUnix:  st.LastSnapshotOKUnix,
 			DegradedPersistence: st.DegradedPersistence,
+			QuantBits:           st.QuantBits,
+			BoundScannedRows:    st.BoundScannedRows,
+			BoundExactRows:      st.BoundExactRows,
+			BoundPruneRate:      pruneRate(st.BoundScannedRows, st.BoundExactRows),
 		},
 		ShardDetail:   detail,
 		Filter:        filter,

@@ -55,7 +55,28 @@ func TestShardedEquivalence(t *testing.T) {
 			shards, seed := shards, base+off
 			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
 				t.Parallel()
-				runEquivalence(t, model, db, shards, seed)
+				runEquivalence(t, model, db, shards, seed, 0)
+			})
+		}
+	}
+}
+
+// TestQuantizedEquivalence is the same randomized harness with the
+// sharded side running an 8-bit shadow-block scan against an exact
+// (unquantized) reference: every add/remove/upsert/compact/save/reopen
+// interleaving must keep results bit-identical, which is the executable
+// form of the bound-scan exactness argument in DESIGN.md §13. Reopens
+// additionally prove the quantization setting survives the bundle round
+// trip (the shadow is persisted, never silently dropped).
+func TestQuantizedEquivalence(t *testing.T) {
+	model, db := fixture(t, 48)
+	base := eqBaseSeed(t)
+	for _, shards := range []int{1, 2, 7} {
+		for off := int64(0); off < 3; off++ {
+			shards, seed := shards, base+off
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				t.Parallel()
+				runEquivalence(t, model, db, shards, seed, 8)
 			})
 		}
 	}
@@ -67,7 +88,11 @@ func TestShardedEquivalence(t *testing.T) {
 // layout must never leak into answers.
 var eqPolicy = CompactionPolicy{MinDelta: 8, DeltaFrac: 0.1, MinDead: 8, DeadFrac: 0.2}
 
-func runEquivalence(t *testing.T, model *core.Model[[]float64], db [][]float64, shards int, seed int64) {
+// runEquivalence drives the reference and sharded stores through the
+// same randomized schedule. quantBits > 0 turns the shadow-block scan on
+// for the sharded side only — the reference stays exact, so every
+// search comparison doubles as a quantized-vs-exact bit-identity check.
+func runEquivalence(t *testing.T, model *core.Model[[]float64], db [][]float64, shards int, seed int64, quantBits int) {
 	ref, err := New(model, db, l1, Gob[[]float64]())
 	if err != nil {
 		t.Fatalf("reference store: %v", err)
@@ -78,6 +103,16 @@ func runEquivalence(t *testing.T, model *core.Model[[]float64], db [][]float64, 
 	}
 	ref.SetCompactionPolicy(eqPolicy)
 	shd.SetCompactionPolicy(eqPolicy)
+	// Enabling quantization is a mutation (the persisted base must gain
+	// its shadow), so it bumps each shard's generation once; genOffset
+	// keeps the stats comparison exact.
+	genOffset := uint64(0)
+	if quantBits > 0 {
+		if err := shd.SetQuantization(quantBits); err != nil {
+			t.Fatalf("quantizing sharded store: %v", err)
+		}
+		genOffset = uint64(shards)
+	}
 
 	rng := rand.New(rand.NewSource(seed))
 	dir := t.TempDir()
@@ -208,6 +243,12 @@ func runEquivalence(t *testing.T, model *core.Model[[]float64], db [][]float64, 
 				if got := len(shd.shards); got != shards {
 					t.Fatalf("step %d: reopened with %d shards, want %d", step, got, shards)
 				}
+				if qb := shd.Stats().QuantBits; qb != quantBits {
+					t.Fatalf("step %d: reopened store reports QuantBits %d, want %d (shadow not persisted?)", step, qb, quantBits)
+				}
+				// Generation restarts at zero on open for both sides, which
+				// also absorbs the one-time SetQuantization bump.
+				genOffset = 0
 				ref.SetCompactionPolicy(eqPolicy)
 				shd.SetCompactionPolicy(eqPolicy)
 			}
@@ -222,7 +263,7 @@ func runEquivalence(t *testing.T, model *core.Model[[]float64], db [][]float64, 
 				}
 			}
 		}
-		assertEquivalent(t, ref, shd, rng, step)
+		assertEquivalent(t, ref, shd, rng, step, genOffset)
 	}
 
 	// Drain to empty through both stores, checking the tail end of the
@@ -235,7 +276,7 @@ func runEquivalence(t *testing.T, model *core.Model[[]float64], db [][]float64, 
 			t.Fatalf("drain shd remove(%d): %v", id, err)
 		}
 	}
-	assertEquivalent(t, ref, shd, rng, -1)
+	assertEquivalent(t, ref, shd, rng, -1, genOffset)
 	if n := shd.Size(); n != 0 {
 		t.Fatalf("drained sharded store holds %d objects", n)
 	}
@@ -247,12 +288,12 @@ func runEquivalence(t *testing.T, model *core.Model[[]float64], db [][]float64, 
 // assertEquivalent is the per-step oracle: searches (single and batch),
 // live-ID sets, First, and stats invariants must all agree between the
 // reference store and the sharded store.
-func assertEquivalent(t *testing.T, ref *Store[[]float64], shd *Sharded[[]float64], rng *rand.Rand, step int) {
+func assertEquivalent(t *testing.T, ref *Store[[]float64], shd *Sharded[[]float64], rng *rand.Rand, step int, genOffset uint64) {
 	t.Helper()
 
 	rst, sst := ref.Stats(), shd.Stats()
-	if rst.Size != sst.Size || rst.Dims != sst.Dims || rst.Generation != sst.Generation || rst.NextID != sst.NextID {
-		t.Fatalf("step %d: stats diverge:\n ref %+v\n shd %+v", step, rst, sst)
+	if rst.Size != sst.Size || rst.Dims != sst.Dims || rst.Generation+genOffset != sst.Generation || rst.NextID != sst.NextID {
+		t.Fatalf("step %d: stats diverge (genOffset %d):\n ref %+v\n shd %+v", step, genOffset, rst, sst)
 	}
 	for name, st := range map[string]Stats{"ref": rst, "sharded": sst} {
 		if st.BaseSize+st.DeltaSize-st.Tombstones != st.Size {

@@ -73,6 +73,7 @@ type Backend[T any] interface {
 	Save(path string) error
 	Compact() bool
 	SetCompactionPolicy(CompactionPolicy)
+	SetQuantization(bits int) error
 	Start(Lifecycle) error
 	Close() error
 }
@@ -152,6 +153,12 @@ type Sharded[T any] struct {
 	mark          layoutMark
 	lastSnapNanos atomic.Int64
 	lastSnapBytes atomic.Int64
+
+	// boundRows/boundExact accumulate the shadow-scan counters of
+	// scatter-gather queries (the scatter shares one clock across all
+	// shards, so the front accounts them; the shards' own pairs stay 0).
+	boundRows  atomic.Uint64
+	boundExact atomic.Uint64
 
 	// lcMu guards the background lifecycle started by Start.
 	lcMu sync.Mutex
@@ -569,6 +576,12 @@ func (s *Sharded[T]) search(snaps []*snapshot[T], q T, k, p int, parallel bool, 
 	for i, sh := range s.shards {
 		sh.noteScan(snaps[i])
 	}
+	if st.Timing.BoundScannedRows > 0 {
+		s.boundRows.Add(uint64(st.Timing.BoundScannedRows))
+	}
+	if st.Timing.BoundExactRows > 0 {
+		s.boundExact.Add(uint64(st.Timing.BoundExactRows))
+	}
 	return res, st, nil
 }
 
@@ -737,6 +750,20 @@ func (s *Sharded[T]) SetCompactionPolicy(p CompactionPolicy) {
 	}
 }
 
+// SetQuantization sets every shard's shadow-block quantization width
+// (see Store.SetQuantization). Shards quantize independently — each
+// builds boundaries over its own base — and a failing shard stops the
+// sweep, leaving earlier shards quantized; results stay exact either
+// way, so a partial application only means uneven scan speed.
+func (s *Sharded[T]) SetQuantization(bits int) error {
+	for i, sh := range s.shards {
+		if err := sh.SetQuantization(bits); err != nil {
+			return fmt.Errorf("store: quantizing shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Stats aggregates the shard statistics: sizes, segment layouts, and
 // compaction counts are summed, Generation is the total mutation count,
 // NextID is the global allocator, LastCompactionNanos the worst recent
@@ -749,8 +776,10 @@ func (s *Sharded[T]) Stats() Stats {
 		LastSnapshotNanos: s.lastSnapNanos.Load(),
 		LastSnapshotBytes: s.lastSnapBytes.Load(),
 	}
+	agg.BoundScannedRows = s.boundRows.Load()
+	agg.BoundExactRows = s.boundExact.Load()
 	var rows, waste uint64
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		st := sh.Stats()
 		agg.Size += st.Size
 		agg.Generation += st.Generation
@@ -761,6 +790,11 @@ func (s *Sharded[T]) Stats() Stats {
 		if st.LastCompactionNanos > agg.LastCompactionNanos {
 			agg.LastCompactionNanos = st.LastCompactionNanos
 		}
+		if i == 0 {
+			agg.QuantBits = st.QuantBits
+		}
+		agg.BoundScannedRows += st.BoundScannedRows
+		agg.BoundExactRows += st.BoundExactRows
 		r, w := sh.scanCounters()
 		rows += r
 		waste += w

@@ -1,249 +1,419 @@
-// Package vafile implements a vector-approximation file (Weber, Schek &
-// Blott, VLDB 1998 [35]) over an embedded database, adapted to the
-// query-sensitive weighted L1 distance of Eq. 11.
+// Package vafile implements the bound machinery of a VA-file (Weber,
+// Schek & Blott, VLDB 1998 — the paper's reference [35]) over the
+// repository's row-major flat vector blocks: per-dimension scalar
+// quantization into equi-populated cells, a one-byte-per-dimension
+// shadow code for every row, and per-query lookup tables that turn a
+// row's codes into provable lower/upper bounds on its weighted L1
+// distance to the query.
 //
-// Sec. 8 of the paper notes that when the filter step itself becomes a
-// bottleneck ("in cases when the filter step takes up a significant part of
-// retrieval time, one can apply indexing techniques to speed up
-// filtering... in the filter step we are finding nearest neighbors in a
-// real vector space"), standard vector indexing applies. The VA-file is the
-// natural choice here because, unlike tree structures, it degrades
-// gracefully in high dimensions and supports per-query weights: each
-// dimension is scalar-quantized into cells, and for any query vector and
-// any non-negative weight vector the cell bounds yield true lower and upper
-// bounds of the weighted L1 distance. A top-p scan first computes bounds for
-// every object (cheap, byte arithmetic), then evaluates real vectors only
-// for objects whose lower bound passes the p-th smallest upper bound.
+// The bounds stay valid under the query-sensitive weighted L1 of the
+// paper's Eq. 11 because the distance decomposes per dimension: for a
+// value v known to lie in cell c = [lo, hi] of dimension j,
 //
-// The scan is exact: TopP returns precisely the linear scan's result.
+//	w_j * max(lo - q_j, q_j - hi, 0)  <=  w_j*|q_j - v|  <=  w_j * max(|q_j - lo|, |q_j - hi|)
+//
+// (|q - .| is convex, so its extrema over an interval sit at the
+// endpoints). Summing per-dimension table entries over a row's codes
+// yields a lower and an upper bound on the full distance, which is what
+// lets a scan rank rows by cheap byte lookups and touch the exact
+// float64 block only for rows whose lower bound survives the running
+// p-th smallest upper bound. The two-phase scan itself lives in
+// internal/retrieval; this package owns the boundary construction, the
+// encoding, and the table math, so their correctness can be
+// property-tested and fuzzed in isolation.
+//
+// Boundaries are built once per base segment (at compaction) and reused
+// across every delta append: a delta row is encoded against the base's
+// boundaries, and a row holding a value outside the base's range is
+// reported by Encode so the scan can exclude it from the bound argument
+// (clamped codes would not bound such a row).
 package vafile
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
 
-	"qse/internal/space"
+	"qse/internal/par"
 )
 
-// Index is a VA-file over a fixed set of vectors.
-type Index struct {
-	bits   int
-	cells  int
-	dims   int
-	bounds [][]float64 // bounds[d] has cells+1 ascending boundaries
-	approx []uint8     // row-major: approx[i*dims+d] is the cell of vecs[i][d]
-	vecs   [][]float64
+// Bit-width limits: one byte per dimension caps cells at 2^8.
+const (
+	MinBits = 1
+	MaxBits = 8
+)
+
+// Boundaries is one segment's per-dimension quantization grid: for each
+// dimension, cells+1 non-decreasing boundary values whose consecutive
+// pairs delimit the cells. Equi-populated construction (quantiles of the
+// segment's own values) keeps cells tight where the data is dense, which
+// is what makes the bounds selective. Immutable after construction.
+type Boundaries struct {
+	dims, bits, cells int
+	// flat stores the grid row-major by dimension: dimension d's
+	// boundaries are flat[d*(cells+1) : (d+1)*(cells+1)].
+	flat []float64
 }
 
-// Build quantizes vecs into 2^bits cells per dimension using equi-populated
-// (quantile) cell boundaries, the standard VA-file construction. bits must
-// be in [1, 8]; all vectors must share the same nonzero dimensionality.
-func Build(vecs [][]float64, bits int) (*Index, error) {
-	if len(vecs) == 0 {
-		return nil, fmt.Errorf("vafile: no vectors")
+// BuildBoundaries computes equi-populated cell boundaries from a
+// row-major block of rows x dims values (the segment the shadow block
+// will cover). Every value must be finite — embedded vectors always are,
+// and a non-finite value would poison the bound math silently.
+func BuildBoundaries(block []float64, rows, dims, bits int) (*Boundaries, error) {
+	if bits < MinBits || bits > MaxBits {
+		return nil, fmt.Errorf("vafile: bits = %d, want %d..%d", bits, MinBits, MaxBits)
 	}
-	if bits < 1 || bits > 8 {
-		return nil, fmt.Errorf("vafile: bits = %d, want 1..8", bits)
+	if rows <= 0 || dims <= 0 {
+		return nil, fmt.Errorf("vafile: %d rows x %d dims, want both > 0", rows, dims)
 	}
-	dims := len(vecs[0])
-	if dims == 0 {
-		return nil, fmt.Errorf("vafile: zero-dimensional vectors")
+	if len(block) != rows*dims {
+		return nil, fmt.Errorf("vafile: block has %d values for %d rows x %d dims", len(block), rows, dims)
 	}
-	for i, v := range vecs {
-		if len(v) != dims {
-			return nil, fmt.Errorf("vafile: vector %d has %d dims, want %d", i, len(v), dims)
+	for _, v := range block {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("vafile: block contains a non-finite value")
 		}
 	}
 	cells := 1 << bits
-	ix := &Index{
-		bits:   bits,
-		cells:  cells,
-		dims:   dims,
-		bounds: make([][]float64, dims),
-		approx: make([]uint8, len(vecs)*dims),
-		vecs:   vecs,
-	}
-
-	column := make([]float64, len(vecs))
-	for d := 0; d < dims; d++ {
-		for i, v := range vecs {
-			column[i] = v[d]
-		}
-		sort.Float64s(column)
-		b := make([]float64, cells+1)
-		for c := 0; c <= cells; c++ {
-			pos := c * (len(column) - 1) / cells
-			if c == cells {
-				pos = len(column) - 1
+	b := &Boundaries{dims: dims, bits: bits, cells: cells, flat: make([]float64, dims*(cells+1))}
+	// Each dimension is independent, so the column sorts fan out; the
+	// result is identical to a serial build.
+	par.For(dims, 4, func(lo, hi int) {
+		column := make([]float64, rows)
+		for d := lo; d < hi; d++ {
+			for r := 0; r < rows; r++ {
+				column[r] = block[r*dims+d]
 			}
-			b[c] = column[pos]
-		}
-		// Enforce non-decreasing boundaries (duplicates collapse cells).
-		for c := 1; c <= cells; c++ {
-			if b[c] < b[c-1] {
-				b[c] = b[c-1]
+			sort.Float64s(column)
+			bd := b.flat[d*(cells+1) : (d+1)*(cells+1)]
+			for c := 0; c <= cells; c++ {
+				bd[c] = column[c*(rows-1)/cells]
+			}
+			// Quantiles of a sorted column are already non-decreasing;
+			// enforce it anyway so a future construction change cannot
+			// silently hand the scan an invalid grid.
+			for c := 1; c <= cells; c++ {
+				if bd[c] < bd[c-1] {
+					bd[c] = bd[c-1]
+				}
 			}
 		}
-		ix.bounds[d] = b
-	}
-
-	for i, v := range vecs {
-		for d := 0; d < dims; d++ {
-			ix.approx[i*dims+d] = ix.cellOf(d, v[d])
-		}
-	}
-	return ix, nil
+	})
+	return b, nil
 }
 
-// cellOf locates the cell of value v in dimension d: the largest c with
-// bounds[c] <= v, clamped into [0, cells-1].
-func (ix *Index) cellOf(d int, v float64) uint8 {
-	b := ix.bounds[d]
-	c := sort.SearchFloat64s(b, v)
-	// SearchFloat64s returns the first index with b[i] >= v.
-	if c < len(b) && b[c] == v {
-		// Exact boundary: belongs to the cell starting there.
-	} else {
+// FromFlat reassembles Boundaries from a persisted grid (the counterpart
+// of Flat). The grid is validated — length, finiteness, per-dimension
+// monotonicity — so a damaged bundle section cannot smuggle an invalid
+// grid into the scan.
+func FromFlat(flat []float64, dims, bits int) (*Boundaries, error) {
+	if bits < MinBits || bits > MaxBits {
+		return nil, fmt.Errorf("vafile: bits = %d, want %d..%d", bits, MinBits, MaxBits)
+	}
+	if dims <= 0 {
+		return nil, fmt.Errorf("vafile: dims = %d, want > 0", dims)
+	}
+	cells := 1 << bits
+	if len(flat) != dims*(cells+1) {
+		return nil, fmt.Errorf("vafile: boundary grid has %d values, want %d dims x %d", len(flat), dims, cells+1)
+	}
+	for d := 0; d < dims; d++ {
+		bd := flat[d*(cells+1) : (d+1)*(cells+1)]
+		for c, v := range bd {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("vafile: boundary grid contains a non-finite value in dim %d", d)
+			}
+			if c > 0 && v < bd[c-1] {
+				return nil, fmt.Errorf("vafile: boundary grid decreases in dim %d at cell %d", d, c)
+			}
+		}
+	}
+	return &Boundaries{dims: dims, bits: bits, cells: cells, flat: flat}, nil
+}
+
+// Dims returns the grid's dimensionality.
+func (b *Boundaries) Dims() int { return b.dims }
+
+// Bits returns the quantization width in bits per dimension.
+func (b *Boundaries) Bits() int { return b.bits }
+
+// Cells returns the number of cells per dimension (2^Bits).
+func (b *Boundaries) Cells() int { return b.cells }
+
+// Flat returns the grid's backing storage (dims x (cells+1), row-major
+// by dimension) — the persist shape FromFlat restores. Callers must not
+// modify it.
+func (b *Boundaries) Flat() []float64 { return b.flat }
+
+// cellOf maps a value to its cell in dimension d. A value equal to a
+// boundary belongs to the cell whose lower edge it is (the top boundary
+// folds into the last cell), so every in-range value lands in a cell
+// that contains it — the property the bound argument rests on.
+func (b *Boundaries) cellOf(d int, v float64) int {
+	bd := b.flat[d*(b.cells+1) : (d+1)*(b.cells+1)]
+	c := sort.SearchFloat64s(bd, v)
+	if c == len(bd) || bd[c] != v {
 		c--
 	}
 	if c < 0 {
 		c = 0
+	} else if c >= b.cells {
+		c = b.cells - 1
 	}
-	if c > ix.cells-1 {
-		c = ix.cells - 1
-	}
-	return uint8(c)
+	return c
 }
 
-// Size returns the number of indexed vectors.
-func (ix *Index) Size() int { return len(ix.vecs) }
-
-// Dims returns the vector dimensionality.
-func (ix *Index) Dims() int { return ix.dims }
-
-// ApproximationBytes returns the memory footprint of the approximations.
-func (ix *Index) ApproximationBytes() int { return len(ix.approx) }
-
-// Stats reports the work of one TopP scan.
-type Stats struct {
-	// FullEvaluations is how many real vectors were compared after the
-	// bound phase; the linear-scan baseline is Size().
-	FullEvaluations int
-}
-
-// TopP returns the p nearest indexed vectors to qvec under the weighted L1
-// distance (weights nil means unweighted), in ascending order with ties
-// broken by index — exactly the linear scan's answer, typically after far
-// fewer full vector evaluations.
-func (ix *Index) TopP(qvec, weights []float64, p int) ([]space.Neighbor, Stats, error) {
-	if len(qvec) != ix.dims {
-		return nil, Stats{}, fmt.Errorf("vafile: query has %d dims, index has %d", len(qvec), ix.dims)
-	}
-	if weights != nil && len(weights) != ix.dims {
-		return nil, Stats{}, fmt.Errorf("vafile: weights have %d dims, index has %d", len(weights), ix.dims)
-	}
-	if weights != nil {
-		for d, w := range weights {
-			if w < 0 || math.IsNaN(w) {
-				return nil, Stats{}, fmt.Errorf("vafile: invalid weight %v at dim %d", w, d)
-			}
+// Encode quantizes one row into dst (Dims codes, one byte per
+// dimension). It reports whether every value was inside its dimension's
+// boundary range: the codes of an out-of-range (or non-finite) row are
+// clamped and MUST NOT be used for bounds — the scan keeps such rows on
+// the always-evaluate path instead.
+func (b *Boundaries) Encode(row []float64, dst []uint8) bool {
+	inRange := true
+	for d := 0; d < b.dims; d++ {
+		v := row[d]
+		bd := b.flat[d*(b.cells+1) : (d+1)*(b.cells+1)]
+		if !(v >= bd[0] && v <= bd[b.cells]) { // NaN fails both comparisons
+			inRange = false
 		}
+		dst[d] = uint8(b.cellOf(d, v))
 	}
-	if p <= 0 {
-		return nil, Stats{}, nil
-	}
-	if p > len(ix.vecs) {
-		p = len(ix.vecs)
-	}
+	return inRange
+}
 
-	// Per-dimension per-cell bound contributions for this query.
-	lbTable := make([]float64, ix.dims*ix.cells)
-	ubTable := make([]float64, ix.dims*ix.cells)
-	for d := 0; d < ix.dims; d++ {
+// EncodeBlock encodes a row-major block of rows x Dims values into a
+// fresh shadow block (rows x Dims codes). A block the boundaries were
+// built from is in range by construction (the grid's edges are each
+// column's min and max), so no in-range report is needed here.
+func (b *Boundaries) EncodeBlock(block []float64, rows int) []uint8 {
+	codes := make([]uint8, rows*b.dims)
+	par.For(rows, 512, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			b.Encode(block[r*b.dims:(r+1)*b.dims], codes[r*b.dims:(r+1)*b.dims])
+		}
+	})
+	return codes
+}
+
+// Tables are one query's per-cell bound lookup tables: for dimension d
+// and cell c, entry d*Cells+c bounds the weighted per-dimension distance
+// w_d*|q_d - v| below (lb) or above (ub) for any v in the cell. Summing
+// entries over a row's codes bounds the row's full weighted L1.
+type Tables struct {
+	dims, cells int
+	lb, ub      []float64
+	// mrel is reorderSlack(dims); inv is 1/(1-mrel), hoisting the
+	// per-row division out of the screening loop (the one extra rounding
+	// is far inside mrel's 4x safety factor).
+	mrel, inv float64
+}
+
+// QueryTables builds the query's bound tables (2 x Dims x Cells floats,
+// built once per query). It reports false — and the caller must fall
+// back to the exact scan — when the query or its weights cannot support
+// valid bounds: wrong width, a non-finite value, or a negative weight.
+// A nil weights slice is the unweighted L1. Zero weights are fine: the
+// dimension contributes nothing to either bound, exactly as it
+// contributes nothing to the exact kernel.
+func (b *Boundaries) QueryTables(qvec, weights []float64) (Tables, bool) {
+	if len(qvec) != b.dims || (weights != nil && len(weights) != b.dims) {
+		return Tables{}, false
+	}
+	t := Tables{
+		dims:  b.dims,
+		cells: b.cells,
+		lb:    make([]float64, b.dims*b.cells),
+		ub:    make([]float64, b.dims*b.cells),
+	}
+	for d := 0; d < b.dims; d++ {
+		q := qvec[d]
 		w := 1.0
 		if weights != nil {
 			w = weights[d]
 		}
-		q := qvec[d]
-		b := ix.bounds[d]
-		for c := 0; c < ix.cells; c++ {
-			lo, hi := b[c], b[c+1]
-			var lb float64
-			switch {
-			case q < lo:
-				lb = lo - q
-			case q > hi:
-				lb = q - hi
-			}
-			ub := math.Max(math.Abs(q-lo), math.Abs(q-hi))
-			lbTable[d*ix.cells+c] = w * lb
-			ubTable[d*ix.cells+c] = w * ub
+		if math.IsNaN(q) || math.IsInf(q, 0) || math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return Tables{}, false
 		}
-	}
-
-	// Phase 1: bounds for every object; track the p-th smallest upper
-	// bound with a max-heap implemented as a sorted insertion into a
-	// fixed-size slice (p is small relative to n).
-	lbs := make([]float64, len(ix.vecs))
-	tau := math.Inf(1)
-	worst := make([]float64, 0, p)
-	for i := range ix.vecs {
-		row := ix.approx[i*ix.dims : (i+1)*ix.dims]
-		var lb, ub float64
-		for d, c := range row {
-			lb += lbTable[d*ix.cells+int(c)]
-			ub += ubTable[d*ix.cells+int(c)]
+		bd := b.flat[d*(b.cells+1) : (d+1)*(b.cells+1)]
+		lbRow := t.lb[d*b.cells : (d+1)*b.cells]
+		ubRow := t.ub[d*b.cells : (d+1)*b.cells]
+		// The distance to a cell is monotone in the cell's offset from the
+		// query's own cell cq, so the table splits into three branch-free
+		// runs. Below cq the whole cell sits at or below q (q >= bd[c+1]),
+		// above cq at or above it (q <= bd[c]), so each difference is
+		// non-negative and equals the |.| form computed cell-by-cell. For
+		// cq itself the lower bound is 0 — exact when q lies inside the
+		// cell, and still a valid (if loose) bound when an out-of-range q
+		// was clamped into an edge cell; the upper bound max(q-lo, hi-q)
+		// covers both the straddling and the clamped case, where the
+		// farther edge's difference is the positive one.
+		cq := b.cellOf(d, q)
+		for c := 0; c < cq; c++ {
+			lbRow[c] = w * (q - bd[c+1])
+			ubRow[c] = w * (q - bd[c])
 		}
-		lbs[i] = lb
-		if len(worst) < p {
-			worst = insertSorted(worst, ub)
-			if len(worst) == p {
-				tau = worst[p-1]
-			}
-		} else if ub < tau {
-			worst = insertSorted(worst[:p-1], ub)
-			tau = worst[p-1]
+		for c := cq + 1; c < b.cells; c++ {
+			lbRow[c] = w * (bd[c] - q)
+			ubRow[c] = w * (bd[c+1] - q)
 		}
-	}
-
-	// Phase 2: evaluate real vectors for survivors.
-	var st Stats
-	cands := make([]space.Neighbor, 0, 4*p)
-	for i, lb := range lbs {
-		if lb > tau {
-			continue
+		ub := q - bd[cq]
+		if hi := bd[cq+1] - q; hi > ub {
+			ub = hi
 		}
-		st.FullEvaluations++
-		cands = append(cands, space.Neighbor{Index: i, Distance: weightedL1(weights, qvec, ix.vecs[i])})
+		lbRow[cq] = 0
+		ubRow[cq] = w * ub
 	}
-	space.SortNeighbors(cands)
-	if p > len(cands) {
-		p = len(cands)
-	}
-	return cands[:p], st, nil
+	t.mrel = reorderSlack(b.dims)
+	t.inv = 1 / (1 - t.mrel)
+	return t, true
 }
 
-func insertSorted(xs []float64, v float64) []float64 {
-	i := sort.SearchFloat64s(xs, v)
-	xs = append(xs, 0)
-	copy(xs[i+1:], xs[i:])
-	xs[i] = v
-	return xs
+// reorderSlack is the relative error allowance applied when an n-term
+// bound sum is accumulated in a different order than the exact kernel's
+// sequential sum: 4x the first-order (n-1)*eps reordering bound, so a
+// reordered lower bound discounted by it (or an upper bound padded by
+// it) still brackets the sequentially-rounded distance.
+func reorderSlack(n int) float64 {
+	const eps = 2.220446049250313e-16 // 2^-52
+	return 4 * eps * float64(n)
 }
 
-func weightedL1(w, a, b []float64) float64 {
-	var sum float64
-	for i := range a {
-		d := a[i] - b[i]
-		if d < 0 {
-			d = -d
+// Dims returns the tables' dimensionality (0 for the zero value).
+func (t *Tables) Dims() int { return t.dims }
+
+// RowLower sums the lower-bound table over a row's codes: a provable
+// lower bound on the row's weighted L1 distance to the query. codes must
+// hold Dims in-range codes from Encode (an out-of-range row has no valid
+// bounds).
+func (t *Tables) RowLower(codes []uint8) float64 {
+	lb, off := 0.0, 0
+	for _, c := range codes {
+		lb += t.lb[off+int(c)]
+		off += t.cells
+	}
+	return lb
+}
+
+// RowLowerBounded is RowLower tuned for the hot screening loop: within
+// reports whether the returned lower bound is <= bound.
+//
+// Two departures from RowLower, both preserving the bound's validity:
+//
+//   - The sum runs over four independent accumulators to break the
+//     serial float-add dependency chain (the screening scan's actual
+//     bottleneck). Reordering a sum changes its rounding, so the result
+//     no longer term-by-term dominates the distance kernel's sequential
+//     sum; validity is restored by discounting the classic reordering
+//     error bound (~n*eps relative, applied with 4x slack) — a 1e-13
+//     relative haircut that costs no measurable pruning power.
+//   - Non-negative terms only grow the partial sum, so the scan aborts
+//     every eight dimensions once the discounted partial already
+//     crosses bound (lb = +Inf): the common excluded row touches a
+//     fraction of its codes.
+func (t *Tables) RowLowerBounded(codes []uint8, bound float64) (lb float64, within bool) {
+	// s - s*mrel > bound <=> s > bound/(1-mrel): hoist the slack out of
+	// the per-block exit check (inv caches the reciprocal).
+	s, aborted := t.sumRow(t.lb, codes, bound*t.inv)
+	if aborted {
+		return math.Inf(1), false
+	}
+	lb = s - s*t.mrel
+	if lb < 0 {
+		lb = 0
+	}
+	return lb, lb <= bound
+}
+
+// sumRow sums one table entry per dimension over four accumulators,
+// aborting once the partial sum exceeds stop (+Inf never aborts; the
+// terms are non-negative, so the partial only grows). The 256-cell grid
+// — every 8-bit shadow — takes the fast path: constant cell strides and
+// byte-masked indices the compiler can prove in range, eight
+// dimensions per step off a single 8-byte code load.
+func (t *Tables) sumRow(tbl []float64, codes []uint8, stop float64) (float64, bool) {
+	var s0, s1, s2, s3 float64
+	n := len(codes)
+	cells := t.cells
+	off, d := 0, 0
+	if cells == 256 {
+		// The exit check (three serial adds and a branch) is a real
+		// fraction of a group's cost, and the typical excluded row only
+		// crosses the threshold in its last few groups — so the main loop
+		// covers sixteen dimensions per check, falling back to one check
+		// per group for a trailing odd group.
+		for ; d+16 <= n; d += 16 {
+			blk := tbl[off : off+2048]
+			w := binary.LittleEndian.Uint64(codes[d:])
+			s0 += blk[w&0xff]
+			s1 += blk[256+(w>>8)&0xff]
+			s2 += blk[512+(w>>16)&0xff]
+			s3 += blk[768+(w>>24)&0xff]
+			s0 += blk[1024+(w>>32)&0xff]
+			s1 += blk[1280+(w>>40)&0xff]
+			s2 += blk[1536+(w>>48)&0xff]
+			s3 += blk[1792+(w>>56)]
+			off += 2048
+			blk = tbl[off : off+2048]
+			w = binary.LittleEndian.Uint64(codes[d+8:])
+			s0 += blk[w&0xff]
+			s1 += blk[256+(w>>8)&0xff]
+			s2 += blk[512+(w>>16)&0xff]
+			s3 += blk[768+(w>>24)&0xff]
+			s0 += blk[1024+(w>>32)&0xff]
+			s1 += blk[1280+(w>>40)&0xff]
+			s2 += blk[1536+(w>>48)&0xff]
+			s3 += blk[1792+(w>>56)]
+			off += 2048
+			if s0+s1+s2+s3 > stop {
+				return 0, true
+			}
 		}
-		if w == nil {
-			sum += d
-		} else {
-			sum += w[i] * d
+		for ; d+8 <= n; d += 8 {
+			blk := tbl[off : off+2048]
+			w := binary.LittleEndian.Uint64(codes[d:])
+			s0 += blk[w&0xff]
+			s1 += blk[256+(w>>8)&0xff]
+			s2 += blk[512+(w>>16)&0xff]
+			s3 += blk[768+(w>>24)&0xff]
+			s0 += blk[1024+(w>>32)&0xff]
+			s1 += blk[1280+(w>>40)&0xff]
+			s2 += blk[1536+(w>>48)&0xff]
+			s3 += blk[1792+(w>>56)]
+			off += 2048
+			if s0+s1+s2+s3 > stop {
+				return 0, true
+			}
+		}
+	} else {
+		for ; d+8 <= n; d += 8 {
+			s0 += tbl[off+int(codes[d])]
+			s1 += tbl[off+cells+int(codes[d+1])]
+			s2 += tbl[off+2*cells+int(codes[d+2])]
+			s3 += tbl[off+3*cells+int(codes[d+3])]
+			s0 += tbl[off+4*cells+int(codes[d+4])]
+			s1 += tbl[off+5*cells+int(codes[d+5])]
+			s2 += tbl[off+6*cells+int(codes[d+6])]
+			s3 += tbl[off+7*cells+int(codes[d+7])]
+			off += 8 * cells
+			if s0+s1+s2+s3 > stop {
+				return 0, true
+			}
 		}
 	}
-	return sum
+	for ; d < n; d++ {
+		s0 += tbl[off+int(codes[d])]
+		off += cells
+	}
+	s := s0 + s1 + s2 + s3
+	return s, s > stop
+}
+
+// RowUpper is RowLower's upper-bound counterpart. Like RowLowerBounded
+// it sums over four accumulators for speed and restores validity by
+// padding the result with the reordering slack — a marginally looser
+// upper bound is still an upper bound.
+func (t *Tables) RowUpper(codes []uint8) float64 {
+	s, _ := t.sumRow(t.ub, codes, math.Inf(1))
+	return s + s*t.mrel
 }

@@ -1,271 +1,288 @@
 package vafile
 
 import (
+	"math"
 	"math/rand"
-	"sort"
 	"testing"
 	"testing/quick"
-
-	"qse/internal/space"
 )
 
-func randVecs(rng *rand.Rand, n, d int) [][]float64 {
-	out := make([][]float64, n)
-	for i := range out {
-		out[i] = make([]float64, d)
-		for j := range out[i] {
-			out[i][j] = rng.NormFloat64()
+// trueWeightedL1 is the reference distance the bounds must bracket.
+func trueWeightedL1(weights, q, v []float64) float64 {
+	s := 0.0
+	for d := range q {
+		w := 1.0
+		if weights != nil {
+			w = weights[d]
 		}
+		s += w * math.Abs(q[d]-v[d])
 	}
-	return out
+	return s
 }
 
-// linearTopP is the reference implementation: full scan + sort.
-func linearTopP(vecs [][]float64, qvec, weights []float64, p int) []space.Neighbor {
-	all := make([]space.Neighbor, len(vecs))
-	for i, v := range vecs {
-		all[i] = space.Neighbor{Index: i, Distance: weightedL1(weights, qvec, v)}
+func randBlock(rng *rand.Rand, rows, dims int) []float64 {
+	block := make([]float64, rows*dims)
+	for i := range block {
+		block[i] = rng.NormFloat64()
 	}
-	space.SortNeighbors(all)
-	if p > len(all) {
-		p = len(all)
-	}
-	return all[:p]
+	return block
 }
 
-func TestBuildValidation(t *testing.T) {
-	if _, err := Build(nil, 4); err == nil {
-		t.Error("no vectors should error")
-	}
-	if _, err := Build([][]float64{{}}, 4); err == nil {
-		t.Error("zero dims should error")
-	}
-	if _, err := Build([][]float64{{1}, {1, 2}}, 4); err == nil {
-		t.Error("ragged should error")
-	}
-	if _, err := Build([][]float64{{1}}, 0); err == nil {
-		t.Error("bits=0 should error")
-	}
-	if _, err := Build([][]float64{{1}}, 9); err == nil {
-		t.Error("bits=9 should error")
-	}
-}
-
-func TestTopPMatchesLinearScanUnweighted(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	vecs := randVecs(rng, 300, 8)
-	ix, err := Build(vecs, 4)
+// checkBounds builds boundaries over block, encodes every row, and
+// asserts lower <= true weighted L1 <= upper for every row under the
+// given query and weights. It is the core invariant the two-phase scan
+// rests on.
+func checkBounds(t *testing.T, block []float64, rows, dims, bits int, q, w []float64) {
+	t.Helper()
+	b, err := BuildBoundaries(block, rows, dims, bits)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for trial := 0; trial < 20; trial++ {
-		q := randVecs(rng, 1, 8)[0]
-		for _, p := range []int{1, 5, 20} {
-			got, _, err := ix.TopP(q, nil, p)
-			if err != nil {
-				t.Fatal(err)
-			}
-			want := linearTopP(vecs, q, nil, p)
-			if len(got) != len(want) {
-				t.Fatalf("p=%d: %d results, want %d", p, len(got), len(want))
-			}
-			for i := range want {
-				if got[i].Index != want[i].Index {
-					t.Fatalf("trial %d p=%d rank %d: got %d want %d", trial, p, i, got[i].Index, want[i].Index)
-				}
-			}
+	codes := b.EncodeBlock(block, rows)
+	tbl, ok := b.QueryTables(q, w)
+	if !ok {
+		t.Fatalf("QueryTables rejected a finite query (dims=%d bits=%d)", dims, bits)
+	}
+	for r := 0; r < rows; r++ {
+		row := block[r*dims : (r+1)*dims]
+		rc := codes[r*dims : (r+1)*dims]
+		dist := trueWeightedL1(w, q, row)
+		lb, ub := tbl.RowLower(rc), tbl.RowUpper(rc)
+		if lb > dist || dist > ub {
+			t.Fatalf("row %d (dims=%d bits=%d): bounds [%g, %g] do not bracket %g", r, dims, bits, lb, ub, dist)
 		}
 	}
 }
 
-func TestTopPMatchesLinearScanWeighted(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
-	vecs := randVecs(rng, 250, 6)
-	ix, err := Build(vecs, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for trial := 0; trial < 20; trial++ {
-		q := randVecs(rng, 1, 6)[0]
-		w := make([]float64, 6)
+func TestBoundsBracketDistanceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for bits := MinBits; bits <= MaxBits; bits++ {
+		rows := 5 + rng.Intn(200)
+		dims := 1 + rng.Intn(12)
+		block := randBlock(rng, rows, dims)
+		q := randBlock(rng, 1, dims)
+		w := make([]float64, dims)
 		for d := range w {
 			w[d] = rng.Float64() * 3
 		}
-		// Sparse weights (common for query-sensitive models): zero some.
-		w[trial%6] = 0
-		got, _, err := ix.TopP(q, w, 10)
-		if err != nil {
-			t.Fatal(err)
-		}
-		want := linearTopP(vecs, q, w, 10)
-		for i := range want {
-			if got[i].Index != want[i].Index {
-				t.Fatalf("trial %d rank %d: got %d want %d", trial, i, got[i].Index, want[i].Index)
-			}
-		}
+		w[rng.Intn(dims)] = 0 // sparse weights are the common case
+		checkBounds(t, block, rows, dims, bits, q, w)
+		checkBounds(t, block, rows, dims, bits, q, nil)
 	}
 }
 
-func TestTopPPruning(t *testing.T) {
-	// On clustered data the bound phase must prune a large share of full
-	// evaluations — the reason the VA-file exists.
-	rng := rand.New(rand.NewSource(3))
-	centers := randVecs(rng, 10, 8)
-	vecs := make([][]float64, 1000)
-	for i := range vecs {
-		c := centers[i%10]
-		vecs[i] = make([]float64, 8)
-		for d := range vecs[i] {
-			vecs[i][d] = c[d] + rng.NormFloat64()*0.05
+func TestBoundsDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	q := []float64{0.3, -2, 7}
+	w := []float64{0, 1.5, 2}
+
+	t.Run("constantDimensions", func(t *testing.T) {
+		// Every cell collapses to a point in dims 0 and 2.
+		block := make([]float64, 30*3)
+		for r := 0; r < 30; r++ {
+			block[r*3] = 5
+			block[r*3+1] = rng.NormFloat64()
+			block[r*3+2] = -1
 		}
-	}
-	ix, err := Build(vecs, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	q := centers[3]
-	_, st, err := ix.TopP(q, nil, 10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.FullEvaluations >= len(vecs)/2 {
-		t.Errorf("VA-file evaluated %d of %d vectors — bounds are not pruning", st.FullEvaluations, len(vecs))
-	}
-}
-
-func TestTopPEdgeCases(t *testing.T) {
-	vecs := [][]float64{{1, 1}, {2, 2}, {3, 3}}
-	ix, err := Build(vecs, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got, _, err := ix.TopP([]float64{0, 0}, nil, 0); err != nil || got != nil {
-		t.Errorf("p=0: %v %v", got, err)
-	}
-	got, _, err := ix.TopP([]float64{0, 0}, nil, 100)
-	if err != nil || len(got) != 3 {
-		t.Errorf("p>n: %v, %d results", err, len(got))
-	}
-	if _, _, err := ix.TopP([]float64{0}, nil, 1); err == nil {
-		t.Error("wrong query dims should error")
-	}
-	if _, _, err := ix.TopP([]float64{0, 0}, []float64{1}, 1); err == nil {
-		t.Error("wrong weight dims should error")
-	}
-	if _, _, err := ix.TopP([]float64{0, 0}, []float64{-1, 1}, 1); err == nil {
-		t.Error("negative weight should error")
-	}
-}
-
-func TestConstantDimension(t *testing.T) {
-	// A constant dimension collapses all cells; bounds must stay valid.
-	vecs := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
-	ix, err := Build(vecs, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, _, err := ix.TopP([]float64{2.4, 7}, nil, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := linearTopP(vecs, []float64{2.4, 7}, nil, 2)
-	for i := range want {
-		if got[i].Index != want[i].Index {
-			t.Fatalf("rank %d: got %d want %d", i, got[i].Index, want[i].Index)
+		for _, bits := range []int{1, 3, 8} {
+			checkBounds(t, block, 30, 3, bits, q, w)
 		}
-	}
-}
-
-func TestQueryOutsideDataRange(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
-	vecs := randVecs(rng, 100, 4)
-	ix, err := Build(vecs, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	q := []float64{100, -100, 50, -50} // far outside every boundary
-	got, _, err := ix.TopP(q, nil, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := linearTopP(vecs, q, nil, 5)
-	for i := range want {
-		if got[i].Index != want[i].Index {
-			t.Fatalf("rank %d: got %d want %d", i, got[i].Index, want[i].Index)
+	})
+	t.Run("duplicateRows", func(t *testing.T) {
+		row := []float64{1, 2, 3}
+		block := make([]float64, 0, 20*3)
+		for r := 0; r < 20; r++ {
+			block = append(block, row...)
 		}
-	}
+		for _, bits := range []int{1, 4, 8} {
+			checkBounds(t, block, 20, 3, bits, q, w)
+		}
+	})
+	t.Run("zeroWeights", func(t *testing.T) {
+		block := randBlock(rng, 50, 3)
+		checkBounds(t, block, 50, 3, 4, q, []float64{0, 0, 0})
+	})
+	t.Run("singleRow", func(t *testing.T) {
+		checkBounds(t, []float64{1, 2, 3}, 1, 3, 4, q, w)
+	})
+	t.Run("queryOutsideDataRange", func(t *testing.T) {
+		block := randBlock(rng, 60, 3)
+		checkBounds(t, block, 60, 3, 5, []float64{100, -100, 50}, w)
+	})
 }
 
-func TestTopPPropertyExactness(t *testing.T) {
-	// Property: for random data, weights, and p, the VA-file scan equals
-	// the linear scan exactly.
+func TestBoundsProperty(t *testing.T) {
+	// quick.Check over seeds: random shape, random bit width, random
+	// query/weights — the bracket must hold for every row.
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		n := 20 + rng.Intn(100)
-		d := 1 + rng.Intn(6)
-		bits := 1 + rng.Intn(6)
-		vecs := randVecs(rng, n, d)
-		ix, err := Build(vecs, bits)
+		rows := 1 + rng.Intn(120)
+		dims := 1 + rng.Intn(8)
+		bits := MinBits + rng.Intn(MaxBits-MinBits+1)
+		block := randBlock(rng, rows, dims)
+		if rng.Intn(4) == 0 { // inject duplicates
+			copy(block[:dims], block[(rows-1)*dims:])
+		}
+		b, err := BuildBoundaries(block, rows, dims, bits)
 		if err != nil {
 			return false
 		}
-		q := randVecs(rng, 1, d)[0]
+		q := randBlock(rng, 1, dims)
 		var w []float64
 		if rng.Intn(2) == 0 {
-			w = make([]float64, d)
-			for j := range w {
-				w[j] = rng.Float64() * 2
+			w = make([]float64, dims)
+			for d := range w {
+				w[d] = rng.Float64() * 2
 			}
 		}
-		p := 1 + rng.Intn(n)
-		got, _, err := ix.TopP(q, w, p)
-		if err != nil {
+		tbl, ok := b.QueryTables(q, w)
+		if !ok {
 			return false
 		}
-		want := linearTopP(vecs, q, w, p)
-		if len(got) != len(want) {
-			return false
-		}
-		for i := range want {
-			if got[i].Index != want[i].Index {
+		codes := b.EncodeBlock(block, rows)
+		for r := 0; r < rows; r++ {
+			dist := trueWeightedL1(w, q, block[r*dims:(r+1)*dims])
+			rc := codes[r*dims : (r+1)*dims]
+			if tbl.RowLower(rc) > dist || dist > tbl.RowUpper(rc) {
 				return false
 			}
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
 	}
 }
 
-func TestCellOfBoundaries(t *testing.T) {
-	vecs := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}}
-	ix, err := Build(vecs, 2) // 4 cells
-	if err != nil {
-		t.Fatal(err)
-	}
-	cells := make([]uint8, len(vecs))
-	for i, v := range vecs {
-		cells[i] = ix.cellOf(0, v[0])
-	}
-	if !sort.SliceIsSorted(cells, func(i, j int) bool { return cells[i] < cells[j] }) {
-		t.Errorf("cells not monotone: %v", cells)
-	}
-	if cells[0] != 0 || cells[len(cells)-1] != 3 {
-		t.Errorf("extremes: %v", cells)
+func TestBuildBoundariesValidation(t *testing.T) {
+	good := []float64{1, 2, 3, 4}
+	for _, c := range []struct {
+		name             string
+		block            []float64
+		rows, dims, bits int
+	}{
+		{"bitsLow", good, 2, 2, 0},
+		{"bitsHigh", good, 2, 2, 9},
+		{"zeroRows", nil, 0, 2, 4},
+		{"zeroDims", nil, 2, 0, 4},
+		{"lengthMismatch", good, 3, 2, 4},
+		{"nan", []float64{1, math.NaN(), 3, 4}, 2, 2, 4},
+		{"inf", []float64{1, math.Inf(1), 3, 4}, 2, 2, 4},
+	} {
+		if _, err := BuildBoundaries(c.block, c.rows, c.dims, c.bits); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
 	}
 }
 
-func TestAccessors(t *testing.T) {
-	vecs := [][]float64{{1, 2, 3}, {4, 5, 6}}
-	ix, err := Build(vecs, 4)
+func TestFromFlatRoundTripAndValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	block := randBlock(rng, 40, 3)
+	b, err := BuildBoundaries(block, 40, 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ix.Size() != 2 || ix.Dims() != 3 {
-		t.Errorf("Size/Dims = %d/%d", ix.Size(), ix.Dims())
+	got, err := FromFlat(b.Flat(), b.Dims(), b.Bits())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if ix.ApproximationBytes() != 6 {
-		t.Errorf("ApproximationBytes = %d", ix.ApproximationBytes())
+	if got.Dims() != 3 || got.Bits() != 4 || got.Cells() != 16 {
+		t.Fatalf("round trip: dims=%d bits=%d cells=%d", got.Dims(), got.Bits(), got.Cells())
+	}
+	// Round-tripped boundaries must encode identically.
+	rowCodes := make([]uint8, 3)
+	wantCodes := make([]uint8, 3)
+	for r := 0; r < 40; r++ {
+		row := block[r*3 : (r+1)*3]
+		b.Encode(row, wantCodes)
+		got.Encode(row, rowCodes)
+		for d := range rowCodes {
+			if rowCodes[d] != wantCodes[d] {
+				t.Fatalf("row %d dim %d: code %d != %d after round trip", r, d, rowCodes[d], wantCodes[d])
+			}
+		}
+	}
+
+	if _, err := FromFlat(b.Flat()[:5], 3, 4); err == nil {
+		t.Error("short grid: no error")
+	}
+	if _, err := FromFlat(b.Flat(), 3, 0); err == nil {
+		t.Error("bits=0: no error")
+	}
+	bad := append([]float64(nil), b.Flat()...)
+	bad[1] = math.NaN()
+	if _, err := FromFlat(bad, 3, 4); err == nil {
+		t.Error("NaN grid: no error")
+	}
+	bad2 := append([]float64(nil), b.Flat()...)
+	bad2[2], bad2[3] = bad2[3]+1, bad2[2] // break monotonicity
+	if _, err := FromFlat(bad2, 3, 4); err == nil {
+		t.Error("decreasing grid: no error")
+	}
+}
+
+func TestEncodeReportsOutOfRange(t *testing.T) {
+	block := []float64{0, 0, 1, 1, 2, 2, 3, 3}
+	b, err := BuildBoundaries(block, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint8, 2)
+	if !b.Encode([]float64{1.5, 2.5}, dst) {
+		t.Error("in-range row reported out of range")
+	}
+	if b.Encode([]float64{-1, 1}, dst) {
+		t.Error("below-range row reported in range")
+	}
+	if b.Encode([]float64{1, 9}, dst) {
+		t.Error("above-range row reported in range")
+	}
+	if b.Encode([]float64{math.NaN(), 1}, dst) {
+		t.Error("NaN row reported in range")
+	}
+}
+
+func TestQueryTablesRejectsInvalid(t *testing.T) {
+	block := []float64{0, 1, 2, 3}
+	b, err := BuildBoundaries(block, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		q, w []float64
+	}{
+		{"wrongQueryDims", []float64{1}, nil},
+		{"wrongWeightDims", []float64{1, 2}, []float64{1}},
+		{"nanQuery", []float64{math.NaN(), 0}, nil},
+		{"infQuery", []float64{math.Inf(-1), 0}, nil},
+		{"negativeWeight", []float64{1, 2}, []float64{-1, 1}},
+		{"nanWeight", []float64{1, 2}, []float64{math.NaN(), 1}},
+	} {
+		if _, ok := b.QueryTables(c.q, c.w); ok {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if tbl, ok := b.QueryTables([]float64{1, 2}, nil); !ok || tbl.Dims() != 2 {
+		t.Errorf("valid query rejected (ok=%v dims=%d)", ok, tbl.Dims())
+	}
+}
+
+func TestCellOfMonotone(t *testing.T) {
+	block := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	b, err := BuildBoundaries(block, 8, 1, 2) // 4 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, v := range block {
+		c := b.cellOf(0, v)
+		if c < prev {
+			t.Fatalf("cellOf(%g) = %d < previous %d", v, c, prev)
+		}
+		prev = c
+	}
+	if b.cellOf(0, 0) != 0 || b.cellOf(0, 7) != 3 {
+		t.Errorf("extremes: %d, %d", b.cellOf(0, 0), b.cellOf(0, 7))
 	}
 }

@@ -15,6 +15,10 @@
 #   {"sha": "...", "unix": 1700000000, "go": "go1.24", "benchtime": "1x",
 #    "benchmarks": [{"name": "BenchmarkSearch", "iterations": 20,
 #                    "ns_per_op": 1382941.0}, ...]}
+# Benchmarks that report extra metrics via b.ReportMetric (e.g. the
+# quantized filter scan's exactFrac pruned-rows report) carry them in an
+# additional "metrics" object: {"name": ..., "ns_per_op": ...,
+# "metrics": {"exactFrac": 0.018, "vs-exact-ratio": 0.9, ...}}.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,13 +38,22 @@ go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" ./..
 goversion="$(go env GOVERSION)"
 awk -v sha="$sha" -v unix="$(date +%s)" -v gover="$goversion" -v benchtime="$benchtime" '
   BEGIN { n = 0 }
-  # Benchmark lines: "BenchmarkName-8   <iters>   <ns> ns/op [...]"
-  $1 ~ /^Benchmark/ && $3 == "ns/op" || ($4 == "ns/op") {
+  # Benchmark lines: "BenchmarkName-8   <iters>   <ns> ns/op [<val> <unit>]..."
+  $1 ~ /^Benchmark/ && $4 == "ns/op" {
     name = $1
     sub(/-[0-9]+$/, "", name)      # strip the GOMAXPROCS suffix
     iters = $2
     ns = $3
-    rows[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, iters, ns)
+    # Everything past ns/op comes in (value, unit) pairs from
+    # b.ReportMetric — the quantized scan reports its pruned-rows stats
+    # (exactFrac, exactRows/query, vs-exact-ratio) this way.
+    extra = ""
+    for (i = 5; i + 1 <= NF; i += 2) {
+      extra = extra sprintf("%s\"%s\": %s", (extra == "" ? "" : ", "), $(i + 1), $i)
+    }
+    row = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (extra != "") row = row sprintf(", \"metrics\": {%s}", extra)
+    rows[n++] = row "}"
   }
   END {
     printf "{\n"

@@ -63,6 +63,15 @@ type StoreStats struct {
 	// on delta rows and tombstones since the last compaction — the
 	// signal the background compactor (see Store.Start) schedules on.
 	DeltaScanShare float64
+	// QuantBits is the scalar-quantization bit width of the shadow block
+	// (0 = quantization off; see SetQuantization). BoundScannedRows and
+	// BoundExactRows count, across all filtered scans since the store
+	// was created or opened, the rows screened by the quantized bound
+	// scan and the subset that survived to an exact float64 evaluation;
+	// 1 - exact/scanned is the prune rate.
+	QuantBits        int
+	BoundScannedRows uint64
+	BoundExactRows   uint64
 }
 
 // StoreLifecycle configures the background services a store owns
@@ -381,6 +390,18 @@ func (s *Store[T]) Upsert(id uint64, x T) error { return s.inner.Upsert(id, x) }
 // their IDs.
 func (s *Store[T]) Remove(id uint64) error { return s.inner.Remove(id) }
 
+// SetQuantization builds (bits in 1..8) or drops (bits = 0) the store's
+// scalar-quantized shadow block: one byte per dimension per row,
+// quantized against per-dimension equi-populated boundaries. With a
+// shadow in place, filtered scans screen every row with cheap
+// weighted-L1 lower/upper bounds first and touch the exact float64
+// vectors only for rows the bounds cannot exclude — results are
+// bit-identical to the unquantized scan by construction (DESIGN.md
+// §13). The shadow persists through Save/OpenStore and is rebuilt
+// automatically on compaction. For a sharded store the setting applies
+// to every shard.
+func (s *Store[T]) SetQuantization(bits int) error { return s.inner.SetQuantization(bits) }
+
 // Compact folds the delta segment and tombstones into a fresh base
 // immediately, regardless of the automatic thresholds, and reports
 // whether there was anything to fold. Searches are never blocked.
@@ -450,5 +471,8 @@ func toStoreStats(st store.Stats) StoreStats {
 		LastSnapshotNanos:   st.LastSnapshotNanos,
 		LastSnapshotBytes:   st.LastSnapshotBytes,
 		DeltaScanShare:      st.DeltaScanShare,
+		QuantBits:           st.QuantBits,
+		BoundScannedRows:    st.BoundScannedRows,
+		BoundExactRows:      st.BoundExactRows,
 	}
 }
