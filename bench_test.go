@@ -17,6 +17,7 @@
 package qse
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"sort"
@@ -92,11 +93,14 @@ func BenchmarkFilterTopP(b *testing.B) {
 			ix.FilterTopP(q, w, 200)
 		}
 	})
-	// The quantized variants run the same scan through an 8-bit shadow
-	// block: a bound pass over 1-byte codes first, exact float64 rows only
-	// where the bounds cannot exclude. exactRows/query reports how many of
-	// the 20k rows still needed an exact evaluation (the acceptance target
-	// is < 15% at p=200); results are bit-identical to the exact scan.
+	// The quantized variants run the same scan through a packed shadow
+	// block: a bound pass over sub-byte codes first, exact float64 rows
+	// only where the bounds cannot exclude. exactRows/query reports how
+	// many of the 20k rows still needed an exact evaluation (the
+	// acceptance target is < 15% at p=200 for 8-bit); results are
+	// bit-identical to the exact scan at every width. shadow-bytes
+	// reports the packed shadow's resident size — 4-bit must be half of
+	// 8-bit.
 	//
 	// Each iteration also times the plain exact scan, interleaved with the
 	// quantized one: the host's clock-speed drift then hits both sides of
@@ -104,36 +108,39 @@ func BenchmarkFilterTopP(b *testing.B) {
 	// over exact wall-clock, < 1 means the shadow scan is faster) is
 	// meaningful even when absolute ns/op between separate sub-benchmarks
 	// is not. ns/op for these sub-benchmarks covers the pair.
-	seg, err := retrieval.NewSegmented(ix).Quantize(8)
-	if err != nil {
-		b.Fatal(err)
-	}
-	quantized := func(weights []float64) func(*testing.B) {
-		return func(b *testing.B) {
-			var clk retrieval.FilterClock
-			var exactNs, quantNs int64
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				t0 := time.Now()
-				ix.FilterTopP(q, weights, 200)
-				exactNs += time.Since(t0).Nanoseconds()
-				t0 = time.Now()
-				seg.FilterLive(q, weights, 200, true, &clk)
-				quantNs += time.Since(t0).Nanoseconds()
-			}
-			b.ReportMetric(float64(quantNs)/float64(b.N), "quant-ns/op")
-			b.ReportMetric(float64(exactNs)/float64(b.N), "exactscan-ns/op")
-			b.ReportMetric(float64(quantNs)/float64(exactNs), "vs-exact-ratio")
-			var t retrieval.Timing
-			clk.AddTo(&t)
-			if t.BoundScannedRows > 0 {
-				b.ReportMetric(float64(t.BoundExactRows)/float64(b.N), "exactRows/query")
-				b.ReportMetric(float64(t.BoundExactRows)/float64(t.BoundScannedRows), "exactFrac")
+	for _, bits := range []int{4, 8} {
+		seg, err := retrieval.NewSegmented(ix).Quantize(bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		quantized := func(weights []float64) func(*testing.B) {
+			return func(b *testing.B) {
+				var clk retrieval.FilterClock
+				var exactNs, quantNs int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t0 := time.Now()
+					ix.FilterTopP(q, weights, 200)
+					exactNs += time.Since(t0).Nanoseconds()
+					t0 = time.Now()
+					seg.FilterLive(q, weights, 200, true, &clk)
+					quantNs += time.Since(t0).Nanoseconds()
+				}
+				b.ReportMetric(float64(quantNs)/float64(b.N), "quant-ns/op")
+				b.ReportMetric(float64(exactNs)/float64(b.N), "exactscan-ns/op")
+				b.ReportMetric(float64(quantNs)/float64(exactNs), "vs-exact-ratio")
+				b.ReportMetric(float64(seg.ShadowBytes()), "shadow-bytes")
+				var t retrieval.Timing
+				clk.AddTo(&t)
+				if t.BoundScannedRows > 0 {
+					b.ReportMetric(float64(t.BoundExactRows)/float64(b.N), "exactRows/query")
+					b.ReportMetric(float64(t.BoundExactRows)/float64(t.BoundScannedRows), "exactFrac")
+				}
 			}
 		}
+		b.Run(fmt.Sprintf("quantized%d-unweighted", bits), quantized(nil))
+		b.Run(fmt.Sprintf("quantized%d-weighted", bits), quantized(w))
 	}
-	b.Run("quantized-unweighted", quantized(nil))
-	b.Run("quantized-weighted", quantized(w))
 }
 
 func BenchmarkSearch(b *testing.B) {
@@ -190,6 +197,13 @@ func BenchmarkSearchFiltered(b *testing.B) {
 
 // BenchmarkSearchBatch measures a 64-query batch against the same index;
 // compare ns/op here to 64× BenchmarkSearch to see the batching win.
+// The quantized sub-benchmarks compare the batched phase 1 (all queries'
+// bound tables built up front, the shadow streamed once per panel for
+// the whole batch) against the same queries issued one at a time, each
+// re-streaming the shadow. Like the FilterTopP pair the two sides are
+// interleaved per iteration so clock drift cancels;
+// batch-vs-perquery-ratio < 1 is the shared-pass win. Results are
+// bit-identical by construction (see TestSearchBatchQuantizedIdentity).
 func BenchmarkSearchBatch(b *testing.B) {
 	ix, _, _ := benchRetrievalIndex(b, 20000, 64)
 	rng := rand.New(rand.NewSource(8))
@@ -200,11 +214,40 @@ func BenchmarkSearchBatch(b *testing.B) {
 			queries[i][j] = rng.NormFloat64()
 		}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := ix.SearchBatch(queries, 10, 200); err != nil {
+	b.Run("exact", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ix.SearchBatch(queries, 10, 200); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, bits := range []int{4, 8} {
+		seg, err := retrieval.NewSegmented(ix).Quantize(bits)
+		if err != nil {
 			b.Fatal(err)
 		}
+		b.Run(fmt.Sprintf("quantized%d", bits), func(b *testing.B) {
+			var batchNs, soloNs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if _, _, err := seg.SearchBatch(queries, 10, 200); err != nil {
+					b.Fatal(err)
+				}
+				batchNs += time.Since(t0).Nanoseconds()
+				t0 = time.Now()
+				for _, q := range queries {
+					if _, _, err := seg.Search(q, 10, 200); err != nil {
+						b.Fatal(err)
+					}
+				}
+				soloNs += time.Since(t0).Nanoseconds()
+			}
+			b.ReportMetric(float64(batchNs)/float64(b.N), "batch-ns/op")
+			b.ReportMetric(float64(soloNs)/float64(b.N), "perquery-ns/op")
+			b.ReportMetric(float64(batchNs)/float64(soloNs), "batch-vs-perquery-ratio")
+		})
 	}
 }
 

@@ -42,7 +42,7 @@ func main() {
 		pct       = flag.Float64("pct", 95, "recall target for -autop, percent of queries capturing all k true NNs")
 		queryseed = flag.Int64("queryseed", 99, "seed for generating query objects")
 		filter    = flag.String("filter", "", `JSON metadata predicate, e.g. '{"field":"tenant","eq":"acme"}' (requires -bundle)`)
-		quantBits = flag.Int("quantize-bits", -1, "scalar-quantized shadow-block bit width for the filter scan, 1..8 (0 off, -1 keeps the bundle's setting; requires -bundle); answers are bit-identical either way")
+		quantBits = flag.Int("quantize-bits", -1, "scalar-quantized shadow-block bit width for the filter scan: 1, 2, 4, or 8 bits per dimension (0 off, -1 keeps the bundle's setting; requires -bundle); answers are bit-identical at every width — narrower widths halve shadow memory per step but prune fewer rows")
 	)
 	flag.Parse()
 
@@ -54,6 +54,11 @@ func main() {
 	}
 	if *quantBits >= 0 && *bundle == "" {
 		fatalf("-quantize-bits configures a store's shadow block; it is only supported with -bundle")
+	}
+	switch *quantBits {
+	case -1, 0, 1, 2, 4, 8:
+	default:
+		fatalf("-quantize-bits %d: supported widths are 0 (off), 1, 2, 4, or 8 bits per dimension", *quantBits)
 	}
 
 	switch *dataset {

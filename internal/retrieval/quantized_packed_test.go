@@ -1,0 +1,324 @@
+package retrieval
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"qse/internal/stats"
+	"qse/internal/vafile"
+)
+
+// TestPackedKernelBounds property-tests the width-specialized row
+// kernels in isolation: for random blocks at awkward dimensionalities
+// (odd dims leave pad bits in every packed row) and every packed width,
+// the kernel's lower/upper bounds must bracket the true weighted L1
+// distance, and the bounded variant must agree with the unbounded one
+// whenever it completes.
+func TestPackedKernelBounds(t *testing.T) {
+	rng := stats.NewRand(99)
+	for _, dims := range []int{1, 3, 7, 16, 33, 64} {
+		for _, bits := range []int{1, 2, 4, 8} {
+			const rows = 64
+			block := make([]float64, rows*dims)
+			for i := range block {
+				block[i] = rng.NormFloat64() * 3
+			}
+			b, err := vafile.BuildBoundaries(block, rows, dims, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			packed := b.EncodePackedBlock(block, rows)
+			stride := vafile.PackedStride(dims, bits)
+			for qi := 0; qi < 8; qi++ {
+				qvec := make([]float64, dims)
+				weights := make([]float64, dims)
+				for d := range qvec {
+					qvec[d] = rng.NormFloat64() * 3
+					weights[d] = rng.Float64() * 2
+				}
+				if qi%2 == 0 {
+					weights = nil
+				}
+				tbl, ok := b.QueryTables(qvec, weights)
+				if !ok {
+					t.Fatalf("dims=%d bits=%d: tables rejected a finite query", dims, bits)
+				}
+				kern := newKernel(&tbl, bits)
+				for r := 0; r < rows; r++ {
+					row := packed[r*stride : (r+1)*stride]
+					truth := 0.0
+					for d := 0; d < dims; d++ {
+						w := 1.0
+						if weights != nil {
+							w = weights[d]
+						}
+						truth += w * math.Abs(qvec[d]-block[r*dims+d])
+					}
+					lb, ub := kern.lower(row), kern.upper(row)
+					if !(lb <= truth && truth <= ub) {
+						t.Fatalf("dims=%d bits=%d row=%d: bounds [%g, %g] miss true distance %g",
+							dims, bits, r, lb, ub, truth)
+					}
+					// lowerBounded may round differently from lower (it
+					// reassociates and discounts), but it must stay a valid
+					// lower bound, complete whenever the bound is reachable,
+					// and be deterministic about its own verdict.
+					lbb, within := kern.lowerBounded(row, math.Inf(1))
+					if !within || lbb > truth {
+						t.Fatalf("dims=%d bits=%d row=%d: unbounded lowerBounded (%g, %v) vs true %g",
+							dims, bits, r, lbb, within, truth)
+					}
+					if got, within := kern.lowerBounded(row, ub); !within || got != lbb {
+						t.Fatalf("dims=%d bits=%d row=%d: lowerBounded at ub (%g, %v) != (%g, true)",
+							dims, bits, r, got, within, lbb)
+					}
+					if lbb > 0 {
+						if _, within := kern.lowerBounded(row, lbb/2); within {
+							t.Fatalf("dims=%d bits=%d row=%d: lowerBounded claimed within at bound %g < lb %g",
+								dims, bits, r, lbb/2, lbb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchBatchQuantizedIdentity pins the batched phase 1's exactness
+// claim end to end: on a churned quantized head (tombstones in both
+// segments, out-of-range delta rows), SearchBatch must return exactly
+// the per-query Search results and non-timing stats at every packed
+// width — and exactly the exact head's results, since Search itself is
+// proven bit-identical to exact elsewhere. Also pins the serial/batched
+// boundary (a 1-query batch takes the per-query path) and the parallel
+// threshold (the big head exceeds minParallelScan).
+func TestSearchBatchQuantizedIdentity(t *testing.T) {
+	for name, n := range map[string]int{"small": 300, "partitioned": minParallelScan*2 + 133} {
+		t.Run(name, func(t *testing.T) {
+			base, err := BuildIndex(testDB(n), l2, identityEmbedder{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			head, _ := applyScript(t, NewSegmented(base), 31, n/2)
+			rng := stats.NewRand(123)
+			queries := make([][]float64, 9)
+			for i := range queries {
+				queries[i] = []float64{rng.Float64() * 2, rng.Float64() * 2}
+			}
+			for _, bits := range []int{1, 2, 4, 8} {
+				t.Run(fmt.Sprintf("bits%d", bits), func(t *testing.T) {
+					quant, err := head.Quantize(bits)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, p := range []int{1, 40, n + 50} {
+						k := 10
+						if k > p {
+							k = p
+						}
+						batchRes, batchStats, err := quant.SearchBatch(queries, k, p)
+						if err != nil {
+							t.Fatal(err)
+						}
+						exactRes, _, err := head.SearchBatch(queries, k, p)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i, q := range queries {
+							res, st, err := quant.Search(q, k, p)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(res, batchRes[i]) {
+								t.Fatalf("p=%d query %d: batch diverges from serial quantized:\n  %v\n  %v", p, i, batchRes[i], res)
+							}
+							if !reflect.DeepEqual(batchRes[i], exactRes[i]) {
+								t.Fatalf("p=%d query %d: batch diverges from exact:\n  %v\n  %v", p, i, batchRes[i], exactRes[i])
+							}
+							if got, want := batchStats[i].WithoutTiming(), st.WithoutTiming(); !reflect.DeepEqual(got, want) {
+								t.Fatalf("p=%d query %d: batch stats diverge: %+v vs %+v", p, i, got, want)
+							}
+							one, _, err := quant.SearchBatch(queries[i:i+1], k, p)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(one[0], res) {
+								t.Fatalf("p=%d query %d: single-query batch diverges from Search", p, i)
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSearchBatchQuantizedErrors: a wrong-width query inside a batch
+// must produce the same deterministic first-error as the per-query path,
+// and healthy queries before it must not mask it.
+func TestSearchBatchQuantizedErrors(t *testing.T) {
+	base, err := BuildIndex(testDB(60), l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := NewSegmented(base).Quantize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]float64{{0.5, 0.5}, {1, 2, 3}, {0.1}}
+	_, _, batchErr := quant.SearchBatch(queries, 3, 10)
+	_, _, serialErr := NewSegmented(base).SearchBatch(queries, 3, 10)
+	if batchErr == nil || serialErr == nil || batchErr.Error() != serialErr.Error() {
+		t.Fatalf("batched error %q, per-query error %q", batchErr, serialErr)
+	}
+}
+
+// TestSearchBatchQuantizedDrained: a batch against a head with zero live
+// rows (pEff = 0, no bound scan at all) must answer like the exact path
+// — empty results, no panic.
+func TestSearchBatchQuantizedDrained(t *testing.T) {
+	base, err := BuildIndex(testDB(20), l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := NewSegmented(base).Quantize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < head.Total(); pos++ {
+		if head, err = head.Remove(pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := [][]float64{{0.5, 0.5}, {0.2, 0.9}}
+	res, sts, err := head.SearchBatch(queries, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if len(res[i]) != 0 || sts[i].RefineDistances != 0 {
+			t.Fatalf("drained batch query %d returned %v (stats %+v)", i, res[i], sts[i])
+		}
+	}
+}
+
+// TestQuantizePackedLayout pins the storage contract the persistence
+// layer depends on: the base shadow is bn x PackedStride bytes, 4-bit
+// shadows are half the 8-bit footprint (the tentpole's memory claim),
+// unpacking the packed codes reproduces the unpacked encoding, and
+// non-tiling widths are rejected.
+func TestQuantizePackedLayout(t *testing.T) {
+	const n, dims = 50, 2
+	base, err := BuildIndex(testDB(n), l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := NewSegmented(base)
+	shadowBytes := map[int]int{}
+	for _, bits := range []int{1, 2, 4, 8} {
+		q, err := seg.Quantize(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stride := vafile.PackedStride(dims, bits)
+		if got := len(q.BaseShadow()); got != n*stride {
+			t.Fatalf("bits=%d: base shadow %d bytes, want %d", bits, got, n*stride)
+		}
+		if got := q.ShadowBytes(); got != n*stride {
+			t.Fatalf("bits=%d: ShadowBytes %d, want %d", bits, got, n*stride)
+		}
+		shadowBytes[bits] = q.ShadowBytes()
+		// Round-trip: unpacking each packed row must equal Encode's
+		// unpacked codes.
+		grid, err := vafile.FromFlat(q.QuantBounds(), dims, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint8, dims)
+		got := make([]uint8, dims)
+		for r := 0; r < n; r++ {
+			grid.Encode(seg.Vector(r), want)
+			vafile.UnpackRow(q.BaseShadow()[r*stride:(r+1)*stride], dims, bits, got)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("bits=%d row %d: packed codes %v != encoded %v", bits, r, got, want)
+			}
+		}
+	}
+	if 2*shadowBytes[4] != shadowBytes[8] {
+		t.Fatalf("4-bit shadow %dB is not half the 8-bit shadow %dB", shadowBytes[4], shadowBytes[8])
+	}
+	for _, bits := range []int{0, 3, 5, 6, 7, 9} {
+		if _, err := seg.Quantize(bits); err == nil {
+			t.Fatalf("Quantize(%d) accepted a non-packed width", bits)
+		}
+	}
+}
+
+// TestQuantizeFromPartsLegacyUnpacked: a sub-byte shadow persisted by
+// the pre-packing writer (one byte per dimension) must repack at open
+// and answer identically to a fresh quantization; damaged legacy codes
+// and nonzero pad bits must be rejected.
+func TestQuantizeFromPartsLegacyUnpacked(t *testing.T) {
+	const n, dims, bits = 80, 2, 4
+	base, err := BuildIndex(testDB(n), l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := NewSegmented(base)
+	fresh, err := seg.Quantize(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct what the legacy writer persisted: unpacked codes.
+	grid, err := vafile.FromFlat(fresh.QuantBounds(), dims, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := make([]uint8, n*dims)
+	for r := 0; r < n; r++ {
+		grid.Encode(seg.Vector(r), legacy[r*dims:(r+1)*dims])
+	}
+	opened, err := seg.QuantizeFromParts(bits, fresh.QuantBounds(), legacy)
+	if err != nil {
+		t.Fatalf("legacy unpacked shadow rejected: %v", err)
+	}
+	if !reflect.DeepEqual(opened.BaseShadow(), fresh.BaseShadow()) {
+		t.Fatal("repacked legacy shadow differs from a fresh packed encoding")
+	}
+	q := identityEmbedder{}.Embed([]float64{0.4, 0.6})
+	if want, got := fresh.FilterLive(q, nil, 7, false, nil), opened.FilterLive(q, nil, 7, false, nil); !reflect.DeepEqual(want, got) {
+		t.Fatalf("legacy-opened head diverges: %v vs %v", got, want)
+	}
+	// A legacy code outside the cell range is corruption, not repackable.
+	bad := append([]uint8(nil), legacy...)
+	bad[3] = 16
+	if _, err := seg.QuantizeFromParts(bits, fresh.QuantBounds(), bad); err == nil {
+		t.Fatal("out-of-range legacy code accepted")
+	}
+	// A packed shadow of the wrong shape is rejected loudly.
+	if _, err := seg.QuantizeFromParts(bits, fresh.QuantBounds(), fresh.BaseShadow()[:n/2]); err == nil {
+		t.Fatal("truncated packed shadow accepted")
+	}
+	// Nonzero pad bits in a packed odd-dims shadow are rejected. Build a
+	// 1-dim head so the 4-bit rows carry a pad nibble.
+	oneD := make([][]float64, 40)
+	for i := range oneD {
+		oneD[i] = []float64{float64(i) / 40}
+	}
+	base1, err := BuildIndex(oneD, l2, identityEmbedder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg1 := NewSegmented(base1)
+	fresh1, err := seg1.Quantize(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := append([]uint8(nil), fresh1.BaseShadow()...)
+	dirty[0] |= 0xf0
+	if _, err := seg1.QuantizeFromParts(bits, fresh1.QuantBounds(), dirty); err == nil {
+		t.Fatal("nonzero pad bits accepted")
+	}
+}

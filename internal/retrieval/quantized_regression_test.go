@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -54,57 +55,61 @@ func TestQuantizedFilterCrossProduct(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			// lifecycle A: churn first, quantize the churned head.
-			late := metaScript(t, NewSegmented(base), 41, 220)
-			if late.Tombstones() == 0 || late.DeltaLen() == 0 {
-				t.Fatalf("script produced no delta/tombstones: %d/%d", late.DeltaLen(), late.Tombstones())
-			}
-			lateQ, err := late.Quantize(8)
-			if err != nil {
-				t.Fatal(err)
-			}
-			// lifecycle B: quantize the fresh base, then run the identical
-			// script on both heads (same seed, same decisions) so the
-			// quantized one grows its delta shadow one Add at a time.
-			earlyQ0, err := NewSegmented(base).Quantize(8)
-			if err != nil {
-				t.Fatal(err)
-			}
-			early := metaScript(t, NewSegmented(base), 43, 220)
-			earlyQ := metaScript(t, earlyQ0, 43, 220)
-			if earlyQ.QuantBits() != 8 || earlyQ.DeltaLen() != early.DeltaLen() {
-				t.Fatalf("incremental head lost state: bits %d, delta %d vs %d",
-					earlyQ.QuantBits(), earlyQ.DeltaLen(), early.DeltaLen())
-			}
-			rng := stats.NewRand(77)
-			for pair, heads := range map[string][2]*Segmented[[]float64]{
-				"bulk":        {late, lateQ},
-				"incremental": {early, earlyQ},
-			} {
-				exact, quant := heads[0], heads[1]
-				var engaged int64
-				for qi := 0; qi < 8; qi++ {
-					q := []float64{rng.Float64() * 2, rng.Float64() * 2}
-					qvec := em.Embed(q)
-					var weights []float64
-					if w, ok := em.(Weighter); ok {
-						weights = w.QueryWeights(qvec)
+			for _, bits := range []int{1, 2, 4, 8} {
+				t.Run(fmt.Sprintf("bits%d", bits), func(t *testing.T) {
+					// lifecycle A: churn first, quantize the churned head.
+					late := metaScript(t, NewSegmented(base), 41, 220)
+					if late.Tombstones() == 0 || late.DeltaLen() == 0 {
+						t.Fatalf("script produced no delta/tombstones: %d/%d", late.DeltaLen(), late.Tombstones())
 					}
-					for _, pred := range preds {
-						for _, p := range []int{1, 20, exact.Total() + 10} {
-							for _, plan := range []meta.Plan{meta.PlanInline, meta.PlanBitmap} {
-								tm := assertQuantMatch(t, exact, quant, qvec, weights, p, false, pred, plan)
-								engaged += tm.BoundScannedRows
-								if tm.BoundExactRows > tm.BoundScannedRows {
-									t.Fatalf("%s: evaluated %d of %d bound-scanned rows", pair, tm.BoundExactRows, tm.BoundScannedRows)
+					lateQ, err := late.Quantize(bits)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// lifecycle B: quantize the fresh base, then run the identical
+					// script on both heads (same seed, same decisions) so the
+					// quantized one grows its delta shadow one Add at a time.
+					earlyQ0, err := NewSegmented(base).Quantize(bits)
+					if err != nil {
+						t.Fatal(err)
+					}
+					early := metaScript(t, NewSegmented(base), 43, 220)
+					earlyQ := metaScript(t, earlyQ0, 43, 220)
+					if earlyQ.QuantBits() != bits || earlyQ.DeltaLen() != early.DeltaLen() {
+						t.Fatalf("incremental head lost state: bits %d, delta %d vs %d",
+							earlyQ.QuantBits(), earlyQ.DeltaLen(), early.DeltaLen())
+					}
+					rng := stats.NewRand(77)
+					for pair, heads := range map[string][2]*Segmented[[]float64]{
+						"bulk":        {late, lateQ},
+						"incremental": {early, earlyQ},
+					} {
+						exact, quant := heads[0], heads[1]
+						var engaged int64
+						for qi := 0; qi < 8; qi++ {
+							q := []float64{rng.Float64() * 2, rng.Float64() * 2}
+							qvec := em.Embed(q)
+							var weights []float64
+							if w, ok := em.(Weighter); ok {
+								weights = w.QueryWeights(qvec)
+							}
+							for _, pred := range preds {
+								for _, p := range []int{1, 20, exact.Total() + 10} {
+									for _, plan := range []meta.Plan{meta.PlanInline, meta.PlanBitmap} {
+										tm := assertQuantMatch(t, exact, quant, qvec, weights, p, false, pred, plan)
+										engaged += tm.BoundScannedRows
+										if tm.BoundExactRows > tm.BoundScannedRows {
+											t.Fatalf("%s: evaluated %d of %d bound-scanned rows", pair, tm.BoundExactRows, tm.BoundScannedRows)
+										}
+									}
 								}
 							}
 						}
+						if engaged == 0 {
+							t.Fatalf("%s: bound scan never engaged — cross product ran exact-only", pair)
+						}
 					}
-				}
-				if engaged == 0 {
-					t.Fatalf("%s: bound scan never engaged — cross product ran exact-only", pair)
-				}
+				})
 			}
 		})
 	}
@@ -190,23 +195,25 @@ func TestQuantizedParallelSerialIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	head, _ := applyScript(t, NewSegmented(base), 19, 900)
-	quant, err := head.Quantize(8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rng := stats.NewRand(23)
-	for qi := 0; qi < 6; qi++ {
-		q := []float64{rng.Float64() * 2, rng.Float64() * 2}
-		qvec := identityEmbedder{}.Embed(q)
-		for _, p := range []int{1, 50, 800} {
-			want := head.FilterLive(qvec, nil, p, true, nil)
-			ser := quant.FilterLive(qvec, nil, p, false, nil)
-			par1 := quant.FilterLive(qvec, nil, p, true, nil)
-			if !reflect.DeepEqual(ser, par1) {
-				t.Fatalf("query %d p=%d: quantized serial/parallel diverge:\n  %v\n  %v", qi, p, ser, par1)
-			}
-			if !reflect.DeepEqual(want, par1) {
-				t.Fatalf("query %d p=%d: quantized diverges from exact:\n  %v\n  %v", qi, p, want, par1)
+	for _, bits := range []int{1, 2, 4, 8} {
+		quant, err := head.Quantize(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRand(23)
+		for qi := 0; qi < 6; qi++ {
+			q := []float64{rng.Float64() * 2, rng.Float64() * 2}
+			qvec := identityEmbedder{}.Embed(q)
+			for _, p := range []int{1, 50, 800} {
+				want := head.FilterLive(qvec, nil, p, true, nil)
+				ser := quant.FilterLive(qvec, nil, p, false, nil)
+				par1 := quant.FilterLive(qvec, nil, p, true, nil)
+				if !reflect.DeepEqual(ser, par1) {
+					t.Fatalf("bits=%d query %d p=%d: quantized serial/parallel diverge:\n  %v\n  %v", bits, qi, p, ser, par1)
+				}
+				if !reflect.DeepEqual(want, par1) {
+					t.Fatalf("bits=%d query %d p=%d: quantized diverges from exact:\n  %v\n  %v", bits, qi, p, want, par1)
+				}
 			}
 		}
 	}

@@ -532,9 +532,17 @@ func (s *Segmented[T]) searchPred(q T, k, p int, pred *meta.Predicate, plan meta
 
 // SearchBatch pipelines queries across the worker pool like
 // Index.SearchBatch, with the same deterministic first-error semantics.
+// When a shadow block is live, the batch takes the shared-phase-1
+// pipeline instead: one streaming pass over the packed shadow screens
+// every query (searchBatchQuantized), then each query's phase 2, merge,
+// and refine run independently — per-query results and stats are
+// bit-identical to running the queries one at a time.
 func (s *Segmented[T]) SearchBatch(queries []T, k, p int) ([][]space.Neighbor, []Stats, error) {
 	if err := CheckKP(k, p); err != nil {
 		return nil, nil, err
+	}
+	if s.quant != nil && s.quant.bounds != nil && len(queries) > 1 {
+		return s.searchBatchQuantized(queries, k, p)
 	}
 	results := make([][]space.Neighbor, len(queries))
 	stats := make([]Stats, len(queries))

@@ -721,6 +721,20 @@ type storeStatsJSON struct {
 	BoundScannedRows uint64  `json:"bound_scanned_rows"`
 	BoundExactRows   uint64  `json:"bound_exact_rows"`
 	BoundPruneRate   float64 `json:"bound_prune_rate"`
+	// ShadowBits aliases quantize_bits under the shadow-block naming;
+	// ShadowBytes is the resident size of the packed shadow (base plus
+	// delta). BoundWidths breaks the scan counters down by the width that
+	// was active when each query ran — only widths with traffic appear.
+	ShadowBits  int                       `json:"shadow_bits"`
+	ShadowBytes int64                     `json:"shadow_bytes"`
+	BoundWidths map[string]boundWidthJSON `json:"bound_widths,omitempty"`
+}
+
+// boundWidthJSON is one quantization width's scan counters in /v1/stats.
+type boundWidthJSON struct {
+	ScannedRows uint64  `json:"scanned_rows"`
+	ExactRows   uint64  `json:"exact_rows"`
+	PruneRate   float64 `json:"prune_rate"`
 }
 
 // resilienceJSON is the serving-resilience section of /v1/stats: the
@@ -780,6 +794,26 @@ func pruneRate(scanned, exact uint64) float64 {
 		return 0
 	}
 	return 1 - float64(exact)/float64(scanned)
+}
+
+// boundWidths renders the per-width scan counters, keyed by the width's
+// decimal bit count; widths that never saw traffic are omitted.
+func boundWidths(st store.Stats) map[string]boundWidthJSON {
+	var out map[string]boundWidthJSON
+	for bits, bw := range st.BoundWidths {
+		if bw.ScannedRows == 0 && bw.ExactRows == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]boundWidthJSON)
+		}
+		out[strconv.Itoa(bits)] = boundWidthJSON{
+			ScannedRows: bw.ScannedRows,
+			ExactRows:   bw.ExactRows,
+			PruneRate:   pruneRate(bw.ScannedRows, bw.ExactRows),
+		}
+	}
+	return out
 }
 
 // resilience snapshots the middleware counters and gate occupancy.
@@ -843,17 +877,17 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Store: storeStatsJSON{
-			Size:             st.Size,
-			Dims:             st.Dims,
-			Generation:       st.Generation,
-			NextID:           st.NextID,
-			BaseSize:         st.BaseSize,
-			DeltaSize:        st.DeltaSize,
-			Tombstones:       st.Tombstones,
-			Compactions:      st.Compactions,
-			Shards:           st.Shards,
-			LastCompactionUs: float64(st.LastCompactionNanos) / 1e3,
-			LastSnapshotUs:   float64(st.LastSnapshotNanos) / 1e3,
+			Size:                st.Size,
+			Dims:                st.Dims,
+			Generation:          st.Generation,
+			NextID:              st.NextID,
+			BaseSize:            st.BaseSize,
+			DeltaSize:           st.DeltaSize,
+			Tombstones:          st.Tombstones,
+			Compactions:         st.Compactions,
+			Shards:              st.Shards,
+			LastCompactionUs:    float64(st.LastCompactionNanos) / 1e3,
+			LastSnapshotUs:      float64(st.LastSnapshotNanos) / 1e3,
 			LastSnapshotB:       st.LastSnapshotBytes,
 			DeltaScanShare:      st.DeltaScanShare,
 			SnapshotFailures:    st.SnapshotFailures,
@@ -864,6 +898,9 @@ func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
 			BoundScannedRows:    st.BoundScannedRows,
 			BoundExactRows:      st.BoundExactRows,
 			BoundPruneRate:      pruneRate(st.BoundScannedRows, st.BoundExactRows),
+			ShadowBits:          st.QuantBits,
+			ShadowBytes:         st.ShadowBytes,
+			BoundWidths:         boundWidths(st),
 		},
 		ShardDetail:   detail,
 		Filter:        filter,

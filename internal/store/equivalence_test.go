@@ -62,21 +62,24 @@ func TestShardedEquivalence(t *testing.T) {
 }
 
 // TestQuantizedEquivalence is the same randomized harness with the
-// sharded side running an 8-bit shadow-block scan against an exact
-// (unquantized) reference: every add/remove/upsert/compact/save/reopen
-// interleaving must keep results bit-identical, which is the executable
-// form of the bound-scan exactness argument in DESIGN.md §13. Reopens
-// additionally prove the quantization setting survives the bundle round
-// trip (the shadow is persisted, never silently dropped).
+// sharded side running a shadow-block scan against an exact
+// (unquantized) reference, at every packed width: every
+// add/remove/upsert/compact/save/reopen interleaving must keep results
+// bit-identical, which is the executable form of the bound-scan
+// exactness argument in DESIGN.md §13–14. Reopens additionally prove
+// the quantization setting survives the bundle round trip (the shadow
+// is persisted, never silently dropped). Each width gets its own seed
+// offset so the schedules differ across the matrix without multiplying
+// its size.
 func TestQuantizedEquivalence(t *testing.T) {
 	model, db := fixture(t, 48)
 	base := eqBaseSeed(t)
-	for _, shards := range []int{1, 2, 7} {
-		for off := int64(0); off < 3; off++ {
-			shards, seed := shards, base+off
-			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+	for wi, bits := range []int{1, 2, 4, 8} {
+		for _, shards := range []int{1, 2, 7} {
+			bits, shards, seed := bits, shards, base+int64(wi)
+			t.Run(fmt.Sprintf("bits=%d/shards=%d/seed=%d", bits, shards, seed), func(t *testing.T) {
 				t.Parallel()
-				runEquivalence(t, model, db, shards, seed, 8)
+				runEquivalence(t, model, db, shards, seed, bits)
 			})
 		}
 	}

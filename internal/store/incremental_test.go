@@ -163,6 +163,105 @@ func TestIncrementalSaveRewritesOnlyDirtyDelta(t *testing.T) {
 	}
 }
 
+// TestRenamedBundleSaveRewritesManifest pins the copy/rename contract:
+// a manifest copied to a new name still points at the sections of the
+// bundle it came from, so the first save after opening the copy must
+// rewrite the whole layout under the new name — manifest included.
+// Seeding the incremental-save mark from a non-canonical manifest used
+// to suppress that rewrite: the save wrote fresh sections the manifest
+// never named, and every post-copy mutation silently vanished at the
+// next open. The original bundle's files must never be touched — they
+// still back the original.
+func TestRenamedBundleSaveRewritesManifest(t *testing.T) {
+	model, db := fixture(t, 40)
+	s, err := New(model, db, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCompactionPolicy(lazy)
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "a.bundle")
+	if err := s.Save(orig); err != nil {
+		t.Fatal(err)
+	}
+	// A delta row and a tombstone make the copy carry all three section
+	// shapes the reopened store must keep intact across its own saves.
+	if _, err := s.Add([]float64{1.25, -1.25, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		copied := "b" + e.Name()[1:] // a.bundle* -> b.bundle*
+		if err := os.WriteFile(filepath.Join(dir, copied), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	origState := fileState(t, dir)
+
+	copyPath := filepath.Join(dir, "b.bundle")
+	c, err := Open(copyPath, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatalf("opening the copied bundle: %v", err)
+	}
+	// Two different mutations that each must survive the copy's save: a
+	// quantization change (base rewrite) and a fresh row (delta).
+	if err := c.SetQuantization(4); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Add([]float64{2.5, -0.5, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(copyPath); err != nil {
+		t.Fatalf("saving the copied bundle: %v", err)
+	}
+
+	r, err := Open(copyPath, l1, Gob[[]float64]())
+	if err != nil {
+		t.Fatalf("reopening the copied bundle: %v", err)
+	}
+	if got := r.Stats().QuantBits; got != 4 {
+		t.Fatalf("reopened copy has quantize bits %d, want 4 (manifest not rewritten under the new name?)", got)
+	}
+	if _, ok := r.Get(id); !ok {
+		t.Fatalf("object %d added to the copy is gone after save + reopen", id)
+	}
+	for qi, q := range queries(6, 3) {
+		want, _, _ := c.Search(q, 3, 12)
+		got, _, err := r.Search(q, 3, 12)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: reopened copy %v != live copy %v (err %v)", qi, got, want, err)
+		}
+	}
+
+	// The original bundle's files are byte-identical: a copy may share
+	// sections with the bundle it came from, so its saves must never
+	// write through the old names.
+	after := fileState(t, dir)
+	for name, data := range origState {
+		if name[0] != 'a' {
+			continue
+		}
+		if !reflect.DeepEqual(after[name], data) {
+			t.Fatalf("saving the copy modified the original's file %s", name)
+		}
+	}
+}
+
 // TestDeltaLogCrashRecovery pins the recovery contract: whatever
 // happens to the delta log — truncation mid-frame, bit rot, a stale tag
 // from a crash between section writes, or outright deletion — the store

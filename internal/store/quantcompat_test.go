@@ -1,0 +1,157 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// The committed fixtures under testdata/quantfixture were written by the
+// PR-9 bundle writer — before the packed sub-byte layout existed — via a
+// one-off generator since deleted: fixture(t, 40) → New →
+// SetQuantization(bits) → Save → Add{1.5,-1.5,0.25} →
+// Add{99,-99,42} (outside the boundary range: an unsafe delta row) →
+// Remove(3) → Save. bits8/ carries an 8-bit shadow, whose packed and
+// unpacked layouts coincide byte for byte; bits4/ carries the legacy
+// unpacked one-byte-per-dimension 4-bit shadow that the open path must
+// repack. Regenerating them with the current writer would defeat the
+// test — do not.
+
+// copyFixture copies one committed fixture directory into a temp dir so
+// the test can Save over it without touching the repository.
+func copyFixture(t *testing.T, name string) string {
+	t.Helper()
+	src := filepath.Join("testdata", "quantfixture", name)
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dst, "fix.bundle")
+}
+
+// assertExactMatch checks that the quantized store answers a spread of
+// queries bit-identically to the same store with quantization disabled.
+func assertExactMatch(t *testing.T, st *Store[[]float64], label string) {
+	t.Helper()
+	for qi, q := range queries(6, 99) {
+		got, _, err := st.Search(q, 5, 20)
+		if err != nil {
+			t.Fatalf("%s: query %d: %v", label, qi, err)
+		}
+		want, _, err := st.exactTwin(t).Search(q, 5, 20)
+		if err != nil {
+			t.Fatalf("%s: query %d exact: %v", label, qi, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: query %d diverges from exact:\n  quantized %v\n  exact     %v", label, qi, got, want)
+		}
+	}
+}
+
+// exactTwin reopens the store's current on-disk form with quantization
+// turned off, so comparisons never share in-memory state.
+func (s *Store[T]) exactTwin(t *testing.T) *Store[T] {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "twin.bundle")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	twin, err := Open[T](path, s.dist, s.codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.SetQuantization(0); err != nil {
+		t.Fatal(err)
+	}
+	return twin
+}
+
+// TestQuantBundleCompat pins the on-disk compatibility story: PR-9 era
+// bundles — 8-bit shadows and legacy unpacked 4-bit shadows — open
+// unchanged, answer bit-identically to the exact scan, and migrate to
+// the packed layout on the next save. SetQuantization to a different
+// width must force a base rewrite.
+func TestQuantBundleCompat(t *testing.T) {
+	for name, bits := range map[string]int{"bits4": 4, "bits8": 8} {
+		t.Run(name, func(t *testing.T) {
+			path := copyFixture(t, name)
+			st, err := Open(path, l1, Gob[[]float64]())
+			if err != nil {
+				t.Fatalf("opening legacy %s bundle: %v", name, err)
+			}
+			stats := st.Stats()
+			if stats.QuantBits != bits {
+				t.Fatalf("reopened width %d, fixture carries %d", stats.QuantBits, bits)
+			}
+			// 40 base rows + 2 replayed delta rows, one packed stride each
+			// over the embedded dims — regardless of how the fixture stored
+			// the shadow.
+			stride := (stats.Dims*bits + 7) / 8
+			if want := int64(42 * stride); stats.ShadowBytes != want {
+				t.Fatalf("shadow occupies %d bytes after open, want %d", stats.ShadowBytes, want)
+			}
+			if stats.Size != 41 { // Remove(3) tombstoned one of the 42
+				t.Fatalf("fixture live size %d, want 41", stats.Size)
+			}
+			assertExactMatch(t, st, name)
+
+			// Saving the migrated store must round-trip: the rewritten
+			// bundle reopens at the same width and keeps exactness.
+			if err := st.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open(path, l1, Gob[[]float64]())
+			if err != nil {
+				t.Fatalf("reopening migrated bundle: %v", err)
+			}
+			if got := re.Stats(); got.QuantBits != bits || got.ShadowBytes != stats.ShadowBytes {
+				t.Fatalf("migrated bundle reopened as width %d / %d shadow bytes, want %d / %d",
+					got.QuantBits, got.ShadowBytes, bits, stats.ShadowBytes)
+			}
+			assertExactMatch(t, re, name+"/resaved")
+
+			// A width change is a real mutation: the next save must rewrite
+			// the base section with the new shadow, and the reopened store
+			// must carry the new width.
+			newBits := 12 - bits // 4 <-> 8
+			base := path + ".shard-000-of-001.base"
+			before, err := os.ReadFile(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := re.SetQuantization(newBits); err != nil {
+				t.Fatal(err)
+			}
+			if err := re.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			after, err := os.ReadFile(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(before, after) {
+				t.Fatalf("base section unchanged after SetQuantization(%d)+Save", newBits)
+			}
+			sw, err := Open(path, l1, Gob[[]float64]())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sw.Stats().QuantBits; got != newBits {
+				t.Fatalf("width after switch save %d, want %d", got, newBits)
+			}
+			assertExactMatch(t, sw, name+"/switched")
+		})
+	}
+}

@@ -159,6 +159,10 @@ type Sharded[T any] struct {
 	// shards, so the front accounts them; the shards' own pairs stay 0).
 	boundRows  atomic.Uint64
 	boundExact atomic.Uint64
+	// boundRowsW/boundExactW break the pair above down by the
+	// quantization width the query ran at (index = bits per dimension).
+	boundRowsW  [9]atomic.Uint64
+	boundExactW [9]atomic.Uint64
 
 	// lcMu guards the background lifecycle started by Start.
 	lcMu sync.Mutex
@@ -288,7 +292,7 @@ func OpenSharded[T any](path string, dist space.Distance[T], codec Codec[T]) (*S
 		return nil, err
 	}
 	if version == manifestV3Version {
-		model, shards, next, err := openLayoutV3(path, payload, dist, codec)
+		model, shards, next, canonical, err := openLayoutV3(path, payload, dist, codec)
 		if err != nil {
 			return nil, err
 		}
@@ -298,9 +302,14 @@ func OpenSharded[T any](path string, dist space.Distance[T], codec Codec[T]) (*S
 		// rule), so seed the mark: the first post-reopen save stays
 		// delta-only instead of rewriting the model payload. The registry
 		// version covers everything the sections just replayed, so only a
-		// genuinely new field forces a manifest rewrite.
-		s.mark.path = path
-		s.mark.regVer = s.reg.Version()
+		// genuinely new field forces a manifest rewrite. A renamed or
+		// copied manifest (section names not derived from this path) must
+		// leave the mark unseeded so the first save rewrites the layout
+		// under its own name — see canonicalSections.
+		if canonical {
+			s.mark.path = path
+			s.mark.regVer = s.reg.Version()
+		}
 		return s, nil
 	}
 	if version != manifestVersion {
@@ -407,20 +416,24 @@ func OpenAuto[T any](path string, dist space.Distance[T], codec Codec[T]) (Backe
 	case manifestVersion:
 		return OpenSharded(path, dist, codec)
 	case manifestV3Version:
-		model, shards, next, err := openLayoutV3(path, payload, dist, codec)
+		model, shards, next, canonical, err := openLayoutV3(path, payload, dist, codec)
 		if err != nil {
 			return nil, err
 		}
 		if len(shards) == 1 {
 			st := shards[0]
 			st.nextID.Store(next)
-			st.mark.path = path
-			st.mark.regVer = st.reg.Version()
+			if canonical {
+				st.mark.path = path
+				st.mark.regVer = st.reg.Version()
+			}
 			return st, nil
 		}
 		s := newShardedFront(model, dist, codec, shards, next)
-		s.mark.path = path
-		s.mark.regVer = s.reg.Version()
+		if canonical {
+			s.mark.path = path
+			s.mark.regVer = s.reg.Version()
+		}
 		return s, nil
 	}
 	return Open(path, dist, codec)
@@ -576,11 +589,21 @@ func (s *Sharded[T]) search(snaps []*snapshot[T], q T, k, p int, parallel bool, 
 	for i, sh := range s.shards {
 		sh.noteScan(snaps[i])
 	}
+	bits := 0
+	if len(snaps) > 0 {
+		bits = snaps[0].seg.QuantBits()
+	}
 	if st.Timing.BoundScannedRows > 0 {
 		s.boundRows.Add(uint64(st.Timing.BoundScannedRows))
+		if bits >= 1 && bits <= 8 {
+			s.boundRowsW[bits].Add(uint64(st.Timing.BoundScannedRows))
+		}
 	}
 	if st.Timing.BoundExactRows > 0 {
 		s.boundExact.Add(uint64(st.Timing.BoundExactRows))
+		if bits >= 1 && bits <= 8 {
+			s.boundExactW[bits].Add(uint64(st.Timing.BoundExactRows))
+		}
 	}
 	return res, st, nil
 }
@@ -778,6 +801,12 @@ func (s *Sharded[T]) Stats() Stats {
 	}
 	agg.BoundScannedRows = s.boundRows.Load()
 	agg.BoundExactRows = s.boundExact.Load()
+	for bits := range agg.BoundWidths {
+		agg.BoundWidths[bits] = BoundWidth{
+			ScannedRows: s.boundRowsW[bits].Load(),
+			ExactRows:   s.boundExactW[bits].Load(),
+		}
+	}
 	var rows, waste uint64
 	for i, sh := range s.shards {
 		st := sh.Stats()
@@ -795,6 +824,11 @@ func (s *Sharded[T]) Stats() Stats {
 		}
 		agg.BoundScannedRows += st.BoundScannedRows
 		agg.BoundExactRows += st.BoundExactRows
+		agg.ShadowBytes += st.ShadowBytes
+		for bits := range agg.BoundWidths {
+			agg.BoundWidths[bits].ScannedRows += st.BoundWidths[bits].ScannedRows
+			agg.BoundWidths[bits].ExactRows += st.BoundWidths[bits].ExactRows
+		}
 		r, w := sh.scanCounters()
 		rows += r
 		waste += w

@@ -313,26 +313,26 @@ func (s *Store[T]) frameFor(snap *snapshot[T], fromRow int, nextID uint64) (*del
 // once — S restored copies was the v2 cost this layout removes). The
 // routing check catches swapped or transplanted section files: every
 // live ID must hash to the shard file it was found in.
-func openLayoutV3[T any](path string, payload []byte, dist space.Distance[T], codec Codec[T]) (*core.Model[T], []*Store[T], uint64, error) {
+func openLayoutV3[T any](path string, payload []byte, dist space.Distance[T], codec Codec[T]) (*core.Model[T], []*Store[T], uint64, bool, error) {
 	if codec == nil {
-		return nil, nil, 0, fmt.Errorf("store: nil codec")
+		return nil, nil, 0, false, fmt.Errorf("store: nil codec")
 	}
 	man, err := decodeManifestV3(path, payload)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, false, err
 	}
 	candidates := make([]T, len(man.Candidates))
 	for i, raw := range man.Candidates {
 		if candidates[i], err = codec.Decode(raw); err != nil {
-			return nil, nil, 0, fmt.Errorf("%w: %s: candidate %d: %v", ErrCorrupt, path, i, err)
+			return nil, nil, 0, false, fmt.Errorf("%w: %s: candidate %d: %v", ErrCorrupt, path, i, err)
 		}
 	}
 	model, err := core.Restore(&man.Model, candidates, dist)
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("store: %s: restoring model: %w", path, err)
+		return nil, nil, 0, false, fmt.Errorf("store: %s: restoring model: %w", path, err)
 	}
 	if model.Dims() != man.Dims {
-		return nil, nil, 0, fmt.Errorf("%w: %s: model embeds to %d dims, manifest declares %d", ErrCorrupt, path, model.Dims(), man.Dims)
+		return nil, nil, 0, false, fmt.Errorf("%w: %s: model embeds to %d dims, manifest declares %d", ErrCorrupt, path, model.Dims(), man.Dims)
 	}
 
 	dir := filepath.Dir(path)
@@ -345,7 +345,7 @@ func openLayoutV3[T any](path string, payload []byte, dist space.Distance[T], co
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("store: opening shard %d of %s: %w", i, path, err)
+			return nil, nil, 0, false, fmt.Errorf("store: opening shard %d of %s: %w", i, path, err)
 		}
 	}
 
@@ -363,14 +363,36 @@ func openLayoutV3[T any](path string, payload []byte, dist space.Distance[T], co
 	for i, sh := range shards {
 		for _, id := range sh.cur.Load().liveIDs() {
 			if got := shardOf(id, man.Shards); got != i {
-				return nil, nil, 0, fmt.Errorf("%w: %s: object id %d found in shard %d but routes to shard %d", ErrCorrupt, path, id, i, got)
+				return nil, nil, 0, false, fmt.Errorf("%w: %s: object id %d found in shard %d but routes to shard %d", ErrCorrupt, path, id, i, got)
 			}
 		}
 		if n := sh.nextID.Load(); n > next {
 			next = n
 		}
 	}
-	return model, shards, next, nil
+	return model, shards, next, canonicalSections(path, man), nil
+}
+
+// canonicalSections reports whether a manifest's section names are
+// exactly the ones a save to path would derive. They diverge when the
+// manifest file was copied or renamed: its embedded names still point
+// at the sections of the bundle it was copied from. Opening such a
+// layout works fine — the names are honored as written — but the
+// layout mark must NOT be seeded from it: a seeded mark suppresses the
+// manifest rewrite on the next save, while saveShard derives fresh
+// section names from the new path, so the save would write sections
+// the manifest never names and every mutation in them would silently
+// vanish at the next open. Left unseeded, the first save rewrites the
+// whole layout under the new name; the old sections are not touched —
+// they may still back the bundle the copy was made from.
+func canonicalSections(path string, man *manifestV3Body) bool {
+	baseFiles, deltaFiles := shardSectionFiles(path, man.Shards)
+	for i := range baseFiles {
+		if man.BaseFiles[i] != baseFiles[i] || man.DeltaFiles[i] != deltaFiles[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // openShardV3 restores one shard from its base section and delta log.

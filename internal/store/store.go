@@ -93,6 +93,22 @@ type Stats struct {
 	QuantBits        int
 	BoundScannedRows uint64
 	BoundExactRows   uint64
+	// ShadowBytes is the resident size of the packed shadow block (base
+	// plus delta), 0 when quantization is off or dormant. BoundWidths
+	// breaks the two counters above down by the quantization width that
+	// was active when each query ran, indexed by bits per dimension —
+	// only the packed widths 1, 2, 4, and 8 are ever populated, so a
+	// width change mid-lifetime stays attributable.
+	ShadowBytes int64
+	BoundWidths [9]BoundWidth
+}
+
+// BoundWidth is one quantization width's slice of the shadow-scan
+// counters (see Stats.BoundWidths): rows the bound scan examined at
+// that width and the subset it had to evaluate exactly.
+type BoundWidth struct {
+	ScannedRows uint64
+	ExactRows   uint64
 }
 
 // CompactionPolicy decides when the mutation path folds the delta segment
@@ -360,6 +376,11 @@ type Store[T any] struct {
 	// shards, so per-shard attribution does not exist).
 	boundRows  atomic.Uint64
 	boundExact atomic.Uint64
+	// boundRowsW/boundExactW are the same counters broken down by the
+	// quantization width active when the query ran (index = bits per
+	// dimension; only the packed widths 1, 2, 4, 8 are ever touched).
+	boundRowsW  [9]atomic.Uint64
+	boundExactW [9]atomic.Uint64
 
 	// saveMu serializes saves (mutations and searches are never blocked:
 	// they use mu and no lock respectively) and guards the incremental
@@ -496,7 +517,7 @@ func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T]
 	case bundleVersion:
 		// Fall through to the v1 decode below.
 	case manifestV3Version:
-		_, shards, next, err := openLayoutV3(path, payload, dist, codec)
+		_, shards, next, canonical, err := openLayoutV3(path, payload, dist, codec)
 		if err != nil {
 			return nil, err
 		}
@@ -505,8 +526,10 @@ func Open[T any](path string, dist space.Distance[T], codec Codec[T]) (*Store[T]
 		}
 		st := shards[0]
 		st.nextID.Store(next)
-		st.mark.path = path
-		st.mark.regVer = st.reg.Version()
+		if canonical {
+			st.mark.path = path
+			st.mark.regVer = st.reg.Version()
+		}
 		return st, nil
 	case manifestVersion:
 		return nil, fmt.Errorf("%w: %s is a sharded manifest (version %d); open it with OpenSharded", ErrVersion, path, version)
@@ -665,7 +688,7 @@ func (s *Store[T]) SearchFiltered(q T, k, p int, pred *meta.Predicate) ([]Result
 		return nil, retrieval.Stats{}, err
 	}
 	s.noteScan(snap)
-	s.noteBound(st.Timing)
+	s.noteBound(st.Timing, snap.seg.QuantBits())
 	return res, st, nil
 }
 
@@ -698,7 +721,7 @@ func (s *Store[T]) SearchBatchFiltered(queries []T, k, p int, pred *meta.Predica
 			return nil, nil, fmt.Errorf("query %d: %w", i, err)
 		}
 		s.noteScan(snap)
-		s.noteBound(stats[i].Timing)
+		s.noteBound(stats[i].Timing, snap.seg.QuantBits())
 	}
 	return results, stats, nil
 }
@@ -729,14 +752,21 @@ func (s *Store[T]) scanCounters() (rows, waste uint64) {
 }
 
 // noteBound accounts one query's shadow-scan counters toward the
-// store's lifetime prune-rate statistics. Zero counters (quantization
+// store's lifetime prune-rate statistics, attributed to the
+// quantization width the query ran at. Zero counters (quantization
 // off) add nothing.
-func (s *Store[T]) noteBound(t retrieval.Timing) {
+func (s *Store[T]) noteBound(t retrieval.Timing, bits int) {
 	if t.BoundScannedRows > 0 {
 		s.boundRows.Add(uint64(t.BoundScannedRows))
+		if bits >= 1 && bits <= 8 {
+			s.boundRowsW[bits].Add(uint64(t.BoundScannedRows))
+		}
 	}
 	if t.BoundExactRows > 0 {
 		s.boundExact.Add(uint64(t.BoundExactRows))
+		if bits >= 1 && bits <= 8 {
+			s.boundExactW[bits].Add(uint64(t.BoundExactRows))
+		}
 	}
 }
 
@@ -1163,7 +1193,9 @@ func (s *Store[T]) Remove(id uint64) error {
 }
 
 // SetQuantization sets the shadow-block quantization width to bits per
-// dimension (1..8) or disables it (0). Quantization is a pure scan
+// dimension (1, 2, 4, or 8 — the widths that tile bytes exactly, see
+// the packed layout in DESIGN.md §14) or disables it (0). Quantization
+// is a pure scan
 // accelerator — results stay bit-identical to the exact scan — so the
 // generation is unchanged; the base tag is refreshed so the next save
 // rewrites the base section with (or without) the shadow block.
@@ -1307,6 +1339,13 @@ func (s *Store[T]) Stats() Stats {
 		QuantBits:           snap.seg.QuantBits(),
 		BoundScannedRows:    s.boundRows.Load(),
 		BoundExactRows:      s.boundExact.Load(),
+		ShadowBytes:         int64(snap.seg.ShadowBytes()),
+	}
+	for bits := range st.BoundWidths {
+		st.BoundWidths[bits] = BoundWidth{
+			ScannedRows: s.boundRowsW[bits].Load(),
+			ExactRows:   s.boundExactW[bits].Load(),
+		}
 	}
 	s.health.fill(&st)
 	return st

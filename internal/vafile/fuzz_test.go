@@ -75,6 +75,89 @@ func FuzzBounds(f *testing.F) {
 			if lb < 0 || ub < lb {
 				t.Fatalf("row %d: malformed bounds [%g, %g]", r, lb, ub)
 			}
+			// At the byte-tiling widths the packed encoding must agree
+			// with the unpacked one field for field.
+			if PackedWidth(bits) {
+				stride := PackedStride(dims, bits)
+				packed := make([]uint8, stride)
+				if !b.EncodePacked(row, packed) {
+					t.Fatalf("row %d: EncodePacked reported out of range, Encode did not", r)
+				}
+				viaPack := make([]uint8, stride)
+				PackRow(codes, bits, viaPack)
+				for i := range packed {
+					if packed[i] != viaPack[i] {
+						t.Fatalf("row %d byte %d: EncodePacked %08b != PackRow(Encode) %08b", r, i, packed[i], viaPack[i])
+					}
+				}
+				unpacked := make([]uint8, dims)
+				UnpackRow(packed, dims, bits, unpacked)
+				for d := range codes {
+					if unpacked[d] != codes[d] {
+						t.Fatalf("row %d dim %d: unpacked code %d != %d", r, d, unpacked[d], codes[d])
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzPackedRoundTrip fuzzes the packed code layout in isolation: for
+// any code row at any packed width, pack-then-unpack is the identity on
+// masked codes, packing is canonical (pad bits zero, stable under a
+// second round trip), and raw packed bytes with clean pad bits survive
+// unpack-then-pack byte-identically — the property the bundle reader's
+// pad validation rests on.
+func FuzzPackedRoundTrip(f *testing.F) {
+	f.Add([]byte{0x12, 0x34, 0xff, 0x00}, uint8(5), uint8(2))
+	f.Add([]byte{1, 2, 3}, uint8(2), uint8(0))
+	f.Add([]byte{0xaa, 0x55}, uint8(1), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, dRaw, widthRaw uint8) {
+		widths := [4]int{1, 2, 4, 8}
+		bits := widths[widthRaw%4]
+		dims := 1 + int(dRaw%17)
+		if len(raw) < dims {
+			t.Skip()
+		}
+		mask := uint8(1<<bits - 1)
+		codes := make([]uint8, dims)
+		for d := range codes {
+			codes[d] = raw[d] & mask
+		}
+		stride := PackedStride(dims, bits)
+		packed := make([]uint8, stride)
+		PackRow(codes, bits, packed)
+		if pad := stride*8 - dims*bits; pad > 0 {
+			if packed[stride-1]&(uint8(0xff)<<(8-pad)) != 0 {
+				t.Fatalf("dims=%d bits=%d: nonzero pad bits in %08b", dims, bits, packed[stride-1])
+			}
+		}
+		back := make([]uint8, dims)
+		UnpackRow(packed, dims, bits, back)
+		for d := range codes {
+			if back[d] != codes[d] {
+				t.Fatalf("dims=%d bits=%d dim=%d: %d != %d after round trip", dims, bits, d, back[d], codes[d])
+			}
+		}
+		again := make([]uint8, stride)
+		PackRow(back, bits, again)
+		for i := range packed {
+			if again[i] != packed[i] {
+				t.Fatalf("dims=%d bits=%d byte=%d: packing not canonical: %08b != %08b", dims, bits, i, again[i], packed[i])
+			}
+		}
+		// Unmasked codes must pack identically to their masked form — a
+		// corrupt caller cannot spill into a neighboring field.
+		dirty := make([]uint8, dims)
+		for d := range dirty {
+			dirty[d] = raw[d]
+		}
+		viaDirty := make([]uint8, stride)
+		PackRow(dirty, bits, viaDirty)
+		for i := range packed {
+			if viaDirty[i] != packed[i] {
+				t.Fatalf("dims=%d bits=%d byte=%d: unmasked codes leaked: %08b != %08b", dims, bits, i, viaDirty[i], packed[i])
+			}
 		}
 	})
 }

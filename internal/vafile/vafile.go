@@ -44,6 +44,69 @@ const (
 	MaxBits = 8
 )
 
+// PackedWidth reports whether bits is a packed storage width: one whose
+// fields tile bytes exactly (bits divides 8), so a code never straddles
+// a byte boundary and the scan kernels can extract it with one shift and
+// mask. The boundary/table math works for any MinBits..MaxBits width;
+// packed shadow storage is restricted to these.
+func PackedWidth(bits int) bool {
+	return bits == 1 || bits == 2 || bits == 4 || bits == 8
+}
+
+// PackedStride returns the bytes per row of a packed shadow block:
+// ceil(dims*bits/8). At 4 bits two dimensions share a byte (low nibble =
+// lower dimension); trailing pad bits in a row's last byte are always
+// zero.
+func PackedStride(dims, bits int) int {
+	return (dims*bits + 7) / 8
+}
+
+// PackRow packs dims one-byte codes into dst (PackedStride bytes,
+// little-endian within each byte: the code for dimension d lands at bit
+// offset (d*bits)%8 of byte (d*bits)/8). Codes are masked to the field
+// width, so out-of-range inputs cannot corrupt neighboring fields. bits
+// must be a PackedWidth.
+func PackRow(codes []uint8, bits int, dst []uint8) {
+	if bits == 8 {
+		copy(dst, codes)
+		return
+	}
+	mask := uint8(1<<bits - 1)
+	var cur uint8
+	sh, di := 0, 0
+	for _, c := range codes {
+		cur |= (c & mask) << sh
+		sh += bits
+		if sh == 8 {
+			dst[di] = cur
+			di++
+			cur, sh = 0, 0
+		}
+	}
+	if sh > 0 {
+		dst[di] = cur
+	}
+}
+
+// UnpackRow is PackRow's inverse: it expands dims packed fields into one
+// code byte per dimension. bits must be a PackedWidth.
+func UnpackRow(packed []uint8, dims, bits int, dst []uint8) {
+	if bits == 8 {
+		copy(dst[:dims], packed)
+		return
+	}
+	mask := uint8(1<<bits - 1)
+	sh, i := 0, 0
+	for d := 0; d < dims; d++ {
+		dst[d] = (packed[i] >> sh) & mask
+		sh += bits
+		if sh == 8 {
+			sh = 0
+			i++
+		}
+	}
+}
+
 // Boundaries is one segment's per-dimension quantization grid: for each
 // dimension, cells+1 non-decreasing boundary values whose consecutive
 // pairs delimit the cells. Equi-populated construction (quantiles of the
@@ -196,6 +259,52 @@ func (b *Boundaries) EncodeBlock(block []float64, rows int) []uint8 {
 	return codes
 }
 
+// EncodePacked is Encode writing directly into a packed row (PackedStride
+// bytes) without materializing the one-byte-per-dimension form. The
+// grid's Bits must be a PackedWidth. The in-range report matches Encode's
+// exactly.
+func (b *Boundaries) EncodePacked(row []float64, dst []uint8) bool {
+	if b.bits == 8 {
+		return b.Encode(row, dst)
+	}
+	inRange := true
+	var cur uint8
+	sh, di := 0, 0
+	for d := 0; d < b.dims; d++ {
+		v := row[d]
+		bd := b.flat[d*(b.cells+1) : (d+1)*(b.cells+1)]
+		if !(v >= bd[0] && v <= bd[b.cells]) { // NaN fails both comparisons
+			inRange = false
+		}
+		cur |= uint8(b.cellOf(d, v)) << sh
+		sh += b.bits
+		if sh == 8 {
+			dst[di] = cur
+			di++
+			cur, sh = 0, 0
+		}
+	}
+	if sh > 0 {
+		dst[di] = cur
+	}
+	return inRange
+}
+
+// EncodePackedBlock encodes a row-major block of rows x Dims values into
+// a fresh packed shadow block (rows x PackedStride bytes). Like
+// EncodeBlock, a block the boundaries were built from is in range by
+// construction, so no report is needed.
+func (b *Boundaries) EncodePackedBlock(block []float64, rows int) []uint8 {
+	stride := PackedStride(b.dims, b.bits)
+	packed := make([]uint8, rows*stride)
+	par.For(rows, 512, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			b.EncodePacked(block[r*b.dims:(r+1)*b.dims], packed[r*stride:(r+1)*stride])
+		}
+	})
+	return packed
+}
+
 // Tables are one query's per-cell bound lookup tables: for dimension d
 // and cell c, entry d*Cells+c bounds the weighted per-dimension distance
 // w_d*|q_d - v| below (lb) or above (ub) for any v in the cell. Summing
@@ -203,6 +312,13 @@ func (b *Boundaries) EncodeBlock(block []float64, rows int) []uint8 {
 type Tables struct {
 	dims, cells int
 	lb, ub      []float64
+	// lb16/ub16 mirror lb/ub as one fixed-size [16]float64 array per
+	// dimension when the grid has at most 16 cells (bits <= 4). The
+	// sub-byte scan kernels index them with a masked nibble/crumb/bit,
+	// which the compiler can prove < 16 — the bounds check disappears
+	// from the innermost loop. Entries past Cells are zero and never
+	// read (a packed field cannot encode a code >= Cells).
+	lb16, ub16 [][16]float64
 	// mrel is reorderSlack(dims); inv is 1/(1-mrel), hoisting the
 	// per-row division out of the screening loop (the one extra rounding
 	// is far inside mrel's 4x safety factor).
@@ -264,6 +380,14 @@ func (b *Boundaries) QueryTables(qvec, weights []float64) (Tables, bool) {
 		lbRow[cq] = 0
 		ubRow[cq] = w * ub
 	}
+	if b.cells <= 16 {
+		t.lb16 = make([][16]float64, b.dims)
+		t.ub16 = make([][16]float64, b.dims)
+		for d := 0; d < b.dims; d++ {
+			copy(t.lb16[d][:b.cells], t.lb[d*b.cells:(d+1)*b.cells])
+			copy(t.ub16[d][:b.cells], t.ub[d*b.cells:(d+1)*b.cells])
+		}
+	}
 	t.mrel = reorderSlack(b.dims)
 	t.inv = 1 / (1 - t.mrel)
 	return t, true
@@ -281,6 +405,18 @@ func reorderSlack(n int) float64 {
 
 // Dims returns the tables' dimensionality (0 for the zero value).
 func (t *Tables) Dims() int { return t.dims }
+
+// Tab16 exposes the fixed-stride per-dimension tables (nil when the grid
+// has more than 16 cells). The packed scan kernels in internal/retrieval
+// consume them; callers must not modify them.
+func (t *Tables) Tab16() (lb, ub [][16]float64) { return t.lb16, t.ub16 }
+
+// Slack exposes the reordering allowance the row methods apply: any
+// kernel that reassociates the per-dimension sum must discount a lower
+// bound to s - s*mrel (equivalently compare s against bound*inv) and pad
+// an upper bound to s + s*mrel, exactly as RowLowerBounded and RowUpper
+// do.
+func (t *Tables) Slack() (mrel, inv float64) { return t.mrel, t.inv }
 
 // RowLower sums the lower-bound table over a row's codes: a provable
 // lower bound on the row's weighted L1 distance to the query. codes must

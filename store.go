@@ -72,6 +72,24 @@ type StoreStats struct {
 	QuantBits        int
 	BoundScannedRows uint64
 	BoundExactRows   uint64
+	// ShadowBytes is the quantized shadow block's resident size in bytes
+	// across all segments (summed over shards; 0 when quantization is
+	// off). With sub-byte widths the shadow packs multiple cells per
+	// byte, so this is the number to watch when choosing a width.
+	ShadowBytes int64
+	// BoundWidths breaks the bound-scan counters down by bit width,
+	// indexed by QuantBits (only 1, 2, 4, and 8 are ever populated) — a
+	// store requantized between widths keeps each width's traffic
+	// attributed to the width that served it.
+	BoundWidths [9]BoundWidth
+}
+
+// BoundWidth is one bit width's slice of the bound-scan counters: the
+// rows screened through shadows of that width and the subset that
+// needed an exact float64 evaluation (see StoreStats.BoundWidths).
+type BoundWidth struct {
+	ScannedRows uint64
+	ExactRows   uint64
 }
 
 // StoreLifecycle configures the background services a store owns
@@ -463,7 +481,7 @@ func (s *Store[T]) ShardStats() []StoreStats {
 }
 
 func toStoreStats(st store.Stats) StoreStats {
-	return StoreStats{
+	out := StoreStats{
 		Size: st.Size, Dims: st.Dims, Generation: st.Generation, NextID: st.NextID,
 		BaseSize: st.BaseSize, DeltaSize: st.DeltaSize, Tombstones: st.Tombstones,
 		Compactions: st.Compactions, Shards: st.Shards,
@@ -474,5 +492,10 @@ func toStoreStats(st store.Stats) StoreStats {
 		QuantBits:           st.QuantBits,
 		BoundScannedRows:    st.BoundScannedRows,
 		BoundExactRows:      st.BoundExactRows,
+		ShadowBytes:         st.ShadowBytes,
 	}
+	for bits, w := range st.BoundWidths {
+		out.BoundWidths[bits] = BoundWidth{ScannedRows: w.ScannedRows, ExactRows: w.ExactRows}
+	}
+	return out
 }
